@@ -1,0 +1,18 @@
+//! `cargo bench --bench figures` — the regeneration harness: runs every
+//! table/figure experiment once (quick accuracy scale) and prints the rows
+//! the paper reports. Uses a plain `main` (no criterion) because each
+//! experiment is a one-shot simulation, not a microbenchmark.
+
+use dcnn_bench::{render, ALL_EXPERIMENTS};
+use dcnn_core::experiments::AccuracyScale;
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore all flags.
+    let scale = AccuracyScale::quick();
+    println!("# dist-cnn figure/table regeneration (quick accuracy scale)\n");
+    for name in ALL_EXPERIMENTS {
+        let t0 = std::time::Instant::now();
+        println!("{}", render(name, &scale));
+        println!("_generated in {:.1}s_\n", t0.elapsed().as_secs_f64());
+    }
+}

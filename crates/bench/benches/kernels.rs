@@ -1,0 +1,168 @@
+//! Criterion microbenchmarks of the real (non-simulated) kernels: the
+//! threaded allreduce algorithms, the DCT codec, GEMM/convolution, the
+//! distributed shuffle and the data-parallel-table executors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dcnn_core::collectives::{run_cluster, AllreduceAlgo};
+use dcnn_core::dimd::shuffle::{shuffle_records, MPI_COUNT_LIMIT};
+use dcnn_core::dimd::{decode_image, encode_image, SynthConfig, SynthImageNet};
+use dcnn_core::dpt::{DptExecutor, DptStrategy};
+use dcnn_core::models::resnet::ResNetConfig;
+use dcnn_core::simnet::{FatTree, SimOptions};
+use dcnn_core::tensor::gemm::gemm;
+use dcnn_core::tensor::layers::{Conv2d, Module};
+use dcnn_core::tensor::Tensor;
+
+/// Real threaded allreduce across 8 ranks, per algorithm and payload.
+fn bench_allreduce_real(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_real_8ranks");
+    g.sample_size(10);
+    for algo in AllreduceAlgo::all() {
+        for kb in [256usize, 4096] {
+            let elems = kb * 1024 / 4;
+            g.throughput(Throughput::Bytes((kb * 1024) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{kb}KiB")),
+                &elems,
+                |b, &elems| {
+                    let a = algo.build();
+                    b.iter(|| {
+                        let out = run_cluster(8, |comm| {
+                            let mut buf = vec![comm.rank() as f32; elems];
+                            a.run(comm, &mut buf);
+                            buf[0]
+                        });
+                        black_box(out)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Simulated allreduce schedule construction + fluid simulation (what the
+/// figure experiments run many times).
+fn bench_allreduce_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_sim_16nodes");
+    g.sample_size(10);
+    let topo = FatTree::minsky(16);
+    let cost = dcnn_core::collectives::CostModel::default();
+    for algo in AllreduceAlgo::paper_trio() {
+        g.bench_function(algo.name(), |b| {
+            let a = algo.build();
+            b.iter(|| {
+                let s = a.schedule(16, 93e6, &cost);
+                black_box(s.simulate(&topo, &SimOptions::default()).makespan)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// DCT codec encode/decode on a synthetic 64×64 image.
+fn bench_codec(c: &mut Criterion) {
+    let ds = SynthImageNet::new(SynthConfig {
+        classes: 1,
+        train_per_class: 1,
+        val_per_class: 1,
+        base_hw: 64,
+        hw_jitter: 0,
+        noise: 16.0,
+        seed: 7,
+    });
+    let img = ds.train_image(0);
+    let enc = encode_image(&img, 60);
+    let mut g = c.benchmark_group("codec_64x64");
+    g.throughput(Throughput::Bytes(img.data.len() as u64));
+    g.bench_function("encode_q60", |b| b.iter(|| black_box(encode_image(&img, 60))));
+    g.bench_function("decode", |b| b.iter(|| black_box(decode_image(&enc))));
+    g.finish();
+}
+
+/// GEMM and convolution kernels.
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_kernels");
+    let n = 128;
+    let a = Tensor::randn(&[n, n], 1.0, 1);
+    let bm = Tensor::randn(&[n, n], 1.0, 2);
+    let mut out = vec![0.0f32; n * n];
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("gemm_128", |b| {
+        b.iter(|| {
+            gemm(&mut out, a.data(), bm.data(), n, n, n);
+            black_box(out[0])
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("conv2d");
+    g.sample_size(20);
+    let x = Tensor::randn(&[4, 16, 32, 32], 1.0, 3);
+    g.bench_function("fwd_bwd_16x32_3x3", |b| {
+        let mut conv = Conv2d::new(16, 32, 3, 1, 1, false, 5);
+        b.iter(|| {
+            let y = conv.forward(&x, true);
+            black_box(conv.backward(&y))
+        })
+    });
+    g.finish();
+}
+
+/// The real distributed shuffle (Algorithm 2) across 4 ranks.
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dimd_shuffle_4ranks");
+    g.sample_size(10);
+    g.bench_function("1000x1KB_records", |b| {
+        b.iter(|| {
+            let out = run_cluster(4, |comm| {
+                let records: Vec<(Vec<u8>, u32)> =
+                    (0..1000).map(|i| (vec![i as u8; 1024], i as u32)).collect();
+                shuffle_records(comm, records, 3, MPI_COUNT_LIMIT).len()
+            });
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+/// Both data-parallel-table executors on the same node batch.
+fn bench_dpt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpt_step_4gpus");
+    g.sample_size(10);
+    let factory = || {
+        ResNetConfig {
+            blocks: vec![1],
+            base_width: 8,
+            bottleneck: false,
+            classes: 8,
+            input: [3, 32, 32],
+            imagenet_stem: false,
+        }
+        .build(3)
+    };
+    let x = Tensor::randn(&[16, 3, 32, 32], 1.0, 9);
+    let labels: Vec<usize> = (0..16).map(|i| i % 8).collect();
+    for (name, strategy) in
+        [("baseline", DptStrategy::Baseline), ("optimized", DptStrategy::Optimized)]
+    {
+        g.bench_function(name, |b| {
+            let mut exec = DptExecutor::new(4, factory);
+            b.iter(|| black_box(exec.step(&x, &labels, strategy).loss));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allreduce_real,
+    bench_allreduce_sim,
+    bench_codec,
+    bench_tensor_kernels,
+    bench_shuffle,
+    bench_dpt
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                      # all experiments, full accuracy scale
+//! repro quick                # all experiments, quick accuracy scale
+//! repro fig5 fig10           # a subset
+//! repro --json results/ ...  # additionally write <name>.json row dumps
+//! ```
+
+use dcnn_bench::{render, to_json, ALL_EXPERIMENTS};
+use dcnn_core::experiments::AccuracyScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let scale = if quick { AccuracyScale::quick() } else { AccuracyScale::full() };
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a directory").clone());
+    let mut skip_next = false;
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            *a != "quick"
+        })
+        .map(String::as_str)
+        .collect();
+    let list: Vec<&str> =
+        if wanted.is_empty() { ALL_EXPERIMENTS.to_vec() } else { wanted };
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    println!("# dist-cnn reproduction — Kumar et al., CLUSTER 2018\n");
+    for name in list {
+        let t0 = std::time::Instant::now();
+        let section = render(name, &scale);
+        println!("{section}");
+        if let Some(dir) = &json_dir {
+            let path = std::path::Path::new(dir).join(format!("{name}.json"));
+            std::fs::write(&path, to_json(name, &scale)).expect("write json");
+            println!("_rows written to {}_", path.display());
+        }
+        println!("_generated in {:.1}s_\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,43 @@
+//! Smoke tests for the report renderers (cheap experiments only — the
+//! accuracy figures are exercised by `dcnn-core`'s own tests).
+
+use dcnn_bench::{render_fig7, render_fig9, render_table2, to_json};
+use dcnn_core::experiments::AccuracyScale;
+
+#[test]
+fn fig7_renders_three_rows() {
+    let s = render_fig7();
+    assert!(s.contains("Figure 7"));
+    // Header + separator + 3 node counts.
+    assert_eq!(s.lines().filter(|l| l.starts_with('|')).count(), 5);
+    assert!(s.contains("4.2"));
+}
+
+#[test]
+fn fig9_renders_four_group_rows() {
+    let s = render_fig9();
+    assert_eq!(s.lines().filter(|l| l.starts_with("| 32")).count(), 4);
+}
+
+#[test]
+fn table2_has_paper_rows() {
+    let s = render_table2();
+    assert!(s.contains("Priya et al"));
+    assert!(s.contains("You et al"));
+    assert!(s.contains("Our work"));
+    assert!(s.contains("48 min"));
+}
+
+#[test]
+fn json_rows_parse() {
+    let j = to_json("fig8", &AccuracyScale::quick());
+    let v: serde_json::Value = serde_json::from_str(&j).expect("valid json");
+    assert_eq!(v.as_array().expect("array").len(), 3);
+    assert!(v[0]["shuffle_secs"].as_f64().expect("number") > 0.0);
+}
+
+#[test]
+#[should_panic]
+fn unknown_experiment_panics() {
+    let _ = to_json("fig99", &AccuracyScale::quick());
+}

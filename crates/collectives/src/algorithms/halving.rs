@@ -1,0 +1,248 @@
+//! Rabenseifner's recursive halving + doubling allreduce — an ablation
+//! baseline: bandwidth-optimal like the reduce-scatter ring but with
+//! logarithmic latency. MPI libraries (including the MPICH lineage the paper
+//! cites as [12]) use it for large payloads.
+//!
+//! Phase 1 reduce-scatters by recursive halving (exchange half of the current
+//! range each round, at distance p/2, p/4, …, 1); phase 2 allgathers by
+//! recursive doubling, replaying the ranges in reverse.
+
+use dcnn_simnet::{CommSchedule, OpId};
+
+use super::rdouble::{eff_to_global, global_to_eff, prev_pow2};
+use super::{Allreduce, CostModel};
+use crate::reduce::sum_into;
+use crate::runtime::Comm;
+
+const TAG: u32 = 0x0C00_0000;
+
+/// Recursive halving-doubling (Rabenseifner) allreduce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HalvingDoubling;
+
+impl Allreduce for HalvingDoubling {
+    fn name(&self) -> &'static str {
+        "halving-doubling"
+    }
+
+    fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let r = comm.rank();
+        let p = prev_pow2(n);
+        let rem = n - p;
+
+        // Fold non-power-of-two ranks (same as recursive doubling).
+        if r < 2 * rem {
+            if r % 2 == 1 {
+                comm.send_f32(r - 1, TAG, buf);
+            } else {
+                let v = comm.recv_f32(r + 1, TAG);
+                sum_into(buf, &v);
+            }
+        }
+
+        if let Some(er) = global_to_eff(r, rem) {
+            // Reduce-scatter by recursive halving. `cur` is the range this
+            // rank keeps refining; `trail` records (range_before, partner)
+            // per step so the allgather can replay it backwards.
+            let mut cur = 0..buf.len();
+            let mut trail: Vec<(std::ops::Range<usize>, usize)> = Vec::new();
+            let mut mask = p / 2;
+            let mut round = 1u32;
+            while mask >= 1 {
+                let peer = eff_to_global(er ^ mask, rem);
+                let mid = cur.start + cur.len() / 2;
+                let (keep, give) = if er & mask == 0 {
+                    (cur.start..mid, mid..cur.end)
+                } else {
+                    (mid..cur.end, cur.start..mid)
+                };
+                comm.send_f32(peer, TAG + round, &buf[give.clone()]);
+                let v = comm.recv_f32(peer, TAG + round);
+                sum_into(&mut buf[keep.clone()], &v);
+                trail.push((cur.clone(), peer));
+                cur = keep;
+                mask /= 2;
+                round += 1;
+            }
+
+            // Allgather by recursive doubling: reverse the trail.
+            for (outer, peer) in trail.into_iter().rev() {
+                comm.send_f32(peer, TAG + round, &buf[cur.clone()]);
+                let v = comm.recv_f32(peer, TAG + round);
+                // The peer holds the other half of `outer`.
+                let sibling = if cur.start == outer.start {
+                    cur.end..outer.end
+                } else {
+                    outer.start..cur.start
+                };
+                buf[sibling].copy_from_slice(&v);
+                cur = outer;
+                round += 1;
+            }
+        }
+
+        // Unfold.
+        if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                comm.send_f32(r + 1, TAG + 63, buf);
+            } else {
+                let v = comm.recv_f32(r - 1, TAG + 63);
+                buf.copy_from_slice(&v);
+            }
+        }
+    }
+
+    fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule {
+        let mut sch = CommSchedule::new(n.max(1));
+        if n <= 1 || bytes <= 0.0 {
+            return sch;
+        }
+        let p = prev_pow2(n);
+        let rem = n - p;
+        let mut last: Vec<Option<OpId>> = vec![None; n];
+
+        for er in 0..rem {
+            let (even, odd) = (2 * er, 2 * er + 1);
+            let t = sch.transfer(odd, even, bytes, vec![]);
+            let c = sch.compute(even, cost.sum_secs(bytes), vec![t]);
+            last[even] = Some(c);
+            last[odd] = Some(t);
+        }
+
+        // Halving rounds: payload per exchange halves each time.
+        let mut mask = p / 2;
+        let mut part = bytes / 2.0;
+        while mask >= 1 {
+            let snapshot = last.clone();
+            for er in 0..p {
+                let peer_er = er ^ mask;
+                if peer_er < er {
+                    continue;
+                }
+                let a = eff_to_global(er, rem);
+                let b = eff_to_global(peer_er, rem);
+                let ta = sch.transfer(a, b, part, snapshot[a].into_iter().collect());
+                let tb = sch.transfer(b, a, part, snapshot[b].into_iter().collect());
+                let mut da: Vec<OpId> = vec![tb];
+                if let Some(x) = snapshot[a] {
+                    da.push(x);
+                }
+                let mut db: Vec<OpId> = vec![ta];
+                if let Some(x) = snapshot[b] {
+                    db.push(x);
+                }
+                last[a] = Some(sch.compute(a, cost.sum_secs(part), da));
+                last[b] = Some(sch.compute(b, cost.sum_secs(part), db));
+            }
+            mask /= 2;
+            part /= 2.0;
+        }
+
+        // Doubling rounds: payload doubles back up; pure copies.
+        let mut mask = 1usize;
+        let mut part = bytes / p as f64;
+        while mask < p {
+            let snapshot = last.clone();
+            for er in 0..p {
+                let peer_er = er ^ mask;
+                if peer_er < er {
+                    continue;
+                }
+                let a = eff_to_global(er, rem);
+                let b = eff_to_global(peer_er, rem);
+                let ta = sch.transfer(a, b, part, snapshot[a].into_iter().collect());
+                let tb = sch.transfer(b, a, part, snapshot[b].into_iter().collect());
+                last[a] = Some(tb);
+                last[b] = Some(ta);
+            }
+            mask *= 2;
+            part *= 2.0;
+        }
+
+        for er in 0..rem {
+            let (even, odd) = (2 * er, 2 * er + 1);
+            let t = sch.transfer(even, odd, bytes, last[even].into_iter().collect());
+            last[odd] = Some(t);
+        }
+        sch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_cluster;
+
+    #[test]
+    fn correct_powers_of_two() {
+        for n in [2, 4, 8, 16] {
+            for len in [16, 33, 128] {
+                let out = run_cluster(n, |c| {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (c.rank() * 7 + i) as f32).collect();
+                    HalvingDoubling.run(c, &mut buf);
+                    buf
+                });
+                for (rk, b) in out.iter().enumerate() {
+                    for i in 0..len {
+                        let want: f32 = (0..n).map(|r| (r * 7 + i) as f32).sum();
+                        assert!(
+                            (b[i] - want).abs() < 1e-2 * want.abs().max(1.0),
+                            "n={n} len={len} rank={rk} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correct_non_powers() {
+        for n in [3, 5, 6, 7, 12] {
+            let len = 40;
+            let out = run_cluster(n, |c| {
+                let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() + i) as f32).collect();
+                HalvingDoubling.run(c, &mut buf);
+                buf
+            });
+            for b in &out {
+                for i in 0..len {
+                    let want: f32 = (0..n).map(|r| (r + i) as f32).sum();
+                    assert!((b[i] - want).abs() < 1e-2, "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_length_buffers() {
+        // Halving splits must handle ranges that don't divide evenly.
+        let out = run_cluster(4, |c| {
+            let mut buf: Vec<f32> = (0..7).map(|i| (c.rank() * 10 + i) as f32).collect();
+            HalvingDoubling.run(c, &mut buf);
+            buf
+        });
+        for b in out {
+            for i in 0..7 {
+                let want: f32 = (0..4).map(|r| (r * 10 + i) as f32).sum();
+                assert_eq!(b[i], want);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_less_traffic_than_rdouble() {
+        use super::super::{RecursiveDoubling, Allreduce as _};
+        let cost = CostModel::default();
+        let hd = HalvingDoubling.schedule(8, 8e6, &cost);
+        let rd = RecursiveDoubling.schedule(8, 8e6, &cost);
+        hd.validate();
+        // HD moves 2·bytes·(1 - 1/p) per rank vs log2(p)·bytes for RD:
+        // 14/24 of RD's traffic at p = 8.
+        assert!(hd.total_bytes() < rd.total_bytes() * 0.6, "{} vs {}", hd.total_bytes(), rd.total_bytes());
+    }
+}

@@ -1,0 +1,213 @@
+//! Allreduce algorithms.
+//!
+//! Every algorithm implements [`Allreduce`]: it can *execute* on real `f32`
+//! buffers over the threaded runtime (used by the trainer and by correctness
+//! tests/benches), and it can *compile* itself to a
+//! [`dcnn_simnet::CommSchedule`] whose virtual-time simulation over the
+//! modelled fat-tree reproduces the paper's Figure 5/6 comparisons.
+
+mod halving;
+mod hierarchical;
+mod multicolor;
+mod rdouble;
+mod ring;
+mod ring_rs;
+
+pub use halving::HalvingDoubling;
+pub use hierarchical::Hierarchical;
+pub use multicolor::MultiColor;
+pub use rdouble::RecursiveDoubling;
+pub use ring::PipelinedRing;
+pub use ring_rs::RingReduceScatter;
+
+use dcnn_simnet::CommSchedule;
+
+use crate::runtime::Comm;
+
+/// Cost constants for compiling an algorithm to a schedule.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Host summation bandwidth in bytes/second (the altivec kernel of the
+    /// paper; memory-bandwidth bound on POWER8, ~20 GB/s sustained).
+    pub reduce_bw: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { reduce_bw: 20e9 }
+    }
+}
+
+impl CostModel {
+    /// Seconds to sum `bytes` of received data into a local buffer.
+    pub fn sum_secs(&self, bytes: f64) -> f64 {
+        bytes / self.reduce_bw
+    }
+}
+
+/// Pipelining parameters: how a payload is cut into sub-chunks that stream
+/// through a tree/ring. Matches the paper's "higher level of pipelining on
+/// the reduction trees" enabled by direct RDMA.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Preferred sub-chunk size in bytes.
+    pub target_bytes: usize,
+    /// Upper bound on the number of sub-chunks.
+    pub max_chunks: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline { target_bytes: 1 << 20, max_chunks: 32 }
+    }
+}
+
+impl Pipeline {
+    /// Number of sub-chunks for a payload of `bytes`.
+    pub fn chunks_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            return 1;
+        }
+        bytes.div_ceil(self.target_bytes).clamp(1, self.max_chunks)
+    }
+}
+
+/// A distributed sum over identical-length `f32` buffers.
+pub trait Allreduce {
+    /// Human-readable name (appears in figures and benches).
+    fn name(&self) -> &'static str;
+
+    /// Execute on the threaded runtime: on return every rank's `buf` holds
+    /// the elementwise sum over all ranks.
+    fn run(&self, comm: &Comm, buf: &mut [f32]);
+
+    /// Compile to a network schedule for `n` ranks and a `bytes` payload.
+    fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule;
+}
+
+/// Enum of all algorithms, for configuration and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreduceAlgo {
+    /// The paper's multi-color tree algorithm (§4.2) with this many colors.
+    MultiColor(usize),
+    /// The paper's ring comparator: pipelined reduce-to-root + broadcast.
+    PipelinedRing,
+    /// Whole-buffer recursive doubling ("default OpenMPI" comparator).
+    RecursiveDoubling,
+    /// Reduce-scatter + allgather ring (NCCL/Horovod style; ablation).
+    RingReduceScatter,
+    /// Rabenseifner's recursive halving + doubling (ablation).
+    HalvingDoubling,
+    /// Two-level hierarchical: per-group reduce, leaders' multicolor
+    /// allreduce, group broadcast (extension; group size is the parameter).
+    Hierarchical(usize),
+}
+
+impl AllreduceAlgo {
+    /// All algorithms at their default configuration.
+    pub fn all() -> Vec<AllreduceAlgo> {
+        vec![
+            AllreduceAlgo::MultiColor(4),
+            AllreduceAlgo::PipelinedRing,
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::RingReduceScatter,
+            AllreduceAlgo::HalvingDoubling,
+            AllreduceAlgo::Hierarchical(4),
+        ]
+    }
+
+    /// The three algorithms the paper compares in Figures 5–6.
+    pub fn paper_trio() -> Vec<AllreduceAlgo> {
+        vec![
+            AllreduceAlgo::MultiColor(4),
+            AllreduceAlgo::PipelinedRing,
+            AllreduceAlgo::RecursiveDoubling,
+        ]
+    }
+
+    /// Instantiate the algorithm.
+    pub fn build(&self) -> Box<dyn Allreduce + Send + Sync> {
+        match *self {
+            AllreduceAlgo::MultiColor(k) => Box::new(MultiColor::new(k)),
+            AllreduceAlgo::PipelinedRing => Box::new(PipelinedRing::default()),
+            AllreduceAlgo::RecursiveDoubling => Box::new(RecursiveDoubling),
+            AllreduceAlgo::RingReduceScatter => Box::new(RingReduceScatter),
+            AllreduceAlgo::HalvingDoubling => Box::new(HalvingDoubling),
+            AllreduceAlgo::Hierarchical(g) => Box::new(Hierarchical::new(g, 4)),
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllreduceAlgo::MultiColor(_) => "multicolor",
+            AllreduceAlgo::PipelinedRing => "ring",
+            AllreduceAlgo::RecursiveDoubling => "openmpi-default",
+            AllreduceAlgo::RingReduceScatter => "ring-reduce-scatter",
+            AllreduceAlgo::HalvingDoubling => "halving-doubling",
+            AllreduceAlgo::Hierarchical(_) => "hierarchical",
+        }
+    }
+}
+
+/// Split `len` items into `k` contiguous, maximally even ranges.
+pub(crate) fn even_ranges(len: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(k >= 1);
+    let base = len / k;
+    let extra = len % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let l = base + usize::from(i < extra);
+        out.push(start..start + l);
+        start += l;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_exactly() {
+        for len in [0, 1, 7, 10, 100] {
+            for k in [1, 2, 3, 7] {
+                let r = even_ranges(len, k);
+                assert_eq!(r.len(), k);
+                assert_eq!(r[0].start, 0);
+                assert_eq!(r[k - 1].end, len);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let sizes: Vec<usize> = r.iter().map(|x| x.len()).collect();
+                let (mn, mx) = (sizes.iter().min().copied().into_iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_chunk_counts() {
+        let p = Pipeline { target_bytes: 1024, max_chunks: 8 };
+        assert_eq!(p.chunks_for(0), 1);
+        assert_eq!(p.chunks_for(1), 1);
+        assert_eq!(p.chunks_for(1024), 1);
+        assert_eq!(p.chunks_for(1025), 2);
+        assert_eq!(p.chunks_for(1 << 20), 8); // clamped
+    }
+
+    #[test]
+    fn cost_model_sum_secs() {
+        let c = CostModel { reduce_bw: 1e9 };
+        assert!((c.sum_secs(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algo_names_unique() {
+        let names: Vec<_> = AllreduceAlgo::all().iter().map(|a| a.name()).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

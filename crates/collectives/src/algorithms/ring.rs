@@ -1,0 +1,194 @@
+//! The paper's ring comparator (§5.1): "a pipelined ring algorithm where
+//! packets are reduced to a single root node along the ring then broadcast
+//! from the root to all peers in the opposite direction."
+//!
+//! Rank `n-1` is the root. Sub-chunk `s` travels `0 → 1 → … → n-1`, each hop
+//! summing its local contribution, then travels `n-1 → … → 0` carrying the
+//! final value. Unlike the reduce-scatter ring ([`super::RingReduceScatter`])
+//! every byte crosses `O(n)` links, which is why the paper's multi-color
+//! algorithm beats it.
+
+use std::collections::HashMap;
+
+use dcnn_simnet::{CommSchedule, OpId};
+
+use super::{even_ranges, Allreduce, CostModel, Pipeline};
+use crate::reduce::sum_into;
+use crate::runtime::Comm;
+
+const TAG_RED: u32 = 0x0700_0000;
+const TAG_BC: u32 = 0x0800_0000;
+
+/// Pipelined reduce-to-root + opposite-direction broadcast ring.
+#[derive(Debug, Clone, Default)]
+pub struct PipelinedRing {
+    pipeline: Pipeline,
+}
+
+impl PipelinedRing {
+    /// Override pipelining parameters.
+    pub fn with_pipeline(pipeline: Pipeline) -> Self {
+        PipelinedRing { pipeline }
+    }
+}
+
+impl Allreduce for PipelinedRing {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let r = comm.rank();
+        let s_max = self.pipeline.chunks_for(buf.len() * 4);
+        let subs = even_ranges(buf.len(), s_max);
+        // Keep up to `n` reduce sub-chunks in flight before collecting the
+        // broadcast of the oldest — roughly when the root has finished it.
+        let lookahead = n.min(s_max).max(1);
+
+        for i in 0..s_max + lookahead {
+            if i < s_max {
+                let range = subs[i].clone();
+                if r == 0 {
+                    comm.send_f32(1, TAG_RED + i as u32, &buf[range]);
+                } else {
+                    let v = comm.recv_f32(r - 1, TAG_RED + i as u32);
+                    sum_into(&mut buf[range.clone()], &v);
+                    if r < n - 1 {
+                        comm.send_f32(r + 1, TAG_RED + i as u32, &buf[range]);
+                    }
+                }
+            }
+            if i >= lookahead {
+                let s = i - lookahead;
+                let range = subs[s].clone();
+                if r == n - 1 {
+                    comm.send_f32(r - 1, TAG_BC + s as u32, &buf[range]);
+                } else {
+                    let v = comm.recv_f32(r + 1, TAG_BC + s as u32);
+                    buf[range.clone()].copy_from_slice(&v);
+                    if r > 0 {
+                        comm.send_f32(r - 1, TAG_BC + s as u32, &buf[range]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule {
+        let mut sch = CommSchedule::new(n.max(1));
+        if n <= 1 || bytes <= 0.0 {
+            return sch;
+        }
+        let s_max = self.pipeline.chunks_for(bytes.ceil() as usize);
+        let sub = bytes / s_max as f64;
+        let mut prev_up: HashMap<usize, OpId> = HashMap::new(); // keyed by sender
+        let mut prev_down: HashMap<usize, OpId> = HashMap::new();
+        for _s in 0..s_max {
+            // Reduce wave 0 → n-1.
+            let mut incoming: Option<OpId> = None;
+            let mut ready_at_root: Option<OpId> = None;
+            for r in 0..n {
+                let summed = if r > 0 {
+                    let deps: Vec<OpId> = incoming.into_iter().collect();
+                    Some(sch.compute(r, cost.sum_secs(sub), deps))
+                } else {
+                    None
+                };
+                if r < n - 1 {
+                    let mut deps: Vec<OpId> = summed.into_iter().collect();
+                    if let Some(&p) = prev_up.get(&r) {
+                        deps.push(p);
+                    }
+                    let t = sch.transfer(r, r + 1, sub, deps);
+                    prev_up.insert(r, t);
+                    incoming = Some(t);
+                } else {
+                    ready_at_root = summed;
+                }
+            }
+            // Broadcast wave n-1 → 0.
+            let mut have: Option<OpId> = ready_at_root;
+            for r in (1..n).rev() {
+                let mut deps: Vec<OpId> = have.into_iter().collect();
+                if let Some(&p) = prev_down.get(&r) {
+                    deps.push(p);
+                }
+                let t = sch.transfer(r, r - 1, sub, deps);
+                prev_down.insert(r, t);
+                have = Some(t);
+            }
+        }
+        sch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_cluster;
+    use dcnn_simnet::{FatTree, SimOptions};
+
+    #[test]
+    fn correct_small_pipelined() {
+        let algo =
+            PipelinedRing::with_pipeline(Pipeline { target_bytes: 32, max_chunks: 8 });
+        for n in [2, 3, 5, 8] {
+            let len = 50;
+            let out = run_cluster(n, |c| {
+                let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() + i) as f32).collect();
+                algo.run(c, &mut buf);
+                buf
+            });
+            for b in &out {
+                for i in 0..len {
+                    let want: f32 = (0..n).map(|r| (r + i) as f32).sum();
+                    assert!((b[i] - want).abs() < 1e-3, "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        let algo = PipelinedRing::default();
+        let out = run_cluster(1, |c| {
+            let mut b = vec![1.0f32, 2.0];
+            algo.run(c, &mut b);
+            b
+        });
+        assert_eq!(out[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn schedule_bytes_are_2_nminus1_payload() {
+        let n = 8;
+        let bytes = 1e7;
+        let s = PipelinedRing::default().schedule(n, bytes, &CostModel::default());
+        s.validate();
+        let expect = 2.0 * (n as f64 - 1.0) * bytes;
+        assert!((s.total_bytes() - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn pipelining_improves_makespan() {
+        let topo = FatTree::minsky(16);
+        let cost = CostModel::default();
+        let bytes = 64e6;
+        let fat = PipelinedRing::with_pipeline(Pipeline { target_bytes: usize::MAX, max_chunks: 1 })
+            .schedule(16, bytes, &cost)
+            .simulate(&topo, &SimOptions::default());
+        let pipe = PipelinedRing::default()
+            .schedule(16, bytes, &cost)
+            .simulate(&topo, &SimOptions::default());
+        assert!(
+            pipe.makespan < fat.makespan * 0.5,
+            "pipelined {} vs monolithic {}",
+            pipe.makespan,
+            fat.makespan
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Classic reduce-scatter + allgather ring allreduce (the NCCL/Horovod
+//! bandwidth-optimal algorithm). Not in the paper — included as an ablation
+//! so the benches can situate the multi-color trees against the algorithm
+//! that later became standard practice.
+//!
+//! Every rank sends `2(n-1)/n × payload` in total, the bandwidth lower bound
+//! for an allreduce, at the cost of `2(n-1)` latency terms.
+
+use dcnn_simnet::{CommSchedule, OpId};
+
+use super::{even_ranges, Allreduce, CostModel};
+use crate::reduce::sum_into;
+use crate::runtime::Comm;
+
+const TAG_RS: u32 = 0x0A00_0000;
+const TAG_AG: u32 = 0x0B00_0000;
+
+/// Reduce-scatter + allgather ring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingReduceScatter;
+
+impl Allreduce for RingReduceScatter {
+    fn name(&self) -> &'static str {
+        "ring-reduce-scatter"
+    }
+
+    fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let r = comm.rank();
+        let chunks = even_ranges(buf.len(), n);
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+
+        // Reduce-scatter: after step t, rank r holds the partial sum of
+        // chunk (r - t) from ranks r-t..=r. After n-1 steps, chunk (r+1)%n
+        // is complete at rank r.
+        for step in 0..n - 1 {
+            let send_idx = (r + n - step) % n;
+            let recv_idx = (r + n - step - 1) % n;
+            comm.send_f32(next, TAG_RS + step as u32, &buf[chunks[send_idx].clone()]);
+            let v = comm.recv_f32(prev, TAG_RS + step as u32);
+            sum_into(&mut buf[chunks[recv_idx].clone()], &v);
+        }
+
+        // Allgather: circulate the completed chunks.
+        for step in 0..n - 1 {
+            let send_idx = (r + 1 + n - step) % n;
+            let recv_idx = (r + n - step) % n;
+            comm.send_f32(next, TAG_AG + step as u32, &buf[chunks[send_idx].clone()]);
+            let v = comm.recv_f32(prev, TAG_AG + step as u32);
+            buf[chunks[recv_idx].clone()].copy_from_slice(&v);
+        }
+    }
+
+    fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule {
+        let mut sch = CommSchedule::new(n.max(1));
+        if n <= 1 || bytes <= 0.0 {
+            return sch;
+        }
+        let chunk = bytes / n as f64;
+        let mut last: Vec<Option<OpId>> = vec![None; n];
+        // Reduce-scatter phase: each step every rank sends one chunk and sums
+        // the one it received.
+        for _step in 0..n - 1 {
+            let mut incoming: Vec<Option<OpId>> = vec![None; n];
+            let snapshot = last.clone();
+            for r in 0..n {
+                let t = sch.transfer(r, (r + 1) % n, chunk, snapshot[r].into_iter().collect());
+                incoming[(r + 1) % n] = Some(t);
+            }
+            for r in 0..n {
+                let mut deps: Vec<OpId> = incoming[r].into_iter().collect();
+                if let Some(p) = snapshot[r] {
+                    deps.push(p);
+                }
+                last[r] = Some(sch.compute(r, cost.sum_secs(chunk), deps));
+            }
+        }
+        // Allgather phase: pure forwarding.
+        for _step in 0..n - 1 {
+            let snapshot = last.clone();
+            for r in 0..n {
+                let t = sch.transfer(r, (r + 1) % n, chunk, snapshot[r].into_iter().collect());
+                last[(r + 1) % n] = Some(t);
+            }
+        }
+        sch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_cluster;
+
+    #[test]
+    fn correct_various_sizes() {
+        for n in [2, 3, 4, 5, 8] {
+            for len in [1, 2, n, 4 * n + 3, 100] {
+                let out = run_cluster(n, |c| {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| ((c.rank() + 1) * (i + 1)) as f32).collect();
+                    RingReduceScatter.run(c, &mut buf);
+                    buf
+                });
+                for (rk, b) in out.iter().enumerate() {
+                    for i in 0..len {
+                        let want: f32 = (0..n).map(|r| ((r + 1) * (i + 1)) as f32).sum();
+                        assert!(
+                            (b[i] - want).abs() < 1e-2 * want.abs().max(1.0),
+                            "n={n} len={len} rank={rk} i={i}: {} vs {want}",
+                            b[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn len_smaller_than_ranks() {
+        // Chunks may be empty; algorithm must still terminate correctly.
+        let out = run_cluster(6, |c| {
+            let mut buf = vec![c.rank() as f32 + 1.0];
+            RingReduceScatter.run(c, &mut buf);
+            buf
+        });
+        for b in out {
+            assert_eq!(b[0], 21.0);
+        }
+    }
+
+    #[test]
+    fn schedule_bandwidth_optimal() {
+        let n = 8;
+        let bytes = 8e6;
+        let s = RingReduceScatter.schedule(n, bytes, &CostModel::default());
+        s.validate();
+        // 2(n-1) steps × n ranks × bytes/n per send = 2(n-1) × bytes total.
+        let expect = 2.0 * (n as f64 - 1.0) * bytes;
+        assert!((s.total_bytes() - expect).abs() < 1e-6 * expect);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+// Index loops over parallel arrays (ranks, channels, coefficient tables) are
+// clearer than zipped iterators in this domain.
+#![allow(clippy::needless_range_loop)]
+
+//! # dcnn-collectives — MPI-like runtime and collective algorithms
+//!
+//! This crate implements the communication layer of *Kumar et al. (CLUSTER
+//! 2018)* from scratch:
+//!
+//! * [`runtime`] — a threaded, in-process message-passing runtime standing in
+//!   for MPI over InfiniBand verbs: one OS thread per rank, eager typed
+//!   sends over lock-free channels, tag matching, communicator `split`
+//!   (used by DIMD's group-based shuffle), and message-based barriers.
+//! * [`tree`] — construction of the paper's **multi-color k-ary BFS spanning
+//!   trees** (Figure 2): the payload is split into `k` chunks and each chunk
+//!   is reduced along its own tree whose *interior (non-leaf) nodes are
+//!   disjoint from every other color's*, so the summing work and the
+//!   root-adjacent links are spread across the machine.
+//! * [`algorithms`] — Allreduce implementations, each able to (a) execute on
+//!   real `f32` buffers across the threaded runtime and (b) compile itself to
+//!   a [`dcnn_simnet::CommSchedule`] for virtual-time evaluation on the
+//!   simulated fat-tree:
+//!     * [`algorithms::MultiColor`] — the paper's contribution (§4.2),
+//!     * [`algorithms::PipelinedRing`] — the paper's ring comparator (reduce
+//!       to a single root along the ring, broadcast in the opposite
+//!       direction, §5.1),
+//!     * [`algorithms::RecursiveDoubling`] — the "default OpenMPI" comparator,
+//!     * [`algorithms::RingReduceScatter`] — classic reduce-scatter +
+//!       allgather ring (NCCL/Horovod-style), included as an ablation,
+//!     * [`algorithms::HalvingDoubling`] — Rabenseifner's algorithm, ablation.
+//! * [`primitives`] — broadcast, reduce, gather, allgather, barrier and the
+//!   **pairwise `alltoallv`** used by DIMD's distributed in-memory shuffle
+//!   (Algorithm 2 of the paper).
+//! * [`reduce`] — the summation kernel (the paper uses POWER altivec; we use
+//!   an unrolled, auto-vectorizable loop).
+
+pub mod algorithms;
+pub mod compress;
+pub mod primitives;
+pub mod reduce;
+pub mod runtime;
+pub mod tree;
+
+pub use algorithms::{
+    Allreduce, AllreduceAlgo, CostModel, HalvingDoubling, Hierarchical, MultiColor, Pipeline,
+    PipelinedRing, RecursiveDoubling, RingReduceScatter,
+};
+pub use compress::{quantize_f16, Fp16Allreduce};
+pub use runtime::{run_cluster, Comm};
+pub use tree::ColorTree;

@@ -1,0 +1,636 @@
+//! Threaded rank runtime: the crate's stand-in for MPI.
+//!
+//! [`run_cluster`] spawns one OS thread per rank and gives each a [`Comm`]
+//! for the world communicator. Point-to-point messages travel over unbounded
+//! crossbeam channels (an *eager* protocol: sends never block, so collectives
+//! written against this runtime are deadlock-free as long as every posted
+//! receive is eventually matched). Tag matching follows MPI semantics: a
+//! receive names `(source, communicator, tag)` and out-of-order arrivals are
+//! stashed.
+//!
+//! [`Comm::split`] creates sub-communicators the way `MPI_Comm_split` does;
+//! DIMD's group-based shuffle (paper §4.1, Figure 9) is built on it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+
+/// How long a receive may wait before the runtime declares a deadlock.
+/// Collectives in this crate complete in milliseconds; 60 s means "a bug".
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Payload of a message. Keeping `f32` payloads typed avoids any
+/// serialization cost on the hot allreduce path (the buffer is moved through
+/// the channel untouched, as RDMA would).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Raw bytes (index exchanges, control messages, image records).
+    Bytes(Vec<u8>),
+    /// Gradient / parameter data.
+    F32(Vec<f32>),
+}
+
+impl Payload {
+    /// Interpret as bytes; panics if the payload is typed `f32`.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(b) => b,
+            Payload::F32(_) => panic!("expected byte payload, got f32"),
+        }
+    }
+
+    /// Interpret as `f32`s; panics if the payload is raw bytes.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            Payload::Bytes(_) => panic!("expected f32 payload, got bytes"),
+        }
+    }
+
+    /// Size in bytes, for accounting.
+    pub fn len_bytes(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::F32(v) => v.len() * 4,
+        }
+    }
+}
+
+struct Msg {
+    src: usize, // global rank
+    comm_id: u64,
+    tag: u32,
+    payload: Payload,
+}
+
+/// Per-rank receive state: one channel per peer plus an out-of-order stash.
+struct Endpoint {
+    rxs: Vec<Receiver<Msg>>,
+    stash: HashMap<(usize, u64, u32), Vec<Payload>>,
+}
+
+impl Endpoint {
+    fn recv_matching(&mut self, me: usize, src: usize, comm_id: u64, tag: u32) -> Payload {
+        let key = (src, comm_id, tag);
+        if let Some(q) = self.stash.get_mut(&key) {
+            if !q.is_empty() {
+                let p = q.remove(0);
+                if q.is_empty() {
+                    self.stash.remove(&key);
+                }
+                return p;
+            }
+        }
+        loop {
+            let msg = self.rxs[src]
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "rank {me}: recv from {src} (comm {comm_id:#x}, tag {tag}) failed: {e} \
+                         — likely a collective ordering bug"
+                    )
+                });
+            if msg.comm_id == comm_id && msg.tag == tag {
+                return msg.payload;
+            }
+            self.stash
+                .entry((msg.src, msg.comm_id, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        }
+    }
+
+    /// Receive from *any* of the global ranks in `sources` (MPI's
+    /// `MPI_ANY_SOURCE`). Returns `(global_src, payload)`.
+    fn recv_any_matching(
+        &mut self,
+        me: usize,
+        sources: &[usize],
+        comm_id: u64,
+        tag: u32,
+    ) -> (usize, Payload) {
+        loop {
+            // Stash first: an eligible message may already have arrived.
+            for &src in sources {
+                let key = (src, comm_id, tag);
+                if let Some(q) = self.stash.get_mut(&key) {
+                    if !q.is_empty() {
+                        let p = q.remove(0);
+                        if q.is_empty() {
+                            self.stash.remove(&key);
+                        }
+                        return (src, p);
+                    }
+                }
+            }
+            // Block until anything arrives on any channel, then stash or
+            // deliver. Selecting over every peer (not just `sources`) keeps
+            // unrelated traffic from blocking the wait.
+            let mut sel = Select::new();
+            for rx in &self.rxs {
+                sel.recv(rx);
+            }
+            let op = sel.select_timeout(RECV_TIMEOUT).unwrap_or_else(|e| {
+                panic!("rank {me}: recv_any (comm {comm_id:#x}, tag {tag}) timed out: {e}")
+            });
+            let idx = op.index();
+            let msg = op.recv(&self.rxs[idx]).expect("peer hung up");
+            if msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src) {
+                return (msg.src, msg.payload);
+            }
+            self.stash
+                .entry((msg.src, msg.comm_id, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        }
+    }
+}
+
+/// A communicator handle: a group of ranks that can exchange messages and run
+/// collectives. Cheap to clone-like via [`Comm::split`]; not `Send` (each
+/// rank's `Comm`s live on that rank's thread, as MPI communicators do).
+pub struct Comm {
+    global_rank: usize,
+    /// Global ranks of the group members, in group-rank order.
+    group: Arc<Vec<usize>>,
+    /// This rank's index within `group`.
+    my_index: usize,
+    comm_id: u64,
+    split_count: std::cell::Cell<u64>,
+    txs: Arc<Vec<Vec<Sender<Msg>>>>, // txs[src][dst]
+    endpoint: Rc<RefCell<Endpoint>>,
+    /// Bytes this *rank* has sent, shared across all communicator handles on
+    /// the rank (parent and splits), like an MPI profiling counter.
+    bytes_sent: Rc<std::cell::Cell<u64>>,
+    /// Messages this rank has sent.
+    msgs_sent: Rc<std::cell::Cell<u64>>,
+}
+
+/// Reserved tag namespace for runtime-internal collectives (split, barrier).
+const TAG_INTERNAL: u32 = 0xFFFF_0000;
+
+impl Comm {
+    /// Rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Rank within the world communicator.
+    pub fn global_rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// Global ranks of the members of this communicator.
+    pub fn group(&self) -> &[usize] {
+        &self.group
+    }
+
+    /// Total bytes this rank has sent (across all communicator handles).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.get()
+    }
+
+    /// Total messages this rank has sent (across all communicator handles).
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.get()
+    }
+
+    /// Send `payload` to group rank `dst` with `tag`. Never blocks.
+    pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
+        assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
+        self.send_raw(dst, tag, payload)
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
+        let gdst = self.group[dst];
+        self.bytes_sent.set(self.bytes_sent.get() + payload.len_bytes() as u64);
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.txs[self.global_rank][gdst]
+            .send(Msg { src: self.global_rank, comm_id: self.comm_id, tag, payload })
+            .expect("peer hung up");
+    }
+
+    /// Receive the next message from group rank `src` with `tag`.
+    pub fn recv(&self, src: usize, tag: u32) -> Payload {
+        assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
+        self.recv_raw(src, tag)
+    }
+
+    /// Receive from any group member (`MPI_ANY_SOURCE`). Returns the sender's
+    /// group rank and the payload. Used by asynchronous SGD's parameter
+    /// server, which serves whichever worker finishes first.
+    pub fn recv_any(&self, tag: u32) -> (usize, Payload) {
+        assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
+        let (gsrc, payload) = self.endpoint.borrow_mut().recv_any_matching(
+            self.global_rank,
+            &self.group,
+            self.comm_id,
+            tag,
+        );
+        let grank = self
+            .group
+            .iter()
+            .position(|&g| g == gsrc)
+            .expect("source is a group member");
+        (grank, payload)
+    }
+
+    fn recv_raw(&self, src: usize, tag: u32) -> Payload {
+        let gsrc = self.group[src];
+        self.endpoint
+            .borrow_mut()
+            .recv_matching(self.global_rank, gsrc, self.comm_id, tag)
+    }
+
+    /// Convenience: send an `f32` slice (copies once into the message).
+    pub fn send_f32(&self, dst: usize, tag: u32, data: &[f32]) {
+        self.send(dst, tag, Payload::F32(data.to_vec()));
+    }
+
+    /// Convenience: receive an `f32` vector.
+    pub fn recv_f32(&self, src: usize, tag: u32) -> Vec<f32> {
+        self.recv(src, tag).into_f32()
+    }
+
+    /// Convenience: send bytes.
+    pub fn send_bytes(&self, dst: usize, tag: u32, data: Vec<u8>) {
+        self.send(dst, tag, Payload::Bytes(data));
+    }
+
+    /// Convenience: receive bytes.
+    pub fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        self.recv(src, tag).into_bytes()
+    }
+
+    /// Dissemination barrier over this communicator (⌈log₂ n⌉ rounds).
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let mut step = 1usize;
+        let mut round = 0u32;
+        while step < n {
+            let to = (self.my_index + step) % n;
+            let from = (self.my_index + n - step % n) % n;
+            self.send_raw(to, TAG_INTERNAL + 1 + round, Payload::Bytes(Vec::new()));
+            let _ = self.recv_raw(from, TAG_INTERNAL + 1 + round);
+            step <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Split into sub-communicators, like `MPI_Comm_split`: ranks passing the
+    /// same `color` form a group, ordered by `(key, rank)`. Must be called by
+    /// every member of this communicator.
+    pub fn split(&self, color: u64, key: i64) -> Comm {
+        let n = self.size();
+        let me = self.my_index;
+        let gen = self.split_count.get();
+        self.split_count.set(gen + 1);
+        let tag_up = TAG_INTERNAL + 100;
+        let tag_down = TAG_INTERNAL + 101;
+
+        // Gather (color, key) at group rank 0, broadcast the table back.
+        let table: Vec<(u64, i64)>;
+        if me == 0 {
+            let mut t = vec![(0, 0); n];
+            t[0] = (color, key);
+            for (src, slot) in t.iter_mut().enumerate().skip(1) {
+                let b = self.recv_raw(src, tag_up).into_bytes();
+                let c = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+                let k = i64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
+                *slot = (c, k);
+            }
+            table = t;
+            let mut flat = Vec::with_capacity(n * 16);
+            for &(c, k) in &table {
+                flat.extend_from_slice(&c.to_le_bytes());
+                flat.extend_from_slice(&k.to_le_bytes());
+            }
+            for dst in 1..n {
+                self.send_raw(dst, tag_down, Payload::Bytes(flat.clone()));
+            }
+        } else {
+            let mut b = Vec::with_capacity(16);
+            b.extend_from_slice(&color.to_le_bytes());
+            b.extend_from_slice(&key.to_le_bytes());
+            self.send_raw(0, tag_up, Payload::Bytes(b));
+            let flat = self.recv_raw(0, tag_down).into_bytes();
+            table = flat
+                .chunks_exact(16)
+                .map(|c| {
+                    (
+                        u64::from_le_bytes(c[0..8].try_into().expect("8")),
+                        i64::from_le_bytes(c[8..16].try_into().expect("8")),
+                    )
+                })
+                .collect();
+        }
+
+        // Members with my color, sorted by (key, group rank), mapped to
+        // global ranks.
+        let mut members: Vec<(i64, usize)> = table
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, _))| c == color)
+            .map(|(r, &(_, k))| (k, r))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let my_index = group
+            .iter()
+            .position(|&g| g == self.global_rank)
+            .expect("caller is a member of its own color group");
+
+        // Deterministic child communicator id, identical across members.
+        let mut h = self.comm_id ^ 0x51_7c_c1_b7_27_22_0a_95;
+        for &(c, k) in &table {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(c ^ k as u64);
+        }
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(color);
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(gen);
+
+        Comm {
+            global_rank: self.global_rank,
+            group: Arc::new(group),
+            my_index,
+            comm_id: h,
+            split_count: std::cell::Cell::new(0),
+            txs: Arc::clone(&self.txs),
+            endpoint: Rc::clone(&self.endpoint),
+            bytes_sent: Rc::clone(&self.bytes_sent),
+            msgs_sent: Rc::clone(&self.msgs_sent),
+        }
+    }
+}
+
+/// Spawn `n` rank threads, run `f` on each with its world [`Comm`], and
+/// return the per-rank results in rank order.
+///
+/// # Panics
+/// Propagates any rank panic (after all threads have been joined or died).
+pub fn run_cluster<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(n > 0, "cluster needs at least one rank");
+    // Build the full channel fabric: one FIFO per ordered pair.
+    let mut txs: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(n);
+    let mut rx_table: Vec<Vec<Option<Receiver<Msg>>>> = (0..n)
+        .map(|_| (0..n).map(|_| None).collect())
+        .collect();
+    for src in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for (dst, rx_row) in rx_table.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            rx_row[src] = Some(rx);
+            let _ = dst;
+        }
+        txs.push(row);
+    }
+    let txs = Arc::new(txs);
+    let world: Arc<Vec<usize>> = Arc::new((0..n).collect());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, rx_row) in rx_table.into_iter().enumerate() {
+            let txs = Arc::clone(&txs);
+            let world = Arc::clone(&world);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let endpoint = Endpoint {
+                    rxs: rx_row.into_iter().map(|o| o.expect("filled")).collect(),
+                    stash: HashMap::new(),
+                };
+                let comm = Comm {
+                    global_rank: rank,
+                    group: world,
+                    my_index: rank,
+                    comm_id: 0,
+                    split_count: std::cell::Cell::new(0),
+                    txs,
+                    endpoint: Rc::new(RefCell::new(endpoint)),
+                    bytes_sent: Rc::new(std::cell::Cell::new(0)),
+                    msgs_sent: Rc::new(std::cell::Cell::new(0)),
+                };
+                f(&comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_sizes() {
+        let out = run_cluster(4, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 7, &[1.0, 2.0, 3.0]);
+                c.recv_f32(1, 8)
+            } else {
+                let v = c.recv_f32(0, 7);
+                c.send_f32(0, 8, &v.iter().map(|x| x * 2.0).collect::<Vec<_>>());
+                v
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let out = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, vec![1]);
+                c.send_bytes(1, 2, vec![2]);
+                Vec::new()
+            } else {
+                // Receive in the opposite order of sending.
+                let b2 = c.recv_bytes(0, 2);
+                let b1 = c.recv_bytes(0, 1);
+                vec![b1[0], b2[0]]
+            }
+        });
+        assert_eq!(out[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn same_tag_preserves_fifo() {
+        let out = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u8 {
+                    c.send_bytes(1, 3, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| c.recv_bytes(0, 3)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn barrier_completes() {
+        for n in [1, 2, 3, 5, 8] {
+            run_cluster(n, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn split_by_parity() {
+        let out = run_cluster(6, |c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as i64);
+            (sub.rank(), sub.size(), sub.group().to_vec())
+        });
+        assert_eq!(out[0], (0, 3, vec![0, 2, 4]));
+        assert_eq!(out[3], (1, 3, vec![1, 3, 5]));
+        assert_eq!(out[5], (2, 3, vec![1, 3, 5]));
+    }
+
+    #[test]
+    fn split_key_reorders() {
+        let out = run_cluster(4, |c| {
+            // Reverse order via key.
+            let sub = c.split(0, -(c.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn subcomm_messaging_is_isolated() {
+        let out = run_cluster(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, 0);
+            // Exchange within the subgroup while the parent also talks.
+            if sub.rank() == 0 {
+                sub.send_bytes(1, 5, vec![c.rank() as u8]);
+                c.barrier();
+                0
+            } else {
+                let v = sub.recv_bytes(0, 5);
+                c.barrier();
+                v[0] as usize
+            }
+        });
+        assert_eq!(out[2], 0); // rank 2 got byte from rank 0
+        assert_eq!(out[3], 1); // rank 3 got byte from rank 1
+    }
+
+    #[test]
+    fn nested_split() {
+        let out = run_cluster(8, |c| {
+            let half = c.split((c.rank() / 4) as u64, 0);
+            let quarter = half.split((half.rank() / 2) as u64, 0);
+            quarter.barrier();
+            (half.size(), quarter.size(), quarter.group().to_vec())
+        });
+        assert_eq!(out[0].0, 4);
+        assert_eq!(out[0].1, 2);
+        assert_eq!(out[6].2, vec![6, 7]);
+    }
+
+    #[test]
+    fn bytes_sent_accounting() {
+        let out = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 0, &[0.0; 100]);
+            } else {
+                let _ = c.recv_f32(0, 0);
+            }
+            c.bytes_sent()
+        });
+        assert_eq!(out[0], 400);
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn recv_any_serves_first_arrival() {
+        let out = run_cluster(4, |c| {
+            if c.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let (src, p) = c.recv_any(9);
+                    seen.push((src, p.into_bytes()[0]));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                c.send_bytes(0, 9, vec![c.rank() as u8 * 2]);
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![(1, 2), (2, 4), (3, 6)]);
+    }
+
+    #[test]
+    fn recv_any_stashes_unrelated_tags() {
+        let out = run_cluster(2, |c| {
+            if c.rank() == 0 {
+                // First a message with a different tag arrives; recv_any for
+                // tag 5 must skip over it without losing it.
+                let (src, p) = c.recv_any(5);
+                let other = c.recv_bytes(1, 6);
+                (src, p.into_bytes()[0], other[0])
+            } else {
+                c.send_bytes(0, 6, vec![66]);
+                c.send_bytes(0, 5, vec![55]);
+                (0, 0, 0)
+            }
+        });
+        assert_eq!(out[0], (1, 55, 66));
+    }
+
+    #[test]
+    fn recv_any_in_subcommunicator() {
+        let out = run_cluster(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as i64);
+            if sub.rank() == 0 {
+                let (src, p) = sub.recv_any(3);
+                (src, p.into_bytes()[0])
+            } else {
+                sub.send_bytes(0, 3, vec![c.rank() as u8]);
+                (99, 99)
+            }
+        });
+        assert_eq!(out[0], (1, 2)); // rank 2 is sub-rank 1 of the even group
+        assert_eq!(out[1], (1, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserved_tag_rejected() {
+        run_cluster(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, TAG_INTERNAL + 5, vec![]);
+            }
+        });
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-color k-ary BFS spanning trees (paper §4.2, Figure 2).
+//!
+//! In the k-color Allreduce the payload is split into `k` chunks; chunk `c`
+//! is reduced up spanning tree `c` and broadcast back down it. The defining
+//! property (Figure 2: "note non leaf nodes are distinct across colors") is
+//! that the **interior (non-leaf) node sets of the k trees are pairwise
+//! disjoint**, so
+//!
+//! * the summing work is spread over the machine instead of concentrating on
+//!   one root, and
+//! * the links adjacent to each tree's interior carry only that color's
+//!   traffic, letting the k reductions progress concurrently without
+//!   synchronizing (§4.2: "network packets for each color are transferred
+//!   concurrently").
+//!
+//! Construction: the `n` nodes are divided into `k` equal blocks; block `c`
+//! provides the interior of tree `c`, laid out as a k-ary heap (BFS order)
+//! with `block[0]` as the root. Every node outside the block is a leaf,
+//! attached round-robin to the interior nodes.
+
+/// One color's spanning tree over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct ColorTree {
+    /// The color index in `0..k`.
+    pub color: usize,
+    /// Root node (receives the fully reduced chunk first).
+    pub root: usize,
+    /// `parent[v]` — parent of node `v`; `parent[root] == root`.
+    parent: Vec<usize>,
+    /// `children[v]` — children of node `v` in deterministic order.
+    children: Vec<Vec<usize>>,
+    /// Interior nodes (root + non-leaf), i.e. the nodes that perform sums.
+    interior: Vec<usize>,
+}
+
+impl ColorTree {
+    /// Build tree `color` of a `k`-color allreduce over `n` nodes with arity
+    /// `k` (the paper uses arity = number of colors, e.g. 4-color 4-ary).
+    ///
+    /// # Panics
+    /// Panics unless `n >= 1`, `k >= 1`, `color < k`.
+    pub fn build(n: usize, k: usize, color: usize) -> Self {
+        assert!(n >= 1 && k >= 1 && color < k, "invalid tree parameters");
+        // Block c = the interior candidates for color c. Blocks partition
+        // 0..n as evenly as possible; with n < k some blocks borrow from the
+        // start (interiors then may overlap — callers should pick k <= n).
+        let base = n / k;
+        let extra = n % k;
+        let (start, len) = if base == 0 {
+            // Degenerate: fewer nodes than colors; every tree is a star
+            // rooted at `color % n`.
+            (color % n, 1)
+        } else {
+            let s = color * base + color.min(extra);
+            let l = base + usize::from(color < extra);
+            (s, l)
+        };
+        let block: Vec<usize> = (start..start + len).collect();
+
+        let mut parent = vec![usize::MAX; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let root = block[0];
+        parent[root] = root;
+
+        // Interior laid out as a k-ary heap over `block` (BFS order).
+        for (i, &v) in block.iter().enumerate().skip(1) {
+            let p = block[(i - 1) / k];
+            parent[v] = p;
+            children[p].push(v);
+        }
+
+        // Attach the remaining nodes as leaves, round-robin over the interior
+        // so fan-in stays balanced.
+        let mut slot = 0usize;
+        for v in 0..n {
+            if parent[v] == usize::MAX {
+                let p = block[slot % block.len()];
+                parent[v] = p;
+                children[p].push(v);
+                slot += 1;
+            }
+        }
+
+        ColorTree { color, root, parent, children, interior: block }
+    }
+
+    /// Build all `k` trees of a k-color allreduce.
+    pub fn build_all(n: usize, k: usize) -> Vec<ColorTree> {
+        (0..k).map(|c| Self::build(n, k, c)).collect()
+    }
+
+    /// Parent of `v` (the root is its own parent).
+    pub fn parent(&self, v: usize) -> usize {
+        self.parent[v]
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Nodes that perform reduction work for this color.
+    pub fn interior(&self) -> &[usize] {
+        &self.interior
+    }
+
+    /// Whether `v` is a leaf (sends its chunk and receives the result only).
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Number of nodes spanned.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree spans a single node.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Depth of node `v` (root = 0).
+    pub fn depth(&self, v: usize) -> usize {
+        let mut d = 0;
+        let mut x = v;
+        while self.parent[x] != x {
+            x = self.parent[x];
+            d += 1;
+            assert!(d <= self.len(), "cycle in tree");
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        (0..self.len()).map(|v| self.depth(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_spanning(t: &ColorTree, n: usize) {
+        // Every node reaches the root.
+        for v in 0..n {
+            let _ = t.depth(v);
+        }
+        // children lists are consistent with parent[].
+        let mut seen = 0;
+        for v in 0..n {
+            for &c in t.children(v) {
+                assert_eq!(t.parent(c), v);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n - 1, "tree must have n-1 edges");
+    }
+
+    #[test]
+    fn figure2_shape_8_nodes_4_colors() {
+        // The paper's Figure 2: 4-color 4-ary trees on 8 nodes. Interiors are
+        // {0,1}, {2,3}, {4,5}, {6,7}; roots 0, 2, 4, 6.
+        let trees = ColorTree::build_all(8, 4);
+        assert_eq!(trees[0].root, 0);
+        assert_eq!(trees[1].root, 2);
+        assert_eq!(trees[2].root, 4);
+        assert_eq!(trees[3].root, 6);
+        for (c, t) in trees.iter().enumerate() {
+            assert_eq!(t.interior(), &[2 * c, 2 * c + 1]);
+            check_spanning(t, 8);
+        }
+    }
+
+    #[test]
+    fn interiors_disjoint_across_colors() {
+        for n in [4, 8, 13, 16, 32, 64] {
+            for k in [2, 3, 4] {
+                if n < k {
+                    continue;
+                }
+                let trees = ColorTree::build_all(n, k);
+                let mut all = HashSet::new();
+                for t in &trees {
+                    for &v in t.interior() {
+                        assert!(
+                            all.insert((t.color, v)) && !all.contains(&(usize::MAX, v)),
+                            "n={n} k={k}"
+                        );
+                    }
+                }
+                // Check pairwise disjointness directly.
+                for a in 0..k {
+                    for b in a + 1..k {
+                        let sa: HashSet<_> = trees[a].interior().iter().collect();
+                        let sb: HashSet<_> = trees[b].interior().iter().collect();
+                        assert!(sa.is_disjoint(&sb), "n={n} k={k} colors {a},{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tree_spans_all_nodes() {
+        for n in [1, 2, 3, 5, 8, 17, 32] {
+            for k in [1, 2, 4] {
+                if n < k {
+                    continue;
+                }
+                for t in ColorTree::build_all(n, k) {
+                    check_spanning(&t, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = ColorTree::build(1, 1, 0);
+        assert_eq!(t.root, 0);
+        assert_eq!(t.parent(0), 0);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        // 4-ary interior of 64/4=16 nodes has heap height 2; leaves add 1.
+        let t = ColorTree::build(64, 4, 0);
+        assert!(t.height() <= 4, "height {}", t.height());
+    }
+
+    #[test]
+    fn leaves_balanced_over_interior() {
+        let t = ColorTree::build(32, 4, 1);
+        let interior: Vec<_> = t.interior().to_vec();
+        let loads: Vec<usize> = interior
+            .iter()
+            .map(|&v| t.children(v).iter().filter(|&&c| t.is_leaf(c)).count())
+            .collect();
+        let (mn, mx) = (loads.iter().min().copied().unwrap_or(0), loads.iter().max().copied().unwrap_or(0));
+        assert!(mx - mn <= 1, "leaf load imbalance: {loads:?}");
+    }
+
+    #[test]
+    fn more_nodes_than_one_block_still_works() {
+        // n not divisible by k.
+        let trees = ColorTree::build_all(10, 4);
+        for t in &trees {
+            check_spanning(t, 10);
+        }
+        // blocks sized 3,3,2,2
+        assert_eq!(trees[0].interior().len(), 3);
+        assert_eq!(trees[3].interior().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_color_panics() {
+        let _ = ColorTree::build(8, 4, 4);
+    }
+}

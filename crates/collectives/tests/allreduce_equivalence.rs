@@ -1,0 +1,156 @@
+//! Cross-algorithm integration tests: every allreduce implementation must
+//! compute the same sums, and the simulated fabric must rank the paper's
+//! three algorithms the way Figure 5 does.
+
+use dcnn_collectives::{
+    run_cluster, Allreduce, AllreduceAlgo, CostModel, MultiColor, PipelinedRing,
+    RecursiveDoubling,
+};
+use dcnn_simnet::{throughput_gbps, FatTree, SimOptions};
+use proptest::prelude::*;
+
+fn reference(n: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            (0..n)
+                .map(|r| contribution(r, i, seed))
+                .sum()
+        })
+        .collect()
+}
+
+fn contribution(rank: usize, i: usize, seed: u64) -> f32 {
+    let x = (rank as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(i as u64)
+        .wrapping_add(seed);
+    ((x % 1000) as f32 - 500.0) / 250.0
+}
+
+fn run_algo(algo: &AllreduceAlgo, n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    let a = algo.build();
+    run_cluster(n, move |c| {
+        let mut buf: Vec<f32> = (0..len).map(|i| contribution(c.rank(), i, seed)).collect();
+        a.run(c, &mut buf);
+        buf
+    })
+}
+
+#[test]
+fn all_algorithms_agree_with_reference() {
+    for n in [2, 3, 5, 8] {
+        for len in [1, 17, 260] {
+            let expect = reference(n, len, 42);
+            for algo in AllreduceAlgo::all() {
+                let out = run_algo(&algo, n, len, 42);
+                for (rank, buf) in out.iter().enumerate() {
+                    for i in 0..len {
+                        let err = (buf[i] - expect[i]).abs();
+                        assert!(
+                            err <= 1e-4 * expect[i].abs().max(1.0),
+                            "{} n={n} len={len} rank={rank} i={i}: {} vs {}",
+                            algo.name(),
+                            buf[i],
+                            expect[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure5_ordering_large_messages() {
+    // Figure 5: at large message sizes on 16 nodes, throughput order is
+    // multicolor > ring > default OpenMPI.
+    let topo = FatTree::minsky(16);
+    let cost = CostModel::default();
+    let opts = SimOptions::default();
+    let bytes = 93e6; // the GoogLeNet-BN payload of §5.1
+    let mc = MultiColor::new(4).schedule(16, bytes, &cost).simulate(&topo, &opts).makespan;
+    let ring = PipelinedRing::default().schedule(16, bytes, &cost).simulate(&topo, &opts).makespan;
+    let rd = RecursiveDoubling.schedule(16, bytes, &cost).simulate(&topo, &opts).makespan;
+    assert!(mc < ring, "multicolor {mc} should beat ring {ring}");
+    assert!(ring < rd, "ring {ring} should beat openmpi-default {rd}");
+    // Paper §5.1: multi-color takes 50-60% less time than default OpenMPI.
+    let saving = 1.0 - mc / rd;
+    assert!(
+        saving > 0.40,
+        "multicolor should save >40% over default: saved {:.0}%",
+        saving * 100.0
+    );
+    // Sanity: achieved bus throughput is below the NIC aggregate.
+    let gbps = throughput_gbps(bytes, mc);
+    assert!(gbps > 1.0 && gbps < 400.0, "throughput {gbps} Gbps");
+}
+
+#[test]
+fn schedules_execute_on_all_paper_node_counts() {
+    let cost = CostModel::default();
+    let opts = SimOptions::default();
+    for nodes in [8usize, 16, 32] {
+        let topo = FatTree::minsky(nodes);
+        for algo in AllreduceAlgo::all() {
+            let s = algo.build().schedule(nodes, 4e6, &cost);
+            s.validate();
+            let rep = s.simulate(&topo, &opts);
+            assert!(rep.makespan > 0.0, "{} at {nodes}", algo.name());
+            assert!(rep.makespan < 1.0, "{} at {nodes}: implausible {}", algo.name(), rep.makespan);
+        }
+    }
+}
+
+#[test]
+fn multicolor_scaling_efficiency_shape() {
+    // Figure 6: the multi-color algorithm keeps epoch time scaling near-
+    // linear. Here we check allreduce time grows slowly from 8 to 32 nodes.
+    let cost = CostModel::default();
+    let opts = SimOptions::default();
+    let bytes = 93e6;
+    let t8 = MultiColor::new(4)
+        .schedule(8, bytes, &cost)
+        .simulate(&FatTree::minsky(8), &opts)
+        .makespan;
+    let t32 = MultiColor::new(4)
+        .schedule(32, bytes, &cost)
+        .simulate(&FatTree::minsky(32), &opts)
+        .makespan;
+    assert!(
+        t32 < t8 * 2.0,
+        "allreduce should not blow up with node count: 8n={t8}, 32n={t32}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm sums correctly for arbitrary (n, len).
+    #[test]
+    fn allreduce_correct_prop(n in 2usize..7, len in 1usize..120, seed in 0u64..u64::MAX) {
+        let expect = reference(n, len, seed);
+        for algo in AllreduceAlgo::all() {
+            let out = run_algo(&algo, n, len, seed);
+            for buf in &out {
+                for i in 0..len {
+                    prop_assert!((buf[i] - expect[i]).abs() <= 1e-3 * expect[i].abs().max(1.0),
+                        "{} n={n} len={len}", algo.name());
+                }
+            }
+        }
+    }
+
+    /// Schedules are valid DAGs and simulate without stalling for arbitrary
+    /// payload sizes.
+    #[test]
+    fn schedules_simulate_prop(n in 2usize..10, kb in 1u32..2048) {
+        let topo = FatTree::minsky(n);
+        let cost = CostModel::default();
+        for algo in AllreduceAlgo::all() {
+            let s = algo.build().schedule(n, kb as f64 * 1024.0, &cost);
+            s.validate();
+            let rep = s.simulate(&topo, &SimOptions::default());
+            prop_assert!(rep.makespan.is_finite() && rep.makespan >= 0.0);
+        }
+    }
+}

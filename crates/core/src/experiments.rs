@@ -1,0 +1,656 @@
+//! One runner per table and figure of the paper's evaluation (§5).
+//!
+//! Performance experiments run on the simulated cluster (fat-tree fluid
+//! model + P100 roofline + DPT/DIMD cost models); accuracy experiments run
+//! *real* distributed training of scaled-down models on SynthImageNet over
+//! the threaded MPI runtime, with the wall-clock axis mapped through the
+//! epoch-time model at the paper's scale.
+
+use serde::Serialize;
+
+use dcnn_collectives::{Allreduce, AllreduceAlgo, MultiColor, Pipeline};
+use dcnn_dimd::{SynthConfig, SynthImageNet};
+use dcnn_dpt::DptStrategy;
+use dcnn_gpusim::NodeModel;
+use dcnn_models::{googlenet_bn, resnet50, ModelCensus};
+use dcnn_simnet::{throughput_gbps, FatTree, SimOptions};
+use dcnn_tensor::layers::Module;
+use dcnn_trainer::{
+    train_distributed, EpochTimeModel, OptimizationFlags, TrainConfig, Workload,
+};
+
+use crate::constants::PaperConstants as P;
+
+fn census_for(model: &str) -> (ModelCensus, f64) {
+    match model {
+        "googlenet-bn" => (googlenet_bn(), P::GOOGLENET_PAYLOAD_BYTES),
+        "resnet50" => (resnet50(), P::RESNET50_PAYLOAD_BYTES),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+/// One point of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Row {
+    /// Allreduce algorithm.
+    pub algo: String,
+    /// Message size in MB.
+    pub mb: f64,
+    /// Simulated completion time, seconds.
+    pub secs: f64,
+    /// Achieved algorithm-bandwidth, Gbit/s (payload × 8 / time).
+    pub gbps: f64,
+}
+
+/// Figure 5: Allreduce throughput of the algorithms on 16 nodes, swept over
+/// message size. `extended` adds the two ablation algorithms that are not in
+/// the paper.
+pub fn fig5(nodes: usize, extended: bool) -> Vec<Fig5Row> {
+    let topo = FatTree::minsky(nodes);
+    let cost = dcnn_collectives::CostModel::default();
+    let opts = SimOptions::default();
+    let algos = if extended { AllreduceAlgo::all() } else { AllreduceAlgo::paper_trio() };
+    let mut rows = Vec::new();
+    for algo in algos {
+        for mb in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 93.0, 128.0, 256.0] {
+            let bytes = mb * 1e6;
+            let secs =
+                algo.build().schedule(nodes, bytes, &cost).simulate(&topo, &opts).makespan;
+            rows.push(Fig5Row {
+                algo: algo.name().to_string(),
+                mb,
+                secs,
+                gbps: throughput_gbps(bytes, secs),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Learner count.
+    pub nodes: usize,
+    /// Allreduce algorithm.
+    pub algo: String,
+    /// Modelled epoch time, seconds.
+    pub epoch_secs: f64,
+}
+
+/// Figure 6: GoogLeNet-BN epoch time (93 MB payload) at 8/16/32 learners
+/// under the three allreduce algorithms.
+pub fn fig6() -> Vec<Fig6Row> {
+    let (census, payload) = census_for("googlenet-bn");
+    let wl = Workload::imagenet_1k();
+    let mut rows = Vec::new();
+    for nodes in P::NODE_COUNTS {
+        let m = EpochTimeModel::minsky(nodes);
+        for algo in AllreduceAlgo::paper_trio() {
+            let mut flags = OptimizationFlags::fully_optimized();
+            flags.allreduce = algo;
+            let t = m.epoch(&census, &wl, P::BATCH_PER_GPU, &flags, Some(payload)).total();
+            rows.push(Fig6Row { nodes, algo: algo.name().to_string(), epoch_secs: t });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------- Figures 7, 8 and 9
+
+/// One bar of Figures 7–9.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShuffleRow {
+    /// Learner count.
+    pub nodes: usize,
+    /// Group count (1 = whole-cluster shuffle).
+    pub groups: usize,
+    /// Modelled shuffle time, seconds.
+    pub shuffle_secs: f64,
+    /// Memory per node, GB.
+    pub memory_gb: f64,
+}
+
+fn shuffle_rows(wl: &Workload, node_counts: &[usize], groups: usize) -> Vec<ShuffleRow> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let m = EpochTimeModel::minsky(nodes);
+            ShuffleRow {
+                nodes,
+                groups,
+                shuffle_secs: m.shuffle_secs(wl.blob_bytes, groups),
+                memory_gb: m.shuffle_memory_per_node(wl.blob_bytes) / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// Figure 7: ImageNet-22k shuffle time and memory/node at 8/16/32 learners.
+pub fn fig7() -> Vec<ShuffleRow> {
+    shuffle_rows(&Workload::imagenet_22k(), &P::NODE_COUNTS, 1)
+}
+
+/// Figure 8: ImageNet-1k shuffle time and memory/node at 8/16/32 learners.
+pub fn fig8() -> Vec<ShuffleRow> {
+    shuffle_rows(&Workload::imagenet_1k(), &P::NODE_COUNTS, 1)
+}
+
+/// Figure 9: group-based ImageNet-22k shuffle on 32 nodes with 1/4/8/16
+/// groups.
+pub fn fig9() -> Vec<ShuffleRow> {
+    let wl = Workload::imagenet_22k();
+    let m = EpochTimeModel::minsky(32);
+    [1usize, 4, 8, 16]
+        .iter()
+        .map(|&groups| ShuffleRow {
+            nodes: 32,
+            groups,
+            shuffle_secs: m.shuffle_secs(wl.blob_bytes, groups),
+            memory_gb: m.shuffle_memory_per_node(wl.blob_bytes) / 1e9,
+        })
+        .collect()
+}
+
+// ------------------------------------------------------ Figures 10, 11, 12
+
+/// One paired bar of Figures 10–12.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Model name.
+    pub model: String,
+    /// Learner count.
+    pub nodes: usize,
+    /// Epoch seconds with the optimization off.
+    pub without_secs: f64,
+    /// Epoch seconds with the optimization on.
+    pub with_secs: f64,
+    /// Relative gain (`without/with − 1`).
+    pub gain: f64,
+}
+
+fn ablation(wl: &Workload, toggle: impl Fn(&mut OptimizationFlags, bool)) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for model in ["googlenet-bn", "resnet50"] {
+        let (census, payload) = census_for(model);
+        for nodes in P::NODE_COUNTS {
+            let m = EpochTimeModel::minsky(nodes);
+            let run = |on: bool| {
+                let mut flags = OptimizationFlags::fully_optimized();
+                toggle(&mut flags, on);
+                m.epoch(&census, wl, P::BATCH_PER_GPU, &flags, Some(payload)).total()
+            };
+            let with_secs = run(true);
+            let without_secs = run(false);
+            rows.push(AblationRow {
+                model: model.to_string(),
+                nodes,
+                without_secs,
+                with_secs,
+                gain: without_secs / with_secs - 1.0,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 10: epoch time with and without DIMD, ImageNet-1k.
+pub fn fig10() -> Vec<AblationRow> {
+    ablation(&Workload::imagenet_1k(), |f, on| f.dimd = on)
+}
+
+/// Figure 11: epoch time with and without DIMD, ImageNet-22k.
+pub fn fig11() -> Vec<AblationRow> {
+    ablation(&Workload::imagenet_22k(), |f, on| f.dimd = on)
+}
+
+/// Figure 12: epoch time with and without the DPT optimizations.
+pub fn fig12() -> Vec<AblationRow> {
+    ablation(&Workload::imagenet_1k(), |f, on| f.dpt_optimized = on)
+}
+
+// ------------------------------------------------------- Figures 13–16
+
+/// Scale of the real accuracy runs (Figures 13–16). The paper trains
+/// full-size models on ImageNet; we train width/depth-scaled models on
+/// SynthImageNet across real ranks, mapping each configuration's time axis
+/// through the epoch-time model at the paper's node counts.
+#[derive(Debug, Clone)]
+pub struct AccuracyScale {
+    /// Synthetic classes.
+    pub classes: usize,
+    /// Training images per class.
+    pub train_per_class: usize,
+    /// Validation images per class.
+    pub val_per_class: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// (real ranks, simulated GPUs per rank) per series, paired with the
+    /// paper node count the series is labelled as.
+    pub series: Vec<(usize, usize, usize)>,
+    /// Batch per GPU.
+    pub batch_per_gpu: usize,
+}
+
+impl AccuracyScale {
+    /// Fast scale for CI/tests.
+    pub fn quick() -> Self {
+        AccuracyScale {
+            classes: 4,
+            train_per_class: 32,
+            val_per_class: 8,
+            epochs: 4,
+            series: vec![(2, 2, 8), (4, 2, 16)],
+            batch_per_gpu: 4,
+        }
+    }
+
+    /// The scale used for the committed figures.
+    pub fn full() -> Self {
+        AccuracyScale {
+            classes: 8,
+            train_per_class: 64,
+            val_per_class: 16,
+            epochs: 10,
+            series: vec![(2, 2, 8), (4, 2, 16), (8, 2, 32)],
+            batch_per_gpu: 4,
+        }
+    }
+}
+
+/// One point of an accuracy/error-vs-time curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyPoint {
+    /// Paper node count this series is labelled as.
+    pub paper_nodes: usize,
+    /// Epoch index.
+    pub epoch: usize,
+    /// Wall-clock hours at the paper's scale (epoch-time model).
+    pub hours: f64,
+    /// Top-1 validation accuracy of the real run.
+    pub val_acc: f64,
+    /// Training loss (the "error" of Figures 15–16).
+    pub train_error: f64,
+}
+
+fn accuracy_curves(model: &str, scale: &AccuracyScale) -> Vec<AccuracyPoint> {
+    let (census, payload) = census_for(model);
+    let wl = Workload::imagenet_1k();
+    let ds = SynthImageNet::new(SynthConfig {
+        classes: scale.classes,
+        train_per_class: scale.train_per_class,
+        val_per_class: scale.val_per_class,
+        base_hw: 32,
+        hw_jitter: 0,
+        noise: 14.0,
+        seed: 0xACC,
+    });
+    let classes = scale.classes;
+    let factory: Box<dyn Fn() -> Box<dyn Module> + Sync> = match model {
+        "resnet50" => Box::new(move || dcnn_models::resnet::ResNetConfig::tiny(classes).build(7)),
+        _ => Box::new(move || dcnn_models::googlenet::GoogLeNetConfig::tiny(classes).build(7)),
+    };
+
+    let mut points = Vec::new();
+    for &(ranks, gpus, paper_nodes) in &scale.series {
+        let mut cfg = TrainConfig::paper(ranks, gpus, scale.batch_per_gpu, scale.epochs);
+        cfg.crop = 32;
+        cfg.strategy = DptStrategy::Optimized;
+        // Keep the optimization problem identical across series: same global
+        // batch via the LR schedule's (k, n) and proportional batch sizes is
+        // what the paper does; at tiny scale we instead fix a modest LR.
+        cfg.lr = dcnn_tensor::optim::LrSchedule {
+            init_lr: 0.05,
+            base_lr: 0.05,
+            warmup_epochs: 1.0,
+            step_epochs: (scale.epochs as f32 * 0.7).max(1.0),
+            decay: 0.1,
+        };
+        let stats = train_distributed(&cfg, &ds, &factory);
+        // Paper-scale seconds per epoch for the configuration this series
+        // is labelled as.
+        let m = EpochTimeModel::minsky(paper_nodes);
+        let epoch_secs = m
+            .epoch(
+                &census,
+                &wl,
+                P::BATCH_PER_GPU,
+                &OptimizationFlags::fully_optimized(),
+                Some(payload),
+            )
+            .total();
+        for s in stats {
+            points.push(AccuracyPoint {
+                paper_nodes,
+                epoch: s.epoch,
+                hours: (s.epoch + 1) as f64 * epoch_secs / 3600.0,
+                val_acc: s.val_acc,
+                train_error: s.train_loss,
+            });
+        }
+    }
+    points
+}
+
+/// Figures 13 and 15: ResNet-50 validation accuracy and training error vs
+/// time at several node counts.
+pub fn fig13_15(scale: &AccuracyScale) -> Vec<AccuracyPoint> {
+    accuracy_curves("resnet50", scale)
+}
+
+/// Figures 14 and 16: GoogLeNet-BN validation accuracy and training error vs
+/// time at several node counts.
+pub fn fig14_16(scale: &AccuracyScale) -> Vec<AccuracyPoint> {
+    accuracy_curves("googlenet-bn", scale)
+}
+
+// -------------------------------------------------- Extensions / ablations
+
+/// One row of the node-mapping ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct MappingRow {
+    /// Mapping label (`consecutive` or `random-N`).
+    pub mapping: String,
+    /// Simulated allreduce time, seconds.
+    pub secs: f64,
+}
+
+/// §4.2 claim check: the multi-color allreduce is designed for consecutive
+/// placement on the fat-tree but the paper "also observed good link
+/// utilization with nodes arbitrarily mapped". Compares consecutive against
+/// random rank→node permutations.
+pub fn mapping_ablation(nodes: usize, payload: f64, random_trials: usize) -> Vec<MappingRow> {
+    use rand::seq::SliceRandom;
+    use rand::{rngs::StdRng, SeedableRng};
+    let topo = FatTree::minsky(nodes);
+    let cost = dcnn_collectives::CostModel::default();
+    let opts = SimOptions::default();
+    let sched = MultiColor::new(4).schedule(nodes, payload, &cost);
+    let mut rows = vec![MappingRow {
+        mapping: "consecutive".into(),
+        secs: sched.simulate(&topo, &opts).makespan,
+    }];
+    let mut rng = StdRng::seed_from_u64(0xA1B2);
+    for t in 0..random_trials {
+        let mut perm: Vec<usize> = (0..nodes).collect();
+        perm.shuffle(&mut rng);
+        rows.push(MappingRow {
+            mapping: format!("random-{t}"),
+            secs: sched.remap(&perm).simulate(&topo, &opts).makespan,
+        });
+    }
+    rows
+}
+
+/// One row of the color-count ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ColorRow {
+    /// Number of colors (spanning trees).
+    pub colors: usize,
+    /// Simulated allreduce time, seconds.
+    pub secs: f64,
+    /// Algorithm bandwidth, Gbit/s.
+    pub gbps: f64,
+}
+
+/// Design-choice ablation: how many colors should the multi-color allreduce
+/// use? (The paper fixes 4; DESIGN.md calls this out for ablation.)
+pub fn color_ablation(nodes: usize, payload: f64) -> Vec<ColorRow> {
+    let topo = FatTree::minsky(nodes);
+    let cost = dcnn_collectives::CostModel::default();
+    let opts = SimOptions::default();
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .filter(|&&k| k <= nodes)
+        .map(|&k| {
+            let secs = MultiColor::new(k)
+                .schedule(nodes, payload, &cost)
+                .simulate(&topo, &opts)
+                .makespan;
+            ColorRow { colors: k, secs, gbps: throughput_gbps(payload, secs) }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ Tables
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: String,
+    /// Learner count.
+    pub nodes: usize,
+    /// Modelled open-source epoch seconds.
+    pub open_source_secs: f64,
+    /// Modelled fully-optimized epoch seconds.
+    pub optimized_secs: f64,
+    /// Speedup (`open/opt − 1`), as the paper reports it.
+    pub speedup: f64,
+    /// Paper's open-source epoch seconds.
+    pub paper_open_secs: f64,
+    /// Paper's optimized epoch seconds.
+    pub paper_opt_secs: f64,
+}
+
+/// Table 1: total improvement, open-source baseline vs fully optimized.
+pub fn table1() -> Vec<Table1Row> {
+    let wl = Workload::imagenet_1k();
+    P::TABLE1
+        .iter()
+        .map(|&(model, nodes, paper_open, paper_opt, _acc)| {
+            let (census, payload) = census_for(model);
+            let m = EpochTimeModel::minsky(nodes);
+            let open = m
+                .epoch(&census, &wl, P::BATCH_PER_GPU, &OptimizationFlags::baseline(), Some(payload))
+                .total();
+            let opt = m
+                .epoch(
+                    &census,
+                    &wl,
+                    P::BATCH_PER_GPU,
+                    &OptimizationFlags::fully_optimized(),
+                    Some(payload),
+                )
+                .total();
+            Table1Row {
+                model: model.to_string(),
+                nodes,
+                open_source_secs: open,
+                optimized_secs: opt,
+                speedup: open / opt - 1.0,
+                paper_open_secs: paper_open,
+                paper_opt_secs: paper_opt,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// System description.
+    pub description: String,
+    /// Hardware.
+    pub hardware: String,
+    /// Global batch size.
+    pub batch: usize,
+    /// Paper-reported minutes for 90 epochs.
+    pub reported_minutes: f64,
+    /// Our model's minutes for 90 epochs (None for rows we only cite).
+    pub modeled_minutes: Option<f64>,
+}
+
+/// 90-epoch ResNet-50 wall time for `nodes` Minsky nodes at `batch_per_gpu`,
+/// using a shallow-pipelined multicolor allreduce (kept coarse so the
+/// 64-node simulation stays cheap).
+fn record_run_minutes(nodes: usize, batch_per_gpu: usize, node: &NodeModel) -> f64 {
+    let census = resnet50();
+    let wl = Workload::imagenet_1k();
+    let mut m = EpochTimeModel::minsky(nodes);
+    m.cluster.node = node.clone();
+    // Custom multicolor with a coarse pipeline for simulation tractability.
+    let algo = MultiColor::with_pipeline(4, Pipeline { target_bytes: 8 << 20, max_chunks: 8 });
+    let topo = FatTree::minsky(nodes);
+    let allreduce = algo
+        .schedule(nodes, P::RESNET50_PAYLOAD_BYTES, &m.cost)
+        .simulate(&topo, &SimOptions::default())
+        .makespan;
+    let mut flags = OptimizationFlags::fully_optimized();
+    // Price everything except the allreduce through the standard model, then
+    // substitute the custom allreduce.
+    flags.allreduce = AllreduceAlgo::MultiColor(4);
+    let b = {
+        // Cheap trick: compute breakdown with a 1-node model (no allreduce),
+        // then add our allreduce per iteration.
+        let mut m1 = EpochTimeModel::minsky(nodes);
+        m1.cluster.node = node.clone();
+        let mut f = flags.clone();
+        f.allreduce = AllreduceAlgo::MultiColor(4);
+        let mut bd =
+            m1.epoch(&census, &wl, batch_per_gpu, &f, Some(P::RESNET50_PAYLOAD_BYTES));
+        // Replace the default allreduce estimate with the coarse one.
+        bd.allreduce = allreduce * bd.iterations as f64;
+        bd
+    };
+    b.total() * P::EPOCHS as f64 / 60.0
+}
+
+/// Table 2: comparison with the state of the art. Goyal et al.'s row is
+/// modelled on the same 64-node Minsky cluster without the paper's
+/// optimizations beyond batching; You et al.'s on 512 self-hosted KNL nodes.
+pub fn table2() -> Vec<Table2Row> {
+    let minsky = NodeModel::minsky();
+    let knl = NodeModel::knl_node();
+    let ours = record_run_minutes(64, P::BATCH_PER_GPU_RECORD, &minsky);
+    // You et al.: 512 KNL, global batch 32k → 64 per node.
+    let you = {
+        let census = resnet50();
+        let iterations = Workload::imagenet_1k().images.div_ceil(512 * 64);
+        let step = knl.device.train_step_secs(&census, 64);
+        // Comm estimate: bandwidth-optimal allreduce at 100 Gbps Omni-Path.
+        let comm = 2.0 * P::RESNET50_PAYLOAD_BYTES / dcnn_simnet::gbps_to_bytes_per_sec(100.0);
+        (iterations as f64 * (step + comm)) * P::EPOCHS as f64 / 60.0
+    };
+    vec![
+        Table2Row {
+            description: "Priya et al [27]".into(),
+            hardware: "256 P100".into(),
+            batch: 8192,
+            reported_minutes: 65.0,
+            modeled_minutes: None,
+        },
+        Table2Row {
+            description: "You et al [35]".into(),
+            hardware: "512 KNL".into(),
+            batch: 32768,
+            reported_minutes: 60.0,
+            modeled_minutes: Some(you),
+        },
+        Table2Row {
+            description: "Our work".into(),
+            hardware: "256 P100 (64 Minsky nodes)".into(),
+            batch: 8192,
+            reported_minutes: 48.0,
+            modeled_minutes: Some(ours),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_rows_ordering_at_large_sizes() {
+        let rows = fig5(8, false);
+        let get = |algo: &str, mb: f64| {
+            rows.iter()
+                .find(|r| r.algo == algo && r.mb == mb)
+                .map(|r| r.gbps)
+                .expect("row present")
+        };
+        assert!(get("multicolor", 93.0) > get("ring", 93.0));
+        assert!(get("ring", 93.0) > get("openmpi-default", 93.0));
+        assert_eq!(rows.len(), 3 * 10);
+    }
+
+    #[test]
+    fn fig9_groups_roughly_flat() {
+        let rows = fig9();
+        assert_eq!(rows.len(), 4);
+        let t1 = rows[0].shuffle_secs;
+        for r in &rows {
+            assert!((r.shuffle_secs / t1 - 1.0).abs() < 0.5, "groups {}: {}", r.groups, r.shuffle_secs);
+        }
+    }
+
+    #[test]
+    fn fig10_gains_positive_everywhere() {
+        for r in fig10() {
+            assert!(r.gain > 0.1, "{} at {}: {}", r.model, r.nodes, r.gain);
+        }
+    }
+
+    #[test]
+    fn table1_speedups_positive_and_ranked() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.speedup > 0.2, "{} at {}: {}", r.model, r.nodes, r.speedup);
+            // Magnitudes within ~2× of the paper's epoch seconds.
+            assert!(
+                r.optimized_secs / r.paper_opt_secs < 2.0
+                    && r.optimized_secs / r.paper_opt_secs > 0.5,
+                "{} at {}: opt {} vs paper {}",
+                r.model,
+                r.nodes,
+                r.optimized_secs,
+                r.paper_opt_secs
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_ablation_matches_paper_claim() {
+        // Consecutive mapping should be competitive, and random mappings
+        // should still achieve "good link utilization" (within ~2× of it).
+        let rows = mapping_ablation(32, 93e6, 3);
+        let consecutive = rows[0].secs;
+        for r in &rows[1..] {
+            assert!(
+                r.secs < consecutive * 2.0 && r.secs > consecutive * 0.5,
+                "{}: {} vs consecutive {}",
+                r.mapping,
+                r.secs,
+                consecutive
+            );
+        }
+    }
+
+    #[test]
+    fn color_ablation_multicolor_beats_one_color() {
+        let rows = color_ablation(16, 93e6);
+        let one = rows.iter().find(|r| r.colors == 1).expect("k=1").secs;
+        let four = rows.iter().find(|r| r.colors == 4).expect("k=4").secs;
+        assert!(four < one, "4 colors {four} should beat 1 color {one}");
+    }
+
+    #[test]
+    fn accuracy_quick_scale_learns() {
+        let pts = fig13_15(&AccuracyScale::quick());
+        assert!(!pts.is_empty());
+        let best = pts.iter().map(|p| p.val_acc).fold(0.0, f64::max);
+        assert!(best > 0.3, "best accuracy {best}");
+        // Hours grow with epochs within a series.
+        let series0: Vec<&AccuracyPoint> =
+            pts.iter().filter(|p| p.paper_nodes == 8).collect();
+        for w in series0.windows(2) {
+            assert!(w[1].hours > w[0].hours);
+        }
+    }
+}

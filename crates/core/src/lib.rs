@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # dcnn-core — facade and experiment runners
+//!
+//! Re-exports the whole `dist-cnn` stack and provides one runner per table
+//! and figure of *Kumar et al., CLUSTER 2018*. Each runner returns typed,
+//! serializable rows; the `repro` binary (in `dcnn-bench`) prints them next
+//! to the paper's reported values.
+//!
+//! | Experiment | Runner | Paper content |
+//! |---|---|---|
+//! | Figure 5 | [`experiments::fig5`] | Allreduce throughput vs message size |
+//! | Figure 6 | [`experiments::fig6`] | Epoch time per allreduce algorithm |
+//! | Figure 7 | [`experiments::fig7`] | ImageNet-22k shuffle time & memory |
+//! | Figure 8 | [`experiments::fig8`] | ImageNet-1k shuffle time & memory |
+//! | Figure 9 | [`experiments::fig9`] | Group-based shuffle |
+//! | Figure 10 | [`experiments::fig10`] | Epoch time ± DIMD (ImageNet-1k) |
+//! | Figure 11 | [`experiments::fig11`] | Epoch time ± DIMD (ImageNet-22k) |
+//! | Figure 12 | [`experiments::fig12`] | Epoch time ± DPT optimizations |
+//! | Figures 13/15 | [`experiments::fig13_15`] | ResNet-50 accuracy & error vs time |
+//! | Figures 14/16 | [`experiments::fig14_16`] | GoogLeNet-BN accuracy & error vs time |
+//! | Table 1 | [`experiments::table1`] | Total improvement summary |
+//! | Table 2 | [`experiments::table2`] | State-of-the-art comparison |
+
+pub mod constants;
+pub mod experiments;
+pub mod report;
+
+pub use constants::PaperConstants;
+
+pub use dcnn_collectives as collectives;
+pub use dcnn_dimd as dimd;
+pub use dcnn_dpt as dpt;
+pub use dcnn_gpusim as gpusim;
+pub use dcnn_models as models;
+pub use dcnn_simnet as simnet;
+pub use dcnn_tensor as tensor;
+pub use dcnn_trainer as trainer;

@@ -1,0 +1,65 @@
+//! Small report-formatting helpers shared by the `repro` harness.
+
+/// Render a GitHub-flavoured markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push('|');
+    for h in headers {
+        s.push_str(&format!(" {h} |"));
+    }
+    s.push('\n');
+    s.push('|');
+    for _ in headers {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        s.push('|');
+        for cell in row {
+            s.push_str(&format!(" {cell} |"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Format seconds compactly (`s` or `min`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 120.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 3 | 4 |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_row_width_panics() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formats_times() {
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(5.0), "5.0 s");
+        assert_eq!(fmt_secs(300.0), "5.0 min");
+    }
+}

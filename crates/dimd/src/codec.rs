@@ -1,0 +1,368 @@
+//! A from-scratch block-DCT image codec.
+//!
+//! The paper stores the dataset as compressed JPEGs and decompresses them
+//! in memory during SGD ("an in-memory JPEG decompresser is also used to
+//! decompress images to generate image tensor objects", §4.1). We implement
+//! the same class of codec so that record sizes, compression ratios and
+//! decode CPU costs are real: 8×8 DCT-II per channel, JPEG-style
+//! quality-scaled quantization, zigzag scan, DC delta coding and
+//! varint entropy coding with end-of-block truncation.
+
+use crate::image::RawImage;
+
+const MAGIC: &[u8; 4] = b"DCC1";
+
+/// JPEG Annex K luminance quantization table (zigzag-ordered at use time).
+const QBASE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order for an 8×8 block.
+const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+fn quant_table(quality: u8) -> [f32; 64] {
+    let q = quality.clamp(1, 100) as f32;
+    let scale = if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q } / 100.0;
+    let mut t = [0.0f32; 64];
+    for i in 0..64 {
+        t[i] = (QBASE[i] as f32 * scale).clamp(1.0, 255.0);
+    }
+    t
+}
+
+/// Orthonormal 8-point DCT-II basis, precomputed.
+fn dct_basis() -> [[f32; 8]; 8] {
+    let mut b = [[0.0f32; 8]; 8];
+    for (k, row) in b.iter_mut().enumerate() {
+        let a = if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = a * ((std::f32::consts::PI / 8.0) * (n as f32 + 0.5) * k as f32).cos();
+        }
+    }
+    b
+}
+
+fn dct2d(block: &[f32; 64], basis: &[[f32; 8]; 8]) -> [f32; 64] {
+    // rows then columns
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for k in 0..8 {
+            let mut acc = 0.0;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * basis[k][x];
+            }
+            tmp[y * 8 + k] = acc;
+        }
+    }
+    let mut out = [0.0f32; 64];
+    for k in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                acc += tmp[y * 8 + x] * basis[k][y];
+            }
+            out[k * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+fn idct2d(coef: &[f32; 64], basis: &[[f32; 8]; 8]) -> [f32; 64] {
+    let mut tmp = [0.0f32; 64];
+    for k in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for ky in 0..8 {
+                acc += coef[ky * 8 + x] * basis[ky][k];
+            }
+            tmp[k * 8 + x] = acc;
+        }
+    }
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for kx in 0..8 {
+                acc += tmp[y * 8 + kx] * basis[kx][x];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+fn put_varint(out: &mut Vec<u8>, v: i32) {
+    // zigzag-map the sign, then LEB128.
+    let mut u = ((v << 1) ^ (v >> 31)) as u32;
+    loop {
+        let byte = (u & 0x7F) as u8;
+        u >>= 7;
+        if u == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> i32 {
+    let mut u: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        u |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        assert!(shift < 35, "varint too long");
+    }
+    ((u >> 1) as i32) ^ -((u & 1) as i32)
+}
+
+/// Compress an image. `quality` ∈ 1..=100 (higher = larger + more faithful).
+pub fn encode_image(img: &RawImage, quality: u8) -> Vec<u8> {
+    let qt = quant_table(quality);
+    let basis = dct_basis();
+    let mut out = Vec::with_capacity(img.data.len() / 4 + 32);
+    out.extend_from_slice(MAGIC);
+    out.push(img.c as u8);
+    out.extend_from_slice(&(img.h as u32).to_le_bytes());
+    out.extend_from_slice(&(img.w as u32).to_le_bytes());
+    out.push(quality.clamp(1, 100));
+
+    let bh = img.h.div_ceil(8);
+    let bw = img.w.div_ceil(8);
+    for c in 0..img.c {
+        let mut prev_dc: i32 = 0;
+        for by in 0..bh {
+            for bx in 0..bw {
+                // Gather the block with edge replication, centered at 0.
+                let mut block = [0.0f32; 64];
+                for y in 0..8 {
+                    let sy = (by * 8 + y).min(img.h - 1);
+                    for x in 0..8 {
+                        let sx = (bx * 8 + x).min(img.w - 1);
+                        block[y * 8 + x] = img.at(c, sy, sx) as f32 - 128.0;
+                    }
+                }
+                let coef = dct2d(&block, &basis);
+                // Quantize in zigzag order; DC is delta-coded.
+                let mut q = [0i32; 64];
+                for (zi, &pos) in ZIGZAG.iter().enumerate() {
+                    q[zi] = (coef[pos] / qt[pos]).round() as i32;
+                }
+                let dc = q[0];
+                q[0] = dc - prev_dc;
+                prev_dc = dc;
+                // End-of-block: keep coefficients up to the last nonzero.
+                let last = q.iter().rposition(|&v| v != 0).map(|i| i + 1).unwrap_or(0);
+                out.push(last as u8);
+                for &v in &q[..last] {
+                    put_varint(&mut out, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decompress an image produced by [`encode_image`].
+///
+/// # Panics
+/// Panics on malformed input (wrong magic, truncation).
+pub fn decode_image(data: &[u8]) -> RawImage {
+    assert!(data.len() > 14 && &data[0..4] == MAGIC, "bad codec magic");
+    let c = data[4] as usize;
+    let h = u32::from_le_bytes(data[5..9].try_into().expect("4")) as usize;
+    let w = u32::from_le_bytes(data[9..13].try_into().expect("4")) as usize;
+    let quality = data[13];
+    let qt = quant_table(quality);
+    let basis = dct_basis();
+    let mut img = RawImage::new(c, h, w);
+    let mut pos = 14usize;
+    let bh = h.div_ceil(8);
+    let bw = w.div_ceil(8);
+    for ci in 0..c {
+        let mut prev_dc: i32 = 0;
+        for by in 0..bh {
+            for bx in 0..bw {
+                let last = data[pos] as usize;
+                pos += 1;
+                assert!(last <= 64, "corrupt block header");
+                let mut q = [0i32; 64];
+                for item in q.iter_mut().take(last) {
+                    *item = get_varint(data, &mut pos);
+                }
+                let dc = q[0] + prev_dc;
+                prev_dc = dc;
+                q[0] = dc;
+                let mut coef = [0.0f32; 64];
+                for (zi, &p) in ZIGZAG.iter().enumerate() {
+                    coef[p] = q[zi] as f32 * qt[p];
+                }
+                let block = idct2d(&coef, &basis);
+                for y in 0..8 {
+                    let dy = by * 8 + y;
+                    if dy >= h {
+                        continue;
+                    }
+                    for x in 0..8 {
+                        let dx = bx * 8 + x;
+                        if dx >= w {
+                            continue;
+                        }
+                        img.set(ci, dy, dx, (block[y * 8 + x] + 128.0).round().clamp(0.0, 255.0) as u8);
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Peak signal-to-noise ratio between two same-shape images, in dB.
+pub fn psnr(a: &RawImage, b: &RawImage) -> f64 {
+    assert_eq!((a.c, a.h, a.w), (b.c, b.h, b.w));
+    let mse: f64 = a
+        .data
+        .iter()
+        .zip(&b.data)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.data.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn natural_image(h: usize, w: usize) -> RawImage {
+        // Smooth gradients + low-frequency waves: JPEG-friendly content.
+        let mut img = RawImage::new(3, h, w);
+        for c in 0..3 {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = 128.0
+                        + 60.0 * ((x as f32 * 0.07 + c as f32).sin())
+                        + 50.0 * ((y as f32 * 0.05).cos());
+                    img.set(c, y, x, v.clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn flat_image_compresses_hugely_and_exactly() {
+        let img = RawImage { c: 3, h: 64, w: 64, data: vec![128; 3 * 64 * 64] };
+        let enc = encode_image(&img, 50);
+        assert!(enc.len() < img.data.len() / 20, "flat: {} bytes", enc.len());
+        let dec = decode_image(&enc);
+        assert_eq!(dec, img);
+    }
+
+    #[test]
+    fn natural_roundtrip_high_psnr() {
+        let img = natural_image(48, 56);
+        for (q, min_psnr) in [(30u8, 30.0), (50, 33.0), (90, 40.0)] {
+            let enc = encode_image(&img, q);
+            let dec = decode_image(&enc);
+            let p = psnr(&img, &dec);
+            assert!(p >= min_psnr, "quality {q}: PSNR {p:.1} dB");
+        }
+    }
+
+    #[test]
+    fn compression_ratio_reasonable() {
+        let img = natural_image(64, 64);
+        let enc = encode_image(&img, 50);
+        let ratio = img.data.len() as f64 / enc.len() as f64;
+        assert!(ratio > 3.0, "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn quality_monotone_in_size() {
+        let img = natural_image(64, 64);
+        let lo = encode_image(&img, 20).len();
+        let hi = encode_image(&img, 95).len();
+        assert!(hi > lo, "q95 {hi} should exceed q20 {lo}");
+    }
+
+    #[test]
+    fn non_multiple_of_8_dims() {
+        let img = natural_image(33, 41);
+        let dec = decode_image(&encode_image(&img, 80));
+        assert_eq!((dec.c, dec.h, dec.w), (3, 33, 41));
+        assert!(psnr(&img, &dec) > 32.0);
+    }
+
+    #[test]
+    fn single_channel_tiny_image() {
+        let img = RawImage { c: 1, h: 3, w: 5, data: vec![7, 50, 100, 150, 200, 10, 60, 110, 160, 210, 20, 70, 120, 170, 220] };
+        let dec = decode_image(&encode_image(&img, 95));
+        assert_eq!((dec.c, dec.h, dec.w), (1, 3, 5));
+        // Small block, high quality: close reconstruction.
+        for (a, b) in img.data.iter().zip(&dec.data) {
+            assert!((*a as i32 - *b as i32).abs() < 24, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0, 1, -1, 2, -2, 63, -64, 127, -128, 1000, -100000, i32::MAX / 2];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn dct_orthonormal_roundtrip() {
+        let basis = dct_basis();
+        let mut block = [0.0f32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 37) % 256) as f32 - 128.0;
+        }
+        let coef = dct2d(&block, &basis);
+        let back = idct2d(&coef, &basis);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        // Parseval: energy preserved.
+        let e1: f32 = block.iter().map(|v| v * v).sum();
+        let e2: f32 = coef.iter().map(|v| v * v).sum();
+        assert!((e1 - e2).abs() < e1 * 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_magic_panics() {
+        let _ = decode_image(&[0u8; 32]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Raw images and the preprocessing the paper applies before storage and
+//! training: shorter-side resize (to 256, aspect preserved), random crop to
+//! the network input size, horizontal flip, and per-channel normalization.
+
+use dcnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// An 8-bit interleaved-by-channel image: `data[c][h][w]`, row-major per
+/// channel plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawImage {
+    /// Channel count (3 for RGB).
+    pub c: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Width in pixels.
+    pub w: usize,
+    /// Planar pixel data, `c · h · w` bytes.
+    pub data: Vec<u8>,
+}
+
+impl RawImage {
+    /// Allocate a zeroed image.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        RawImage { c, h, w, data: vec![0; c * h * w] }
+    }
+
+    /// Pixel accessor.
+    pub fn at(&self, c: usize, y: usize, x: usize) -> u8 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Pixel setter.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: u8) {
+        self.data[(c * self.h + y) * self.w + x] = v;
+    }
+
+    /// Bilinear resize to exactly `nh × nw`.
+    pub fn resize(&self, nh: usize, nw: usize) -> RawImage {
+        assert!(nh > 0 && nw > 0);
+        let mut out = RawImage::new(self.c, nh, nw);
+        let sy = self.h as f32 / nh as f32;
+        let sx = self.w as f32 / nw as f32;
+        for c in 0..self.c {
+            for y in 0..nh {
+                let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, (self.h - 1) as f32);
+                let y0 = fy.floor() as usize;
+                let y1 = (y0 + 1).min(self.h - 1);
+                let wy = fy - y0 as f32;
+                for x in 0..nw {
+                    let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, (self.w - 1) as f32);
+                    let x0 = fx.floor() as usize;
+                    let x1 = (x0 + 1).min(self.w - 1);
+                    let wx = fx - x0 as f32;
+                    let p = self.at(c, y0, x0) as f32 * (1.0 - wy) * (1.0 - wx)
+                        + self.at(c, y0, x1) as f32 * (1.0 - wy) * wx
+                        + self.at(c, y1, x0) as f32 * wy * (1.0 - wx)
+                        + self.at(c, y1, x1) as f32 * wy * wx;
+                    out.set(c, y, x, p.round().clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's storage preprocessing: resize so the *shorter* side is
+    /// `short` pixels, preserving aspect ratio (§4.1).
+    pub fn resize_shorter_to(&self, short: usize) -> RawImage {
+        if self.h <= self.w {
+            let nw = (self.w as f64 * short as f64 / self.h as f64).round().max(1.0) as usize;
+            self.resize(short, nw)
+        } else {
+            let nh = (self.h as f64 * short as f64 / self.w as f64).round().max(1.0) as usize;
+            self.resize(nh, short)
+        }
+    }
+
+    /// Crop a `size × size` window at `(top, left)`.
+    pub fn crop(&self, top: usize, left: usize, size: usize) -> RawImage {
+        assert!(top + size <= self.h && left + size <= self.w, "crop out of bounds");
+        let mut out = RawImage::new(self.c, size, size);
+        for c in 0..self.c {
+            for y in 0..size {
+                for x in 0..size {
+                    out.set(c, y, x, self.at(c, top + y, left + x));
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal flip.
+    pub fn hflip(&self) -> RawImage {
+        let mut out = RawImage::new(self.c, self.h, self.w);
+        for c in 0..self.c {
+            for y in 0..self.h {
+                for x in 0..self.w {
+                    out.set(c, y, x, self.at(c, y, self.w - 1 - x));
+                }
+            }
+        }
+        out
+    }
+
+    /// Training augmentation as in §5: random `size²` crop + random flip.
+    pub fn random_crop_flip(&self, size: usize, rng: &mut StdRng) -> RawImage {
+        let base = if self.h < size || self.w < size {
+            self.resize(size.max(self.h), size.max(self.w))
+        } else {
+            self.clone()
+        };
+        let top = if base.h > size { rng.random_range(0..=base.h - size) } else { 0 };
+        let left = if base.w > size { rng.random_range(0..=base.w - size) } else { 0 };
+        let cropped = base.crop(top, left, size);
+        if rng.random::<bool>() {
+            cropped.hflip()
+        } else {
+            cropped
+        }
+    }
+
+    /// Center crop (validation path).
+    pub fn center_crop(&self, size: usize) -> RawImage {
+        let base = if self.h < size || self.w < size {
+            self.resize(size.max(self.h), size.max(self.w))
+        } else {
+            self.clone()
+        };
+        base.crop((base.h - size) / 2, (base.w - size) / 2, size)
+    }
+
+    /// Convert to a normalized `[C, H, W]` tensor: `(px/255 − mean) / std`
+    /// per channel.
+    pub fn to_tensor(&self, mean: &[f32], std: &[f32]) -> Tensor {
+        assert_eq!(mean.len(), self.c);
+        assert_eq!(std.len(), self.c);
+        let plane = self.h * self.w;
+        let mut data = Vec::with_capacity(self.c * plane);
+        for c in 0..self.c {
+            let (m, s) = (mean[c], std[c]);
+            for &px in &self.data[c * plane..(c + 1) * plane] {
+                data.push((px as f32 / 255.0 - m) / s);
+            }
+        }
+        Tensor::from_vec(data, &[self.c, self.h, self.w])
+    }
+}
+
+/// ImageNet channel means (the standard constants the paper's packages use).
+pub const IMAGENET_MEAN: [f32; 3] = [0.485, 0.456, 0.406];
+/// ImageNet channel standard deviations.
+pub const IMAGENET_STD: [f32; 3] = [0.229, 0.224, 0.225];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gradient_image(c: usize, h: usize, w: usize) -> RawImage {
+        let mut img = RawImage::new(c, h, w);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    img.set(ci, y, x, ((x * 255) / w.max(1)) as u8);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn resize_identity() {
+        let img = gradient_image(3, 10, 12);
+        let r = img.resize(10, 12);
+        assert_eq!(r, img);
+    }
+
+    #[test]
+    fn resize_shorter_side_preserves_aspect() {
+        let img = gradient_image(3, 100, 200);
+        let r = img.resize_shorter_to(256);
+        assert_eq!(r.h, 256);
+        assert_eq!(r.w, 512);
+        let img2 = gradient_image(3, 300, 150);
+        let r2 = img2.resize_shorter_to(256);
+        assert_eq!(r2.w, 256);
+        assert_eq!(r2.h, 512);
+    }
+
+    #[test]
+    fn resize_preserves_constant_images() {
+        let img = RawImage { c: 1, h: 7, w: 9, data: vec![123; 63] };
+        let r = img.resize(13, 4);
+        assert!(r.data.iter().all(|&v| v == 123));
+    }
+
+    #[test]
+    fn crop_extracts_window() {
+        let img = gradient_image(1, 8, 8);
+        let c = img.crop(2, 3, 4);
+        assert_eq!(c.h, 4);
+        assert_eq!(c.at(0, 0, 0), img.at(0, 2, 3));
+        assert_eq!(c.at(0, 3, 3), img.at(0, 5, 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_out_of_bounds_panics() {
+        let img = gradient_image(1, 8, 8);
+        let _ = img.crop(6, 6, 4);
+    }
+
+    #[test]
+    fn hflip_mirrors() {
+        let img = gradient_image(1, 2, 4);
+        let f = img.hflip();
+        assert_eq!(f.at(0, 0, 0), img.at(0, 0, 3));
+        assert_eq!(f.hflip(), img);
+    }
+
+    #[test]
+    fn random_crop_flip_is_deterministic_per_seed() {
+        let img = gradient_image(3, 40, 60);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(img.random_crop_flip(32, &mut r1), img.random_crop_flip(32, &mut r2));
+    }
+
+    #[test]
+    fn center_crop_upscales_small_inputs() {
+        let img = gradient_image(3, 16, 16);
+        let c = img.center_crop(24);
+        assert_eq!((c.h, c.w), (24, 24));
+    }
+
+    #[test]
+    fn to_tensor_normalizes() {
+        let mut img = RawImage::new(3, 1, 1);
+        img.set(0, 0, 0, 255);
+        let t = img.to_tensor(&IMAGENET_MEAN, &IMAGENET_STD);
+        assert_eq!(t.shape(), &[3, 1, 1]);
+        let expect = (1.0 - IMAGENET_MEAN[0]) / IMAGENET_STD[0];
+        assert!((t.data()[0] - expect).abs() < 1e-6);
+        let expect_zero = (0.0 - IMAGENET_MEAN[1]) / IMAGENET_STD[1];
+        assert!((t.data()[1] - expect_zero).abs() < 1e-6);
+    }
+}

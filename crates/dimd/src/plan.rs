@@ -1,0 +1,100 @@
+//! Partition planning — §4.1: "With this API each learner on a node loads a
+//! sub-set of the dataset into memory. The size of the sub-set is based on
+//! the available memory at each node. We can divide the learners into groups
+//! such that each group of learners collectively own the entire dataset."
+//!
+//! This module picks the group size: the paper's two extremes are group size
+//! 1 (every learner holds everything — "enough memory available") and group
+//! size = cluster ("limited memory … each learner would hold 1/ℓ of the
+//! data"). We choose the *smallest* group that fits, because smaller groups
+//! mean more local diversity between shuffles and cheaper group-local
+//! shuffles on asymmetric fabrics.
+
+/// Fraction of host memory the partition may occupy (the rest is working
+/// set: decode buffers, gradients, activations staged on the host).
+pub const MEMORY_HEADROOM: f64 = 0.8;
+
+/// A partitioning decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Learners per group (each group collectively owns the dataset).
+    pub group_size: usize,
+    /// Number of groups (`nodes / group_size`).
+    pub groups: usize,
+}
+
+/// Pick the smallest group size that fits `blob_bytes / group_size` into
+/// `host_mem × headroom` per learner, among group sizes dividing `nodes`.
+/// Returns `None` if even the full partitioning (one group of all nodes)
+/// does not fit.
+pub fn plan_groups(blob_bytes: f64, host_mem: f64, nodes: usize) -> Option<PartitionPlan> {
+    assert!(nodes >= 1 && blob_bytes >= 0.0 && host_mem > 0.0);
+    let budget = host_mem * MEMORY_HEADROOM;
+    for group_size in 1..=nodes {
+        if !nodes.is_multiple_of(group_size) {
+            continue;
+        }
+        if blob_bytes / group_size as f64 <= budget {
+            return Some(PartitionPlan { group_size, groups: nodes / group_size });
+        }
+    }
+    None
+}
+
+/// Bytes each learner holds under a plan.
+pub fn bytes_per_learner(blob_bytes: f64, plan: &PartitionPlan) -> f64 {
+    blob_bytes / plan.group_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINSKY_MEM: f64 = 256e9;
+
+    #[test]
+    fn imagenet_1k_fits_everywhere() {
+        // 70 GB blob ≤ 0.8 × 256 GB: every learner holds everything.
+        let plan = plan_groups(70e9, MINSKY_MEM, 32).expect("fits");
+        assert_eq!(plan, PartitionPlan { group_size: 1, groups: 32 });
+        assert_eq!(bytes_per_learner(70e9, &plan), 70e9);
+    }
+
+    #[test]
+    fn imagenet_22k_needs_partitioning() {
+        // 220 GB > 204.8 GB budget → pairs of learners share the dataset.
+        let plan = plan_groups(220e9, MINSKY_MEM, 32).expect("fits in pairs");
+        assert_eq!(plan.group_size, 2);
+        assert_eq!(plan.groups, 16);
+        assert!(bytes_per_learner(220e9, &plan) <= MINSKY_MEM * MEMORY_HEADROOM);
+    }
+
+    #[test]
+    fn huge_dataset_spreads_over_all_nodes() {
+        // 6 TB over 32 × 256 GB nodes → 187.5 GB each with group 32.
+        let plan = plan_groups(6e12, MINSKY_MEM, 32).expect("fits fully spread");
+        assert_eq!(plan.group_size, 32);
+        assert_eq!(plan.groups, 1);
+    }
+
+    #[test]
+    fn impossible_dataset_returns_none() {
+        assert_eq!(plan_groups(1e13, MINSKY_MEM, 32), None);
+    }
+
+    #[test]
+    fn group_size_divides_nodes() {
+        // 12 nodes: candidate group sizes are 1,2,3,4,6,12. A blob needing
+        // ≥ a fifth of memory×nodes lands on a divisor, not 5.
+        let mem = 10.0;
+        let blob = 38.0; // needs group ≥ 4.75 → smallest divisor is 6
+        let plan = plan_groups(blob, mem, 12).expect("fits");
+        assert_eq!(plan.group_size, 6);
+    }
+
+    #[test]
+    fn zero_size_blob_trivially_fits() {
+        let plan = plan_groups(0.0, 1.0, 7).expect("fits");
+        assert_eq!(plan.group_size, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! The donkey prefetch pipeline, for real: a background thread decodes and
+//! augments upcoming mini-batches while the GPUs train on the current one —
+//! exactly the overlap Torch's donkeys are supposed to provide and that DIMD
+//! makes possible (in-memory records decode fast enough to stay ahead,
+//! §4.1).
+//!
+//! [`Prefetcher::run_epoch`] takes ownership of the [`Dimd`] partition,
+//! streams `iterations` batches through a bounded channel, and returns the
+//! partition when joined — ready for the end-of-epoch shuffle.
+
+use crossbeam::channel::{bounded, Receiver};
+use dcnn_tensor::Tensor;
+
+use crate::store::Dimd;
+
+/// A running prefetch pipeline for one epoch.
+pub struct Prefetcher {
+    rx: Receiver<(Tensor, Vec<usize>)>,
+    handle: std::thread::JoinHandle<Dimd>,
+}
+
+impl Prefetcher {
+    /// Spawn the donkey thread: it produces `iterations` batches of
+    /// `batch` images cropped to `crop²`, keeping at most `depth` decoded
+    /// batches queued ahead of the consumer.
+    pub fn run_epoch(
+        dimd: Dimd,
+        iterations: usize,
+        batch: usize,
+        crop: usize,
+        depth: usize,
+    ) -> Prefetcher {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        let (tx, rx) = bounded(depth);
+        let handle = std::thread::spawn(move || {
+            let mut dimd = dimd;
+            for _ in 0..iterations {
+                let b = dimd.random_batch(batch, crop);
+                if tx.send(b).is_err() {
+                    break; // consumer dropped early
+                }
+            }
+            dimd
+        });
+        Prefetcher { rx, handle }
+    }
+
+    /// Receive the next batch (blocks until the donkey catches up).
+    ///
+    /// # Panics
+    /// Panics if more than `iterations` batches are requested.
+    pub fn next_batch(&self) -> (Tensor, Vec<usize>) {
+        self.rx.recv().expect("prefetcher exhausted: more batches requested than produced")
+    }
+
+    /// Join the donkey thread and recover the partition.
+    pub fn finish(self) -> Dimd {
+        drop(self.rx);
+        self.handle.join().expect("prefetch thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthImageNet};
+
+    fn ds() -> SynthImageNet {
+        let mut cfg = SynthConfig::tiny(3);
+        cfg.train_per_class = 12;
+        cfg.base_hw = 16;
+        SynthImageNet::new(cfg)
+    }
+
+    #[test]
+    fn prefetched_batches_match_direct_sampling() {
+        let ds = ds();
+        // Same seed ⇒ identical sampling order with or without the pipeline.
+        let mut direct = Dimd::load_partition(&ds, 0, 1, 70, 7);
+        let pre = Dimd::load_partition(&ds, 0, 1, 70, 7);
+        let p = Prefetcher::run_epoch(pre, 4, 6, 16, 2);
+        for _ in 0..4 {
+            let (xd, ld) = direct.random_batch(6, 16);
+            let (xp, lp) = p.next_batch();
+            assert_eq!(xd, xp);
+            assert_eq!(ld, lp);
+        }
+        let back = p.finish();
+        assert_eq!(back.len(), direct.len());
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let ds = ds();
+        let dimd = Dimd::load_partition(&ds, 0, 1, 70, 9);
+        let p = Prefetcher::run_epoch(dimd, 100, 4, 16, 1);
+        let _ = p.next_batch();
+        let back = p.finish(); // drops the receiver with 99 batches pending
+        assert_eq!(back.len(), 36);
+    }
+
+    #[test]
+    fn partition_usable_after_epoch() {
+        let ds = ds();
+        let dimd = Dimd::load_partition(&ds, 0, 1, 70, 3);
+        let p = Prefetcher::run_epoch(dimd, 2, 4, 16, 2);
+        let _ = p.next_batch();
+        let _ = p.next_batch();
+        let mut back = p.finish();
+        let (x, _) = back.random_batch(4, 16);
+        assert_eq!(x.shape(), &[4, 3, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_consuming_panics() {
+        let ds = ds();
+        let dimd = Dimd::load_partition(&ds, 0, 1, 70, 3);
+        let p = Prefetcher::run_epoch(dimd, 1, 4, 16, 1);
+        let _ = p.next_batch();
+        let _ = p.next_batch();
+    }
+}

@@ -1,0 +1,283 @@
+//! The distributed in-memory shuffle — Algorithm 2 of the paper.
+//!
+//! Every record is assigned a uniformly random destination rank; the
+//! exchange runs as `MPI_Alltoallv`. Because MPI counts and displacements
+//! are 32-bit, the paper first partitions the local tensor into `m` segments
+//! ("this is to overcome the deficiency of MPI to handle more than 32 bit
+//! offsets") and alltoallv's each segment separately; we reproduce exactly
+//! that segmentation, with a configurable cap so tests can exercise multiple
+//! segments. After the exchange each node permutes its received records
+//! locally.
+
+use dcnn_collectives::primitives::alltoallv_bytes;
+use dcnn_collectives::runtime::Comm;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// MPI's real limit; tests use far smaller caps to force segmentation.
+pub const MPI_COUNT_LIMIT: usize = i32::MAX as usize;
+
+/// A record travelling through the shuffle: compressed bytes + label.
+pub type Record = (Vec<u8>, u32);
+
+fn pack(records: &[Record]) -> Vec<u8> {
+    let total: usize = records.iter().map(|(b, _)| 8 + b.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (bytes, label) in records {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&label.to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+fn unpack(mut buf: &[u8], out: &mut Vec<Record>) {
+    while !buf.is_empty() {
+        assert!(buf.len() >= 8, "truncated record header");
+        let len = u32::from_le_bytes(buf[0..4].try_into().expect("4")) as usize;
+        let label = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
+        assert!(buf.len() >= 8 + len, "truncated record payload");
+        out.push((buf[8..8 + len].to_vec(), label));
+        buf = &buf[8 + len..];
+    }
+}
+
+/// Shuffle `records` across the ranks of `comm` (Algorithm 2).
+///
+/// * `seed` — shuffle round seed; all ranks must pass the same value (each
+///   rank derives its own stream from it, like the paper's per-learner
+///   seeds).
+/// * `max_segment_bytes` — the 32-bit-count emulation: the total payload a
+///   single alltoallv may carry from this rank. Pass [`MPI_COUNT_LIMIT`]
+///   for realism or something small to exercise segmentation.
+///
+/// Returns this rank's new partition, locally permuted.
+pub fn shuffle_records(
+    comm: &Comm,
+    records: Vec<Record>,
+    seed: u64,
+    max_segment_bytes: usize,
+) -> Vec<Record> {
+    let n = comm.size();
+    assert!(max_segment_bytes > 0);
+    if n <= 1 {
+        let mut out = records;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1D);
+        out.shuffle(&mut rng);
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E3779B97F4A7C15) ^ comm.global_rank() as u64,
+    );
+
+    // Assign destinations up front (uniform over ranks, self included).
+    let mut assigned: Vec<(usize, Record)> =
+        records.into_iter().map(|r| (rng.random_range(0..n), r)).collect();
+
+    let mut received: Vec<Record> = Vec::new();
+    // Segment greedily: each alltoallv round ships at most
+    // `max_segment_bytes` of payload from this rank — but every rank must
+    // participate in the same number of rounds, so rounds continue until all
+    // ranks are drained (coordinated via an allgather of remaining counts).
+    loop {
+        let mut seg_bytes = 0usize;
+        let mut end = 0usize;
+        while end < assigned.len() {
+            let sz = 8 + assigned[end].1 .0.len();
+            if seg_bytes + sz > max_segment_bytes && end > 0 {
+                break;
+            }
+            seg_bytes += sz;
+            end += 1;
+        }
+
+        // Do all ranks agree there is nothing left? (allgather of a flag)
+        let remaining = assigned.len() as u64;
+        let flags = dcnn_collectives::primitives::allgather_bytes(
+            comm,
+            remaining.to_le_bytes().to_vec(),
+        );
+        let global_remaining: u64 = flags
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8")))
+            .max()
+            .expect("non-empty cluster");
+        if global_remaining == 0 {
+            break;
+        }
+
+        // Build per-destination buffers for this segment.
+        let mut per_dest: Vec<Vec<Record>> = vec![Vec::new(); n];
+        for (dest, rec) in assigned.drain(..end) {
+            per_dest[dest].push(rec);
+        }
+        let send: Vec<Vec<u8>> = per_dest.iter().map(|d| pack(d)).collect();
+        let recv = alltoallv_bytes(comm, send);
+        for buf in recv {
+            unpack(&buf, &mut received);
+        }
+    }
+
+    // Local permutation (the paper's final `random_permutation` step).
+    let mut perm_rng = StdRng::seed_from_u64(seed ^ (comm.global_rank() as u64) << 32 | 0xD1D);
+    received.shuffle(&mut perm_rng);
+    received
+}
+
+/// Byte-count matrix of one shuffle round for virtual-time simulation:
+/// `counts[src][dst]` bytes. With `groups` groups of `nodes/groups` members
+/// each (paper Figure 9), exchange stays within the group; a uniformly
+/// random reassignment sends `partition/S` to each of the `S` group members
+/// (the self-share stays local and costs nothing on the fabric).
+pub fn shuffle_counts_matrix(nodes: usize, partition_bytes: f64, groups: usize) -> Vec<Vec<f64>> {
+    assert!(nodes > 0 && groups > 0 && nodes.is_multiple_of(groups), "groups must divide nodes");
+    let group_size = nodes / groups;
+    let share = partition_bytes / group_size as f64;
+    let mut m = vec![vec![0.0; nodes]; nodes];
+    for (src, row) in m.iter_mut().enumerate() {
+        let g = src / group_size;
+        for dst in g * group_size..(g + 1) * group_size {
+            if dst != src {
+                row[dst] = share;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_collectives::run_cluster;
+    use std::collections::HashMap;
+
+    fn make_records(rank: usize, count: usize) -> Vec<Record> {
+        (0..count)
+            .map(|i| {
+                let len = 5 + (rank * 7 + i * 3) % 40;
+                (vec![(rank * 100 + i) as u8; len], (rank * 1000 + i) as u32)
+            })
+            .collect()
+    }
+
+    fn census(all: &[Vec<Record>]) -> HashMap<(Vec<u8>, u32), usize> {
+        let mut m = HashMap::new();
+        for recs in all {
+            for r in recs {
+                *m.entry(r.clone()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn shuffle_preserves_record_multiset() {
+        for n in [2, 4, 5] {
+            let before: Vec<Vec<Record>> = (0..n).map(|r| make_records(r, 20)).collect();
+            let expect = census(&before);
+            let after = run_cluster(n, |c| {
+                shuffle_records(c, make_records(c.rank(), 20), 99, MPI_COUNT_LIMIT)
+            });
+            assert_eq!(census(&after), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn segmentation_matches_unsegmented_multiset() {
+        let n = 4;
+        let before: Vec<Vec<Record>> = (0..n).map(|r| make_records(r, 30)).collect();
+        let expect = census(&before);
+        // Tiny cap: forces many alltoallv rounds (Algorithm 2's m > 1).
+        let after = run_cluster(n, |c| {
+            shuffle_records(c, make_records(c.rank(), 30), 7, 64)
+        });
+        assert_eq!(census(&after), expect);
+    }
+
+    #[test]
+    fn shuffle_actually_moves_records() {
+        let n = 4;
+        let after = run_cluster(n, |c| {
+            shuffle_records(c, make_records(c.rank(), 40), 3, MPI_COUNT_LIMIT)
+        });
+        // Rank 0 should now hold some records that originated elsewhere
+        // (labels ≥ 1000).
+        assert!(
+            after[0].iter().any(|(_, label)| *label >= 1000),
+            "no foreign records on rank 0"
+        );
+    }
+
+    #[test]
+    fn uneven_partitions_rebalance_approximately() {
+        let n = 4;
+        let after = run_cluster(n, |c| {
+            // Rank 0 starts with everything.
+            let recs = if c.rank() == 0 { make_records(0, 400) } else { Vec::new() };
+            shuffle_records(c, recs, 11, MPI_COUNT_LIMIT)
+        });
+        for (r, recs) in after.iter().enumerate() {
+            assert!(
+                (60..=140).contains(&recs.len()),
+                "rank {r} got {} records",
+                recs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_shuffle_is_local_permutation() {
+        let out = run_cluster(1, |c| {
+            shuffle_records(c, make_records(0, 10), 5, MPI_COUNT_LIMIT)
+        });
+        assert_eq!(out[0].len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            run_cluster(3, move |c| {
+                shuffle_records(c, make_records(c.rank(), 15), seed, MPI_COUNT_LIMIT)
+            })
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn group_shuffle_stays_within_group() {
+        // 4 ranks, 2 groups: records must not cross group boundaries.
+        let after = run_cluster(4, |c| {
+            let group = c.rank() / 2;
+            let sub = c.split(group as u64, c.rank() as i64);
+            shuffle_records(&sub, make_records(c.rank(), 25), 13, MPI_COUNT_LIMIT)
+        });
+        for (r, recs) in after.iter().enumerate() {
+            let group = r / 2;
+            for (_, label) in recs {
+                let origin = (*label / 1000) as usize;
+                assert_eq!(origin / 2, group, "rank {r} received from {origin}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_matrix_shapes() {
+        let m = shuffle_counts_matrix(8, 800.0, 2);
+        // src 0 sends 200 to each of ranks 1..3 (its group), nothing beyond.
+        assert_eq!(m[0][1], 200.0);
+        assert_eq!(m[0][3], 200.0);
+        assert_eq!(m[0][4], 0.0);
+        assert_eq!(m[0][0], 0.0);
+        // Total fabric bytes: 8 nodes × 3 peers × 200.
+        let total: f64 = m.iter().flatten().sum();
+        assert_eq!(total, 8.0 * 3.0 * 200.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn counts_matrix_bad_groups_panics() {
+        let _ = shuffle_counts_matrix(8, 1.0, 3);
+    }
+}

@@ -1,0 +1,320 @@
+//! The in-memory store a learner trains from: the three DIMD APIs of §4.1
+//! — *partitioned load*, *random in-memory batch load*, and *shuffle*.
+
+use dcnn_collectives::runtime::Comm;
+use dcnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::codec::decode_image;
+use crate::image::{IMAGENET_MEAN, IMAGENET_STD};
+use crate::shuffle::{shuffle_records, Record};
+use crate::synth::SynthImageNet;
+
+/// A learner's in-memory partition of the training set.
+pub struct Dimd {
+    records: Vec<Record>,
+    /// Epoch sampling state: a shuffled ordering of local records.
+    order: Vec<usize>,
+    cursor: usize,
+    rng: StdRng,
+    epoch_seed: u64,
+}
+
+impl Dimd {
+    /// **Partitioned load** (API i): member `group_rank` of a group of
+    /// `group_size` learners loads every `group_size`-th record, so the
+    /// group collectively owns the whole dataset. With `group_size == 1`
+    /// the learner holds everything (the "enough memory" extreme).
+    pub fn load_partition(
+        ds: &SynthImageNet,
+        group_rank: usize,
+        group_size: usize,
+        quality: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(group_size >= 1 && group_rank < group_size);
+        let idx: Vec<usize> =
+            (0..ds.train_len()).filter(|i| i % group_size == group_rank).collect();
+        let records: Vec<Record> = idx
+            .par_iter()
+            .map(|&i| {
+                (
+                    crate::codec::encode_image(&ds.train_image(i), quality),
+                    ds.train_label(i) as u32,
+                )
+            })
+            .collect();
+        Self::from_records(records, seed)
+    }
+
+    /// Wrap an existing record set (e.g. after deserializing a blob file).
+    pub fn from_records(records: Vec<Record>, seed: u64) -> Self {
+        let n = records.len();
+        let mut d = Dimd {
+            records,
+            order: (0..n).collect(),
+            cursor: 0,
+            rng: StdRng::seed_from_u64(seed),
+            epoch_seed: seed,
+        };
+        d.order.shuffle(&mut d.rng);
+        d
+    }
+
+    /// Number of locally held records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes of node memory the partition occupies (the y-axis annotation of
+    /// Figures 7–9).
+    pub fn memory_bytes(&self) -> usize {
+        self.records.iter().map(|(b, _)| b.len() + 16).sum()
+    }
+
+    /// **Random in-memory batch load** (API ii): decode `n` randomly
+    /// sampled records (without replacement within an epoch pass), apply the
+    /// paper's augmentation (random `crop²` crop + flip) and normalize.
+    /// Returns `([n, 3, crop, crop], labels)`.
+    pub fn random_batch(&mut self, n: usize, crop: usize) -> (Tensor, Vec<usize>) {
+        assert!(!self.records.is_empty(), "empty partition");
+        let mut picks = Vec::with_capacity(n);
+        for _ in 0..n {
+            if self.cursor >= self.order.len() {
+                self.order.shuffle(&mut self.rng);
+                self.cursor = 0;
+            }
+            picks.push(self.order[self.cursor]);
+            self.cursor += 1;
+        }
+        // Per-sample decode+augment in parallel ("donkey" threads).
+        let salt: u64 = self.epoch_seed.wrapping_add(self.cursor as u64);
+        let decoded: Vec<(Vec<f32>, usize)> = picks
+            .par_iter()
+            .enumerate()
+            .map(|(j, &i)| {
+                let (bytes, label) = &self.records[i];
+                let img = decode_image(bytes);
+                let mut rng = StdRng::seed_from_u64(salt ^ (j as u64) << 17 ^ *label as u64);
+                let img = img.random_crop_flip(crop, &mut rng);
+                (img.to_tensor(&IMAGENET_MEAN, &IMAGENET_STD).into_vec(), *label as usize)
+            })
+            .collect();
+        let mut data = Vec::with_capacity(n * 3 * crop * crop);
+        let mut labels = Vec::with_capacity(n);
+        for (img, label) in decoded {
+            data.extend_from_slice(&img);
+            labels.push(label);
+        }
+        (Tensor::from_vec(data, &[n, 3, crop, crop]), labels)
+    }
+
+    /// **Shuffle across learners** (API iii): Algorithm 2 over the ranks of
+    /// `comm` (pass a group sub-communicator for group-based shuffles).
+    pub fn shuffle(&mut self, comm: &Comm, round: u64, max_segment_bytes: usize) {
+        let records = std::mem::take(&mut self.records);
+        self.records = shuffle_records(comm, records, self.epoch_seed ^ round, max_segment_bytes);
+        self.order = (0..self.records.len()).collect();
+        self.order.shuffle(&mut self.rng);
+        self.cursor = 0;
+    }
+
+    /// Labels currently held (diagnostics / tests).
+    pub fn labels(&self) -> Vec<u32> {
+        self.records.iter().map(|(_, l)| *l).collect()
+    }
+}
+
+/// The in-memory validation set. The paper stores *two* blob files — "two
+/// large files for the training and validation data sets" (§4.1) — and the
+/// validation blob is small enough that every learner holds it whole.
+/// Evaluation uses the deterministic center-crop path, no augmentation.
+pub struct ValSet {
+    records: Vec<Record>,
+}
+
+impl ValSet {
+    /// Compress and load the full validation split.
+    pub fn load(ds: &SynthImageNet, quality: u8) -> Self {
+        let records: Vec<Record> = (0..ds.val_len())
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&i| {
+                (
+                    crate::codec::encode_image(&ds.val_image(i), quality),
+                    ds.val_label(i) as u32,
+                )
+            })
+            .collect();
+        ValSet { records }
+    }
+
+    /// Number of validation records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.records.iter().map(|(b, _)| b.len() + 16).sum()
+    }
+
+    /// Decode the given records as an evaluation batch:
+    /// `([len, 3, crop, crop], labels)` with center crops.
+    pub fn batch(&self, indices: &[usize], crop: usize) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty());
+        let decoded: Vec<(Vec<f32>, usize)> = indices
+            .par_iter()
+            .map(|&i| {
+                let (bytes, label) = &self.records[i];
+                let img = decode_image(bytes).center_crop(crop);
+                (img.to_tensor(&IMAGENET_MEAN, &IMAGENET_STD).into_vec(), *label as usize)
+            })
+            .collect();
+        let mut data = Vec::with_capacity(indices.len() * 3 * crop * crop);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (img, label) in decoded {
+            data.extend_from_slice(&img);
+            labels.push(label);
+        }
+        (Tensor::from_vec(data, &[indices.len(), 3, crop, crop]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+    use dcnn_collectives::run_cluster;
+
+    fn ds() -> SynthImageNet {
+        let mut cfg = SynthConfig::tiny(4);
+        cfg.train_per_class = 8;
+        SynthImageNet::new(cfg)
+    }
+
+    #[test]
+    fn partitions_cover_dataset_disjointly() {
+        let ds = ds();
+        let parts: Vec<Dimd> =
+            (0..4).map(|r| Dimd::load_partition(&ds, r, 4, 60, r as u64)).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, ds.train_len());
+        // Class coverage: strided partitioning interleaves classes.
+        for p in &parts {
+            let labels = p.labels();
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            assert!(distinct.len() >= 2, "partition should span classes");
+        }
+    }
+
+    #[test]
+    fn full_load_when_group_of_one() {
+        let ds = ds();
+        let d = Dimd::load_partition(&ds, 0, 1, 60, 0);
+        assert_eq!(d.len(), ds.train_len());
+        assert!(d.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn random_batch_shapes_and_determinism() {
+        let ds = ds();
+        let mut d1 = Dimd::load_partition(&ds, 0, 1, 60, 7);
+        let mut d2 = Dimd::load_partition(&ds, 0, 1, 60, 7);
+        let (t1, l1) = d1.random_batch(6, 24);
+        let (t2, l2) = d2.random_batch(6, 24);
+        assert_eq!(t1.shape(), &[6, 3, 24, 24]);
+        assert_eq!(l1.len(), 6);
+        assert_eq!(t1, t2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn epoch_pass_visits_everything_once() {
+        let ds = ds();
+        let mut d = Dimd::load_partition(&ds, 0, 1, 60, 3);
+        let n = d.len();
+        let mut seen = vec![0usize; 4];
+        // one full epoch in batches of 8
+        for _ in 0..n / 8 {
+            let (_, labels) = d.random_batch(8, 16);
+            for l in labels {
+                seen[l] += 1;
+            }
+        }
+        // Exactly 8 per class (8 per class in the dataset).
+        assert_eq!(seen, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn batches_vary_across_draws() {
+        let ds = ds();
+        let mut d = Dimd::load_partition(&ds, 0, 1, 60, 9);
+        let (t1, _) = d.random_batch(4, 16);
+        let (t2, _) = d.random_batch(4, 16);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn distributed_shuffle_keeps_global_census() {
+        let ds = ds();
+        let before: Vec<u32> = (0..ds.train_len()).map(|i| ds.train_label(i) as u32).collect();
+        let mut expect: Vec<u32> = before.clone();
+        expect.sort_unstable();
+        let after = run_cluster(4, |c| {
+            let mut d = Dimd::load_partition(&ds, c.rank(), 4, 60, 1);
+            d.shuffle(c, 0, crate::shuffle::MPI_COUNT_LIMIT);
+            d.labels()
+        });
+        let mut got: Vec<u32> = after.into_iter().flatten().collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn val_set_loads_and_batches() {
+        let ds = ds();
+        let vs = ValSet::load(&ds, 70);
+        assert_eq!(vs.len(), ds.val_len());
+        assert!(vs.memory_bytes() > 0);
+        let (t, labels) = vs.batch(&[0, 1, ds.val_len() - 1], 16);
+        assert_eq!(t.shape(), &[3, 3, 16, 16]);
+        assert_eq!(labels[0], ds.val_label(0));
+        assert_eq!(labels[2], ds.val_label(ds.val_len() - 1));
+    }
+
+    #[test]
+    fn val_batches_are_deterministic() {
+        let ds = ds();
+        let vs = ValSet::load(&ds, 70);
+        let (a, _) = vs.batch(&[2, 5], 16);
+        let (b, _) = vs.batch(&[2, 5], 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_resets_epoch_cursor() {
+        let ds = ds();
+        let out = run_cluster(2, |c| {
+            let mut d = Dimd::load_partition(&ds, c.rank(), 2, 60, 5);
+            let _ = d.random_batch(4, 16);
+            d.shuffle(c, 1, crate::shuffle::MPI_COUNT_LIMIT);
+            let (t, _) = d.random_batch(4, 16);
+            t.len()
+        });
+        assert!(out.iter().all(|&l| l == 4 * 3 * 16 * 16));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # dcnn-dpt — the Data-Parallel Table (paper §4.3)
+//!
+//! Torch's `DataParallelTable` schedules one training iteration across the
+//! GPUs of a node. The paper identifies three defects in the stock design
+//! (Figure 3) and fixes them (Figure 4):
+//!
+//! 1. the whole input batch is staged on GPU1 and then scattered (extra data
+//!    movement and memory on GPU1) → *optimized*: the host partitions the
+//!    batch and copies each shard directly to its GPU;
+//! 2. the criterion (loss) is evaluated only on GPU1 → *optimized*: every
+//!    GPU evaluates the criterion on its own shard;
+//! 3. Torch's thread "ending callbacks" serialize on the main Lua thread →
+//!    *optimized*: fewer serialization points.
+//!
+//! This crate provides both designs twice over:
+//!
+//! * [`exec`] — **real executors** over `dcnn-tensor` model replicas. Both
+//!   designs compute bit-comparable average gradients (verified by test),
+//!   demonstrating that the optimization is pure scheduling — exactly the
+//!   paper's claim that none of the optimizations affect accuracy (§5.4).
+//! * [`model`] — an **overhead timeline model** that prices each design's
+//!   data movement and serialization on the Minsky node model, feeding the
+//!   Figure 12 and Table 1 reproductions.
+
+pub mod exec;
+pub mod model;
+
+pub use exec::{DptExecutor, DptStrategy, IterOutput};
+pub use model::{iter_overhead_secs, DptOverheads, DptParams, DptVariant};

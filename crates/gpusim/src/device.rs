@@ -1,0 +1,246 @@
+//! Roofline device model.
+
+use dcnn_models::{LayerCost, LayerKind, ModelCensus};
+use serde::{Deserialize, Serialize};
+
+/// Forward or backward pass selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward pass.
+    Fwd,
+    /// Backward pass (data + weight gradients).
+    Bwd,
+}
+
+/// An accelerator's roofline parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name for reports.
+    pub name: String,
+    /// Peak fp32 throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Host↔device bandwidth per direction, bytes/s (NVLink on Minsky).
+    pub host_link_bw: f64,
+    /// Device memory capacity, bytes.
+    pub mem_capacity: f64,
+    /// Achievable fraction of peak for implicit-GEMM convolutions.
+    pub conv_eff: f64,
+    /// Achievable fraction of peak for dense GEMM.
+    pub gemm_eff: f64,
+    /// Fixed kernel-launch overhead per layer invocation, seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA P100 (SXM2) as in the paper: 10.6 TF fp32, 732 GB/s HBM2,
+    /// NVLink to the POWER8 host at ~32 GB/s per direction, 16 GB.
+    /// Efficiencies are typical cuDNN fractions of peak for these models.
+    pub fn p100() -> Self {
+        DeviceModel {
+            name: "P100".into(),
+            peak_flops: 10.6e12,
+            mem_bw: 732e9,
+            host_link_bw: 32e9,
+            mem_capacity: 16e9,
+            conv_eff: 0.50,
+            gemm_eff: 0.65,
+            launch_overhead: 8e-6,
+        }
+    }
+
+    /// Intel Xeon Phi 7250 "Knights Landing" (You et al., Table 2): ~6.1 TF
+    /// fp32, 400+ GB/s MCDRAM; no separate host link (self-hosted).
+    pub fn knl() -> Self {
+        DeviceModel {
+            name: "KNL".into(),
+            peak_flops: 6.1e12,
+            mem_bw: 430e9,
+            host_link_bw: f64::INFINITY,
+            mem_capacity: 16e9,
+            conv_eff: 0.35,
+            gemm_eff: 0.55,
+            launch_overhead: 4e-6,
+        }
+    }
+
+    /// Seconds one layer takes for a batch of `n`, roofline style.
+    pub fn layer_secs(&self, l: &LayerCost, n: usize, dir: Direction) -> f64 {
+        let flops = match dir {
+            Direction::Fwd => l.fwd_flops,
+            Direction::Bwd => l.bwd_flops,
+        } * n as f64;
+        let bytes = l.bytes_touched * n as f64 * if dir == Direction::Bwd { 2.0 } else { 1.0 };
+        let eff = match l.kind {
+            LayerKind::Conv => self.conv_eff,
+            LayerKind::Gemm => self.gemm_eff,
+            // Memory-bound kernels: give them full peak so the bytes term
+            // dominates, as on real hardware.
+            LayerKind::Norm | LayerKind::Pointwise | LayerKind::Pool => 1.0,
+        };
+        (flops / (self.peak_flops * eff)).max(bytes / self.mem_bw) + self.launch_overhead
+    }
+
+    /// Forward time of a whole model for batch `n`.
+    pub fn forward_secs(&self, census: &ModelCensus, n: usize) -> f64 {
+        census.layers.iter().map(|l| self.layer_secs(l, n, Direction::Fwd)).sum()
+    }
+
+    /// Backward time of a whole model for batch `n`.
+    pub fn backward_secs(&self, census: &ModelCensus, n: usize) -> f64 {
+        census.layers.iter().map(|l| self.layer_secs(l, n, Direction::Bwd)).sum()
+    }
+
+    /// Forward+backward time for batch `n` (one training step's compute).
+    pub fn train_step_secs(&self, census: &ModelCensus, n: usize) -> f64 {
+        self.forward_secs(census, n) + self.backward_secs(census, n)
+    }
+
+    /// Time to move `bytes` across the host link (one direction).
+    pub fn host_copy_secs(&self, bytes: f64) -> f64 {
+        bytes / self.host_link_bw
+    }
+
+    /// Images/second this device sustains in training (fwd+bwd).
+    pub fn train_throughput(&self, census: &ModelCensus, n: usize) -> f64 {
+        n as f64 / self.train_step_secs(census, n)
+    }
+
+    /// Device-memory footprint of training with batch `n`: weights +
+    /// gradients + momentum (3× params), every layer's stored forward
+    /// activation (the census counts conv/BN/ReLU outputs separately, which
+    /// is what non-in-place Torch materializes), a ~20% allowance for
+    /// gradient buffers (shared/recycled, à la fb.resnet.torch's optnet),
+    /// and a cuDNN-style workspace reserve.
+    pub fn train_memory_bytes(&self, census: &ModelCensus, n: usize) -> f64 {
+        let params = census.payload_bytes() * 3.0;
+        let acts = census.activation_bytes() * n as f64 * 1.2;
+        let workspace = 512e6;
+        params + acts + workspace
+    }
+
+    /// Whether a training batch of `n` fits in device memory.
+    pub fn fits_batch(&self, census: &ModelCensus, n: usize) -> bool {
+        self.train_memory_bytes(census, n) <= self.mem_capacity
+    }
+
+    /// Largest batch that fits in device memory (0 if even batch 1 doesn't).
+    pub fn max_batch(&self, census: &ModelCensus) -> usize {
+        let mut lo = 0usize;
+        let mut hi = 4096usize;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.fits_batch(census, mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_models::{googlenet_bn, resnet50};
+
+    #[test]
+    fn p100_resnet50_throughput_plausible() {
+        // Published fb.resnet-style ResNet-50 training throughput on one
+        // P100 is roughly 150–260 img/s. The model should land in range.
+        let dev = DeviceModel::p100();
+        let census = resnet50();
+        let ips = dev.train_throughput(&census, 32);
+        assert!(
+            (120.0..=320.0).contains(&ips),
+            "ResNet-50 on P100: {ips:.0} img/s"
+        );
+    }
+
+    #[test]
+    fn googlenet_faster_than_resnet() {
+        // GoogLeNet-BN has about half the FLOPs of ResNet-50; Table 1 shows
+        // its epochs running ~2× faster.
+        let dev = DeviceModel::p100();
+        let g = dev.train_throughput(&googlenet_bn(), 32);
+        let r = dev.train_throughput(&resnet50(), 32);
+        assert!(g > 1.4 * r, "googlenet {g:.0} vs resnet {r:.0} img/s");
+    }
+
+    #[test]
+    fn bigger_batches_amortize_launch_overhead() {
+        let dev = DeviceModel::p100();
+        let census = resnet50();
+        let t1 = dev.train_throughput(&census, 1);
+        let t32 = dev.train_throughput(&census, 32);
+        assert!(t32 > t1, "batch-32 {t32} should beat batch-1 {t1} img/s");
+    }
+
+    #[test]
+    fn knl_slower_than_p100() {
+        let census = resnet50();
+        let p = DeviceModel::p100().train_throughput(&census, 32);
+        let k = DeviceModel::knl().train_throughput(&census, 32);
+        assert!(k < p, "KNL {k} vs P100 {p}");
+    }
+
+    #[test]
+    fn memory_bound_layers_use_bandwidth() {
+        let dev = DeviceModel::p100();
+        let bn = LayerCost {
+            name: "bn".into(),
+            kind: LayerKind::Norm,
+            params: 128,
+            fwd_flops: 1e6,
+            bwd_flops: 1.5e6,
+            bytes_touched: 732e6, // exactly 1 ms at P100 bandwidth
+            activation: 0,
+        };
+        let t = dev.layer_secs(&bn, 1, Direction::Fwd);
+        assert!((t - 1e-3 - dev.launch_overhead).abs() < 1e-9, "t {t}");
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let dev = DeviceModel::p100();
+        let census = resnet50();
+        assert!(dev.backward_secs(&census, 16) > dev.forward_secs(&census, 16));
+    }
+
+    #[test]
+    fn paper_batch_sizes_fit_p100_memory() {
+        // §5 uses 64 images/GPU for the node-count experiments and 32/GPU
+        // for the 256-GPU record run; both must fit a 16 GB P100 for
+        // ResNet-50, and the maximum should be in a plausible range (real
+        // fb.resnet.torch fits batch ~96–128 on 16 GB).
+        let dev = DeviceModel::p100();
+        let census = resnet50();
+        assert!(dev.fits_batch(&census, 32));
+        assert!(dev.fits_batch(&census, 64));
+        let max = dev.max_batch(&census);
+        assert!((64..=256).contains(&max), "max batch {max}");
+        assert!(!dev.fits_batch(&census, max + 1));
+    }
+
+    #[test]
+    fn memory_scales_with_batch() {
+        let dev = DeviceModel::p100();
+        let census = googlenet_bn();
+        let m32 = dev.train_memory_bytes(&census, 32);
+        let m64 = dev.train_memory_bytes(&census, 64);
+        assert!(m64 > m32);
+        // Fixed overhead means it is affine, not proportional.
+        assert!(m64 < 2.0 * m32);
+    }
+
+    #[test]
+    fn host_copy_time() {
+        let dev = DeviceModel::p100();
+        // A 64-image 224² fp32 batch is ~38.5 MB; ~1.2 ms over NVLink.
+        let bytes = 64.0 * 3.0 * 224.0 * 224.0 * 4.0;
+        let t = dev.host_copy_secs(bytes);
+        assert!((1e-3..3e-3).contains(&t), "copy {t}");
+    }
+}

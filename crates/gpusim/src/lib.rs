@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # dcnn-gpusim — analytic accelerator and node performance models
+//!
+//! The paper's timing numbers come from NVIDIA P100 GPUs inside POWER8
+//! "Minsky" nodes. We substitute an analytic *roofline* model: each layer
+//! runs at `max(flops / (peak · efficiency(kind)), bytes / memory_bandwidth)`
+//! — compute-bound kernels (convolutions, GEMM) are limited by utilization-
+//! discounted peak FLOP/s, memory-bound kernels (BN, ReLU, pooling) by HBM2
+//! bandwidth. Per-layer costs come from `dcnn-models`' census, so the timing
+//! model and the trainable model describe the same network.
+//!
+//! Presets: [`DeviceModel::p100`] (the paper's GPU), [`DeviceModel::knl`]
+//! (the Intel Knights Landing system of You et al., the paper's Table 2
+//! comparator), and [`NodeModel::minsky`] (the paper's node).
+
+pub mod device;
+pub mod node;
+
+pub use device::{DeviceModel, Direction};
+pub use node::NodeModel;

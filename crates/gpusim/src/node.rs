@@ -1,0 +1,127 @@
+//! Node-level model: host CPU, memory, attached GPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceModel;
+
+/// A compute node ("learner" in the paper's terminology).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeModel {
+    /// Node name for reports.
+    pub name: String,
+    /// GPUs per node (m in Algorithm 1).
+    pub gpus: usize,
+    /// The GPU model.
+    pub device: DeviceModel,
+    /// Host cores available to data loading ("donkey" threads in Torch).
+    pub cores: usize,
+    /// Host memory, bytes (256 GB on Minsky — what DIMD partitions live in).
+    pub host_mem: f64,
+    /// Host JPEG-decode throughput per core, bytes of *compressed* input/s.
+    pub decode_bw_per_core: f64,
+    /// Host-side memcpy/summation bandwidth, bytes/s (used for the
+    /// intra-node gradient reduction the paper performs before MPI).
+    pub host_reduce_bw: f64,
+}
+
+impl NodeModel {
+    /// The paper's POWER8 Minsky node: 20 cores, 256 GB, 4× P100.
+    pub fn minsky() -> Self {
+        NodeModel {
+            name: "Minsky".into(),
+            gpus: 4,
+            device: DeviceModel::p100(),
+            cores: 20,
+            host_mem: 256e9,
+            decode_bw_per_core: 60e6,
+            host_reduce_bw: 20e9,
+        }
+    }
+
+    /// You et al.'s KNL node (self-hosted: 1 "GPU" = the KNL itself).
+    pub fn knl_node() -> Self {
+        NodeModel {
+            name: "KNL".into(),
+            gpus: 1,
+            device: DeviceModel::knl(),
+            cores: 68,
+            host_mem: 96e9,
+            decode_bw_per_core: 40e6,
+            host_reduce_bw: 15e9,
+        }
+    }
+
+    /// Aggregate decode throughput with `threads` donkey threads (capped at
+    /// the core count).
+    pub fn decode_bw(&self, threads: usize) -> f64 {
+        self.decode_bw_per_core * threads.min(self.cores) as f64
+    }
+
+    /// Seconds for the intra-node gradient summation of `bytes` across the
+    /// node's GPUs (tree reduction over the host: ⌈log₂ m⌉ passes).
+    pub fn intra_node_reduce_secs(&self, bytes: f64) -> f64 {
+        if self.gpus <= 1 {
+            return 0.0;
+        }
+        let rounds = (self.gpus as f64).log2().ceil();
+        // Each round moves the payload over the host link and sums it.
+        rounds * (bytes / self.device.host_link_bw + bytes / self.host_reduce_bw)
+    }
+
+    /// Seconds to broadcast updated gradients back to all GPUs (paper
+    /// Algorithm 1's final broadcast step).
+    pub fn intra_node_bcast_secs(&self, bytes: f64) -> f64 {
+        if self.gpus <= 1 {
+            return 0.0;
+        }
+        // All GPUs pull concurrently over their own links; host egress is
+        // the bottleneck only if shared — Minsky gives each GPU its own
+        // NVLink brick, so one transfer time suffices.
+        bytes / self.device.host_link_bw
+    }
+
+    /// Whether a dataset partition of `bytes` fits in host memory alongside
+    /// a working-set reserve.
+    pub fn fits_in_memory(&self, bytes: f64) -> bool {
+        bytes <= self.host_mem * 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minsky_preset() {
+        let n = NodeModel::minsky();
+        assert_eq!(n.gpus, 4);
+        assert_eq!(n.cores, 20);
+        assert!(n.fits_in_memory(74e9)); // ImageNet-1k DIMD blob
+        assert!(!n.fits_in_memory(300e9)); // ImageNet-22k needs partitioning
+    }
+
+    #[test]
+    fn decode_scales_with_threads_then_caps() {
+        let n = NodeModel::minsky();
+        assert_eq!(n.decode_bw(2), 2.0 * n.decode_bw_per_core);
+        assert_eq!(n.decode_bw(100), 20.0 * n.decode_bw_per_core);
+    }
+
+    #[test]
+    fn intra_node_reduce_grows_with_payload() {
+        let n = NodeModel::minsky();
+        let t1 = n.intra_node_reduce_secs(93e6);
+        let t2 = n.intra_node_reduce_secs(186e6);
+        assert!(t1 > 0.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // 93 MB over 2 rounds of (NVLink + host sum) ≈ 15 ms.
+        assert!((0.005..0.05).contains(&t1), "reduce {t1}");
+    }
+
+    #[test]
+    fn single_gpu_node_has_no_reduction() {
+        let n = NodeModel::knl_node();
+        assert_eq!(n.intra_node_reduce_secs(1e9), 0.0);
+        assert_eq!(n.intra_node_bcast_secs(1e9), 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Architecture specifications interpreted as modules or as cost censuses.
+
+use dcnn_tensor::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Module, ReLU,
+};
+use dcnn_tensor::nn::{Concat, Residual, Sequential};
+
+use crate::census::{LayerCost, LayerKind, ModelCensus};
+
+/// A declarative network description. `[C, H, W]` shapes flow through it.
+#[derive(Debug, Clone)]
+pub enum Arch {
+    /// Convolution (square kernel). `bias` is false when a BN follows.
+    Conv {
+        /// Output channels.
+        out_c: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Include a bias term.
+        bias: bool,
+    },
+    /// Batch normalization over the current channel count.
+    Bn,
+    /// ReLU activation.
+    Relu,
+    /// Max pooling.
+    MaxPool {
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Global average pooling to `[C]`.
+    Gap,
+    /// Flatten `[C, H, W]` → `[C·H·W]` (AlexNet/VGG classifier heads).
+    Flatten,
+    /// Fully connected classifier (input must be post-GAP or post-Flatten).
+    Fc {
+        /// Output features (class count).
+        out: usize,
+    },
+    /// Sub-networks in sequence.
+    Seq(Vec<Arch>),
+    /// `ReLU(main(x) + shortcut(x))`; `None` shortcut = identity.
+    ResidualBlock {
+        /// Main path.
+        main: Box<Arch>,
+        /// Projection shortcut, if the main path changes shape.
+        shortcut: Option<Box<Arch>>,
+    },
+    /// Parallel branches concatenated along channels (inception module).
+    Inception(Vec<Arch>),
+}
+
+impl Arch {
+    /// Build a trainable module. `shape` is `[C, H, W]` on input and is
+    /// updated to the output shape; `seed` provides deterministic per-layer
+    /// initialization seeds (incremented per parameterized layer).
+    pub fn build(&self, shape: &mut [usize; 3], seed: &mut u64) -> Box<dyn Module> {
+        match self {
+            Arch::Conv { out_c, kernel, stride, pad, bias } => {
+                let conv = Conv2d::new(shape[0], *out_c, *kernel, *stride, *pad, *bias, *seed);
+                *seed += 1;
+                shape[0] = *out_c;
+                shape[1] = dcnn_tensor::im2col::out_dim(shape[1], *kernel, *stride, *pad);
+                shape[2] = dcnn_tensor::im2col::out_dim(shape[2], *kernel, *stride, *pad);
+                Box::new(conv)
+            }
+            Arch::Bn => Box::new(BatchNorm2d::new(shape[0])),
+            Arch::Relu => Box::new(ReLU::new()),
+            Arch::MaxPool { kernel, stride, pad } => {
+                shape[1] = dcnn_tensor::im2col::out_dim(shape[1], *kernel, *stride, *pad);
+                shape[2] = dcnn_tensor::im2col::out_dim(shape[2], *kernel, *stride, *pad);
+                Box::new(MaxPool2d::new(*kernel, *stride, *pad))
+            }
+            Arch::AvgPool { kernel, stride, pad } => {
+                shape[1] = dcnn_tensor::im2col::out_dim(shape[1], *kernel, *stride, *pad);
+                shape[2] = dcnn_tensor::im2col::out_dim(shape[2], *kernel, *stride, *pad);
+                Box::new(AvgPool2d::new(*kernel, *stride, *pad))
+            }
+            Arch::Gap => {
+                shape[1] = 1;
+                shape[2] = 1;
+                Box::new(GlobalAvgPool::new())
+            }
+            Arch::Flatten => {
+                shape[0] *= shape[1] * shape[2];
+                shape[1] = 1;
+                shape[2] = 1;
+                Box::new(dcnn_tensor::layers::Flatten::new())
+            }
+            Arch::Fc { out } => {
+                assert_eq!(shape[1] * shape[2], 1, "Fc expects post-GAP input");
+                let fc = Linear::new(shape[0], *out, *seed);
+                *seed += 1;
+                shape[0] = *out;
+                Box::new(fc)
+            }
+            Arch::Seq(nodes) => {
+                let mut s = Sequential::new();
+                for n in nodes {
+                    s = s.push_boxed(n.build(shape, seed));
+                }
+                Box::new(s)
+            }
+            Arch::ResidualBlock { main, shortcut } => {
+                let in_shape = *shape;
+                let main_mod = Sequential::new().push_boxed(main.build(shape, seed));
+                let out_shape = *shape;
+                match shortcut {
+                    None => {
+                        assert_eq!(in_shape, out_shape, "identity shortcut needs same shape");
+                        Box::new(Residual::new(main_mod))
+                    }
+                    Some(sc) => {
+                        let mut sc_shape = in_shape;
+                        let sc_mod = Sequential::new().push_boxed(sc.build(&mut sc_shape, seed));
+                        assert_eq!(sc_shape, out_shape, "shortcut output shape mismatch");
+                        Box::new(Residual::with_shortcut(main_mod, sc_mod))
+                    }
+                }
+            }
+            Arch::Inception(branches) => {
+                let in_shape = *shape;
+                let mut outs = Vec::with_capacity(branches.len());
+                let mut built = Vec::with_capacity(branches.len());
+                for b in branches {
+                    let mut bs = in_shape;
+                    built.push(Sequential::new().push_boxed(b.build(&mut bs, seed)));
+                    outs.push(bs);
+                }
+                for o in &outs {
+                    assert_eq!(o[1], outs[0][1], "inception branch heights must match");
+                    assert_eq!(o[2], outs[0][2], "inception branch widths must match");
+                }
+                shape[0] = outs.iter().map(|o| o[0]).sum();
+                shape[1] = outs[0][1];
+                shape[2] = outs[0][2];
+                Box::new(Concat::new(built))
+            }
+        }
+    }
+
+    /// Append this node's layer costs; mirrors [`Arch::build`]'s shape flow.
+    pub fn census_into(&self, shape: &mut [usize; 3], prefix: &str, out: &mut Vec<LayerCost>) {
+        let elems = |s: &[usize; 3]| s[0] * s[1] * s[2];
+        match self {
+            Arch::Conv { out_c, kernel, stride, pad, bias } => {
+                let in_c = shape[0];
+                let oh = dcnn_tensor::im2col::out_dim(shape[1], *kernel, *stride, *pad);
+                let ow = dcnn_tensor::im2col::out_dim(shape[2], *kernel, *stride, *pad);
+                let params = out_c * in_c * kernel * kernel + if *bias { *out_c } else { 0 };
+                let fwd = 2.0 * (kernel * kernel * in_c * out_c) as f64 * (oh * ow) as f64;
+                let act = out_c * oh * ow;
+                out.push(LayerCost {
+                    name: format!("{prefix}conv{kernel}x{kernel}/{out_c}"),
+                    kind: LayerKind::Conv,
+                    params,
+                    fwd_flops: fwd,
+                    bwd_flops: 2.0 * fwd,
+                    bytes_touched: (elems(shape) + act + params) as f64 * 4.0,
+                    activation: act,
+                });
+                shape[0] = *out_c;
+                shape[1] = oh;
+                shape[2] = ow;
+            }
+            Arch::Bn => {
+                let n = elems(shape) as f64;
+                out.push(LayerCost {
+                    name: format!("{prefix}bn/{}", shape[0]),
+                    kind: LayerKind::Norm,
+                    params: 2 * shape[0],
+                    fwd_flops: 8.0 * n,
+                    bwd_flops: 12.0 * n,
+                    bytes_touched: 16.0 * n,
+                    activation: elems(shape),
+                });
+            }
+            Arch::Relu => {
+                let n = elems(shape) as f64;
+                out.push(LayerCost {
+                    name: format!("{prefix}relu"),
+                    kind: LayerKind::Pointwise,
+                    params: 0,
+                    fwd_flops: n,
+                    bwd_flops: n,
+                    bytes_touched: 8.0 * n,
+                    activation: elems(shape),
+                });
+            }
+            Arch::MaxPool { kernel, stride, pad } | Arch::AvgPool { kernel, stride, pad } => {
+                let oh = dcnn_tensor::im2col::out_dim(shape[1], *kernel, *stride, *pad);
+                let ow = dcnn_tensor::im2col::out_dim(shape[2], *kernel, *stride, *pad);
+                let act = shape[0] * oh * ow;
+                let name = if matches!(self, Arch::MaxPool { .. }) { "maxpool" } else { "avgpool" };
+                out.push(LayerCost {
+                    name: format!("{prefix}{name}{kernel}x{kernel}"),
+                    kind: LayerKind::Pool,
+                    params: 0,
+                    fwd_flops: (kernel * kernel) as f64 * act as f64,
+                    bwd_flops: act as f64,
+                    bytes_touched: (elems(shape) + act) as f64 * 4.0,
+                    activation: act,
+                });
+                shape[1] = oh;
+                shape[2] = ow;
+            }
+            Arch::Gap => {
+                let n = elems(shape) as f64;
+                out.push(LayerCost {
+                    name: format!("{prefix}gap"),
+                    kind: LayerKind::Pool,
+                    params: 0,
+                    fwd_flops: n,
+                    bwd_flops: n,
+                    bytes_touched: 4.0 * n,
+                    activation: shape[0],
+                });
+                shape[1] = 1;
+                shape[2] = 1;
+            }
+            Arch::Flatten => {
+                // Pure reshape: free at runtime, no census entry needed.
+                shape[0] *= shape[1] * shape[2];
+                shape[1] = 1;
+                shape[2] = 1;
+            }
+            Arch::Fc { out: classes } => {
+                let in_f = shape[0];
+                let fwd = 2.0 * (in_f * classes) as f64;
+                out.push(LayerCost {
+                    name: format!("{prefix}fc/{classes}"),
+                    kind: LayerKind::Gemm,
+                    params: in_f * classes + classes,
+                    fwd_flops: fwd,
+                    bwd_flops: 2.0 * fwd,
+                    bytes_touched: (in_f + classes) as f64 * 4.0,
+                    activation: *classes,
+                });
+                shape[0] = *classes;
+            }
+            Arch::Seq(nodes) => {
+                for n in nodes {
+                    n.census_into(shape, prefix, out);
+                }
+            }
+            Arch::ResidualBlock { main, shortcut } => {
+                let in_shape = *shape;
+                main.census_into(shape, &format!("{prefix}res."), out);
+                if let Some(sc) = shortcut {
+                    let mut sc_shape = in_shape;
+                    sc.census_into(&mut sc_shape, &format!("{prefix}res.sc."), out);
+                }
+                // Elementwise add + ReLU on the block output.
+                let n = elems(shape) as f64;
+                out.push(LayerCost {
+                    name: format!("{prefix}res.add_relu"),
+                    kind: LayerKind::Pointwise,
+                    params: 0,
+                    fwd_flops: 2.0 * n,
+                    bwd_flops: 2.0 * n,
+                    bytes_touched: 12.0 * n,
+                    activation: elems(shape),
+                });
+            }
+            Arch::Inception(branches) => {
+                let in_shape = *shape;
+                let mut total_c = 0;
+                let mut hw = (0, 0);
+                for (i, b) in branches.iter().enumerate() {
+                    let mut bs = in_shape;
+                    b.census_into(&mut bs, &format!("{prefix}b{i}."), out);
+                    total_c += bs[0];
+                    hw = (bs[1], bs[2]);
+                }
+                shape[0] = total_c;
+                shape[1] = hw.0;
+                shape[2] = hw.1;
+            }
+        }
+    }
+
+    /// Produce the complete census for an input of `[c, h, w]`.
+    pub fn census(&self, name: &str, input: [usize; 3], classes: usize) -> ModelCensus {
+        let mut shape = input;
+        let mut layers = Vec::new();
+        self.census_into(&mut shape, "", &mut layers);
+        ModelCensus { name: name.to_string(), input, classes, layers }
+    }
+
+    /// Convenience: conv → BN → ReLU, the unit both paper models are made of.
+    pub fn conv_bn_relu(out_c: usize, kernel: usize, stride: usize, pad: usize) -> Arch {
+        Arch::Seq(vec![
+            Arch::Conv { out_c, kernel, stride, pad, bias: false },
+            Arch::Bn,
+            Arch::Relu,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_tensor::layers::param_count;
+    use dcnn_tensor::Tensor;
+
+    fn toy() -> Arch {
+        Arch::Seq(vec![
+            Arch::conv_bn_relu(8, 3, 1, 1),
+            Arch::MaxPool { kernel: 2, stride: 2, pad: 0 },
+            Arch::ResidualBlock {
+                main: Box::new(Arch::Seq(vec![
+                    Arch::Conv { out_c: 8, kernel: 3, stride: 1, pad: 1, bias: false },
+                    Arch::Bn,
+                ])),
+                shortcut: None,
+            },
+            Arch::Gap,
+            Arch::Fc { out: 10 },
+        ])
+    }
+
+    #[test]
+    fn build_and_census_agree_on_params() {
+        let arch = toy();
+        let mut shape = [3usize, 16, 16];
+        let mut seed = 0u64;
+        let mut m = arch.build(&mut shape, &mut seed);
+        let census = arch.census("toy", [3, 16, 16], 10);
+        assert_eq!(param_count(m.as_mut()), census.param_count());
+        assert_eq!(shape, [10, 1, 1]);
+    }
+
+    #[test]
+    fn built_model_runs_forward_backward() {
+        let arch = toy();
+        let mut shape = [3usize, 16, 16];
+        let mut seed = 3u64;
+        let mut m = arch.build(&mut shape, &mut seed);
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, 1);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = m.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn inception_concat_shapes() {
+        let arch = Arch::Inception(vec![
+            Arch::conv_bn_relu(4, 1, 1, 0),
+            Arch::Seq(vec![Arch::conv_bn_relu(2, 1, 1, 0), Arch::conv_bn_relu(6, 3, 1, 1)]),
+            Arch::Seq(vec![
+                Arch::MaxPool { kernel: 3, stride: 1, pad: 1 },
+                Arch::conv_bn_relu(2, 1, 1, 0),
+            ]),
+        ]);
+        let mut shape = [8usize, 10, 10];
+        let mut seed = 0;
+        let mut m = arch.build(&mut shape, &mut seed);
+        assert_eq!(shape, [12, 10, 10]);
+        let y = m.forward(&Tensor::randn(&[1, 8, 10, 10], 1.0, 2), true);
+        assert_eq!(y.shape(), &[1, 12, 10, 10]);
+        // Census agrees.
+        let census = arch.census("inc", [8, 10, 10], 0);
+        let mut m2 = m;
+        assert_eq!(param_count(m2.as_mut()), census.param_count());
+    }
+
+    #[test]
+    fn census_conv_flops_formula() {
+        let arch = Arch::Conv { out_c: 64, kernel: 7, stride: 2, pad: 3, bias: false };
+        let c = arch.census("stem", [3, 224, 224], 0);
+        // 2 · 7·7·3·64 · 112·112
+        let expect = 2.0 * 49.0 * 3.0 * 64.0 * 112.0 * 112.0;
+        assert_eq!(c.layers[0].fwd_flops, expect);
+        assert_eq!(c.layers[0].params, 64 * 3 * 49);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let arch = toy();
+        let build = || {
+            let mut shape = [3usize, 16, 16];
+            let mut seed = 7u64;
+            let mut m = arch.build(&mut shape, &mut seed);
+            dcnn_tensor::layers::collect_params(m.as_mut())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic]
+    fn fc_before_gap_panics() {
+        let arch = Arch::Fc { out: 10 };
+        let mut shape = [4usize, 2, 2];
+        let mut seed = 0;
+        let _ = arch.build(&mut shape, &mut seed);
+    }
+}

@@ -1,0 +1,138 @@
+//! Analytic per-layer cost census.
+//!
+//! The paper times training on P100 GPUs; our device model (`dcnn-gpusim`)
+//! needs to know, per layer: how many FLOPs the forward and backward kernels
+//! execute, how many bytes memory-bound kernels touch, and how large
+//! parameters and activations are. This module is the schema those numbers
+//! flow through.
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel class, which determines the efficiency curve the device model
+/// applies (convolutions and GEMMs run near peak; normalization, activation
+/// and pooling kernels are memory-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Implicit-GEMM convolution.
+    Conv,
+    /// Dense matrix multiply (classifier head).
+    Gemm,
+    /// Batch normalization.
+    Norm,
+    /// Elementwise (ReLU, residual add).
+    Pointwise,
+    /// Pooling.
+    Pool,
+}
+
+/// Cost of one layer, per input sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Human-readable layer name (e.g. `conv3_2/3x3`).
+    pub name: String,
+    /// Kernel class.
+    pub kind: LayerKind,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Forward FLOPs per sample (multiply-accumulate = 2 FLOPs).
+    pub fwd_flops: f64,
+    /// Backward FLOPs per sample (data + weight gradients).
+    pub bwd_flops: f64,
+    /// Bytes read+written per sample by memory-bound kernels (forward).
+    pub bytes_touched: f64,
+    /// Output activation element count per sample.
+    pub activation: usize,
+}
+
+/// The full per-layer census of a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCensus {
+    /// Model name (`resnet50`, `googlenet-bn`, …).
+    pub name: String,
+    /// Input shape `[C, H, W]`.
+    pub input: [usize; 3],
+    /// Number of classes.
+    pub classes: usize,
+    /// Layers in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ModelCensus {
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Gradient payload in bytes (f32) — what `MPI_Allreduce` moves each
+    /// iteration (§5.1 quotes 93 MB for GoogLeNet-BN).
+    pub fn payload_bytes(&self) -> f64 {
+        self.param_count() as f64 * 4.0
+    }
+
+    /// Forward FLOPs for a batch of `n` samples.
+    pub fn fwd_flops(&self, n: usize) -> f64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum::<f64>() * n as f64
+    }
+
+    /// Backward FLOPs for a batch of `n` samples.
+    pub fn bwd_flops(&self, n: usize) -> f64 {
+        self.layers.iter().map(|l| l.bwd_flops).sum::<f64>() * n as f64
+    }
+
+    /// Forward+backward FLOPs for a batch of `n` samples.
+    pub fn train_flops(&self, n: usize) -> f64 {
+        self.fwd_flops(n) + self.bwd_flops(n)
+    }
+
+    /// Total activation bytes per sample (what must fit in device memory
+    /// alongside weights, and what the baseline data-parallel table moves
+    /// through GPU1).
+    pub fn activation_bytes(&self) -> f64 {
+        self.layers.iter().map(|l| l.activation as f64).sum::<f64>() * 4.0
+    }
+
+    /// Bytes touched per sample by memory-bound kernels.
+    pub fn bytes_touched(&self) -> f64 {
+        self.layers.iter().map(|l| l.bytes_touched).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(params: usize, fwd: f64) -> LayerCost {
+        LayerCost {
+            name: "l".into(),
+            kind: LayerKind::Conv,
+            params,
+            fwd_flops: fwd,
+            bwd_flops: 2.0 * fwd,
+            bytes_touched: 0.0,
+            activation: 10,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let c = ModelCensus {
+            name: "toy".into(),
+            input: [3, 8, 8],
+            classes: 10,
+            layers: vec![layer(100, 1e6), layer(50, 2e6)],
+        };
+        assert_eq!(c.param_count(), 150);
+        assert_eq!(c.payload_bytes(), 600.0);
+        assert_eq!(c.fwd_flops(4), 12e6);
+        assert_eq!(c.bwd_flops(1), 6e6);
+        assert_eq!(c.train_flops(1), 9e6);
+        assert_eq!(c.activation_bytes(), 80.0);
+    }
+
+    #[test]
+    fn serializes() {
+        let c = ModelCensus { name: "t".into(), input: [1, 1, 1], classes: 2, layers: vec![] };
+        let s = serde_json::to_string(&c).expect("serializable");
+        assert!(s.contains("\"classes\":2"));
+    }
+}

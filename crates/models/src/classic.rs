@@ -1,0 +1,176 @@
+//! AlexNet and VGG-16 — the networks the paper's introduction motivates
+//! ("the image classification challenge has resulted in the development of
+//! several deep neural networks such as AlexNet, GoogleNet, VGG, Resnet…")
+//! and the workload of You et al.'s AlexNet record cited in §5.5. Provided
+//! as census sources for what-if projections with the epoch-time model; the
+//! `Arch` spec builds them as trainable modules too.
+//!
+//! Simplifications: AlexNet's local response normalization is omitted (it is
+//! cost-negligible and accuracy-irrelevant at census level) and dropout is
+//! an identity for cost purposes.
+
+use crate::arch::Arch;
+use crate::census::ModelCensus;
+
+/// AlexNet (single-tower variant, as commonly reimplemented).
+pub fn alexnet_arch(classes: usize) -> Arch {
+    Arch::Seq(vec![
+        Arch::Conv { out_c: 64, kernel: 11, stride: 4, pad: 2, bias: true },
+        Arch::Relu,
+        Arch::MaxPool { kernel: 3, stride: 2, pad: 0 },
+        Arch::Conv { out_c: 192, kernel: 5, stride: 1, pad: 2, bias: true },
+        Arch::Relu,
+        Arch::MaxPool { kernel: 3, stride: 2, pad: 0 },
+        Arch::Conv { out_c: 384, kernel: 3, stride: 1, pad: 1, bias: true },
+        Arch::Relu,
+        Arch::Conv { out_c: 256, kernel: 3, stride: 1, pad: 1, bias: true },
+        Arch::Relu,
+        Arch::Conv { out_c: 256, kernel: 3, stride: 1, pad: 1, bias: true },
+        Arch::Relu,
+        Arch::MaxPool { kernel: 3, stride: 2, pad: 0 },
+        Arch::Flatten,
+        Arch::Fc { out: 4096 },
+        Arch::Relu,
+        Arch::Fc { out: 4096 },
+        Arch::Relu,
+        Arch::Fc { out: classes },
+    ])
+}
+
+/// AlexNet census at 224×224 (the 227 vs 224 input convention differs by one
+/// border pixel; 224 with pad 2 gives the canonical 55→27→13→6 feature maps).
+pub fn alexnet() -> ModelCensus {
+    alexnet_arch(1000).census("alexnet", [3, 224, 224], 1000)
+}
+
+/// VGG-16 (configuration D).
+pub fn vgg16_arch(classes: usize) -> Arch {
+    let mut nodes = Vec::new();
+    let push_block = |convs: usize, out_c: usize, nodes: &mut Vec<Arch>| {
+        for _ in 0..convs {
+            nodes.push(Arch::Conv { out_c, kernel: 3, stride: 1, pad: 1, bias: true });
+            nodes.push(Arch::Relu);
+        }
+        nodes.push(Arch::MaxPool { kernel: 2, stride: 2, pad: 0 });
+    };
+    push_block(2, 64, &mut nodes);
+    push_block(2, 128, &mut nodes);
+    push_block(3, 256, &mut nodes);
+    push_block(3, 512, &mut nodes);
+    push_block(3, 512, &mut nodes);
+    nodes.push(Arch::Flatten);
+    nodes.push(Arch::Fc { out: 4096 });
+    nodes.push(Arch::Relu);
+    nodes.push(Arch::Fc { out: 4096 });
+    nodes.push(Arch::Relu);
+    nodes.push(Arch::Fc { out: classes });
+    Arch::Seq(nodes)
+}
+
+/// VGG-16 census at 224×224.
+pub fn vgg16() -> ModelCensus {
+    vgg16_arch(1000).census("vgg16", [3, 224, 224], 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_tensor::layers::param_count;
+    use dcnn_tensor::Tensor;
+
+    #[test]
+    fn alexnet_parameter_count() {
+        // Canonical single-tower AlexNet: ~61M parameters.
+        let p = alexnet().param_count();
+        assert!((57_000_000..=63_000_000).contains(&p), "AlexNet params {p}");
+    }
+
+    #[test]
+    fn vgg16_parameter_count() {
+        // Canonical VGG-16: 138.36M parameters.
+        let p = vgg16().param_count();
+        assert!((137_000_000..=140_000_000).contains(&p), "VGG-16 params {p}");
+    }
+
+    #[test]
+    fn vgg16_flops() {
+        // VGG-16 forward ≈ 15.5 GMACs = 31 GFLOPs at 224².
+        let gf = vgg16().fwd_flops(1) / 1e9;
+        assert!((29.0..=33.0).contains(&gf), "VGG-16 fwd {gf} GFLOPs");
+    }
+
+    #[test]
+    fn alexnet_feature_map_progression() {
+        // Conv stack output before the classifier is 256×6×6 = 9216.
+        let c = alexnet();
+        let fc1 = c.layers.iter().find(|l| l.name.contains("fc/4096")).expect("fc");
+        assert_eq!(fc1.params, 9216 * 4096 + 4096);
+    }
+
+    #[test]
+    fn tiny_alexnet_builds_and_backprops() {
+        // The same arch scaled to a small input still trains.
+        let arch = Arch::Seq(vec![
+            Arch::Conv { out_c: 8, kernel: 3, stride: 1, pad: 1, bias: true },
+            Arch::Relu,
+            Arch::MaxPool { kernel: 2, stride: 2, pad: 0 },
+            Arch::Flatten,
+            Arch::Fc { out: 16 },
+            Arch::Relu,
+            Arch::Fc { out: 5 },
+        ]);
+        let mut shape = [3usize, 16, 16];
+        let mut seed = 0;
+        let mut m = arch.build(&mut shape, &mut seed);
+        assert_eq!(shape, [5, 1, 1]);
+        let census = arch.census("tiny-alex", [3, 16, 16], 5);
+        assert_eq!(param_count(m.as_mut()), census.param_count());
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, 3);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5]);
+        let dx = m.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn vgg_slowest_on_p100_model() {
+        // Sanity for what-if projections: VGG-16's throughput on the P100
+        // model is far below ResNet-50's (as in practice).
+        let dev = dcnn_gpusim_stub::p100();
+        let v = dev.train_throughput(&vgg16(), 32);
+        let r = dev.train_throughput(&crate::resnet50(), 32);
+        assert!(v < r, "VGG {v} img/s should be slower than ResNet {r}");
+    }
+
+    /// Minimal local copy of the P100 roofline to avoid a dependency cycle
+    /// (gpusim depends on models).
+    mod dcnn_gpusim_stub {
+        use crate::census::{LayerKind, ModelCensus};
+
+        pub struct Dev;
+
+        pub fn p100() -> Dev {
+            Dev
+        }
+
+        impl Dev {
+            pub fn train_throughput(&self, census: &ModelCensus, n: usize) -> f64 {
+                let secs: f64 = census
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        let flops = (l.fwd_flops + l.bwd_flops) * n as f64;
+                        let eff = match l.kind {
+                            LayerKind::Conv => 0.5,
+                            LayerKind::Gemm => 0.65,
+                            _ => 1.0,
+                        };
+                        (flops / (10.6e12 * eff))
+                            .max(l.bytes_touched * n as f64 * 3.0 / 732e9)
+                    })
+                    .sum();
+                n as f64 / secs
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Batch-normalized GoogLeNet (BN-Inception, Ioffe & Szegedy 2015) — the
+//! paper's "GoogleNetBN" workload (\[33\]).
+//!
+//! Channel configuration follows the BN-Inception table: ten inception
+//! modules in three stages, with the 3c and 4e modules performing stride-2
+//! downsampling via their conv branches plus a pass-through max pool.
+
+use crate::arch::Arch;
+use crate::census::ModelCensus;
+use dcnn_tensor::layers::Module;
+
+/// One inception module's channel plan.
+///
+/// * `c1` — 1×1 branch (0 = branch absent, as in the downsampling modules)
+/// * `c3r`, `c3` — 1×1 reduce then 3×3
+/// * `d3r`, `d3` — 1×1 reduce then double 3×3
+/// * `pool_proj` — 1×1 after the pooling branch (0 = pass-through max pool)
+/// * `stride` — 1, or 2 for the downsampling modules
+#[derive(Debug, Clone, Copy)]
+struct Inc {
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    d3r: usize,
+    d3: usize,
+    pool_proj: usize,
+    stride: usize,
+    avg_pool: bool,
+}
+
+fn inception(p: Inc) -> Arch {
+    let mut branches = Vec::new();
+    if p.c1 > 0 {
+        branches.push(Arch::conv_bn_relu(p.c1, 1, 1, 0));
+    }
+    branches.push(Arch::Seq(vec![
+        Arch::conv_bn_relu(p.c3r, 1, 1, 0),
+        Arch::conv_bn_relu(p.c3, 3, p.stride, 1),
+    ]));
+    branches.push(Arch::Seq(vec![
+        Arch::conv_bn_relu(p.d3r, 1, 1, 0),
+        Arch::conv_bn_relu(p.d3, 3, 1, 1),
+        Arch::conv_bn_relu(p.d3, 3, p.stride, 1),
+    ]));
+    let pool = if p.avg_pool {
+        Arch::AvgPool { kernel: 3, stride: p.stride, pad: 1 }
+    } else {
+        Arch::MaxPool { kernel: 3, stride: p.stride, pad: 1 }
+    };
+    if p.pool_proj > 0 {
+        branches.push(Arch::Seq(vec![pool, Arch::conv_bn_relu(p.pool_proj, 1, 1, 0)]));
+    } else {
+        branches.push(pool);
+    }
+    Arch::Inception(branches)
+}
+
+/// Configuration for a (possibly scaled) GoogLeNet-BN.
+#[derive(Debug, Clone)]
+pub struct GoogLeNetConfig {
+    /// Class count.
+    pub classes: usize,
+    /// Input `[C, H, W]`.
+    pub input: [usize; 3],
+    /// Divide every channel count by this factor (1 = the paper's model).
+    pub width_divisor: usize,
+    /// Keep the full 10-module trunk, or a 4-module tiny trunk.
+    pub full_trunk: bool,
+}
+
+impl GoogLeNetConfig {
+    /// The paper's GoogLeNet-BN at full size.
+    pub fn paper(classes: usize) -> Self {
+        GoogLeNetConfig { classes, input: [3, 224, 224], width_divisor: 1, full_trunk: true }
+    }
+
+    /// Scaled-down variant for real CPU training on 32×32 synthetic images.
+    pub fn tiny(classes: usize) -> Self {
+        GoogLeNetConfig { classes, input: [3, 32, 32], width_divisor: 8, full_trunk: false }
+    }
+
+    fn d(&self, c: usize) -> usize {
+        (c / self.width_divisor).max(1)
+    }
+
+    /// The architecture specification.
+    pub fn arch(&self) -> Arch {
+        let d = |c| self.d(c);
+        let mut nodes = Vec::new();
+        if self.full_trunk {
+            // Stem: 7×7/s2 → pool → 1×1 → 3×3 → pool.
+            nodes.push(Arch::conv_bn_relu(d(64), 7, 2, 3));
+            nodes.push(Arch::MaxPool { kernel: 3, stride: 2, pad: 1 });
+            nodes.push(Arch::conv_bn_relu(d(64), 1, 1, 0));
+            nodes.push(Arch::conv_bn_relu(d(192), 3, 1, 1));
+            nodes.push(Arch::MaxPool { kernel: 3, stride: 2, pad: 1 });
+        } else {
+            nodes.push(Arch::conv_bn_relu(d(192), 3, 1, 1));
+        }
+        let modules: Vec<Inc> = if self.full_trunk {
+            vec![
+                // 3a, 3b, 3c(↓)
+                Inc { c1: d(64), c3r: d(64), c3: d(64), d3r: d(64), d3: d(96), pool_proj: d(32), stride: 1, avg_pool: true },
+                Inc { c1: d(64), c3r: d(64), c3: d(96), d3r: d(64), d3: d(96), pool_proj: d(64), stride: 1, avg_pool: true },
+                Inc { c1: 0, c3r: d(128), c3: d(160), d3r: d(64), d3: d(96), pool_proj: 0, stride: 2, avg_pool: false },
+                // 4a–4d, 4e(↓)
+                Inc { c1: d(224), c3r: d(64), c3: d(96), d3r: d(96), d3: d(128), pool_proj: d(128), stride: 1, avg_pool: true },
+                Inc { c1: d(192), c3r: d(96), c3: d(128), d3r: d(96), d3: d(128), pool_proj: d(128), stride: 1, avg_pool: true },
+                Inc { c1: d(160), c3r: d(128), c3: d(160), d3r: d(128), d3: d(160), pool_proj: d(128), stride: 1, avg_pool: true },
+                Inc { c1: d(96), c3r: d(128), c3: d(192), d3r: d(160), d3: d(192), pool_proj: d(128), stride: 1, avg_pool: true },
+                Inc { c1: 0, c3r: d(128), c3: d(192), d3r: d(192), d3: d(256), pool_proj: 0, stride: 2, avg_pool: false },
+                // 5a, 5b
+                Inc { c1: d(352), c3r: d(192), c3: d(320), d3r: d(160), d3: d(224), pool_proj: d(128), stride: 1, avg_pool: true },
+                Inc { c1: d(352), c3r: d(192), c3: d(320), d3r: d(192), d3: d(224), pool_proj: d(128), stride: 1, avg_pool: false },
+            ]
+        } else {
+            vec![
+                Inc { c1: d(64), c3r: d(64), c3: d(64), d3r: d(64), d3: d(96), pool_proj: d(32), stride: 1, avg_pool: true },
+                Inc { c1: d(64), c3r: d(64), c3: d(96), d3r: d(64), d3: d(96), pool_proj: d(64), stride: 1, avg_pool: true },
+                Inc { c1: 0, c3r: d(128), c3: d(160), d3r: d(64), d3: d(96), pool_proj: 0, stride: 2, avg_pool: false },
+                Inc { c1: d(224), c3r: d(64), c3: d(96), d3r: d(96), d3: d(128), pool_proj: d(128), stride: 1, avg_pool: true },
+            ]
+        };
+        for m in modules {
+            nodes.push(inception(m));
+        }
+        nodes.push(Arch::Gap);
+        nodes.push(Arch::Fc { out: self.classes });
+        Arch::Seq(nodes)
+    }
+
+    /// Build the trainable module.
+    pub fn build(&self, seed: u64) -> Box<dyn Module> {
+        let mut shape = self.input;
+        let mut s = seed;
+        let m = self.arch().build(&mut shape, &mut s);
+        assert_eq!(shape[0], self.classes);
+        m
+    }
+
+    /// Analytic cost census.
+    pub fn census(&self, name: &str) -> ModelCensus {
+        self.arch().census(name, self.input, self.classes)
+    }
+}
+
+/// The paper's GoogLeNet-BN census (1000 classes, 224×224).
+pub fn googlenet_bn() -> ModelCensus {
+    GoogLeNetConfig::paper(1000).census("googlenet-bn")
+}
+
+/// Build the tiny trainable GoogLeNet-BN and its census.
+pub fn googlenet_bn_tiny(classes: usize, seed: u64) -> (Box<dyn Module>, ModelCensus) {
+    let cfg = GoogLeNetConfig::tiny(classes);
+    (cfg.build(seed), cfg.census("googlenet-bn-tiny"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_tensor::layers::param_count;
+    use dcnn_tensor::Tensor;
+
+    #[test]
+    fn paper_model_parameter_count() {
+        let c = googlenet_bn();
+        let p = c.param_count();
+        // BN-Inception with a 1000-class head is ≈ 11.3M parameters.
+        assert!(
+            (10_000_000..=13_000_000).contains(&p),
+            "GoogLeNet-BN params {p}, expected ≈11M"
+        );
+    }
+
+    #[test]
+    fn forward_flops_match_canonical() {
+        let c = googlenet_bn();
+        let gf = c.fwd_flops(1) / 1e9;
+        // BN-Inception ≈ 2 GMACs = 4 GFLOPs forward at 224².
+        assert!((3.4..=4.8).contains(&gf), "forward {gf} GFLOPs");
+    }
+
+    #[test]
+    fn trunk_output_channels() {
+        // After 5b the trunk is 1024 channels at 7×7.
+        let c = googlenet_bn();
+        let gap = c.layers.iter().find(|l| l.name.contains("gap")).expect("gap");
+        assert_eq!(gap.activation, 1024);
+    }
+
+    #[test]
+    fn downsampling_module_shapes() {
+        // Spatial resolution goes 224 → 56 (stem) → 28 (3c) → 14 (4e) → 7.
+        let cfg = GoogLeNetConfig::paper(1000);
+        let mut shape = cfg.input;
+        let mut layers = Vec::new();
+        cfg.arch().census_into(&mut shape, "", &mut layers);
+        assert_eq!(shape, [1000, 1, 1]);
+    }
+
+    #[test]
+    fn tiny_builds_and_backprops() {
+        let (mut m, census) = googlenet_bn_tiny(10, 2);
+        assert_eq!(param_count(m.as_mut()), census.param_count());
+        let x = Tensor::randn(&[2, 3, 32, 32], 1.0, 3);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = m.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn build_census_param_agreement_full_graph() {
+        // Full trunk at divisor 4 keeps the test fast but covers all module
+        // variants including pass-through pools.
+        let cfg = GoogLeNetConfig {
+            classes: 17,
+            input: [3, 64, 64],
+            width_divisor: 4,
+            full_trunk: true,
+        };
+        let mut m = cfg.build(0);
+        assert_eq!(param_count(m.as_mut()), cfg.census("g").param_count());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # dcnn-models — the paper's two workloads
+//!
+//! Builders for the networks evaluated in *Kumar et al. (CLUSTER 2018)*:
+//! **ResNet-50** (He et al., via the fb.resnet.torch package the paper cites
+//! as \[34\]) and **batch-normalized GoogLeNet** (Ioffe & Szegedy's
+//! BN-Inception, cited as \[33\]).
+//!
+//! Each architecture is written once as an [`arch::Arch`] specification and
+//! interpreted twice:
+//!
+//! * [`arch::Arch::build`] — a real, trainable [`dcnn_tensor::Module`]
+//!   (used by the accuracy experiments, Figures 13–16, at scaled-down size);
+//! * [`arch::Arch::census`] — an analytic per-layer cost model
+//!   ([`census::ModelCensus`]: parameters, forward/backward FLOPs, activation
+//!   and gradient bytes) consumed by `dcnn-gpusim` to time one training
+//!   iteration on the simulated P100s at the paper's full scale.
+//!
+//! Having a single source of truth guarantees the timing model and the
+//! trainable model never drift apart structurally.
+
+pub mod arch;
+pub mod census;
+pub mod classic;
+pub mod googlenet;
+pub mod resnet;
+
+pub use arch::Arch;
+pub use census::{LayerCost, LayerKind, ModelCensus};
+pub use classic::{alexnet, vgg16};
+pub use googlenet::{googlenet_bn, googlenet_bn_tiny};
+pub use resnet::{resnet50, resnet_tiny};

@@ -1,0 +1,197 @@
+//! ResNet builders (He et al. 2015), following fb.resnet.torch — the paper's
+//! ResNet-50 package (\[34\]).
+
+use crate::arch::Arch;
+use crate::census::ModelCensus;
+use dcnn_tensor::layers::Module;
+
+/// Configuration of a ResNet.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Blocks per stage.
+    pub blocks: Vec<usize>,
+    /// Width of the first stage (64 for ImageNet ResNets).
+    pub base_width: usize,
+    /// Bottleneck (1-3-1) blocks if true, basic (3-3) blocks otherwise.
+    pub bottleneck: bool,
+    /// Class count.
+    pub classes: usize,
+    /// Input `[C, H, W]`.
+    pub input: [usize; 3],
+    /// ImageNet-style stem (7×7/s2 + maxpool) vs CIFAR-style 3×3 stem.
+    pub imagenet_stem: bool,
+}
+
+impl ResNetConfig {
+    /// ResNet-50 on 224×224 ImageNet inputs.
+    pub fn resnet50(classes: usize) -> Self {
+        ResNetConfig {
+            blocks: vec![3, 4, 6, 3],
+            base_width: 64,
+            bottleneck: true,
+            classes,
+            input: [3, 224, 224],
+            imagenet_stem: true,
+        }
+    }
+
+    /// A small basic-block ResNet for 32×32 synthetic images — the scaled
+    /// stand-in used to run the accuracy experiments (Figures 13, 15) for
+    /// real on CPU.
+    pub fn tiny(classes: usize) -> Self {
+        ResNetConfig {
+            blocks: vec![1, 1, 1],
+            base_width: 8,
+            bottleneck: false,
+            classes,
+            input: [3, 32, 32],
+            imagenet_stem: false,
+        }
+    }
+
+    /// The architecture specification.
+    pub fn arch(&self) -> Arch {
+        let expansion = if self.bottleneck { 4 } else { 1 };
+        let mut nodes = Vec::new();
+        if self.imagenet_stem {
+            nodes.push(Arch::conv_bn_relu(self.base_width, 7, 2, 3));
+            nodes.push(Arch::MaxPool { kernel: 3, stride: 2, pad: 1 });
+        } else {
+            nodes.push(Arch::conv_bn_relu(self.base_width, 3, 1, 1));
+        }
+        let mut in_c = self.base_width;
+        for (stage, &n_blocks) in self.blocks.iter().enumerate() {
+            let width = self.base_width << stage;
+            let out_c = width * expansion;
+            for b in 0..n_blocks {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                let main = if self.bottleneck {
+                    Arch::Seq(vec![
+                        Arch::conv_bn_relu(width, 1, 1, 0),
+                        Arch::conv_bn_relu(width, 3, stride, 1),
+                        Arch::Conv { out_c, kernel: 1, stride: 1, pad: 0, bias: false },
+                        Arch::Bn,
+                    ])
+                } else {
+                    Arch::Seq(vec![
+                        Arch::conv_bn_relu(width, 3, stride, 1),
+                        Arch::Conv { out_c, kernel: 3, stride: 1, pad: 1, bias: false },
+                        Arch::Bn,
+                    ])
+                };
+                let needs_projection = stride != 1 || in_c != out_c;
+                let shortcut = needs_projection.then(|| {
+                    Box::new(Arch::Seq(vec![
+                        Arch::Conv { out_c, kernel: 1, stride, pad: 0, bias: false },
+                        Arch::Bn,
+                    ]))
+                });
+                nodes.push(Arch::ResidualBlock { main: Box::new(main), shortcut });
+                in_c = out_c;
+            }
+        }
+        nodes.push(Arch::Gap);
+        nodes.push(Arch::Fc { out: self.classes });
+        Arch::Seq(nodes)
+    }
+
+    /// Build the trainable module (deterministic for a given seed).
+    pub fn build(&self, seed: u64) -> Box<dyn Module> {
+        let mut shape = self.input;
+        let mut s = seed;
+        let m = self.arch().build(&mut shape, &mut s);
+        assert_eq!(shape, [self.classes, 1, 1]);
+        m
+    }
+
+    /// Analytic cost census.
+    pub fn census(&self, name: &str) -> ModelCensus {
+        self.arch().census(name, self.input, self.classes)
+    }
+}
+
+/// The paper's ResNet-50 census (1000 classes, 224×224).
+pub fn resnet50() -> ModelCensus {
+    ResNetConfig::resnet50(1000).census("resnet50")
+}
+
+/// Build the tiny trainable ResNet and its census.
+pub fn resnet_tiny(classes: usize, seed: u64) -> (Box<dyn Module>, ModelCensus) {
+    let cfg = ResNetConfig::tiny(classes);
+    (cfg.build(seed), cfg.census("resnet-tiny"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_tensor::layers::param_count;
+    use dcnn_tensor::Tensor;
+
+    #[test]
+    fn resnet50_parameter_count_matches_paper_model() {
+        let c = resnet50();
+        let p = c.param_count();
+        // Canonical ResNet-50 (1000 classes): 25,557,032 parameters.
+        assert!(
+            (25_400_000..=25_700_000).contains(&p),
+            "ResNet-50 params {p}, expected ≈25.56M"
+        );
+        // Gradient payload ≈ 102 MB.
+        let mb = c.payload_bytes() / 1e6;
+        assert!((101.0..=103.0).contains(&mb), "payload {mb} MB");
+    }
+
+    #[test]
+    fn resnet50_flops_match_canonical() {
+        // Canonical ResNet-50 forward cost ≈ 4.1 GMACs = 8.2 GFLOPs @224².
+        let c = resnet50();
+        let gf = c.fwd_flops(1) / 1e9;
+        assert!((7.6..=8.8).contains(&gf), "forward {gf} GFLOPs");
+    }
+
+    #[test]
+    fn resnet50_layer_count() {
+        let c = resnet50();
+        // 53 convolutions + 53 BNs appear among the layers.
+        let convs = c.layers.iter().filter(|l| l.name.contains("conv")).count();
+        assert_eq!(convs, 49 + 4 + 1 - 1, "conv count {convs}"); // 53 convs
+    }
+
+    #[test]
+    fn tiny_builds_and_trains_one_step() {
+        let (mut m, census) = resnet_tiny(10, 1);
+        assert_eq!(param_count(m.as_mut()), census.param_count());
+        let x = Tensor::randn(&[2, 3, 32, 32], 1.0, 5);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = m.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        // Gradients flowed to the stem.
+        let g = dcnn_tensor::layers::collect_grads(m.as_mut());
+        assert!(g.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn build_census_param_agreement_resnet50_scaledown() {
+        // A mid-size config exercises bottlenecks + projections.
+        let cfg = ResNetConfig {
+            blocks: vec![2, 2],
+            base_width: 16,
+            bottleneck: true,
+            classes: 10,
+            input: [3, 32, 32],
+            imagenet_stem: false,
+        };
+        let mut m = cfg.build(0);
+        assert_eq!(param_count(m.as_mut()), cfg.census("x").param_count());
+    }
+
+    #[test]
+    fn stage_downsampling_halves_spatial() {
+        let cfg = ResNetConfig::resnet50(1000);
+        let c = cfg.census("r50");
+        // Final pre-GAP activation is 2048×7×7.
+        let gap_idx = c.layers.iter().position(|l| l.name.contains("gap")).expect("gap");
+        assert_eq!(c.layers[gap_idx].activation, 2048);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests of the architecture interpreter: for randomly generated
+//! specs, the built module and the analytic census must agree on parameter
+//! counts, and the module must run forward/backward at the predicted shapes.
+
+use dcnn_models::arch::Arch;
+use dcnn_tensor::layers::param_count;
+use dcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A random sequential trunk that keeps spatial dims valid.
+fn arb_trunk() -> impl Strategy<Value = Vec<Arch>> {
+    let layer = prop_oneof![
+        (1usize..=8, 1usize..=2).prop_map(|(c, s)| Arch::Conv {
+            out_c: c,
+            kernel: 3,
+            stride: s,
+            pad: 1,
+            bias: false,
+        }),
+        (1usize..=8).prop_map(|c| Arch::Conv { out_c: c, kernel: 1, stride: 1, pad: 0, bias: true }),
+        Just(Arch::Bn),
+        Just(Arch::Relu),
+        Just(Arch::MaxPool { kernel: 2, stride: 2, pad: 0 }),
+        Just(Arch::AvgPool { kernel: 3, stride: 1, pad: 1 }),
+    ];
+    prop::collection::vec(layer, 1..6)
+}
+
+fn spatial_shrink(nodes: &[Arch]) -> usize {
+    // Product of the stride factors, to keep inputs large enough.
+    nodes
+        .iter()
+        .map(|n| match n {
+            Arch::Conv { stride, .. } => *stride,
+            Arch::MaxPool { stride, .. } => *stride,
+            _ => 1,
+        })
+        .product()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn build_and_census_always_agree(trunk in arb_trunk(), classes in 2usize..6) {
+        prop_assume!(spatial_shrink(&trunk) <= 8);
+        let mut nodes = trunk;
+        nodes.push(Arch::Gap);
+        nodes.push(Arch::Fc { out: classes });
+        let arch = Arch::Seq(nodes);
+        let input = [2usize, 16, 16];
+        let mut shape = input;
+        let mut seed = 1u64;
+        let mut m = arch.build(&mut shape, &mut seed);
+        let census = arch.census("prop", input, classes);
+        prop_assert_eq!(param_count(m.as_mut()), census.param_count());
+        prop_assert_eq!(shape, [classes, 1, 1]);
+
+        // The census' final activation count is the class count.
+        let last = census.layers.last().expect("layers");
+        prop_assert_eq!(last.activation, classes);
+
+        // And the module actually runs at those shapes.
+        let x = Tensor::randn(&[2, 2, 16, 16], 1.0, 3);
+        let y = m.forward(&x, true);
+        prop_assert_eq!(y.shape(), &[2, classes]);
+        let dx = m.backward(&y);
+        prop_assert_eq!(dx.shape(), x.shape());
+        prop_assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn census_flops_nonnegative_and_bwd_heavier(trunk in arb_trunk()) {
+        prop_assume!(spatial_shrink(&trunk) <= 8);
+        let arch = Arch::Seq(trunk);
+        let census = arch.census("prop", [2, 16, 16], 0);
+        for l in &census.layers {
+            prop_assert!(l.fwd_flops >= 0.0);
+            // Pooling is the exception: forward scans the window, backward
+            // scatters one value per output.
+            if l.kind != dcnn_models::LayerKind::Pool {
+                prop_assert!(l.bwd_flops >= l.fwd_flops * 0.99,
+                    "{}: bwd {} < fwd {}", l.name, l.bwd_flops, l.fwd_flops);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # dcnn-simnet — fluid-flow cluster network simulator
+//!
+//! This crate provides the timing substrate used to reproduce the performance
+//! figures of *Kumar et al., "Efficient Training of Convolutional Neural Nets
+//! on Large Distributed Systems" (CLUSTER 2018)*. The paper's evaluation ran
+//! on a 32-node POWER8 "Minsky" cluster whose nodes are connected by a
+//! fat-tree InfiniBand fabric (2× Mellanox ConnectX-5, 100 Gbps each). We do
+//! not have that fabric, so we model it:
+//!
+//! * [`FatTree`] — a two-level fat-tree topology: nodes attach to leaf
+//!   switches, leaf switches attach to spine switches. Every directed link
+//!   has a bandwidth and the fabric has a per-hop latency. The default
+//!   configuration is non-blocking (full bisection bandwidth), matching the
+//!   paper's observation that "all the connections are symmetrical in the
+//!   cluster" (§5.2).
+//! * [`CommSchedule`] — a DAG of point-to-point transfers and per-rank compute
+//!   (e.g. reduction summation) operations. Collective algorithms in
+//!   `dcnn-collectives` compile themselves into such schedules.
+//! * [`simulate`](CommSchedule::simulate) — a discrete-event engine that
+//!   executes a schedule in virtual time. Concurrent transfers share link
+//!   bandwidth **max-min fairly** (progressive filling), the standard fluid
+//!   approximation for congestion-controlled fabrics; rates are recomputed
+//!   whenever a flow starts or finishes.
+//!
+//! The absolute numbers produced are parameterized by [`FatTreeConfig`]; the
+//! *relative* behaviour (which collective wins at which message size, how
+//! shuffles scale with node count) is determined by algorithm structure and
+//! contention, which is what the paper's figures demonstrate.
+
+pub mod engine;
+pub mod maxmin;
+pub mod schedule;
+pub mod topology;
+pub mod total;
+
+pub use engine::{critical_path, SimOptions, SimReport};
+pub use schedule::{CommSchedule, Op, OpId, OpKind};
+pub use topology::{FatTree, FatTreeConfig, LinkId, NodeId};
+pub use total::TotalF64;
+
+/// Convert gigabits per second to bytes per second.
+pub fn gbps_to_bytes_per_sec(gbps: f64) -> f64 {
+    gbps * 1e9 / 8.0
+}
+
+/// Convert a byte count and a duration in seconds to achieved gigabits/s.
+pub fn throughput_gbps(bytes: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes * 8.0 / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_roundtrip() {
+        let bps = gbps_to_bytes_per_sec(100.0);
+        assert!((bps - 12.5e9).abs() < 1.0);
+        let g = throughput_gbps(12.5e9, 1.0);
+        assert!((g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_time_is_infinite() {
+        assert!(throughput_gbps(10.0, 0.0).is_infinite());
+    }
+}

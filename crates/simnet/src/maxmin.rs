@@ -1,0 +1,136 @@
+//! Max-min fair rate allocation (progressive filling / water-filling).
+//!
+//! Given a set of flows, each traversing a set of capacitated links, assign
+//! each flow a rate such that no flow can be increased without decreasing a
+//! flow with an equal or smaller rate. This is the classic fluid model of a
+//! fabric with per-flow fairness, and is how we approximate InfiniBand
+//! congestion behaviour between rate recomputation events.
+
+use crate::topology::LinkId;
+
+/// Compute max-min fair rates.
+///
+/// * `paths[f]` — the links flow `f` traverses. A flow with an empty path is
+///   unconstrained and gets `f64::INFINITY`.
+/// * `caps[l]` — capacity of link `l` (bytes/s).
+///
+/// Returns one rate per flow. Runs in `O(iterations × (F + L))` where the
+/// number of iterations is bounded by the number of distinct bottlenecks.
+pub fn maxmin_rates(paths: &[Vec<LinkId>], caps: &[f64]) -> Vec<f64> {
+    let nf = paths.len();
+    let nl = caps.len();
+    let mut rates = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rates;
+    }
+
+    // Remaining capacity and number of unfrozen flows per link.
+    let mut rem = caps.to_vec();
+    let mut count = vec![0usize; nl];
+    let mut frozen = vec![false; nf];
+    let mut n_unfrozen = 0usize;
+    for (f, p) in paths.iter().enumerate() {
+        if p.is_empty() {
+            frozen[f] = true; // unconstrained
+        } else {
+            n_unfrozen += 1;
+            for &l in p {
+                count[l] += 1;
+            }
+        }
+    }
+
+    while n_unfrozen > 0 {
+        // Bottleneck link: minimal fair share among links with unfrozen flows.
+        let mut best: Option<(f64, LinkId)> = None;
+        for l in 0..nl {
+            if count[l] > 0 {
+                let share = rem[l].max(0.0) / count[l] as f64;
+                if best.is_none_or(|(s, _)| share < s) {
+                    best = Some((share, l));
+                }
+            }
+        }
+        let (share, bottleneck) = best.expect("unfrozen flows must cross some link");
+
+        // Freeze every unfrozen flow crossing the bottleneck at `share`.
+        let mut froze_any = false;
+        for f in 0..nf {
+            if !frozen[f] && paths[f].contains(&bottleneck) {
+                frozen[f] = true;
+                froze_any = true;
+                n_unfrozen -= 1;
+                rates[f] = share;
+                for &l in &paths[f] {
+                    rem[l] -= share;
+                    count[l] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "bottleneck had a positive flow count");
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = maxmin_rates(&[vec![0]], &[10.0]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let rates = maxmin_rates(&[vec![0], vec![0]], &[10.0]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_unconstrained() {
+        let rates = maxmin_rates(&[vec![], vec![0]], &[4.0]);
+        assert!(rates[0].is_infinite());
+        assert!((rates[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_waterfilling_example() {
+        // Link 0 (cap 1) carries flows A,B; link 1 (cap 10) carries B,C.
+        // A = 0.5, B = 0.5 (bottleneck link 0), C = 9.5.
+        let rates = maxmin_rates(&[vec![0], vec![0, 1], vec![1]], &[1.0, 10.0]);
+        assert!((rates[0] - 0.5).abs() < 1e-9);
+        assert!((rates[1] - 0.5).abs() < 1e-9);
+        assert!((rates[2] - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(maxmin_rates(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn link_capacities_respected() {
+        // 5 flows over 3 links in various combinations.
+        let paths = vec![vec![0, 1], vec![1, 2], vec![0], vec![2], vec![0, 2]];
+        let caps = vec![3.0, 2.0, 4.0];
+        let rates = maxmin_rates(&paths, &caps);
+        let mut used = [0.0; 3];
+        for (f, p) in paths.iter().enumerate() {
+            for &l in p {
+                used[l] += rates[f];
+            }
+        }
+        for l in 0..3 {
+            assert!(used[l] <= caps[l] + 1e-9, "link {l} over capacity: {}", used[l]);
+        }
+        // Max-min property: every flow is bottlenecked somewhere (its rate
+        // cannot be raised without violating a capacity).
+        for (f, p) in paths.iter().enumerate() {
+            let bottlenecked = p.iter().any(|&l| used[l] >= caps[l] - 1e-9);
+            assert!(bottlenecked, "flow {f} not bottlenecked");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Two-level fat-tree topology.
+//!
+//! Nodes attach to leaf switches; leaf switches attach to every spine switch.
+//! Each *directed* link has its own capacity, so full-duplex traffic does not
+//! self-interfere. A node can have several NICs (the paper's Minsky nodes have
+//! two ConnectX-5 adapters); traffic from a node is spread across its NICs by
+//! a deterministic hash of the flow endpoints, like ECMP routing does.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a compute node (an MPI rank in the paper's setup: one learner per node).
+pub type NodeId = usize;
+/// Index of a directed link in the fabric.
+pub type LinkId = usize;
+
+/// Configuration for a [`FatTree`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTreeConfig {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Down-ports per leaf switch (nodes per leaf).
+    pub leaf_radix: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// NICs per node. The paper's nodes have two 100 Gbps ConnectX-5 adapters.
+    pub nics_per_node: usize,
+    /// Bandwidth of one node-NIC link, bytes/second, per direction.
+    pub nic_bandwidth: f64,
+    /// One-way latency of a path through the fabric, seconds.
+    pub latency: f64,
+    /// Over-subscription factor of the leaf→spine tier. `1.0` is non-blocking
+    /// (full bisection); `2.0` halves the uplink capacity, etc.
+    pub oversubscription: f64,
+}
+
+impl FatTreeConfig {
+    /// The paper's fabric: 100 Gbps links, 2 NICs per node, non-blocking,
+    /// 8 nodes per leaf, 1.5 µs one-way latency (typical EDR InfiniBand).
+    pub fn minsky(nodes: usize) -> Self {
+        FatTreeConfig {
+            nodes,
+            leaf_radix: 8,
+            spines: 4,
+            nics_per_node: 2,
+            nic_bandwidth: crate::gbps_to_bytes_per_sec(100.0),
+            latency: 1.5e-6,
+            oversubscription: 1.0,
+        }
+    }
+}
+
+/// A built fat-tree with enumerated directed links.
+///
+/// Link layout (all directed):
+/// * `node_up[node][nic]`   — node → its leaf switch
+/// * `node_down[node][nic]` — leaf switch → node
+/// * `leaf_up[leaf][spine]` — leaf → spine
+/// * `leaf_down[leaf][spine]` — spine → leaf
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    cfg: FatTreeConfig,
+    n_leaves: usize,
+    caps: Vec<f64>,
+    // base offsets into the link table
+    node_up_base: usize,
+    node_down_base: usize,
+    leaf_up_base: usize,
+    leaf_down_base: usize,
+}
+
+impl FatTree {
+    /// Build the fabric described by `cfg`.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(cfg: FatTreeConfig) -> Self {
+        assert!(cfg.nodes > 0, "fat-tree needs at least one node");
+        assert!(cfg.leaf_radix > 0 && cfg.spines > 0 && cfg.nics_per_node > 0);
+        assert!(cfg.nic_bandwidth > 0.0 && cfg.oversubscription > 0.0);
+        let n_leaves = cfg.nodes.div_ceil(cfg.leaf_radix);
+        let node_up_base = 0;
+        let node_down_base = node_up_base + cfg.nodes * cfg.nics_per_node;
+        let leaf_up_base = node_down_base + cfg.nodes * cfg.nics_per_node;
+        let leaf_down_base = leaf_up_base + n_leaves * cfg.spines;
+        let n_links = leaf_down_base + n_leaves * cfg.spines;
+
+        let mut caps = vec![0.0; n_links];
+        for l in 0..cfg.nodes * cfg.nics_per_node {
+            caps[node_up_base + l] = cfg.nic_bandwidth;
+            caps[node_down_base + l] = cfg.nic_bandwidth;
+        }
+        // A non-blocking leaf offers as much up-capacity as down-capacity:
+        // leaf_radix * nics * nic_bw total, divided over `spines` uplinks.
+        let uplink_cap = cfg.leaf_radix as f64 * cfg.nics_per_node as f64 * cfg.nic_bandwidth
+            / cfg.spines as f64
+            / cfg.oversubscription;
+        for l in 0..n_leaves * cfg.spines {
+            caps[leaf_up_base + l] = uplink_cap;
+            caps[leaf_down_base + l] = uplink_cap;
+        }
+
+        FatTree {
+            cfg,
+            n_leaves,
+            caps,
+            node_up_base,
+            node_down_base,
+            leaf_up_base,
+            leaf_down_base,
+        }
+    }
+
+    /// Convenience: the paper's fabric at a given node count.
+    pub fn minsky(nodes: usize) -> Self {
+        Self::new(FatTreeConfig::minsky(nodes))
+    }
+
+    /// The configuration this fabric was built from.
+    pub fn config(&self) -> &FatTreeConfig {
+        &self.cfg
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Number of leaf switches.
+    pub fn leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Number of directed links.
+    pub fn n_links(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity (bytes/s) of a directed link.
+    pub fn capacity(&self, l: LinkId) -> f64 {
+        self.caps[l]
+    }
+
+    /// Scale a link's capacity by `factor` (fault/degradation injection:
+    /// a flapping cable, a congested uplink). `factor` must be positive.
+    pub fn degrade_link(&mut self, l: LinkId, factor: f64) {
+        assert!(factor > 0.0, "capacity factor must be positive");
+        self.caps[l] *= factor;
+    }
+
+    /// Degrade both directions of a node's NIC links by `factor`.
+    pub fn degrade_node(&mut self, node: NodeId, factor: f64) {
+        for nic in 0..self.cfg.nics_per_node {
+            let up = self.node_up(node, nic);
+            let down = self.node_down(node, nic);
+            self.degrade_link(up, factor);
+            self.degrade_link(down, factor);
+        }
+    }
+
+    /// All link capacities.
+    pub fn capacities(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Per-hop latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.cfg.latency
+    }
+
+    /// One-way latency of the `src → dst` path: per-hop latency × switch
+    /// hops (1 intra-leaf, 3 across the spine; 0 for self-messages).
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.cfg.latency * self.hops(src, dst) as f64
+    }
+
+    /// Leaf switch a node is attached to.
+    pub fn leaf_of(&self, node: NodeId) -> usize {
+        node / self.cfg.leaf_radix
+    }
+
+    fn node_up(&self, node: NodeId, nic: usize) -> LinkId {
+        self.node_up_base + node * self.cfg.nics_per_node + nic
+    }
+
+    fn node_down(&self, node: NodeId, nic: usize) -> LinkId {
+        self.node_down_base + node * self.cfg.nics_per_node + nic
+    }
+
+    fn leaf_up(&self, leaf: usize, spine: usize) -> LinkId {
+        self.leaf_up_base + leaf * self.cfg.spines + spine
+    }
+
+    fn leaf_down(&self, leaf: usize, spine: usize) -> LinkId {
+        self.leaf_down_base + leaf * self.cfg.spines + spine
+    }
+
+    /// Deterministic ECMP-style selector (splitmix64 over the flow key).
+    fn hash_select(src: NodeId, dst: NodeId, salt: u64, modulo: usize) -> usize {
+        let mut x = (src as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((dst as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % modulo as u64) as usize
+    }
+
+    /// The directed links a `src → dst` flow traverses. `salt` distinguishes
+    /// concurrent flows between the same endpoints so they can be spread over
+    /// different NICs/spines (like distinct QPs hashing to different paths).
+    ///
+    /// A self-flow (`src == dst`) stays in node memory and uses no links.
+    pub fn route(&self, src: NodeId, dst: NodeId, salt: u64) -> Vec<LinkId> {
+        assert!(src < self.cfg.nodes && dst < self.cfg.nodes, "route endpoint out of range");
+        if src == dst {
+            return Vec::new();
+        }
+        let nic_s = Self::hash_select(src, dst, salt, self.cfg.nics_per_node);
+        let nic_d = Self::hash_select(src, dst, salt.wrapping_add(1), self.cfg.nics_per_node);
+        let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+        if ls == ld {
+            vec![self.node_up(src, nic_s), self.node_down(dst, nic_d)]
+        } else {
+            let spine = Self::hash_select(src, dst, salt.wrapping_add(2), self.cfg.spines);
+            vec![
+                self.node_up(src, nic_s),
+                self.leaf_up(ls, spine),
+                self.leaf_down(ld, spine),
+                self.node_down(dst, nic_d),
+            ]
+        }
+    }
+
+    /// Number of switch hops on the path (for latency modelling: 1 intra-leaf,
+    /// 3 inter-leaf). Self-flows have zero hops.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        if src == dst {
+            0
+        } else if self.leaf_of(src) == self.leaf_of(dst) {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minsky_32() {
+        let t = FatTree::minsky(32);
+        assert_eq!(t.nodes(), 32);
+        assert_eq!(t.leaves(), 4);
+        // 32*2 up + 32*2 down + 4*4 up + 4*4 down
+        assert_eq!(t.n_links(), 64 + 64 + 16 + 16);
+        assert!((t.capacity(0) - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nonblocking_uplink_capacity() {
+        let t = FatTree::minsky(32);
+        // leaf aggregate up = 8 nodes * 2 nics * 12.5 GB/s = 200 GB/s over 4 spines
+        let cfg = t.config().clone();
+        let up = t.capacity(t.leaf_up(0, 0));
+        let expect = 8.0 * 2.0 * cfg.nic_bandwidth / 4.0;
+        assert!((up - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = FatTree::minsky(8);
+        assert!(t.route(3, 3, 0).is_empty());
+        assert_eq!(t.hops(3, 3), 0);
+    }
+
+    #[test]
+    fn intra_leaf_route_has_two_links() {
+        let t = FatTree::minsky(32);
+        let r = t.route(0, 1, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(t.hops(0, 1), 1);
+    }
+
+    #[test]
+    fn inter_leaf_route_has_four_links() {
+        let t = FatTree::minsky(32);
+        let r = t.route(0, 31, 0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(t.hops(0, 31), 3);
+    }
+
+    #[test]
+    fn routes_are_deterministic_and_salt_sensitive() {
+        let t = FatTree::minsky(32);
+        assert_eq!(t.route(0, 31, 7), t.route(0, 31, 7));
+        // Over many salts, at least two distinct paths should appear
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..64 {
+            seen.insert(t.route(0, 31, salt));
+        }
+        assert!(seen.len() > 1, "ECMP hashing should spread flows");
+    }
+
+    #[test]
+    fn route_links_in_range() {
+        let t = FatTree::minsky(17); // odd size, partial leaf
+        for s in 0..17 {
+            for d in 0..17 {
+                for l in t.route(s, d, 42) {
+                    assert!(l < t.n_links());
+                    assert!(t.capacity(l) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn route_out_of_range_panics() {
+        let t = FatTree::minsky(4);
+        let _ = t.route(0, 4, 0);
+    }
+
+    #[test]
+    fn oversubscription_reduces_uplinks() {
+        let mut cfg = FatTreeConfig::minsky(32);
+        cfg.oversubscription = 2.0;
+        let t2 = FatTree::new(cfg);
+        let t1 = FatTree::minsky(32);
+        let up2 = t2.capacity(t2.leaf_up(0, 0));
+        let up1 = t1.capacity(t1.leaf_up(0, 0));
+        assert!((up1 / up2 - 2.0).abs() < 1e-9);
+    }
+}

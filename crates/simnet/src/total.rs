@@ -1,0 +1,64 @@
+//! A totally ordered wrapper for finite `f64` times.
+//!
+//! Simulation timestamps are always finite and non-negative, so we can give
+//! them a total order and use them as keys in the event heap.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order. Panics on construction from NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// Wrap a finite float. NaN is a logic error in the simulator.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN timestamp in simulator");
+        TotalF64(v)
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: constructor rejects NaN.
+        self.0.partial_cmp(&other.0).expect("NaN timestamp")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_floats() {
+        let a = TotalF64::new(1.0);
+        let b = TotalF64::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(TotalF64::new(0.0), TotalF64::new(0.0));
+    }
+
+    #[test]
+    fn infinity_is_allowed_and_largest() {
+        let inf = TotalF64::new(f64::INFINITY);
+        assert!(TotalF64::new(1e300) < inf);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_panics() {
+        let _ = TotalF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the fluid-flow simulator.
+
+use dcnn_simnet::{CommSchedule, FatTree, FatTreeConfig, SimOptions};
+use proptest::prelude::*;
+
+fn arb_topo() -> impl Strategy<Value = FatTree> {
+    (2usize..=16, 1usize..=2, 1usize..=4).prop_map(|(nodes, nics, spines)| {
+        FatTree::new(FatTreeConfig {
+            nodes,
+            leaf_radix: 4,
+            spines,
+            nics_per_node: nics,
+            nic_bandwidth: 1e9,
+            latency: 1e-6,
+            oversubscription: 1.0,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every byte requested is delivered: sum of per-link bytes equals the
+    /// sum over transfers of bytes × path length.
+    #[test]
+    fn flow_conservation(topo in arb_topo(), specs in prop::collection::vec((0usize..16, 0usize..16, 1u32..1_000_000), 1..20)) {
+        let n = topo.nodes();
+        let mut s = CommSchedule::new(n);
+        let mut expected = 0.0;
+        for (i, (src, dst, bytes)) in specs.iter().enumerate() {
+            let (src, dst) = (src % n, dst % n);
+            let id = s.transfer(src, dst, *bytes as f64, vec![]);
+            // The engine salts routes by op id, so recompute the path length
+            // the same way it will.
+            expected += *bytes as f64 * topo.route(src, dst, id as u64).len() as f64;
+            let _ = i;
+        }
+        let rep = s.simulate(&topo, &SimOptions::default());
+        let total: f64 = rep.link_bytes.iter().sum();
+        prop_assert!((total - expected).abs() <= 1e-6 * expected.max(1.0),
+            "delivered {total}, expected {expected}");
+    }
+
+    /// Finish times respect dependencies in randomly generated DAGs.
+    #[test]
+    fn dependencies_respected(topo in arb_topo(), n_ops in 2usize..30, seed in 0u64..1000) {
+        let n = topo.nodes();
+        let mut s = CommSchedule::new(n);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        for id in 0..n_ops {
+            let mut deps = Vec::new();
+            if id > 0 && next() % 2 == 0 {
+                deps.push((next() as usize) % id);
+            }
+            if next() % 2 == 0 {
+                s.compute((next() as usize) % n, (next() % 100) as f64 * 1e-4, deps);
+            } else {
+                s.transfer((next() as usize) % n, (next() as usize) % n, (next() % 100_000) as f64, deps);
+            }
+        }
+        let rep = s.simulate(&topo, &SimOptions::default());
+        for (id, op) in s.ops().iter().enumerate() {
+            for &d in &op.deps {
+                prop_assert!(rep.finish[id] >= rep.finish[d] - 1e-12,
+                    "op {id} finished at {} before dep {d} at {}", rep.finish[id], rep.finish[d]);
+            }
+        }
+        prop_assert!(rep.makespan >= 0.0);
+    }
+
+    /// Adding more concurrent flows on one sender never speeds up the last
+    /// finisher (work-conservation sanity).
+    #[test]
+    fn more_flows_never_faster(topo in arb_topo(), k in 1usize..6) {
+        let n = topo.nodes();
+        prop_assume!(n >= 2);
+        let bytes = 1e8;
+        let mk = |m: usize| {
+            let mut s = CommSchedule::new(n);
+            for i in 0..m {
+                s.transfer(0, 1 + (i % (n - 1)), bytes, vec![]);
+            }
+            s.simulate(&topo, &SimOptions::default()).makespan
+        };
+        prop_assert!(mk(k + 1) >= mk(k) - 1e-9);
+    }
+
+    /// Makespan scales linearly with message size for a single flow (fluid
+    /// model has no artifacts).
+    #[test]
+    fn single_flow_linear_in_bytes(topo in arb_topo(), mb in 1u32..64) {
+        let n = topo.nodes();
+        prop_assume!(n >= 2);
+        let lat = topo.path_latency(0, n - 1);
+        let one = {
+            let mut s = CommSchedule::new(n);
+            s.transfer(0, n - 1, 1e6, vec![]);
+            s.simulate(&topo, &SimOptions::default()).makespan - lat
+        };
+        let many = {
+            let mut s = CommSchedule::new(n);
+            s.transfer(0, n - 1, mb as f64 * 1e6, vec![]);
+            s.simulate(&topo, &SimOptions::default()).makespan - lat
+        };
+        prop_assert!((many / one - mb as f64).abs() < 1e-6, "ratio {}", many / one);
+    }
+}

@@ -1,0 +1,256 @@
+//! Blocked, parallel matrix multiplication.
+//!
+//! Convolutions lower to GEMM (see [`crate::im2col`]); the linear layer and
+//! every backward pass do too, so this kernel carries nearly all of the
+//! training FLOPs — the CPU analogue of the cuDNN kernels the paper drives.
+//! The inner loop is the classic `ikj` ordering (the `j` loop is a unit-
+//! stride AXPY, which LLVM vectorizes); rows of `C` are distributed over the
+//! rayon pool.
+
+use rayon::prelude::*;
+
+/// Row count below which parallelism costs more than it saves.
+const PAR_THRESHOLD: usize = 8;
+
+/// Rows of `C` processed per parallel task (a block of `A` rows stays in L1
+/// while a `K_PANEL × n` slice of `B` streams through L2).
+const M_BLOCK: usize = 32;
+
+/// Depth of the `k` panel kept hot in cache per pass.
+const K_PANEL: usize = 256;
+
+/// `C[m×n] += A[m×k] · B[k×n]` (all row-major), cache-tiled over `(m, k)`
+/// and parallel over row blocks.
+///
+/// # Panics
+/// Panics if the slice lengths don't match the dimensions.
+pub fn gemm_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // One row block: for each k panel, every row's AXPYs reuse the same
+    // panel of B before it is evicted.
+    let block = |cb: &mut [f32], ab: &[f32]| {
+        let rows = cb.len() / n;
+        let mut l0 = 0;
+        while l0 < k {
+            let l1 = (l0 + K_PANEL).min(k);
+            for r in 0..rows {
+                let ci = &mut cb[r * n..(r + 1) * n];
+                for l in l0..l1 {
+                    let av = ab[r * k + l];
+                    if av != 0.0 {
+                        let brow = &b[l * n..(l + 1) * n];
+                        for (cv, &bv) in ci.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+            l0 = l1;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(M_BLOCK * n)
+            .zip(a.par_chunks(M_BLOCK * k))
+            .for_each(|(cb, ab)| block(cb, ab));
+    } else {
+        block(c, a);
+    }
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` (overwrites C).
+pub fn gemm(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    c.iter_mut().for_each(|x| *x = 0.0);
+    gemm_acc(c, a, b, m, k, n);
+}
+
+/// `C[m×n] += Aᵀ · B` where `A` is `k×m` row-major (i.e. multiply by the
+/// transpose of a stored matrix without materializing it).
+pub fn gemm_tn_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A size (stored k×m)");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // cᵢ += Σ_l A[l,i] · B[l,·]; parallel over output rows.
+    let row = |i: usize, ci: &mut [f32]| {
+        for l in 0..k {
+            let av = a[l * m + i];
+            if av != 0.0 {
+                let brow = &b[l * n..(l + 1) * n];
+                for (cv, &bv) in ci.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, ci)| row(i, ci));
+    } else {
+        for (i, ci) in c.chunks_mut(n).enumerate() {
+            row(i, ci);
+        }
+    }
+}
+
+/// `C[m×n] += A[m×k] · Bᵀ` where `B` is `n×k` row-major.
+pub fn gemm_nt_acc(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), n * k, "B size (stored n×k)");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // c[i,j] += dot(A[i,·], B[j,·]) — both unit stride.
+    let row = |ci: &mut [f32], ai: &[f32]| {
+        for (j, cv) in ci.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in ai.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(n)
+            .zip(a.par_chunks(k))
+            .for_each(|(ci, ai)| row(ci, ai));
+    } else {
+        for (ci, ai) in c.chunks_mut(n).zip(a.chunks(k)) {
+            row(ci, ai);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7919 % 23) as f32 - 11.0) * scale).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (16, 16, 16), (33, 17, 9)] {
+            let a = seq(m * k, 0.1);
+            let b = seq(k * n, 0.05);
+            let want = naive(&a, &b, m, k, n);
+            let mut c = vec![0.0; m * n];
+            gemm(&mut c, &a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0; 4];
+        gemm_acc(&mut c, &a, &b, 2, 2, 2);
+        assert_eq!(c, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let (m, k, n) = (6, 11, 4);
+        let a_t = seq(k * m, 0.1); // stored k×m
+        let b = seq(k * n, 0.2);
+        // Build the explicit m×k transpose and compare.
+        let mut a = vec![0.0; m * k];
+        for l in 0..k {
+            for i in 0..m {
+                a[i * k + l] = a_t[l * m + i];
+            }
+        }
+        let want = naive(&a, &b, m, k, n);
+        let mut c = vec![0.0; m * n];
+        gemm_tn_acc(&mut c, &a_t, &b, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let (m, k, n) = (9, 5, 12);
+        let a = seq(m * k, 0.1);
+        let b_t = seq(n * k, 0.2); // stored n×k
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for l in 0..k {
+                b[l * n + j] = b_t[j * k + l];
+            }
+        }
+        let want = naive(&a, &b, m, k, n);
+        let mut c = vec![0.0; m * n];
+        gemm_nt_acc(&mut c, &a, &b_t, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm(&mut c, &[], &[], 0, 5, 0);
+        let mut c2 = vec![3.0; 4];
+        gemm_acc(&mut c2, &[], &[], 2, 0, 2);
+        assert_eq!(c2, vec![3.0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut c = vec![0.0; 4];
+        gemm(&mut c, &[1.0; 3], &[1.0; 4], 2, 2, 2);
+    }
+
+    #[test]
+    fn large_parallel_path() {
+        let (m, k, n) = (64, 32, 48);
+        let a = seq(m * k, 0.01);
+        let b = seq(k * n, 0.02);
+        let want = naive(&a, &b, m, k, n);
+        let mut c = vec![0.0; m * n];
+        gemm(&mut c, &a, &b, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn tiling_boundaries_are_exact() {
+        // Dimensions straddling M_BLOCK and K_PANEL boundaries.
+        for (m, k, n) in [(31, 255, 7), (32, 256, 8), (33, 257, 9), (97, 300, 11)] {
+            let a = seq(m * k, 0.01);
+            let b = seq(k * n, 0.02);
+            let want = naive(&a, &b, m, k, n);
+            let mut c = vec![0.0; m * n];
+            gemm(&mut c, &a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+                assert!((x - y).abs() < 2e-2 * y.abs().max(1.0), "({m},{k},{n}) at {i}: {x} vs {y}");
+            }
+        }
+    }
+}

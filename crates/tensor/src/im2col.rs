@@ -1,0 +1,190 @@
+//! Lowering convolutions to GEMM.
+//!
+//! `im2col` unrolls every receptive field of one image into a column of a
+//! `[C·kh·kw, Hout·Wout]` matrix so convolution becomes `W · col`. `col2im`
+//! scatters gradients back, accumulating where receptive fields overlap.
+
+/// Output spatial size of a convolution/pooling dimension.
+pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0);
+    assert!(
+        input + 2 * pad >= kernel,
+        "kernel {kernel} larger than padded input {}",
+        input + 2 * pad
+    );
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Unroll one image `x` of shape `[c, h, w]` into `col` of shape
+/// `[c·kh·kw, oh·ow]` (row-major, preallocated).
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    x: &[f32],
+    col: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(w, kw, stride, pad);
+    assert_eq!(x.len(), c * h * w);
+    assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let xc = &x[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                row += 1;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    let dst_row = &mut dst[oi * ow..(oi + 1) * ow];
+                    if ii < 0 || ii >= h as isize {
+                        dst_row.iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let ii = ii as usize;
+                    for (oj, d) in dst_row.iter_mut().enumerate() {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        *d = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            xc[ii * w + jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-add `col` (shape `[c·kh·kw, oh·ow]`) back into image gradient
+/// `dx` of shape `[c, h, w]` (accumulating; caller zeroes `dx` first).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    col: &[f32],
+    dx: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let oh = out_dim(h, kh, stride, pad);
+    let ow = out_dim(w, kw, stride, pad);
+    assert_eq!(dx.len(), c * h * w);
+    assert_eq!(col.len(), c * kh * kw * oh * ow);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let xc = &mut dx[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let src = &col[row * oh * ow..(row + 1) * oh * ow];
+                row += 1;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let ii = ii as usize;
+                    for oj in 0..ow {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        if jj >= 0 && jj < w as isize {
+                            xc[ii * w + jj as usize] += src[oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(out_dim(224, 7, 2, 3), 112);
+        assert_eq!(out_dim(56, 3, 1, 1), 56);
+        assert_eq!(out_dim(56, 1, 1, 0), 56);
+        assert_eq!(out_dim(56, 3, 2, 1), 28);
+        assert_eq!(out_dim(4, 2, 2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kernel_too_large_panics() {
+        let _ = out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn identity_kernel_1x1() {
+        // 1×1 / stride 1 / pad 0: col equals the image, row per channel.
+        let x: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32).collect();
+        let mut col = vec![0.0; 2 * 9];
+        im2col(&x, &mut col, 2, 3, 3, 1, 1, 1, 0);
+        assert_eq!(col, x);
+    }
+
+    #[test]
+    fn known_3x3_patch() {
+        // 1 channel, 3×3 image, 3×3 kernel, no pad: one output position; the
+        // column is the image itself (in kernel order).
+        let x: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let mut col = vec![0.0; 9];
+        im2col(&x, &mut col, 1, 3, 3, 3, 3, 1, 0);
+        assert_eq!(col, x);
+    }
+
+    #[test]
+    fn padding_zeroes_border() {
+        let x = vec![1.0; 4]; // 1×2×2
+        let oh = out_dim(2, 3, 1, 1); // = 2
+        let mut col = vec![f32::NAN; 9 * oh * oh];
+        im2col(&x, &mut col, 1, 2, 2, 3, 3, 1, 1);
+        assert!(col.iter().all(|v| !v.is_nan()));
+        // Row 0 = kernel offset (0,0): output (0,0) reads x[-1,-1] = 0.
+        assert_eq!(col[0], 0.0);
+        // Row 4 = kernel center: output (0,0) reads x[0,0] = 1.
+        assert_eq!(col[4 * 4], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // which is exactly what the conv backward pass relies on.
+        let (c, h, w, kh, kw, stride, pad) = (2, 5, 4, 3, 3, 2, 1);
+        let oh = out_dim(h, kh, stride, pad);
+        let ow = out_dim(w, kw, stride, pad);
+        let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> =
+            (0..c * kh * kw * oh * ow).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut col = vec![0.0; y.len()];
+        im2col(&x, &mut col, c, h, w, kh, kw, stride, pad);
+        let lhs: f64 = col.iter().zip(&y).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut dx = vec![0.0; x.len()];
+        col2im(&y, &mut dx, c, h, w, kh, kw, stride, pad);
+        let rhs: f64 = x.iter().zip(&dx).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // stride 1, 2×2 kernel on 3×3: center pixel belongs to 4 patches.
+        let (c, h, w) = (1, 3, 3);
+        let oh = out_dim(h, 2, 1, 0);
+        let col = vec![1.0; 4 * oh * oh];
+        let mut dx = vec![0.0; 9];
+        col2im(&col, &mut dx, c, h, w, 2, 2, 1, 0);
+        assert_eq!(dx[4], 4.0); // center
+        assert_eq!(dx[0], 1.0); // corner
+        assert_eq!(dx[1], 2.0); // edge
+    }
+}

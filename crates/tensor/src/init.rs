@@ -1,0 +1,53 @@
+//! Weight initialization (He/Kaiming and Xavier), seeded for determinism.
+//!
+//! Algorithm 1 of the paper requires the model weights to be "initialized
+//! with identical random values on all GPUs" — every worker seeds the same
+//! generator, so determinism here is load-bearing for the distributed
+//! trainer, not just for tests.
+
+use crate::tensor::Tensor;
+
+/// He (Kaiming) normal initialization for a conv weight
+/// `[out_c, in_c, kh, kw]`: std = sqrt(2 / fan_in).
+pub fn he_conv(out_c: usize, in_c: usize, kh: usize, kw: usize, seed: u64) -> Tensor {
+    let fan_in = (in_c * kh * kw) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor::randn(&[out_c, in_c, kh, kw], std, seed)
+}
+
+/// Xavier (Glorot) normal initialization for a linear weight `[out, in]`.
+pub fn xavier_linear(out_f: usize, in_f: usize, seed: u64) -> Tensor {
+    let std = (2.0 / (out_f + in_f) as f32).sqrt();
+    Tensor::randn(&[out_f, in_f], std, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let w_small = he_conv(8, 4, 3, 3, 1);
+        let w_big = he_conv(8, 256, 3, 3, 1);
+        let rms = |t: &Tensor| {
+            (t.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / t.len() as f64).sqrt()
+        };
+        let expect_small = (2.0f64 / (4.0 * 9.0)).sqrt();
+        let expect_big = (2.0f64 / (256.0 * 9.0)).sqrt();
+        assert!((rms(&w_small) / expect_small - 1.0).abs() < 0.1);
+        assert!((rms(&w_big) / expect_big - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(he_conv(4, 4, 3, 3, 99), he_conv(4, 4, 3, 3, 99));
+        assert_ne!(he_conv(4, 4, 3, 3, 99), he_conv(4, 4, 3, 3, 100));
+        assert_eq!(xavier_linear(10, 20, 5), xavier_linear(10, 20, 5));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(he_conv(64, 3, 7, 7, 0).shape(), &[64, 3, 7, 7]);
+        assert_eq!(xavier_linear(1000, 2048, 0).shape(), &[1000, 2048]);
+    }
+}

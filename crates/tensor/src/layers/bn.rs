@@ -1,0 +1,274 @@
+//! Batch normalization over `[N, C, H, W]` (per-channel statistics), as in
+//! Ioffe & Szegedy — the "BN" of the paper's GoogLeNet-BN workload.
+
+use super::{Module, Param};
+use crate::tensor::Tensor;
+
+/// 2-D batch normalization with affine transform and running statistics.
+pub struct BatchNorm2d {
+    /// Scale γ `[C]`.
+    pub gamma: Param,
+    /// Shift β `[C]`.
+    pub beta: Param,
+    /// Running mean (eval mode).
+    pub running_mean: Tensor,
+    /// Running variance (eval mode).
+    pub running_var: Tensor,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    // Training cache.
+    saved: Option<Cache>,
+}
+
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// γ=1, β=0, running stats at (0, 1); ε=1e-5, momentum 0.1 (Torch
+    /// defaults the paper's models use).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            saved: None,
+        }
+    }
+
+    fn stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let s = x.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let mut mean = vec![0.0f64; c];
+        let mut var = vec![0.0f64; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for &v in &x.data()[base..base + plane] {
+                    mean[ci] += v as f64;
+                }
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= count;
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for &v in &x.data()[base..base + plane] {
+                    let d = v as f64 - mean[ci];
+                    var[ci] += d * d;
+                }
+            }
+        }
+        for v in var.iter_mut() {
+            *v /= count;
+        }
+        (mean.into_iter().map(|v| v as f32).collect(), var.into_iter().map(|v| v as f32).collect())
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[1], self.channels, "BN channel mismatch");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+
+        let (mean, var) = if train {
+            let (m, v) = self.stats(x);
+            // Update running statistics.
+            for ci in 0..c {
+                let rm = &mut self.running_mean.data_mut()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * m[ci];
+            }
+            for ci in 0..c {
+                let rv = &mut self.running_var.data_mut()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * v[ci];
+            }
+            (m, v)
+        } else {
+            (self.running_mean.data().to_vec(), self.running_var.data().to_vec())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(&s);
+        let mut y = Tensor::zeros(&s);
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let (m, is) = (mean[ci], inv_std[ci]);
+                let (gc, bc) = (g[ci], b[ci]);
+                for i in base..base + plane {
+                    let xh = (x.data()[i] - m) * is;
+                    x_hat.data_mut()[i] = xh;
+                    y.data_mut()[i] = gc * xh + bc;
+                }
+            }
+        }
+        if train {
+            self.saved = Some(Cache { x_hat, inv_std, shape: s });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.saved.take().expect("forward(train=true) before backward");
+        let s = &cache.shape;
+        assert_eq!(grad.shape(), s.as_slice());
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+
+        // Per-channel sums: Σg and Σ(g·x̂).
+        let mut sum_g = vec![0.0f64; c];
+        let mut sum_gx = vec![0.0f64; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    sum_g[ci] += grad.data()[i] as f64;
+                    sum_gx[ci] += (grad.data()[i] * cache.x_hat.data()[i]) as f64;
+                }
+            }
+        }
+
+        for ci in 0..c {
+            self.gamma.grad.data_mut()[ci] += sum_gx[ci] as f32;
+            self.beta.grad.data_mut()[ci] += sum_g[ci] as f32;
+        }
+
+        let g = self.gamma.value.data();
+        let mut dx = Tensor::zeros(s);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let k = g[ci] * cache.inv_std[ci];
+                let mg = sum_g[ci] as f32 / count;
+                let mgx = sum_gx[ci] as f32 / count;
+                for i in base..base + plane {
+                    dx.data_mut()[i] =
+                        k * (grad.data()[i] - mg - cache.x_hat.data()[i] * mgx);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+
+    #[test]
+    fn normalizes_in_train_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], 3.0, 17).map(|v| v + 5.0);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1 (γ=1, β=0).
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hi in 0..3 {
+                    for wi in 0..3 {
+                        vals.push(y.at4(ni, ci, hi, wi) as f64);
+                    }
+                }
+            }
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v = vals.iter().map(|x| (x - m).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+    }
+
+    #[test]
+    fn affine_applies() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.value = Tensor::from_vec(vec![2.0], &[1]);
+        bn.beta.value = Tensor::from_vec(vec![10.0], &[1]);
+        let x = Tensor::randn(&[8, 1, 2, 2], 1.0, 3);
+        let y = bn.forward(&x, true);
+        let m = y.mean();
+        assert!((m - 10.0).abs() < 1e-3, "mean {m}");
+    }
+
+    #[test]
+    fn running_stats_converge() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::randn(&[16, 1, 4, 4], 2.0, 5).map(|v| v + 3.0);
+        for _ in 0..60 {
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean.data()[0] - 3.0).abs() < 0.2);
+        assert!((bn.running_var.data()[0] - 4.0).abs() < 0.8);
+        // Eval mode now roughly normalizes the same distribution.
+        let y = bn.forward(&x, false);
+        assert!(y.mean().abs() < 0.2, "eval mean {}", y.mean());
+    }
+
+    #[test]
+    fn eval_mode_uses_running_not_batch() {
+        let mut bn = BatchNorm2d::new(1);
+        // Fresh stats: mean 0, var 1 → eval is identity (γ=1, β=0).
+        let x = Tensor::from_vec(vec![100.0, 200.0, 300.0, 400.0], &[4, 1, 1, 1]);
+        let y = bn.forward(&x, false);
+        assert!(y.allclose(&x, 1e-4, 1e-2), "{:?}", y.data());
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let mut bn = BatchNorm2d::new(3);
+        bn.gamma.value = Tensor::from_vec(vec![1.5, 0.5, 2.0], &[3]);
+        let x = Tensor::randn(&[3, 3, 2, 2], 1.0, 11);
+        check_input_gradient(
+            &mut bn,
+            &x,
+            |y| y.data().iter().map(|&v| (v as f64).powi(3) / 3.0).sum::<f64>(),
+            |y| y.map(|v| v * v),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gamma_beta_gradients_numeric() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, 13);
+        let y = bn.forward(&x, true);
+        let _ = bn.backward(&y.map(|_| 1.0));
+        // dL/dβ with L = Σy is simply the element count per channel.
+        let count = (2 * 3 * 3) as f32;
+        for ci in 0..2 {
+            assert!((bn.beta.grad.data()[ci] - count).abs() < 1e-3);
+        }
+        // dL/dγ = Σ x̂ ≈ 0 under batch normalization.
+        for ci in 0..2 {
+            assert!(bn.gamma.grad.data()[ci].abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn channel_mismatch_panics() {
+        let mut bn = BatchNorm2d::new(4);
+        let _ = bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), true);
+    }
+}

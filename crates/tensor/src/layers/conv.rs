@@ -1,0 +1,370 @@
+//! 2-D convolution, lowered to GEMM via im2col (the same strategy as
+//! cuDNN's implicit-GEMM kernels the paper's Torch stack uses).
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
+use super::{Module, Param};
+use crate::gemm::{gemm, gemm_nt_acc, gemm_tn_acc};
+use crate::im2col::{col2im, im2col, out_dim};
+use crate::init::he_conv;
+use crate::tensor::Tensor;
+
+thread_local! {
+    /// Reusable im2col scratch per rayon worker — conv layers are called
+    /// every iteration, and the unrolled column matrix is the single largest
+    /// transient allocation in training.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Scratch for the backward pass's gradient columns.
+    static GCOL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_scratch<R>(
+    slot: &'static std::thread::LocalKey<RefCell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f32]) -> R,
+) -> R {
+    slot.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
+/// 2-D convolution with square-independent kernel, stride and padding.
+pub struct Conv2d {
+    /// Filter bank `[out_c, in_c, kh, kw]`.
+    pub weight: Param,
+    /// Optional bias `[out_c]` (omitted when a BatchNorm follows, as in
+    /// ResNet and GoogLeNet-BN).
+    pub bias: Option<Param>,
+    in_c: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    saved_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        seed: u64,
+    ) -> Self {
+        let weight = Param::new(he_conv(out_c, in_c, kernel, kernel, seed));
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[out_c])));
+        Conv2d { weight, bias, in_c, out_c, kh: kernel, kw: kernel, stride, pad, saved_x: None }
+    }
+
+    /// Output shape for an input `[n, in_c, h, w]`.
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(in_shape.len(), 4);
+        assert_eq!(in_shape[1], self.in_c, "channel mismatch");
+        vec![
+            in_shape[0],
+            self.out_c,
+            out_dim(in_shape[2], self.kh, self.stride, self.pad),
+            out_dim(in_shape[3], self.kw, self.stride, self.pad),
+        ]
+    }
+
+    fn dims(&self, x: &Tensor) -> (usize, usize, usize, usize, usize) {
+        let s = x.shape();
+        let (n, h, w) = (s[0], s[2], s[3]);
+        let oh = out_dim(h, self.kh, self.stride, self.pad);
+        let ow = out_dim(w, self.kw, self.stride, self.pad);
+        (n, h, w, oh, ow)
+    }
+
+    /// 1×1/stride-1/pad-0 convolutions are plain channel-mixing GEMMs over
+    /// `[C, H·W]` — no im2col buffer needed. ResNet-50's bottlenecks and the
+    /// inception reduce layers make this the most common conv shape.
+    fn is_pointwise(&self) -> bool {
+        self.kh == 1 && self.kw == 1 && self.stride == 1 && self.pad == 0
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, h, w, oh, ow) = self.dims(x);
+        let k2 = self.in_c * self.kh * self.kw;
+        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let img = self.in_c * h * w;
+        let oimg = self.out_c * oh * ow;
+        let wdata = self.weight.value.data();
+        let bias = self.bias.as_ref().map(|b| b.value.data().to_vec());
+        let pointwise = self.is_pointwise();
+        out.data_mut()
+            .par_chunks_mut(oimg)
+            .zip(x.data().par_chunks(img))
+            .for_each(|(yo, xo)| {
+                if pointwise {
+                    // y[oc, hw] = W[oc, ic] · x[ic, hw] — the image already
+                    // *is* the im2col matrix.
+                    gemm(yo, wdata, xo, self.out_c, self.in_c, oh * ow);
+                } else {
+                    with_scratch(&COL_SCRATCH, k2 * oh * ow, |col| {
+                        im2col(xo, col, self.in_c, h, w, self.kh, self.kw, self.stride, self.pad);
+                        gemm(yo, wdata, col, self.out_c, k2, oh * ow);
+                    });
+                }
+                if let Some(b) = &bias {
+                    for (c, yc) in yo.chunks_mut(oh * ow).enumerate() {
+                        let bv = b[c];
+                        yc.iter_mut().for_each(|v| *v += bv);
+                    }
+                }
+            });
+        if train {
+            self.saved_x = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.saved_x.take().expect("forward(train=true) before backward");
+        let (n, h, w, oh, ow) = self.dims(&x);
+        assert_eq!(grad.shape(), &[n, self.out_c, oh, ow], "grad shape");
+        let k2 = self.in_c * self.kh * self.kw;
+        let img = self.in_c * h * w;
+        let oimg = self.out_c * oh * ow;
+        let mut dx = Tensor::zeros(x.shape());
+        let wdata = self.weight.value.data();
+
+        // Per-image work, folding the weight/bias gradients thread-locally
+        // and reducing at the end (grad buffers are shared across the batch).
+        let (gw, gb) = dx
+            .data_mut()
+            .par_chunks_mut(img)
+            .zip(x.data().par_chunks(img))
+            .zip(grad.data().par_chunks(oimg))
+            .fold(
+                || (vec![0.0f32; self.out_c * k2], vec![0.0f32; self.out_c]),
+                |(mut gw, mut gb), ((dxo, xo), go)| {
+                    if self.is_pointwise() {
+                        // gW[oc, ic] += g[oc, hw] · xᵀ; dx[ic, hw] = Wᵀ · g.
+                        gemm_nt_acc(&mut gw, go, xo, self.out_c, oh * ow, k2);
+                        gemm_tn_acc(dxo, wdata, go, k2, self.out_c, oh * ow);
+                    } else {
+                        with_scratch(&COL_SCRATCH, k2 * oh * ow, |col| {
+                            im2col(xo, col, self.in_c, h, w, self.kh, self.kw, self.stride, self.pad);
+                            // gW[oc, k2] += g[oc, ohow] · colᵀ
+                            gemm_nt_acc(&mut gw, go, col, self.out_c, oh * ow, k2);
+                        });
+                        with_scratch(&GCOL_SCRATCH, k2 * oh * ow, |gcol| {
+                            // grad_col[k2, ohow] = Wᵀ · g
+                            gcol.iter_mut().for_each(|v| *v = 0.0);
+                            gemm_tn_acc(gcol, wdata, go, k2, self.out_c, oh * ow);
+                            col2im(gcol, dxo, self.in_c, h, w, self.kh, self.kw, self.stride, self.pad);
+                        });
+                    }
+                    for (c, gc) in go.chunks(oh * ow).enumerate() {
+                        gb[c] += gc.iter().sum::<f32>();
+                    }
+                    (gw, gb)
+                },
+            )
+            .reduce(
+                || (vec![0.0f32; self.out_c * k2], vec![0.0f32; self.out_c]),
+                |(mut aw, mut ab), (bw, bb)| {
+                    for (a, b) in aw.iter_mut().zip(&bw) {
+                        *a += b;
+                    }
+                    for (a, b) in ab.iter_mut().zip(&bb) {
+                        *a += b;
+                    }
+                    (aw, ab)
+                },
+            );
+
+        for (g, v) in self.weight.grad.data_mut().iter_mut().zip(&gw) {
+            *g += v;
+        }
+        if let Some(b) = &mut self.bias {
+            for (g, v) in b.grad.data_mut().iter_mut().zip(&gb) {
+                *g += v;
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+
+    /// Direct (definition-level) convolution for cross-checking.
+    fn conv_naive(x: &Tensor, w: &Tensor, b: Option<&[f32]>, stride: usize, pad: usize) -> Tensor {
+        let (n, ic, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oc, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+        let oh = out_dim(h, kh, stride, pad);
+        let ow = out_dim(wd, kw, stride, pad);
+        let mut y = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for co in 0..oc {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = b.map(|b| b[co]).unwrap_or(0.0);
+                        for ci in 0..ic {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii = (oi * stride + ki) as isize - pad as isize;
+                                    let jj = (oj * stride + kj) as isize - pad as isize;
+                                    if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < wd
+                                    {
+                                        acc += x.at4(ni, ci, ii as usize, jj as usize)
+                                            * w.at4(co, ci, ki, kj);
+                                    }
+                                }
+                            }
+                        }
+                        y.set4(ni, co, oi, oj, acc);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        for (stride, pad, bias) in [(1, 0, false), (1, 1, true), (2, 1, false), (2, 3, true)] {
+            let mut conv = Conv2d::new(3, 5, 3, stride, pad, bias, 7);
+            let x = Tensor::randn(&[2, 3, 8, 9], 1.0, 21);
+            let y = conv.forward(&x, false);
+            let b = conv.bias.as_ref().map(|b| b.value.data().to_vec());
+            let want = conv_naive(&x, &conv.weight.value, b.as_deref(), stride, pad);
+            assert!(y.allclose(&want, 1e-4, 1e-5), "stride={stride} pad={pad} bias={bias}");
+        }
+    }
+
+    #[test]
+    fn out_shape_resnet_stem() {
+        let conv = Conv2d::new(3, 64, 7, 2, 3, false, 0);
+        assert_eq!(conv.out_shape(&[32, 3, 224, 224]), vec![32, 64, 112, 112]);
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let mut conv = Conv2d::new(2, 2, 1, 1, 0, false, 1);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], &[2, 2, 1, 1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 1, 2]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[1.0, 2.0, 11.0, 22.0]);
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, true, 5);
+        let x = Tensor::randn(&[2, 2, 6, 5], 1.0, 9);
+        // Loss = 0.5 Σ y², so dL/dy = y.
+        check_input_gradient(
+            &mut conv,
+            &x,
+            |y| 0.5 * y.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>(),
+            |y| y.clone(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn weight_gradient_numeric() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, false, 3);
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, 4);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&y.clone());
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 11, 17] {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let lp: f64 =
+                conv.forward(&x, false).data().iter().map(|&v| 0.5 * (v as f64).powi(2)).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let lm: f64 =
+                conv.forward(&x, false).data().iter().map(|&v| 0.5 * (v as f64).powi(2)).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(1.0),
+                "w[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn pointwise_fast_path_matches_general_path() {
+        // Same weights through a 1×1 conv (fast path) vs the identical
+        // mathematical op expressed as a padded 3×3 with zero borders (slow
+        // path): forward outputs and all gradients must agree.
+        let (ic, oc) = (3, 5);
+        let x = Tensor::randn(&[2, ic, 6, 7], 1.0, 11);
+        let w1 = crate::init::he_conv(oc, ic, 1, 1, 42);
+        let mut fast = Conv2d::new(ic, oc, 1, 1, 0, false, 0);
+        fast.weight.value = w1.clone();
+        // Embed the 1×1 kernel at the center of a 3×3 kernel of zeros.
+        let mut w3 = Tensor::zeros(&[oc, ic, 3, 3]);
+        for o in 0..oc {
+            for i in 0..ic {
+                w3.set4(o, i, 1, 1, w1.at4(o, i, 0, 0));
+            }
+        }
+        let mut slow = Conv2d::new(ic, oc, 3, 1, 1, false, 0);
+        slow.weight.value = w3;
+        let yf = fast.forward(&x, true);
+        let ys = slow.forward(&x, true);
+        assert!(yf.allclose(&ys, 1e-4, 1e-5));
+        let g = Tensor::randn(yf.shape(), 1.0, 9);
+        let dxf = fast.backward(&g);
+        let dxs = slow.backward(&g);
+        assert!(dxf.allclose(&dxs, 1e-4, 1e-4));
+        // The fast path's weight grad equals the center taps of the slow's.
+        for o in 0..oc {
+            for i in 0..ic {
+                let a = fast.weight.grad.at4(o, i, 0, 0);
+                let b = slow.weight.grad.at4(o, i, 1, 1);
+                assert!((a - b).abs() < 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, 2);
+        let x = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let g = Tensor::full(&[1, 1, 2, 2], 1.0);
+        conv.forward(&x, true);
+        conv.backward(&g);
+        let g1 = conv.weight.grad.data()[0];
+        conv.forward(&x, true);
+        conv.backward(&g);
+        assert_eq!(conv.weight.grad.data()[0], 2.0 * g1);
+    }
+
+    #[test]
+    fn visit_params_order() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, true, 0);
+        let mut sizes = Vec::new();
+        conv.visit_params(&mut |p| sizes.push(p.len()));
+        assert_eq!(sizes, vec![4 * 2 * 3 * 3, 4]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Inverted dropout (AlexNet/VGG classifier heads).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::{Module, Param};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: in training, zero each activation with probability `p`
+/// and scale survivors by `1/(1-p)` so evaluation is a plain identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Drop probability `p` in `[0, 1)`; `seed` makes runs reproducible.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            if train {
+                self.mask = Some(vec![true; x.len()]);
+            }
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<bool> = (0..x.len()).map(|_| self.rng.random::<f32>() < keep).collect();
+        let data = x
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| if m { v * scale } else { 0.0 })
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, x.shape())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("forward(train=true) before backward");
+        assert_eq!(mask.len(), grad.len());
+        let scale = if self.p == 0.0 { 1.0 } else { 1.0 / (1.0 - self.p) };
+        let data = grad
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g * scale } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad.shape())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::randn(&[3, 7], 1.0, 2);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_zeroes_about_p_and_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 5);
+        let x = Tensor::full(&[10_000], 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped {frac}");
+        // Inverted scaling keeps E[y] ≈ E[x].
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 9);
+        let x = Tensor::full(&[100], 2.0);
+        let y = d.forward(&x, true);
+        let g = Tensor::full(&[100], 1.0);
+        let dx = d.backward(&g);
+        for (yo, gi) in y.data().iter().zip(dx.data()) {
+            // Gradient flows exactly where the activation survived.
+            assert_eq!(*yo == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_passes_through() {
+        let mut d = Dropout::new(0.0, 3);
+        let x = Tensor::randn(&[8], 1.0, 4);
+        let y = d.forward(&x, true);
+        assert_eq!(y, x);
+        let dx = d.backward(&x);
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn p_of_one_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

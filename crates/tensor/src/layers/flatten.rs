@@ -1,0 +1,62 @@
+//! Flatten `[N, C, H, W]` → `[N, C·H·W]` (classifier heads of AlexNet/VGG,
+//! which use full spatial feature maps instead of global average pooling).
+
+use super::{Module, Param};
+use crate::tensor::Tensor;
+
+/// Reshape to 2-D, remembering the input shape for the backward pass.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    saved_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten { saved_shape: None }
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert!(s.len() >= 2, "flatten needs a batch dimension");
+        let n = s[0];
+        let rest: usize = s[1..].iter().product();
+        if train {
+            self.saved_shape = Some(s.to_vec());
+        }
+        x.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let shape = self.saved_shape.take().expect("forward(train=true) before backward");
+        grad.clone().reshape(&shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 4, 5], 1.0, 1);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        assert_eq!(y.data(), x.data());
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn already_flat_is_identity() {
+        let mut f = Flatten::new();
+        let x = Tensor::randn(&[4, 7], 1.0, 2);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[4, 7]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Spatial pooling: max pooling (ResNet/GoogLeNet stems) and global average
+//! pooling (their heads).
+
+use super::{Module, Param};
+use crate::im2col::out_dim;
+use crate::tensor::Tensor;
+
+/// Max pooling with square kernel.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    saved: Option<(Vec<usize>, Vec<usize>)>, // (argmax flat indices, input shape)
+}
+
+impl MaxPool2d {
+    /// kernel/stride/pad pooling (e.g. 3/2/1 in the ResNet stem).
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        MaxPool2d { kernel, stride, pad, saved: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4);
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let oh = out_dim(h, self.kernel, self.stride, self.pad);
+        let ow = out_dim(w, self.kernel, self.stride, self.pad);
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        let mut arg = vec![0usize; n * c * oh * ow];
+        let xd = x.data();
+        let yd = y.data_mut();
+        let mut oidx = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = base;
+                        for ki in 0..self.kernel {
+                            let ii = (oi * self.stride + ki) as isize - self.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..self.kernel {
+                                let jj = (oj * self.stride + kj) as isize - self.pad as isize;
+                                if jj < 0 || jj >= w as isize {
+                                    continue;
+                                }
+                                let idx = base + ii as usize * w + jj as usize;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        yd[oidx] = best;
+                        arg[oidx] = best_idx;
+                        oidx += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.saved = Some((arg, s.to_vec()));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (arg, shape) = self.saved.take().expect("forward(train=true) before backward");
+        assert_eq!(arg.len(), grad.len());
+        let mut dx = Tensor::zeros(&shape);
+        for (&idx, &g) in arg.iter().zip(grad.data()) {
+            dx.data_mut()[idx] += g;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Local average pooling with square kernel (inception pooling branches;
+/// padded positions count toward the divisor, matching Torch's
+/// `SpatialAveragePooling` default of `count_include_pad`).
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    saved_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// kernel/stride/pad average pooling.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        AvgPool2d { kernel, stride, pad, saved_shape: None }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4);
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let oh = out_dim(h, self.kernel, self.stride, self.pad);
+        let ow = out_dim(w, self.kernel, self.stride, self.pad);
+        let div = (self.kernel * self.kernel) as f32;
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        let mut oidx = 0usize;
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..self.kernel {
+                        let ii = (oi * self.stride + ki) as isize - self.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..self.kernel {
+                            let jj = (oj * self.stride + kj) as isize - self.pad as isize;
+                            if jj >= 0 && jj < w as isize {
+                                acc += xd[base + ii as usize * w + jj as usize];
+                            }
+                        }
+                    }
+                    yd[oidx] = acc / div;
+                    oidx += 1;
+                }
+            }
+        }
+        if train {
+            self.saved_shape = Some(s.to_vec());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let shape = self.saved_shape.take().expect("forward(train=true) before backward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = out_dim(h, self.kernel, self.stride, self.pad);
+        let ow = out_dim(w, self.kernel, self.stride, self.pad);
+        assert_eq!(grad.shape(), &[n, c, oh, ow]);
+        let div = (self.kernel * self.kernel) as f32;
+        let mut dx = Tensor::zeros(&shape);
+        let gd = grad.data();
+        let dd = dx.data_mut();
+        let mut oidx = 0usize;
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = gd[oidx] / div;
+                    oidx += 1;
+                    for ki in 0..self.kernel {
+                        let ii = (oi * self.stride + ki) as isize - self.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..self.kernel {
+                            let jj = (oj * self.stride + kj) as isize - self.pad as isize;
+                            if jj >= 0 && jj < w as isize {
+                                dd[base + ii as usize * w + jj as usize] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    saved_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// A fresh pool.
+    pub fn new() -> Self {
+        GlobalAvgPool { saved_shape: None }
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4);
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+        let mut y = Tensor::zeros(&[n, c]);
+        for nc in 0..n * c {
+            let sum: f32 = x.data()[nc * plane..(nc + 1) * plane].iter().sum();
+            y.data_mut()[nc] = sum / plane as f32;
+        }
+        if train {
+            self.saved_shape = Some(s.to_vec());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let shape = self.saved_shape.take().expect("forward(train=true) before backward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(grad.shape(), &[n, c]);
+        let plane = h * w;
+        let mut dx = Tensor::zeros(&shape);
+        for nc in 0..n * c {
+            let g = grad.data()[nc] / plane as f32;
+            dx.data_mut()[nc * plane..(nc + 1) * plane].iter_mut().for_each(|v| *v = g);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2() {
+        let mut p = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_ignores_border() {
+        // Padded positions must never win the max (negative inputs).
+        let mut p = MaxPool2d::new(3, 2, 1);
+        let x = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, false);
+        assert!(y.data().iter().all(|&v| v < 0.0), "{:?}", y.data());
+    }
+
+    #[test]
+    fn maxpool_resnet_stem_shape() {
+        let mut p = MaxPool2d::new(3, 2, 1);
+        let y = p.forward(&Tensor::zeros(&[2, 64, 112, 112]), false);
+        assert_eq!(y.shape(), &[2, 64, 56, 56]);
+    }
+
+    #[test]
+    fn maxpool_overlapping_backward_accumulates() {
+        let mut p = MaxPool2d::new(2, 1, 0);
+        // Center 4.0 is the max of all four windows... construct 3x3 with peak center.
+        let x = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 9.0, 1.0, 0.0, 1.0, 0.0], &[1, 1, 3, 3]);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::full(&[1, 1, 2, 2], 1.0));
+        assert_eq!(dx.data()[4], 4.0);
+    }
+
+    #[test]
+    fn avgpool_basic() {
+        let mut p = AvgPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let dx = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_stride1_pad1_keeps_shape() {
+        let mut p = AvgPool2d::new(3, 1, 1);
+        let x = Tensor::full(&[1, 2, 4, 4], 9.0);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+        // Interior positions average 9 over 9 cells; corners see only 4.
+        assert_eq!(y.at4(0, 0, 1, 1), 9.0);
+        assert_eq!(y.at4(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn avgpool_adjoint_property() {
+        let mut p = AvgPool2d::new(3, 2, 1);
+        let x = Tensor::randn(&[2, 3, 5, 5], 1.0, 8);
+        let y = p.forward(&x, true);
+        let g = Tensor::randn(y.shape(), 1.0, 9);
+        let dx = p.backward(&g);
+        let lhs: f64 = y.data().iter().zip(g.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x.data().iter().zip(dx.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gap_average_and_backward() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+        let dx = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

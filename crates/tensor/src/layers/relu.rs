@@ -1,0 +1,68 @@
+//! Rectified linear activation.
+
+use super::{Module, Param};
+use crate::tensor::Tensor;
+
+/// Elementwise `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("forward(train=true) before backward");
+        assert_eq!(mask.len(), grad.len());
+        let data = grad
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad.shape())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(r.forward(&x, false).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0, 0.0], &[4]);
+        let _ = r.forward(&x, true);
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0, 10.0], &[4]);
+        assert_eq!(r.backward(&g).data(), &[0.0, 10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_panics() {
+        let mut r = ReLU::new();
+        let _ = r.backward(&Tensor::zeros(&[1]));
+    }
+}

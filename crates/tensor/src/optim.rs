@@ -1,0 +1,280 @@
+//! SGD with momentum and the paper's learning-rate schedule.
+//!
+//! §5 of the paper: "We followed the warm start learning-rate schedule in
+//! [Goyal et al.]. The starting learning rate was fixed at 0.1. This is
+//! linearly ramped to `0.1·kn/256`, where k is the batch size per GPU and n
+//! is the total number of workers. We use a 90 epoch training regime with
+//! the learning rate dropped by a factor of 10 after every 30 epochs."
+
+use crate::layers::Module;
+
+/// Hyper-parameters for SGD (fb.resnet.torch defaults, which the paper uses).
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { momentum: 0.9, weight_decay: 1e-4 }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum:
+/// `v ← μ·v + g + λ·w`, `w ← w − lr·v`.
+#[derive(Debug, Clone, Default)]
+pub struct Sgd {
+    /// Hyper-parameters.
+    pub cfg: SgdConfig,
+}
+
+impl Sgd {
+    /// Optimizer with the given config.
+    pub fn new(cfg: SgdConfig) -> Self {
+        Sgd { cfg }
+    }
+
+    /// Apply one update at learning rate `lr` to every parameter of `m`,
+    /// using the gradients currently stored in the parameters.
+    pub fn step(&self, m: &mut dyn Module, lr: f32) {
+        let mu = self.cfg.momentum;
+        let wd = self.cfg.weight_decay;
+        m.visit_params(&mut |p| {
+            let decay = if p.weight_decay { wd } else { 0.0 };
+            let w = p.value.data_mut();
+            let g = p.grad.data();
+            let v = p.momentum.data_mut();
+            for i in 0..w.len() {
+                v[i] = mu * v[i] + g[i] + decay * w[i];
+                w[i] -= lr * v[i];
+            }
+        });
+    }
+}
+
+/// LARS — layer-wise adaptive rate scaling (You et al., whose 512-KNL
+/// ResNet-50 run is the paper's Table 2 comparator; LARS is what made their
+/// 32k global batch trainable). Each parameter tensor gets a local rate
+/// `trust · ‖w‖ / (‖∇‖ + λ‖w‖ + ε)` multiplying the global LR, so layers
+/// with small weights aren't blown away by large-batch gradients.
+#[derive(Debug, Clone)]
+pub struct Lars {
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay λ.
+    pub weight_decay: f32,
+    /// Trust coefficient (You et al. use 0.001–0.01).
+    pub trust: f32,
+    /// Numerical floor.
+    pub eps: f32,
+}
+
+impl Default for Lars {
+    fn default() -> Self {
+        Lars { momentum: 0.9, weight_decay: 1e-4, trust: 0.01, eps: 1e-9 }
+    }
+}
+
+impl Lars {
+    /// Apply one LARS update at global learning rate `lr`.
+    pub fn step(&self, m: &mut dyn Module, lr: f32) {
+        let (mu, wd, trust, eps) = (self.momentum, self.weight_decay, self.trust, self.eps);
+        m.visit_params(&mut |p| {
+            let wn = norm(p.value.data());
+            let gn = norm(p.grad.data());
+            let decay = if p.weight_decay { wd } else { 0.0 };
+            let local = if wn > 0.0 && gn > 0.0 {
+                trust * wn / (gn + decay * wn + eps)
+            } else {
+                1.0
+            };
+            let w = p.value.data_mut();
+            let g = p.grad.data();
+            let v = p.momentum.data_mut();
+            for i in 0..w.len() {
+                v[i] = mu * v[i] + local * lr * (g[i] + decay * w[i]);
+                w[i] -= v[i];
+            }
+        });
+    }
+}
+
+fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt() as f32
+}
+
+/// The paper's learning-rate schedule: linear warmup from `init_lr` to
+/// `base_lr` over the first `warmup_epochs`, then a step decay by 10× every
+/// `step_epochs`.
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    /// LR at epoch 0 (the paper fixes 0.1).
+    pub init_lr: f32,
+    /// Target LR after warmup: `0.1 · k·n / 256`.
+    pub base_lr: f32,
+    /// Warmup duration in epochs (5 in Goyal et al.).
+    pub warmup_epochs: f32,
+    /// Decay period (30 in the paper's 90-epoch regime).
+    pub step_epochs: f32,
+    /// Decay factor per period (0.1).
+    pub decay: f32,
+}
+
+impl LrSchedule {
+    /// The paper's schedule for `batch_per_gpu` (k) and `workers` (n = nodes
+    /// × GPUs/node).
+    pub fn paper(batch_per_gpu: usize, workers: usize) -> Self {
+        LrSchedule {
+            init_lr: 0.1,
+            base_lr: 0.1 * (batch_per_gpu * workers) as f32 / 256.0,
+            warmup_epochs: 5.0,
+            step_epochs: 30.0,
+            decay: 0.1,
+        }
+    }
+
+    /// Learning rate at a (fractional) epoch.
+    pub fn lr_at(&self, epoch: f32) -> f32 {
+        assert!(epoch >= 0.0);
+        if epoch < self.warmup_epochs && self.base_lr != self.init_lr {
+            let t = epoch / self.warmup_epochs;
+            return self.init_lr + (self.base_lr - self.init_lr) * t;
+        }
+        let drops = (epoch / self.step_epochs).floor() as i32;
+        self.base_lr * self.decay.powi(drops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Module};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut l = Linear::new(1, 1, 0);
+        l.weight.value = Tensor::from_vec(vec![0.0], &[1, 1]);
+        l.bias.value = Tensor::from_vec(vec![0.0], &[1]);
+        let sgd = Sgd::new(SgdConfig { momentum: 0.9, weight_decay: 0.0 });
+        // Constant gradient 1.0 on the weight.
+        l.weight.grad = Tensor::from_vec(vec![1.0], &[1, 1]);
+        sgd.step(&mut l, 0.1);
+        let w1 = l.weight.value.data()[0];
+        assert!((w1 + 0.1).abs() < 1e-6); // v=1, w=-0.1
+        l.weight.grad = Tensor::from_vec(vec![1.0], &[1, 1]);
+        sgd.step(&mut l, 0.1);
+        let w2 = l.weight.value.data()[0];
+        // v = 0.9·1 + 1 = 1.9, w = -0.1 - 0.19 = -0.29
+        assert!((w2 + 0.29).abs() < 1e-6, "w2 {w2}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_to_zero() {
+        let mut l = Linear::new(1, 1, 0);
+        l.weight.value = Tensor::from_vec(vec![10.0], &[1, 1]);
+        l.bias.value = Tensor::from_vec(vec![0.0], &[1]);
+        let sgd = Sgd::new(SgdConfig { momentum: 0.0, weight_decay: 0.1 });
+        // zero gradient: only decay acts.
+        sgd.step(&mut l, 1.0);
+        assert!((l.weight.value.data()[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_problem() {
+        let mut l = Linear::new(2, 2, 42);
+        let sgd = Sgd::new(SgdConfig::default());
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, -1.0, 0.5], &[4, 2]);
+        let labels = [0usize, 1, 1, 0];
+        let crit = SoftmaxCrossEntropy;
+        let first = crit.forward(&l.forward(&x, true), &labels).loss;
+        for _ in 0..200 {
+            crate::layers::zero_grads(&mut l);
+            let y = l.forward(&x, true);
+            let out = crit.forward(&y, &labels);
+            let _ = l.backward(&out.grad);
+            sgd.step(&mut l, 0.5);
+        }
+        let last = crit.forward(&l.forward(&x, false), &labels).loss;
+        assert!(last < first * 0.2, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn lars_update_scale_tracks_weight_norm() {
+        // With fixed gradients, a layer whose weights are 10× larger gets a
+        // ~10× larger update (the defining LARS property); plain SGD gives
+        // both the same update.
+        let mk = |scale: f32| {
+            let mut l = Linear::new(4, 4, 0);
+            l.weight.value.scale_(scale / l.weight.value.max_abs().max(1e-9));
+            l.weight.grad = Tensor::full(&[4, 4], 0.01);
+            l.bias.grad = Tensor::zeros(&[4]);
+            let before = l.weight.value.clone();
+            Lars { momentum: 0.0, weight_decay: 0.0, ..Lars::default() }.step(&mut l, 1.0);
+            let mut delta = before;
+            delta.sub_(&l.weight.value);
+            delta.max_abs()
+        };
+        let small = mk(0.1);
+        let large = mk(1.0);
+        let ratio = large / small;
+        assert!((8.0..12.0).contains(&ratio), "update ratio {ratio}");
+    }
+
+    #[test]
+    fn lars_trains_toy_problem() {
+        let mut l = Linear::new(2, 2, 42);
+        let lars = Lars::default();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, -1.0, 0.5], &[4, 2]);
+        let labels = [0usize, 1, 1, 0];
+        let crit = SoftmaxCrossEntropy;
+        let first = crit.forward(&l.forward(&x, true), &labels).loss;
+        for _ in 0..300 {
+            crate::layers::zero_grads(&mut l);
+            let y = l.forward(&x, true);
+            let out = crit.forward(&y, &labels);
+            let _ = l.backward(&out.grad);
+            lars.step(&mut l, 2.0);
+        }
+        let last = crit.forward(&l.forward(&x, false), &labels).loss;
+        assert!(last < first * 0.5, "LARS loss {first} → {last}");
+    }
+
+    #[test]
+    fn lars_zero_gradient_is_noop_modulo_momentum() {
+        let mut l = Linear::new(3, 3, 1);
+        l.weight.grad.zero_();
+        l.bias.grad.zero_();
+        let before = l.weight.value.clone();
+        Lars { momentum: 0.0, weight_decay: 0.0, ..Lars::default() }.step(&mut l, 1.0);
+        // local rate falls back to 1.0 but gradient is zero → no movement.
+        assert_eq!(l.weight.value, before);
+    }
+
+    #[test]
+    fn paper_schedule_values() {
+        // 256 GPUs × 32 batch/GPU = 8k batch: base LR = 0.1·8192/256 = 3.2.
+        let s = LrSchedule::paper(32, 256);
+        assert!((s.base_lr - 3.2).abs() < 1e-6);
+        assert!((s.lr_at(0.0) - 0.1).abs() < 1e-6);
+        // Midway through warmup.
+        assert!((s.lr_at(2.5) - (0.1 + (3.2 - 0.1) * 0.5)).abs() < 1e-5);
+        // After warmup, before first drop.
+        assert!((s.lr_at(10.0) - 3.2).abs() < 1e-6);
+        // After each 30-epoch drop.
+        assert!((s.lr_at(35.0) - 0.32).abs() < 1e-6);
+        assert!((s.lr_at(65.0) - 0.032).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_worker_schedule_has_no_warmup_bump() {
+        // k·n = 256 → base == init; warmup is flat.
+        let s = LrSchedule::paper(64, 4);
+        assert!((s.lr_at(0.0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(3.0) - 0.1).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,298 @@
+//! Dense row-major `f32` tensors.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![v; n], shape: shape.to_vec() }
+    }
+
+    /// Wrap existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length {} != shape product {}", data.len(), n);
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// Standard-normal values scaled by `std`, from a seeded RNG
+    /// (Box–Muller; deterministic given the seed).
+    pub fn randn(shape: &[usize], std: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.random::<f32>().max(1e-12);
+            let u2: f32 = rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let t = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * t.cos() * std);
+            if data.len() < n {
+                data.push(r * t.sin() * std);
+            }
+        }
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// Uniform values in `[lo, hi)`, from a seeded RNG.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of the same element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.data.len(), n, "reshape to incompatible size");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a 2-D index (row-major).
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Element at a 4-D index `[n, c, h, w]`.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (_, cs, hs, ws) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Set element at a 4-D index.
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (_, cs, hs, ws) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cs + c) * hs + h) * ws + w] = v;
+    }
+
+    /// Fill with zeros in place.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self += other`, elementwise.
+    pub fn add_(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_ shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`, elementwise.
+    pub fn sub_(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "sub_ shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= k`.
+    pub fn scale_(&mut self, k: f32) {
+        self.data.iter_mut().for_each(|x| *x *= k);
+    }
+
+    /// `self + other` into a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_(other);
+        out
+    }
+
+    /// Apply `f` elementwise into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element differs from `other`'s by at most
+    /// `atol + rtol·|other|`.
+    pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_and_index() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        assert_eq!(t.at2(0, 0), 0.0);
+        assert_eq!(t.at2(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(vec![1.0], &[2, 2]);
+    }
+
+    #[test]
+    fn four_d_indexing_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        t.set4(1, 2, 3, 4, 7.5);
+        assert_eq!(t.at4(1, 2, 3, 4), 7.5);
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        // Row-major: last index is contiguous.
+        let idx = ((3 + 2) * 4 + 3) * 5 + 4;
+        assert_eq!(t.data()[idx], 7.5);
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_roughly_normal() {
+        let a = Tensor::randn(&[10_000], 1.0, 7);
+        let b = Tensor::randn(&[10_000], 1.0, 7);
+        assert_eq!(a, b);
+        let mean = a.mean();
+        let var = a.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+        let c = Tensor::randn(&[16], 1.0, 8);
+        assert_ne!(a.data()[..16], *c.data());
+    }
+
+    #[test]
+    fn randn_std_scales() {
+        let a = Tensor::randn(&[1000], 0.1, 3);
+        assert!(a.max_abs() < 1.0);
+    }
+
+    #[test]
+    fn rand_uniform_in_range() {
+        let a = Tensor::rand_uniform(&[1000], -2.0, 3.0, 11);
+        assert!(a.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        a.add_(&b);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.sub_(&b);
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        a.scale_(3.0);
+        assert_eq!(a.data(), &[3.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[6.0, 10.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -5.0, 2.0], &[3]);
+        assert_eq!(t.sum(), -2.0);
+        assert!((t.mean() + 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        let a = Tensor::from_vec(vec![1.0, 100.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0005, 100.04], &[2]);
+        assert!(a.allclose(&b, 1e-3, 1e-3));
+        assert!(!a.allclose(&b, 1e-6, 1e-6));
+        let c = Tensor::zeros(&[3]);
+        assert!(!a.allclose(&c, 1.0, 1.0)); // shape mismatch
+    }
+
+    #[test]
+    fn map_applies() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        assert_eq!(t.map(|x| x.max(0.0)).data(), &[0.0, 2.0]);
+    }
+}

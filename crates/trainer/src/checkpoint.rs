@@ -1,0 +1,161 @@
+//! Checkpointing: capture and restore the full training state (weights +
+//! optimizer momentum), with a compact binary format. Multi-day ImageNet-22k
+//! runs on the paper's cluster cannot afford to lose progress; this is the
+//! mechanism a production deployment of the system needs.
+
+use dcnn_tensor::layers::{
+    collect_momentum, collect_params, set_momentum, set_params, Module,
+};
+
+const MAGIC: &[u8; 4] = b"DCKP";
+
+/// A point-in-time training state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Epochs completed when the checkpoint was taken.
+    pub epoch: u32,
+    /// Flattened model parameters.
+    pub params: Vec<f32>,
+    /// Flattened SGD momentum buffers.
+    pub momentum: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Capture the state of `m`.
+    pub fn capture(m: &mut dyn Module, epoch: u32) -> Self {
+        Checkpoint { epoch, params: collect_params(m), momentum: collect_momentum(m) }
+    }
+
+    /// Restore this state into `m` (which must have the same architecture).
+    ///
+    /// # Panics
+    /// Panics if the parameter counts don't match.
+    pub fn restore(&self, m: &mut dyn Module) {
+        set_params(m, &self.params);
+        set_momentum(m, &self.momentum);
+    }
+
+    /// Serialize to a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(16 + 4 * (self.params.len() + self.momentum.len()));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for v in &self.params {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.momentum {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a serialized checkpoint.
+    ///
+    /// # Panics
+    /// Panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= 16 && &bytes[0..4] == MAGIC, "bad checkpoint magic");
+        let epoch = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
+        let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+        assert_eq!(bytes.len(), 16 + 8 * n, "truncated checkpoint");
+        let read = |off: usize, count: usize| -> Vec<f32> {
+            bytes[off..off + 4 * count]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+                .collect()
+        };
+        Checkpoint { epoch, params: read(16, n), momentum: read(16 + 4 * n, n) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_models::resnet::ResNetConfig;
+    use dcnn_tensor::layers::zero_grads;
+    use dcnn_tensor::loss::SoftmaxCrossEntropy;
+    use dcnn_tensor::optim::{Sgd, SgdConfig};
+    use dcnn_tensor::Tensor;
+
+    fn model() -> Box<dyn Module> {
+        ResNetConfig {
+            blocks: vec![1],
+            base_width: 4,
+            bottleneck: false,
+            classes: 3,
+            input: [3, 8, 8],
+            imagenet_stem: false,
+        }
+        .build(5)
+    }
+
+    fn train_steps(m: &mut dyn Module, steps: usize, seed: u64) -> f64 {
+        let sgd = Sgd::new(SgdConfig::default());
+        let crit = SoftmaxCrossEntropy;
+        let mut last = 0.0;
+        for s in 0..steps {
+            let x = Tensor::randn(&[4, 3, 8, 8], 1.0, seed + s as u64);
+            let labels = [0usize, 1, 2, 0];
+            zero_grads(m);
+            let y = m.forward(&x, true);
+            let out = crit.forward(&y, &labels);
+            let _ = m.backward(&out.grad);
+            sgd.step(m, 0.05);
+            last = out.loss;
+        }
+        last
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut m = model();
+        train_steps(m.as_mut(), 3, 1);
+        let ck = Checkpoint::capture(m.as_mut(), 7);
+        let back = Checkpoint::from_bytes(&ck.to_bytes());
+        assert_eq!(back, ck);
+        assert_eq!(back.epoch, 7);
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        // Train 6 steps straight vs train 3, checkpoint, restore into a
+        // fresh model, train 3 more: identical losses and weights (momentum
+        // must be part of the state for this to hold).
+        let mut a = model();
+        let direct = {
+            train_steps(a.as_mut(), 3, 9);
+            train_steps(a.as_mut(), 3, 9 + 3)
+        };
+        let mut b = model();
+        train_steps(b.as_mut(), 3, 9);
+        let ck = Checkpoint::capture(b.as_mut(), 3);
+        let mut c = model();
+        ck.restore(c.as_mut());
+        let resumed = train_steps(c.as_mut(), 3, 9 + 3);
+        assert_eq!(direct, resumed, "resume diverged");
+        assert_eq!(collect_params(a.as_mut()), collect_params(c.as_mut()));
+    }
+
+    #[test]
+    fn momentum_matters() {
+        // Restoring without momentum (params only) must diverge — guards
+        // against silently dropping optimizer state.
+        let mut a = model();
+        train_steps(a.as_mut(), 3, 2);
+        let ck = Checkpoint::capture(a.as_mut(), 3);
+        let direct = train_steps(a.as_mut(), 2, 40);
+
+        let mut b = model();
+        set_params(b.as_mut(), &ck.params); // no momentum restore
+        let partial = train_steps(b.as_mut(), 2, 40);
+        assert_ne!(direct, partial, "momentum had no effect?");
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupt_checkpoint_panics() {
+        let _ = Checkpoint::from_bytes(&[0u8; 20]);
+    }
+}

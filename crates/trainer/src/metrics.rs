@@ -1,0 +1,69 @@
+//! Metrics export: CSV and JSON serialization of training statistics, for
+//! plotting the accuracy/error-vs-time curves (Figures 13–16) outside Rust.
+
+use crate::distributed::EpochStats;
+
+/// Render epoch statistics as CSV (header + one row per epoch).
+pub fn stats_to_csv(stats: &[EpochStats]) -> String {
+    let mut out = String::from("epoch,lr,train_loss,train_acc,val_acc\n");
+    for s in stats {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            s.epoch, s.lr, s.train_loss, s.train_acc, s.val_acc
+        ));
+    }
+    out
+}
+
+/// Render epoch statistics as a JSON array.
+pub fn stats_to_json(stats: &[EpochStats]) -> String {
+    serde_json::to_string_pretty(stats).expect("EpochStats serialize")
+}
+
+/// Attach modelled wall-clock hours (from an epoch-seconds figure) to each
+/// epoch: `(hours, stats)` pairs ready for a time-axis plot.
+pub fn with_time_axis(stats: &[EpochStats], epoch_secs: f64) -> Vec<(f64, EpochStats)> {
+    stats
+        .iter()
+        .map(|s| ((s.epoch + 1) as f64 * epoch_secs / 3600.0, s.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(epoch: usize) -> EpochStats {
+        EpochStats {
+            epoch,
+            train_loss: 1.0 / (epoch + 1) as f64,
+            train_acc: 0.5,
+            val_acc: 0.25 * epoch as f64,
+            lr: 0.1,
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = stats_to_csv(&[fake(0), fake(1)]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("epoch,"));
+        assert!(lines[1].starts_with("0,"));
+        assert_eq!(lines[1].split(',').count(), 5);
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let j = stats_to_json(&[fake(2)]);
+        let v: serde_json::Value = serde_json::from_str(&j).expect("valid json");
+        assert_eq!(v[0]["epoch"], 2);
+    }
+
+    #[test]
+    fn time_axis_is_cumulative() {
+        let pts = with_time_axis(&[fake(0), fake(1), fake(2)], 3600.0);
+        assert_eq!(pts[0].0, 1.0);
+        assert_eq!(pts[2].0, 3.0);
+    }
+}

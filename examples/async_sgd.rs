@@ -1,0 +1,56 @@
+//! Asynchronous SGD — the paper's §6 future work, made runnable: a
+//! parameter server on rank 0, workers pulling weights and pushing
+//! gradients, DIMD serving the batches, staleness-aware damping.
+//!
+//! ```text
+//! cargo run --release --example async_sgd
+//! ```
+
+use dist_cnn::models::resnet::ResNetConfig;
+use dist_cnn::prelude::*;
+use dist_cnn::trainer::{train_async, AsyncConfig};
+
+fn main() {
+    let mut synth = SynthConfig::tiny(5);
+    synth.train_per_class = 48;
+    synth.val_per_class = 12;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let factory = || {
+        ResNetConfig {
+            blocks: vec![1],
+            base_width: 8,
+            bottleneck: false,
+            classes: 5,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(77)
+    };
+
+    for damping in [false, true] {
+        let mut cfg = AsyncConfig::new(4, 600);
+        cfg.crop = 16;
+        cfg.staleness_damping = damping;
+        let t0 = std::time::Instant::now();
+        let stats = train_async(&cfg, &ds, factory);
+        let mut hist = vec![0usize; stats.max_staleness() as usize + 1];
+        for &s in &stats.staleness {
+            hist[s as usize] += 1;
+        }
+        println!(
+            "damping={damping}: loss {:.3} → {:.3}, val acc {:.1}%, {:.1}s wall",
+            stats.early_loss(30),
+            stats.late_loss(30),
+            stats.val_acc * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+        println!("  staleness histogram (4 workers): {hist:?}");
+    }
+    println!();
+    println!(
+        "the paper (§6): \"in-memory data distribution technique should also improve the data \
+         loading performance in the asynchronous case\" — here the same Dimd partitions serve \
+         both the synchronous and asynchronous trainers."
+    );
+}

@@ -1,0 +1,63 @@
+//! Scale projection: use the epoch-time model to project the paper's
+//! headline result — 90 epochs of ResNet-50 on 256 P100 GPUs — and sweep
+//! what-if configurations (node counts, batch sizes, interconnects) the
+//! paper could not measure.
+//!
+//! ```text
+//! cargo run --release --example scale_projection
+//! ```
+
+use dist_cnn::collectives::CostModel;
+use dist_cnn::models::resnet50;
+use dist_cnn::prelude::*;
+use dist_cnn::simnet::FatTreeConfig;
+
+fn main() {
+    let census = resnet50();
+    let wl = Workload::imagenet_1k();
+    let payload = 102e6;
+
+    println!("== 90-epoch ResNet-50 wall time vs cluster size (batch 32/GPU) ==");
+    println!("{:>6} {:>6} {:>12} {:>12} {:>10}", "nodes", "GPUs", "s/epoch", "90 epochs", "scaling");
+    let mut t8 = 0.0;
+    for nodes in [8usize, 16, 32, 64] {
+        let m = EpochTimeModel::minsky(nodes);
+        let b = m.epoch(&census, &wl, 32, &OptimizationFlags::fully_optimized(), Some(payload));
+        let total = b.total();
+        if nodes == 8 {
+            t8 = total;
+        }
+        let eff = t8 / (total * nodes as f64 / 8.0) * 100.0;
+        println!(
+            "{:>6} {:>6} {:>11.1}s {:>9.1} min {:>9.1}%",
+            nodes,
+            nodes * 4,
+            total,
+            total * 90.0 / 60.0,
+            eff
+        );
+    }
+    println!("paper: 48 minutes on 256 GPUs (64 nodes), Table 2.\n");
+
+    println!("== where the time goes at 64 nodes ==");
+    let m = EpochTimeModel::minsky(64);
+    let b = m.epoch(&census, &wl, 32, &OptimizationFlags::fully_optimized(), Some(payload));
+    println!("  iterations/epoch: {}", b.iterations);
+    println!("  compute   {:>8.1}s", b.compute);
+    println!("  dpt       {:>8.1}s", b.dpt);
+    println!("  allreduce {:>8.1}s", b.allreduce);
+    println!("  shuffle   {:>8.1}s", b.shuffle);
+    println!("  total     {:>8.1}s/epoch\n", b.total());
+
+    println!("== what-if: interconnect sensitivity (64 nodes, multicolor, 102 MB) ==");
+    let cost = CostModel::default();
+    for (label, gbps, nics) in [("1×25G", 25.0, 1), ("1×100G", 100.0, 1), ("2×100G (paper)", 100.0, 2), ("2×200G", 200.0, 2)] {
+        let mut cfg = FatTreeConfig::minsky(64);
+        cfg.nic_bandwidth = dist_cnn::simnet::gbps_to_bytes_per_sec(gbps);
+        cfg.nics_per_node = nics;
+        let topo = FatTree::new(cfg);
+        let algo = AllreduceAlgo::MultiColor(4).build();
+        let secs = algo.schedule(64, payload, &cost).simulate(&topo, &SimOptions::default()).makespan;
+        println!("  {:<16} allreduce {:>7.1} ms/iter", label, secs * 1e3);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # dist-cnn
+//!
+//! A from-scratch Rust reproduction of **Kumar, Sreedhar, Saxena, Sabharwal,
+//! Verma — "Efficient Training of Convolutional Neural Nets on Large
+//! Distributed Systems" (IEEE CLUSTER 2018, arXiv:1711.00705)**.
+//!
+//! The paper optimizes data-parallel synchronous SGD in Torch on a 32-node
+//! POWER8/P100 cluster through three techniques, all implemented here:
+//!
+//! 1. **DIMD** — distributed in-memory data with an `MPI_Alltoallv` shuffle
+//!    ([`dimd`]),
+//! 2. **multi-color MPI Allreduce** — disjoint-interior k-ary spanning trees
+//!    ([`collectives`]),
+//! 3. **data-parallel-table optimizations** ([`dpt`]).
+//!
+//! The hardware the paper measured on is substituted by simulators built in
+//! this workspace (fat-tree fluid-flow network: [`simnet`]; P100/Minsky
+//! roofline: [`gpusim`]) while the *mathematics* of training runs for real
+//! ([`tensor`], [`models`], [`trainer`]). See `DESIGN.md` for the full
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dist_cnn::prelude::*;
+//!
+//! // Train a scaled ResNet across 2 learner ranks × 2 simulated GPUs,
+//! // multi-color allreduce, DIMD partitions, for 1 epoch.
+//! let ds = SynthImageNet::new(SynthConfig::tiny(4));
+//! let mut cfg = TrainConfig::paper(2, 2, 4, 1);
+//! cfg.crop = 32;
+//! let stats = train_distributed(&cfg, &ds, || {
+//!     dist_cnn::models::resnet::ResNetConfig::tiny(4).build(7)
+//! });
+//! assert_eq!(stats.len(), 1);
+//! assert!(stats[0].train_loss.is_finite());
+//! ```
+
+pub use dcnn_core::*;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo, Comm, MultiColor};
+    pub use dcnn_dimd::{Dimd, FileServer, SynthConfig, SynthImageNet};
+    pub use dcnn_dpt::{DptExecutor, DptStrategy};
+    pub use dcnn_gpusim::{DeviceModel, NodeModel};
+    pub use dcnn_models::{googlenet_bn, resnet50};
+    pub use dcnn_simnet::{CommSchedule, FatTree, SimOptions};
+    pub use dcnn_tensor::{Module, Sgd, Tensor};
+    pub use dcnn_trainer::{
+        train_distributed, EpochTimeModel, OptimizationFlags, TrainConfig, Workload,
+    };
+}

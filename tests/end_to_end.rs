@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full Algorithm-1 stack — DIMD
+//! partitions, DPT executors, multi-color allreduce, SGD with the paper's
+//! schedule — wired together exactly as the paper's system is.
+
+use dist_cnn::models::resnet::ResNetConfig;
+use dist_cnn::prelude::*;
+use dist_cnn::tensor::optim::LrSchedule;
+
+fn flat_lr(lr: f32) -> LrSchedule {
+    LrSchedule { init_lr: lr, base_lr: lr, warmup_epochs: 1.0, step_epochs: 1000.0, decay: 0.1 }
+}
+
+fn tiny_ds(classes: usize) -> SynthImageNet {
+    let mut cfg = SynthConfig::tiny(classes);
+    cfg.train_per_class = 32;
+    cfg.val_per_class = 8;
+    cfg.base_hw = 16;
+    cfg.noise = 10.0;
+    SynthImageNet::new(cfg)
+}
+
+fn tiny_factory(classes: usize) -> impl Fn() -> Box<dyn Module> + Sync {
+    move || {
+        ResNetConfig {
+            blocks: vec![1],
+            base_width: 6,
+            bottleneck: false,
+            classes,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(123)
+    }
+}
+
+#[test]
+fn full_stack_trains_and_converges() {
+    let ds = tiny_ds(4);
+    let mut cfg = TrainConfig::paper(2, 2, 4, 6);
+    cfg.crop = 16;
+    cfg.lr = flat_lr(0.06);
+    let stats = train_distributed(&cfg, &ds, tiny_factory(4));
+    assert_eq!(stats.len(), 6);
+    let first = stats[0].train_loss;
+    let last = stats[5].train_loss;
+    assert!(last < first, "loss {first:.3} → {last:.3}");
+    let best = stats.iter().map(|s| s.val_acc).fold(0.0, f64::max);
+    assert!(best > 0.4, "val accuracy {best:.2} vs 0.25 chance");
+}
+
+#[test]
+fn every_allreduce_algorithm_trains_identically() {
+    // The optimization claims of the paper rest on the collectives being
+    // exact: any algorithm must produce the same training trajectory.
+    let ds = tiny_ds(3);
+    let losses: Vec<f64> = [
+        AllreduceAlgo::MultiColor(4),
+        AllreduceAlgo::PipelinedRing,
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::RingReduceScatter,
+        AllreduceAlgo::HalvingDoubling,
+    ]
+    .into_iter()
+    .map(|algo| {
+        let mut cfg = TrainConfig::paper(3, 1, 4, 2);
+        cfg.crop = 16;
+        cfg.lr = flat_lr(0.05);
+        cfg.algo = algo;
+        cfg.validate = false;
+        cfg.shuffle_every_epochs = 0;
+        let stats = train_distributed(&cfg, &ds, tiny_factory(3));
+        stats.last().expect("stats").train_loss
+    })
+    .collect();
+    for w in losses.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 3e-3 * w[0].max(w[1]),
+            "allreduce algorithms diverged: {losses:?}"
+        );
+    }
+}
+
+#[test]
+fn shuffling_does_not_break_training() {
+    let ds = tiny_ds(3);
+    let mut cfg = TrainConfig::paper(2, 1, 4, 4);
+    cfg.crop = 16;
+    cfg.lr = flat_lr(0.05);
+    cfg.shuffle_every_epochs = 1; // shuffle aggressively
+    let stats = train_distributed(&cfg, &ds, tiny_factory(3));
+    assert!(stats.iter().all(|s| s.train_loss.is_finite()));
+    assert!(stats.last().expect("stats").train_loss < stats[0].train_loss * 1.2);
+}
+
+#[test]
+fn replicas_stay_synchronized_across_ranks() {
+    // Algorithm 1's invariant: every GPU's weights are identical after every
+    // iteration. Train a little, then have each rank hash its weights.
+    let ds = tiny_ds(3);
+    let factory = tiny_factory(3);
+    let hashes = run_cluster(3, |comm| {
+        // Check the primitive invariant directly: allreduced gradients are
+        // identical across ranks, so identical SGD updates keep replicas in
+        // sync.
+        let algo = AllreduceAlgo::MultiColor(2).build();
+        let mut dimd = Dimd::load_partition(&ds, comm.rank(), comm.size(), 70, comm.rank() as u64);
+        let mut exec = DptExecutor::new(2, &factory);
+        let mut digest = 0u64;
+        for step in 0..3 {
+            let (x, labels) = dimd.random_batch(4, 16);
+            let out = exec.step(&x, &labels, DptStrategy::Optimized);
+            let mut grad = out.grad;
+            algo.run(comm, &mut grad);
+            for (i, g) in grad.iter().enumerate().step_by(97) {
+                digest = digest
+                    .wrapping_mul(0x100000001b3)
+                    .wrapping_add((g.to_bits() as u64) ^ i as u64 ^ step);
+            }
+        }
+        digest
+    });
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]), "ranks diverged: {hashes:?}");
+}
+
+#[test]
+fn group_partitioned_dimd_with_subcommunicator_shuffle() {
+    // §4.1's group-based partitioning: 4 learners in 2 groups of 2; each
+    // group collectively owns the dataset and shuffles within itself.
+    let ds = tiny_ds(4);
+    let per_rank = run_cluster(4, |comm| {
+        let group = comm.rank() / 2;
+        let sub = comm.split(group as u64, comm.rank() as i64);
+        let mut dimd = Dimd::load_partition(&ds, sub.rank(), sub.size(), 70, 5);
+        dimd.shuffle(&sub, 0, dist_cnn::dimd::shuffle::MPI_COUNT_LIMIT);
+        dimd.len()
+    });
+    // Each group holds one full copy of the dataset.
+    assert_eq!(per_rank[0] + per_rank[1], ds.train_len());
+    assert_eq!(per_rank[2] + per_rank[3], ds.train_len());
+}
+
+#[test]
+fn paper_lr_schedule_drives_training() {
+    // Warmup then decay, as §5 specifies, on a larger effective batch.
+    let ds = tiny_ds(3);
+    let mut cfg = TrainConfig::paper(2, 2, 4, 3);
+    cfg.crop = 16;
+    // paper schedule: k=4, n=4 workers → base_lr 0.1·16/256 ≈ 0.00625 — too
+    // small to learn quickly; verify mechanics rather than accuracy.
+    let stats = train_distributed(&cfg, &ds, tiny_factory(3));
+    assert!(stats[0].lr <= cfg.lr.lr_at(0.0) + 1e-6);
+    assert!(stats.iter().all(|s| s.train_loss.is_finite()));
+}

@@ -1,0 +1,147 @@
+//! Integration tests asserting the *shapes* of the paper's results — who
+//! wins, by roughly what factor — across the composed simulation stack.
+
+use dist_cnn::collectives::CostModel;
+use dist_cnn::experiments;
+use dist_cnn::models::{googlenet_bn, resnet50};
+use dist_cnn::prelude::*;
+
+#[test]
+fn fig5_shape_multicolor_wins_at_large_sizes() {
+    let rows = experiments::fig5(16, false);
+    let t = |algo: &str, mb: f64| {
+        rows.iter().find(|r| r.algo == algo && r.mb == mb).expect("row").secs
+    };
+    // At the paper's 93 MB payload: multicolor < ring < default, and the
+    // multicolor saving over default is in the 50–60%+ region.
+    let (mc, ring, rd) = (t("multicolor", 93.0), t("ring", 93.0), t("openmpi-default", 93.0));
+    assert!(mc < ring && ring < rd);
+    let saving = 1.0 - mc / rd;
+    assert!(saving > 0.45, "saving {saving:.2}");
+}
+
+#[test]
+fn fig6_shape_ordering_and_scaling() {
+    let rows = experiments::fig6();
+    for nodes in [8usize, 16, 32] {
+        let t = |algo: &str| {
+            rows.iter()
+                .find(|r| r.nodes == nodes && r.algo == algo)
+                .expect("row")
+                .epoch_secs
+        };
+        assert!(t("multicolor") < t("ring"));
+        assert!(t("ring") < t("openmpi-default"));
+    }
+    // All three algorithms scale with node count (paper: "all the three
+    // algorithms scale with the number of learners").
+    for algo in ["multicolor", "ring", "openmpi-default"] {
+        let series: Vec<f64> = [8usize, 16, 32]
+            .iter()
+            .map(|&n| {
+                rows.iter().find(|r| r.nodes == n && r.algo == algo).expect("row").epoch_secs
+            })
+            .collect();
+        assert!(series[0] > series[1] && series[1] > series[2], "{algo}: {series:?}");
+    }
+}
+
+#[test]
+fn fig7_fig8_shuffle_times_fall_with_nodes() {
+    for rows in [experiments::fig7(), experiments::fig8()] {
+        for w in rows.windows(2) {
+            assert!(w[1].shuffle_secs < w[0].shuffle_secs);
+            assert!(w[1].memory_gb < w[0].memory_gb);
+        }
+    }
+    // Figure 7 magnitude: 22k at 32 nodes is seconds, not minutes.
+    let f7 = experiments::fig7();
+    let last = f7.last().expect("rows");
+    assert!(last.shuffle_secs > 0.5 && last.shuffle_secs < 20.0);
+}
+
+#[test]
+fn fig10_11_12_gains_positive() {
+    for (rows, lo) in [
+        (experiments::fig10(), 0.12),
+        (experiments::fig11(), 0.05),
+        (experiments::fig12(), 0.05),
+    ] {
+        for r in &rows {
+            assert!(r.gain > lo, "{} at {} nodes: gain {:.3}", r.model, r.nodes, r.gain);
+        }
+    }
+}
+
+#[test]
+fn table2_headline_within_reach_of_48_minutes() {
+    let rows = experiments::table2();
+    let ours = rows
+        .iter()
+        .find(|r| r.description == "Our work")
+        .and_then(|r| r.modeled_minutes)
+        .expect("modelled row");
+    // Paper: 48 minutes. Constants were fixed a priori; require the same
+    // ballpark (the shape claim is "well under the prior 65-minute record").
+    assert!(
+        (35.0..=65.0).contains(&ours),
+        "90-epoch 256-GPU ResNet-50: {ours:.0} min (paper 48)"
+    );
+}
+
+#[test]
+fn record_run_beats_65_minute_prior() {
+    let rows = experiments::table2();
+    let ours = rows
+        .iter()
+        .find(|r| r.description == "Our work")
+        .and_then(|r| r.modeled_minutes)
+        .expect("modelled");
+    assert!(ours < 65.0, "must beat Goyal et al.'s 65 minutes: {ours:.0}");
+}
+
+#[test]
+fn epoch_model_breakdown_consistency() {
+    // total == sum of parts, and compute dominates in the optimized config
+    // (the premise of weak-scaling training).
+    let m = EpochTimeModel::minsky(16);
+    let b = m.epoch(
+        &resnet50(),
+        &Workload::imagenet_1k(),
+        64,
+        &OptimizationFlags::fully_optimized(),
+        None,
+    );
+    let sum = b.compute + b.dpt + b.allreduce + b.data_io + b.shuffle;
+    assert!((b.total() - sum).abs() < 1e-9);
+    assert!(b.compute > b.total() * 0.5, "compute fraction {:.2}", b.compute / b.total());
+    assert_eq!(b.data_io, 0.0);
+}
+
+#[test]
+fn censuses_payloads_near_quoted_sizes() {
+    // ResNet-50's census payload matches its quoted 102 MB; GoogLeNet-BN's
+    // census is ~46 MB vs the paper's quoted 93 MB Torch buffer (documented
+    // substitution: experiments use the paper's quoted payload).
+    assert!((resnet50().payload_bytes() / 1e6 - 102.0).abs() < 2.0);
+    let g = googlenet_bn().payload_bytes() / 1e6;
+    assert!((40.0..60.0).contains(&g), "GoogLeNet census payload {g:.0} MB");
+}
+
+#[test]
+fn allreduce_cost_model_sanity_across_node_counts() {
+    // Multicolor allreduce stays fast as the cluster grows (Figure 6's
+    // premise of ~90% scaling efficiency).
+    let cost = CostModel::default();
+    let algo = AllreduceAlgo::MultiColor(4).build();
+    let mut times = Vec::new();
+    for nodes in [8usize, 16, 32] {
+        let topo = FatTree::minsky(nodes);
+        times.push(
+            algo.schedule(nodes, 93e6, &cost)
+                .simulate(&topo, &SimOptions::default())
+                .makespan,
+        );
+    }
+    assert!(times[2] < times[0] * 3.0, "multicolor blew up with scale: {times:?}");
+}
