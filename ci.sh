@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification + lint gate. Run from the repo root.
+#
+# All third-party deps are vendored path crates (see vendor/), so the build
+# needs no network; --offline makes that explicit but some cargo versions
+# reject it when the lockfile predates vendoring, so fall back to a plain
+# invocation if the offline one fails to start.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "+ $*"
+    "$@"
+}
+
+cargo_try_offline() {
+    if ! run cargo --offline "$@"; then
+        echo "retrying without --offline"
+        run cargo "$@"
+    fi
+}
+
+cargo_try_offline build --release
+cargo_try_offline test -q --workspace
+
+# Lint gate: warnings are errors. Clippy may be absent on minimal
+# toolchains; skip (loudly) rather than fail the whole gate.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo_try_offline clippy --workspace --all-targets -- -D warnings
+else
+    echo "cargo clippy not installed; skipping lint gate"
+fi
+
+echo "ci.sh: all checks passed"

@@ -329,10 +329,79 @@ pub fn render_extensions() -> String {
     s
 }
 
+/// One rank's communication counters from a real allreduce run on the
+/// threaded runtime (not the virtual-time simulator): what the runtime's
+/// tracing/diagnostics layer measures while the collective executes.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CommRow {
+    /// Rank within the run.
+    pub rank: usize,
+    /// Bytes this rank pushed onto the wire.
+    pub bytes_sent: u64,
+    /// Messages this rank pushed onto the wire.
+    pub msgs_sent: u64,
+    /// Milliseconds this rank's receives spent blocked.
+    pub recv_wait_ms: f64,
+    /// High-water mark of the out-of-order message stash.
+    pub stash_hwm: u64,
+    /// Milliseconds inside the allreduce phase.
+    pub allreduce_ms: f64,
+}
+
+/// Run the paper's multi-color allreduce for real across `nodes` rank
+/// threads on a `elems`-element buffer and collect per-rank counters.
+pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
+    use dcnn_core::collectives::{Allreduce, ClusterBuilder, MultiColor};
+    let algo = MultiColor::new(4);
+    let run = ClusterBuilder::new(nodes).run(|c| {
+        let mut buf = vec![c.rank() as f32 + 1.0; elems];
+        algo.run(c, &mut buf);
+    });
+    run.stats
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| CommRow {
+            rank,
+            bytes_sent: s.bytes_sent,
+            msgs_sent: s.msgs_sent,
+            recv_wait_ms: s.recv_wait_ns as f64 / 1e6,
+            stash_hwm: s.stash_hwm,
+            allreduce_ms: s.phase("multicolor") as f64 / 1e6,
+        })
+        .collect()
+}
+
+/// Render the `comm` experiment: per-rank runtime counters for a real
+/// multi-color allreduce (8 ranks, 256 KiB payload).
+pub fn render_comm() -> String {
+    let rows = comm_rows(8, 65_536);
+    let table = markdown_table(
+        &["rank", "bytes sent", "msgs", "recv wait ms", "stash hwm", "allreduce ms"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rank.to_string(),
+                    r.bytes_sent.to_string(),
+                    r.msgs_sent.to_string(),
+                    format!("{:.2}", r.recv_wait_ms),
+                    r.stash_hwm.to_string(),
+                    format!("{:.2}", r.allreduce_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        "## Comm — runtime counters for a real multi-color allreduce (8 ranks, 256 KiB)\n\n\
+         Per-rank counters from the threaded runtime's diagnostics layer; set DCNN_TRACE=1 \
+         for the full per-message event log.\n\n{table}"
+    )
+}
+
 /// Every experiment name accepted by the harnesses.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "table1", "table2", "ext",
+    "table1", "table2", "ext", "comm",
 ];
 
 /// Serialize one experiment's rows as pretty JSON (for plotting scripts and
@@ -355,6 +424,7 @@ pub fn to_json(name: &str, scale: &AccuracyScale) -> String {
         "table1" => j(&experiments::table1()),
         "table2" => j(&experiments::table2()),
         "ext" => j(&(experiments::color_ablation(16, 93e6), experiments::mapping_ablation(32, 93e6, 4))),
+        "comm" => j(&comm_rows(8, 65_536)),
         other => panic!("unknown experiment {other}; try one of {ALL_EXPERIMENTS:?}"),
     }
 }
@@ -375,6 +445,7 @@ pub fn render(name: &str, scale: &AccuracyScale) -> String {
         "table1" => render_table1(),
         "table2" => render_table2(),
         "ext" => render_extensions(),
+        "comm" => render_comm(),
         other => panic!("unknown experiment {other}; try one of {ALL_EXPERIMENTS:?}"),
     }
 }

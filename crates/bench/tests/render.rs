@@ -1,7 +1,7 @@
 //! Smoke tests for the report renderers (cheap experiments only — the
 //! accuracy figures are exercised by `dcnn-core`'s own tests).
 
-use dcnn_bench::{render_fig7, render_fig9, render_table2, to_json};
+use dcnn_bench::{render_comm, render_fig7, render_fig9, render_table2, to_json};
 use dcnn_core::experiments::AccuracyScale;
 
 #[test]
@@ -34,6 +34,21 @@ fn json_rows_parse() {
     let v: serde_json::Value = serde_json::from_str(&j).expect("valid json");
     assert_eq!(v.as_array().expect("array").len(), 3);
     assert!(v[0]["shuffle_secs"].as_f64().expect("number") > 0.0);
+}
+
+#[test]
+fn comm_counters_come_from_a_real_run() {
+    let s = render_comm();
+    // Header + separator + 8 rank rows.
+    assert_eq!(s.lines().filter(|l| l.starts_with('|')).count(), 10);
+    let j = to_json("comm", &AccuracyScale::quick());
+    let v: serde_json::Value = serde_json::from_str(&j).expect("valid json");
+    let rows = v.as_array().expect("array");
+    assert_eq!(rows.len(), 8);
+    for r in rows {
+        assert!(r["bytes_sent"].as_u64().expect("bytes") > 0);
+        assert!(r["allreduce_ms"].as_f64().expect("phase") > 0.0);
+    }
 }
 
 #[test]

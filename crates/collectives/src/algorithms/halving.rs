@@ -26,6 +26,7 @@ impl Allreduce for HalvingDoubling {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let _phase = comm.phase(self.name());
         let n = comm.size();
         if n <= 1 {
             return;

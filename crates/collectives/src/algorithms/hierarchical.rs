@@ -35,6 +35,7 @@ impl Allreduce for Hierarchical {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let _phase = comm.phase(self.name());
         let n = comm.size();
         if n <= 1 {
             return;

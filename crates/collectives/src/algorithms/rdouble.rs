@@ -56,6 +56,7 @@ impl Allreduce for RecursiveDoubling {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let _phase = comm.phase(self.name());
         let n = comm.size();
         if n <= 1 {
             return;

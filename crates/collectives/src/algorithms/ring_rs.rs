@@ -25,6 +25,7 @@ impl Allreduce for RingReduceScatter {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let _phase = comm.phase(self.name());
         let n = comm.size();
         if n <= 1 {
             return;

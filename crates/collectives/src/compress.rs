@@ -117,6 +117,7 @@ impl<A: Allreduce> Allreduce for Fp16Allreduce<A> {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        let _phase = comm.phase(self.name());
         quantize_f16(buf);
         self.inner.run(comm, buf);
     }

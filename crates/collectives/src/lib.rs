@@ -40,6 +40,7 @@ pub mod compress;
 pub mod primitives;
 pub mod reduce;
 pub mod runtime;
+pub mod trace;
 pub mod tree;
 
 pub use algorithms::{
@@ -47,5 +48,6 @@ pub use algorithms::{
     PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
-pub use runtime::{run_cluster, Comm};
+pub use runtime::{run_cluster, ClusterBuilder, ClusterRun, Comm, CommStats};
+pub use trace::{render_trace, TraceEvent, TraceEventKind};
 pub use tree::ColorTree;

@@ -17,6 +17,7 @@ const TAG_A2A: u32 = 0x0400_0000;
 
 /// Binomial-tree broadcast of a byte buffer from `root`.
 pub fn bcast_bytes(comm: &Comm, root: usize, buf: &mut Vec<u8>) {
+    let _phase = comm.phase("bcast");
     let n = comm.size();
     if n <= 1 {
         return;
@@ -45,6 +46,7 @@ pub fn bcast_bytes(comm: &Comm, root: usize, buf: &mut Vec<u8>) {
 
 /// Binomial-tree broadcast of an `f32` buffer from `root`.
 pub fn bcast_f32(comm: &Comm, root: usize, buf: &mut [f32]) {
+    let _phase = comm.phase("bcast");
     let n = comm.size();
     if n <= 1 {
         return;
@@ -74,6 +76,7 @@ pub fn bcast_f32(comm: &Comm, root: usize, buf: &mut [f32]) {
 /// holds the elementwise sum over all ranks; other ranks' buffers are
 /// unspecified (they hold partial sums).
 pub fn reduce_f32(comm: &Comm, root: usize, buf: &mut [f32]) {
+    let _phase = comm.phase("reduce");
     let n = comm.size();
     if n <= 1 {
         return;
@@ -99,6 +102,7 @@ pub fn reduce_f32(comm: &Comm, root: usize, buf: &mut [f32]) {
 /// Gather per-rank byte buffers at `root`. Returns `Some(all)` on the root
 /// (indexed by rank), `None` elsewhere.
 pub fn gather_bytes(comm: &Comm, root: usize, mine: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    let _phase = comm.phase("gather");
     let n = comm.size();
     if comm.rank() == root {
         let mut all: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -119,6 +123,7 @@ pub fn gather_bytes(comm: &Comm, root: usize, mine: Vec<u8>) -> Option<Vec<Vec<u
 /// Allgather byte buffers: every rank receives all ranks' buffers, indexed
 /// by rank. Implemented as gather-to-0 + broadcast.
 pub fn allgather_bytes(comm: &Comm, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    let _phase = comm.phase("allgather");
     let n = comm.size();
     let gathered = gather_bytes(comm, 0, mine);
     // Flatten with a length prefix table so one broadcast moves everything.
@@ -157,6 +162,7 @@ pub fn allgather_bytes(comm: &Comm, mine: Vec<u8>) -> Vec<Vec<u8>> {
 /// shuffle is built on (paper Algorithm 2); the pairwise schedule matches
 /// what MPI libraries use for large messages.
 pub fn alltoallv_bytes(comm: &Comm, mut send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let _phase = comm.phase("alltoallv");
     let n = comm.size();
     assert_eq!(send.len(), n, "alltoallv needs one buffer per rank");
     let r = comm.rank();

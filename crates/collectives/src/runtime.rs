@@ -1,27 +1,50 @@
 //! Threaded rank runtime: the crate's stand-in for MPI.
 //!
 //! [`run_cluster`] spawns one OS thread per rank and gives each a [`Comm`]
-//! for the world communicator. Point-to-point messages travel over unbounded
-//! crossbeam channels (an *eager* protocol: sends never block, so collectives
-//! written against this runtime are deadlock-free as long as every posted
-//! receive is eventually matched). Tag matching follows MPI semantics: a
-//! receive names `(source, communicator, tag)` and out-of-order arrivals are
-//! stashed.
+//! for the world communicator. Point-to-point messages travel over one
+//! `std::sync::mpsc` inbox per rank (an *eager* protocol: sends never block,
+//! so collectives written against this runtime are deadlock-free as long as
+//! every posted receive is eventually matched). Tag matching follows MPI
+//! semantics: a receive names `(source, communicator, tag)` and out-of-order
+//! arrivals are stashed.
 //!
 //! [`Comm::split`] creates sub-communicators the way `MPI_Comm_split` does;
 //! DIMD's group-based shuffle (paper §4.1, Figure 9) is built on it.
+//!
+//! ## Deadlock watchdog
+//!
+//! A receive that stays blocked past the cluster's receive timeout
+//! ([`ClusterBuilder::recv_timeout`], default 60 s, overridable with the
+//! `DCNN_RECV_TIMEOUT_MS` environment variable) does not die with a bare
+//! timeout panic. Instead, every blocked rank publishes its blocked-receive
+//! descriptor `(rank, sources, comm, tag)` and a snapshot of its stash keys
+//! into a shared diagnostics registry; the first rank to time out assembles
+//! the cross-rank wait-for graph, runs cycle detection, and panics with a
+//! readable report naming every blocked rank, what it waits for, what it
+//! has stashed, and the deadlock cycle if one exists. All other timing-out
+//! ranks panic with the same (memoized) report.
+//!
+//! ## Tracing and counters
+//!
+//! [`ClusterBuilder::trace`] (or `DCNN_TRACE=1`) turns on per-rank event
+//! recording (see [`crate::trace`]); the runtime always keeps cheap per-rank
+//! counters — bytes/messages sent and received, time spent blocked in
+//! receives, stash high-water mark, and per-phase timings via
+//! [`Comm::phase`] — returned as [`CommStats`] in [`ClusterRun::stats`] and
+//! queryable mid-run with [`Comm::stats`].
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use crate::trace::{trace_enabled_from_env, TraceEvent, TraceEventKind};
 
-/// How long a receive may wait before the runtime declares a deadlock.
+/// Default time a receive may wait before the watchdog declares a deadlock.
 /// Collectives in this crate complete in milliseconds; 60 s means "a bug".
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Payload of a message. Keeping `f32` payloads typed avoids any
 /// serialization cost on the hot allreduce path (the buffer is moved through
@@ -67,87 +90,473 @@ struct Msg {
     payload: Payload,
 }
 
-/// Per-rank receive state: one channel per peer plus an out-of-order stash.
+/// A blocked-receive descriptor, published to the diagnostics registry while
+/// a rank waits in a receive past the first poll interval.
+#[derive(Debug, Clone)]
+struct BlockedRecv {
+    /// Global ranks the receive can match (one entry for a plain `recv`,
+    /// the whole group for `recv_any`).
+    sources: Vec<usize>,
+    /// True for an any-source receive.
+    any_source: bool,
+    comm_id: u64,
+    tag: u32,
+    /// Nanoseconds since cluster start when the rank blocked.
+    since_ns: u64,
+}
+
+/// Per-rank slot in the shared diagnostics registry.
+#[derive(Default)]
+struct RankDiag {
+    blocked: Option<BlockedRecv>,
+    /// Stash keys `(src, comm_id, tag, queued)` snapshotted at block time.
+    stash_keys: Vec<(usize, u64, u32, usize)>,
+}
+
+/// State shared by every rank of one cluster run: configuration, the
+/// diagnostics registry, and the sinks results are flushed into.
+struct ClusterShared {
+    epoch: Instant,
+    recv_timeout: Duration,
+    trace_on: bool,
+    diags: Vec<Mutex<RankDiag>>,
+    /// Memoized deadlock report: built once by the first rank to time out,
+    /// then reused by every other rank so all panics carry the same text.
+    report: Mutex<Option<Arc<String>>>,
+    trace_sink: Mutex<Vec<TraceEvent>>,
+    stats_sink: Mutex<Vec<CommStats>>,
+}
+
+impl ClusterShared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Per-rank counters and trace buffer, shared by every [`Comm`] handle of
+/// the rank (world and splits), like an MPI profiling layer.
+struct RankLocal {
+    rank: usize,
+    shared: Arc<ClusterShared>,
+    bytes_sent: Cell<u64>,
+    msgs_sent: Cell<u64>,
+    bytes_recvd: Cell<u64>,
+    msgs_recvd: Cell<u64>,
+    recv_wait_ns: Cell<u64>,
+    recv_blocks: Cell<u64>,
+    stash_hwm: Cell<u64>,
+    /// Inclusive per-phase wall time: `(label, ns, entries)`.
+    phases: RefCell<Vec<(&'static str, u64, u64)>>,
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl RankLocal {
+    fn new(rank: usize, shared: Arc<ClusterShared>) -> Self {
+        RankLocal {
+            rank,
+            shared,
+            bytes_sent: Cell::new(0),
+            msgs_sent: Cell::new(0),
+            bytes_recvd: Cell::new(0),
+            msgs_recvd: Cell::new(0),
+            recv_wait_ns: Cell::new(0),
+            recv_blocks: Cell::new(0),
+            stash_hwm: Cell::new(0),
+            phases: RefCell::new(Vec::new()),
+            events: RefCell::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn trace(&self, kind: TraceEventKind, comm_id: u64, tag: u32, peer: Option<usize>, bytes: usize) {
+        if !self.shared.trace_on {
+            return;
+        }
+        self.events.borrow_mut().push(TraceEvent {
+            t_ns: self.shared.now_ns(),
+            rank: self.rank,
+            kind,
+            comm_id,
+            tag,
+            peer,
+            bytes,
+        });
+    }
+
+    fn add_phase(&self, label: &'static str, ns: u64) {
+        let mut phases = self.phases.borrow_mut();
+        if let Some(p) = phases.iter_mut().find(|p| p.0 == label) {
+            p.1 += ns;
+            p.2 += 1;
+        } else {
+            phases.push((label, ns, 1));
+        }
+    }
+
+    fn snapshot(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.get(),
+            msgs_sent: self.msgs_sent.get(),
+            bytes_recvd: self.bytes_recvd.get(),
+            msgs_recvd: self.msgs_recvd.get(),
+            recv_wait_ns: self.recv_wait_ns.get(),
+            recv_blocks: self.recv_blocks.get(),
+            stash_hwm: self.stash_hwm.get(),
+            phase_ns: self
+                .phases
+                .borrow()
+                .iter()
+                .map(|&(l, ns, n)| (l.to_string(), ns, n))
+                .collect(),
+        }
+    }
+
+    /// Flush this rank's trace events and final counters into the shared
+    /// sinks (called once, after the rank closure returns).
+    fn flush(&self) {
+        if self.shared.trace_on {
+            let mut events = self.events.borrow_mut();
+            self.shared.trace_sink.lock().expect("trace sink").append(&mut events);
+        }
+        self.shared.stats_sink.lock().expect("stats sink")[self.rank] = self.snapshot();
+    }
+}
+
+/// Snapshot of one rank's communication counters.
+#[derive(Debug, Clone, Default)]
+pub struct CommStats {
+    /// Bytes this rank pushed onto the wire (all communicators).
+    pub bytes_sent: u64,
+    /// Messages this rank pushed onto the wire.
+    pub msgs_sent: u64,
+    /// Bytes delivered to receives on this rank.
+    pub bytes_recvd: u64,
+    /// Messages delivered to receives on this rank.
+    pub msgs_recvd: u64,
+    /// Total nanoseconds receives spent waiting for data.
+    pub recv_wait_ns: u64,
+    /// Receives that stalled at least one poll interval without data.
+    pub recv_blocks: u64,
+    /// High-water mark of messages parked in the out-of-order stash.
+    pub stash_hwm: u64,
+    /// Inclusive wall time per [`Comm::phase`] label: `(label, ns, entries)`.
+    /// Nested phases both accumulate, so times are inclusive.
+    pub phase_ns: Vec<(String, u64, u64)>,
+}
+
+impl CommStats {
+    /// Seconds receives spent blocked, for reporting.
+    pub fn recv_wait_secs(&self) -> f64 {
+        self.recv_wait_ns as f64 / 1e9
+    }
+
+    /// Nanoseconds accumulated under `label`, 0 if never entered.
+    pub fn phase(&self, label: &str) -> u64 {
+        self.phase_ns.iter().find(|p| p.0 == label).map_or(0, |p| p.1)
+    }
+}
+
+/// Measures one labeled phase; created by [`Comm::phase`], records on drop.
+pub struct PhaseGuard {
+    local: Rc<RankLocal>,
+    label: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.local.add_phase(self.label, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Per-rank receive state: the rank's single inbox plus an out-of-order
+/// stash. One `mpsc` channel per rank preserves per-sender FIFO order (all
+/// MPI guarantees) and lets any-source receives block on one queue instead
+/// of a select over `n` channels.
 struct Endpoint {
-    rxs: Vec<Receiver<Msg>>,
-    stash: HashMap<(usize, u64, u32), Vec<Payload>>,
+    rx: Receiver<Msg>,
+    stash: HashMap<(usize, u64, u32), VecDeque<Payload>>,
+    stash_len: u64,
+    local: Rc<RankLocal>,
 }
 
 impl Endpoint {
-    fn recv_matching(&mut self, me: usize, src: usize, comm_id: u64, tag: u32) -> Payload {
-        let key = (src, comm_id, tag);
-        if let Some(q) = self.stash.get_mut(&key) {
-            if !q.is_empty() {
-                let p = q.remove(0);
-                if q.is_empty() {
-                    self.stash.remove(&key);
-                }
-                return p;
-            }
+    fn take_stashed(&mut self, key: (usize, u64, u32)) -> Option<Payload> {
+        let q = self.stash.get_mut(&key)?;
+        let p = q.pop_front()?;
+        if q.is_empty() {
+            self.stash.remove(&key);
         }
-        loop {
-            let msg = self.rxs[src]
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "rank {me}: recv from {src} (comm {comm_id:#x}, tag {tag}) failed: {e} \
-                         — likely a collective ordering bug"
-                    )
-                });
-            if msg.comm_id == comm_id && msg.tag == tag {
-                return msg.payload;
-            }
-            self.stash
-                .entry((msg.src, msg.comm_id, msg.tag))
-                .or_default()
-                .push(msg.payload);
+        self.stash_len -= 1;
+        self.local.trace(TraceEventKind::Unstash, key.1, key.2, Some(key.0), p.len_bytes());
+        Some(p)
+    }
+
+    fn stash(&mut self, msg: Msg) {
+        self.local.trace(
+            TraceEventKind::Stash,
+            msg.comm_id,
+            msg.tag,
+            Some(msg.src),
+            msg.payload.len_bytes(),
+        );
+        self.stash.entry((msg.src, msg.comm_id, msg.tag)).or_default().push_back(msg.payload);
+        self.stash_len += 1;
+        if self.stash_len > self.local.stash_hwm.get() {
+            self.local.stash_hwm.set(self.stash_len);
         }
     }
 
-    /// Receive from *any* of the global ranks in `sources` (MPI's
-    /// `MPI_ANY_SOURCE`). Returns `(global_src, payload)`.
-    fn recv_any_matching(
+    fn delivered(&self, src: usize, comm_id: u64, tag: u32, payload: Payload) -> Payload {
+        self.local.bytes_recvd.set(self.local.bytes_recvd.get() + payload.len_bytes() as u64);
+        self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+        self.local.trace(TraceEventKind::Recv, comm_id, tag, Some(src), payload.len_bytes());
+        payload
+    }
+
+    /// Blocking receive matching `(any of sources, comm_id, tag)`. Returns
+    /// `(global_src, payload)`. On timeout, panics with the watchdog's
+    /// cross-rank deadlock report.
+    fn recv_from_sources(
         &mut self,
-        me: usize,
         sources: &[usize],
+        any_source: bool,
         comm_id: u64,
         tag: u32,
     ) -> (usize, Payload) {
+        // Fast path: an eligible message was already stashed.
+        for &src in sources {
+            if let Some(p) = self.take_stashed((src, comm_id, tag)) {
+                return (src, self.delivered(src, comm_id, tag, p));
+            }
+        }
+        let deadline_start = Instant::now();
+        let timeout = self.local.shared.recv_timeout;
+        // Poll in slices so blocked ranks publish diagnostics long before
+        // any rank's deadline expires; the fast path (data already queued)
+        // never touches the registry.
+        let poll = (timeout / 4).min(Duration::from_millis(100)).max(Duration::from_millis(1));
+        let mut published = false;
         loop {
-            // Stash first: an eligible message may already have arrived.
-            for &src in sources {
-                let key = (src, comm_id, tag);
-                if let Some(q) = self.stash.get_mut(&key) {
-                    if !q.is_empty() {
-                        let p = q.remove(0);
-                        if q.is_empty() {
-                            self.stash.remove(&key);
+            match self.rx.recv_timeout(poll) {
+                Ok(msg) => {
+                    let matches =
+                        msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src);
+                    if matches {
+                        if published {
+                            self.unpublish_blocked(comm_id, tag);
                         }
-                        return (src, p);
+                        self.local.recv_wait_ns.set(
+                            self.local.recv_wait_ns.get()
+                                + deadline_start.elapsed().as_nanos() as u64,
+                        );
+                        let src = msg.src;
+                        return (src, self.delivered(src, comm_id, tag, msg.payload));
+                    }
+                    self.stash(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !published {
+                        self.publish_blocked(sources, any_source, comm_id, tag);
+                        published = true;
+                    }
+                    if deadline_start.elapsed() >= timeout {
+                        let report = deadlock_report(&self.local.shared, self.local.rank);
+                        panic!("{report}");
                     }
                 }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while this rank lives (it holds a sender
+                    // to itself), but fail loudly rather than spinning.
+                    panic!(
+                        "rank {}: inbox disconnected (every peer hung up)",
+                        self.local.rank
+                    );
+                }
             }
-            // Block until anything arrives on any channel, then stash or
-            // deliver. Selecting over every peer (not just `sources`) keeps
-            // unrelated traffic from blocking the wait.
-            let mut sel = Select::new();
-            for rx in &self.rxs {
-                sel.recv(rx);
-            }
-            let op = sel.select_timeout(RECV_TIMEOUT).unwrap_or_else(|e| {
-                panic!("rank {me}: recv_any (comm {comm_id:#x}, tag {tag}) timed out: {e}")
-            });
-            let idx = op.index();
-            let msg = op.recv(&self.rxs[idx]).expect("peer hung up");
-            if msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src) {
-                return (msg.src, msg.payload);
-            }
-            self.stash
-                .entry((msg.src, msg.comm_id, msg.tag))
-                .or_default()
-                .push(msg.payload);
         }
     }
+
+    fn publish_blocked(&self, sources: &[usize], any_source: bool, comm_id: u64, tag: u32) {
+        let shared = &self.local.shared;
+        let me = self.local.rank;
+        self.local.recv_blocks.set(self.local.recv_blocks.get() + 1);
+        self.local.trace(
+            TraceEventKind::BlockEnter,
+            comm_id,
+            tag,
+            if any_source { None } else { sources.first().copied() },
+            0,
+        );
+        let mut slot = shared.diags[me].lock().expect("diag slot");
+        slot.blocked = Some(BlockedRecv {
+            sources: sources.to_vec(),
+            any_source,
+            comm_id,
+            tag,
+            since_ns: shared.now_ns(),
+        });
+        slot.stash_keys = self
+            .stash
+            .iter()
+            .map(|(&(src, cid, t), q)| (src, cid, t, q.len()))
+            .collect();
+        slot.stash_keys.sort_unstable();
+    }
+
+    fn unpublish_blocked(&self, comm_id: u64, tag: u32) {
+        let shared = &self.local.shared;
+        let mut slot = shared.diags[self.local.rank].lock().expect("diag slot");
+        slot.blocked = None;
+        slot.stash_keys.clear();
+        drop(slot);
+        self.local.trace(TraceEventKind::BlockExit, comm_id, tag, None, 0);
+    }
+}
+
+/// One rank's diagnostics snapshot: its blocked-receive descriptor (if any)
+/// and its stash keys `(src, comm_id, tag, queued)`.
+type DiagSnapshot = (Option<BlockedRecv>, Vec<(usize, u64, u32, usize)>);
+
+/// Build (once) the cross-rank deadlock report: every rank's blocked-receive
+/// descriptor and stash snapshot, the wait-for graph, and any cycle in it.
+fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
+    let mut memo = shared.report.lock().expect("report memo");
+    if let Some(r) = memo.as_ref() {
+        return Arc::clone(r);
+    }
+    let snap: Vec<DiagSnapshot> = shared
+        .diags
+        .iter()
+        .map(|m| {
+            let d = m.lock().expect("diag slot");
+            (d.blocked.clone(), d.stash_keys.clone())
+        })
+        .collect();
+
+    let timeout = shared.recv_timeout;
+    let mut out = format!(
+        "deadlock suspected: rank {me} blocked in recv past the {timeout:?} watchdog timeout \
+         (set via ClusterBuilder::recv_timeout or DCNN_RECV_TIMEOUT_MS)\n\
+         blocked receives:\n"
+    );
+    for (rank, (blocked, stash)) in snap.iter().enumerate() {
+        match blocked {
+            Some(b) => {
+                let src = if b.any_source {
+                    format!("any of {:?}", b.sources)
+                } else {
+                    format!("src {}", b.sources[0])
+                };
+                let waited = (shared.now_ns().saturating_sub(b.since_ns)) as f64 / 1e9;
+                out.push_str(&format!(
+                    "  rank {rank}: waiting on {src} (comm {:#x}, tag {}), blocked {waited:.1}s\n",
+                    b.comm_id, b.tag
+                ));
+                if stash.is_empty() {
+                    out.push_str("          stash: empty\n");
+                } else {
+                    out.push_str("          stash:");
+                    for &(s, cid, t, n) in stash {
+                        out.push_str(&format!(" (src {s}, comm {cid:#x}, tag {t}) x{n}"));
+                    }
+                    out.push('\n');
+                }
+            }
+            None => out.push_str(&format!("  rank {rank}: not blocked (running or finished)\n")),
+        }
+    }
+
+    // Wait-for graph: r -> s when blocked rank r can only be satisfied by a
+    // send from s. Edges into non-blocked ranks cannot close a cycle.
+    if let Some(cycle) = find_wait_cycle(&snap) {
+        out.push_str("wait-for cycle: ");
+        for r in &cycle {
+            out.push_str(&format!("rank {r} -> "));
+        }
+        out.push_str(&format!(
+            "rank {} (each rank waits on a send the next never posts)\n",
+            cycle[0]
+        ));
+        out.push_str(
+            "hint: ranks disagree on collective order or tags — compare each rank's \
+             blocked (comm, tag) above, and re-run with DCNN_TRACE=1 for the full event log\n",
+        );
+    } else {
+        let waiting_on_live: Vec<usize> = snap
+            .iter()
+            .enumerate()
+            .filter_map(|(r, (b, _))| {
+                b.as_ref()
+                    .filter(|b| b.sources.iter().any(|&s| snap[s].0.is_none()))
+                    .map(|_| r)
+            })
+            .collect();
+        out.push_str(&format!(
+            "no wait-for cycle: blocked ranks {waiting_on_live:?} wait on ranks that are not \
+             blocked — the expected sender likely exited or never reached the matching send\n"
+        ));
+    }
+
+    let report = Arc::new(out);
+    *memo = Some(Arc::clone(&report));
+    report
+}
+
+/// Find a cycle in the blocked-rank wait-for graph, as the rank sequence
+/// around the cycle (each waits on the next; last waits on first).
+fn find_wait_cycle(snap: &[DiagSnapshot]) -> Option<Vec<usize>> {
+    let n = snap.len();
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut state = vec![0u8; n];
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn dfs(
+        r: usize,
+        snap: &[DiagSnapshot],
+        state: &mut [u8],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state[r] = 1;
+        stack.push(r);
+        if let Some(b) = &snap[r].0 {
+            // An any-source receive is stuck only if every possible sender
+            // is; while one source still runs, draw no edges (it may send).
+            let live_source =
+                b.any_source && b.sources.iter().any(|&s| s != r && snap[s].0.is_none());
+            for &s in &b.sources {
+                if live_source || (b.any_source && s == r) {
+                    continue; // a blocked rank cannot send to itself
+                }
+                if snap[s].0.is_none() {
+                    continue; // a running rank can still satisfy the recv
+                }
+                match state[s] {
+                    0 => {
+                        if let Some(c) = dfs(s, snap, state, stack) {
+                            return Some(c);
+                        }
+                    }
+                    1 => {
+                        let start = stack.iter().position(|&x| x == s).expect("on path");
+                        return Some(stack[start..].to_vec());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        state[r] = 2;
+        None
+    }
+
+    (0..n).find_map(|r| {
+        if state[r] == 0 {
+            dfs(r, snap, &mut state, &mut stack)
+        } else {
+            None
+        }
+    })
 }
 
 /// A communicator handle: a group of ranks that can exchange messages and run
@@ -160,14 +569,12 @@ pub struct Comm {
     /// This rank's index within `group`.
     my_index: usize,
     comm_id: u64,
-    split_count: std::cell::Cell<u64>,
-    txs: Arc<Vec<Vec<Sender<Msg>>>>, // txs[src][dst]
+    split_count: Cell<u64>,
+    txs: Rc<Vec<Sender<Msg>>>, // indexed by destination global rank
     endpoint: Rc<RefCell<Endpoint>>,
-    /// Bytes this *rank* has sent, shared across all communicator handles on
-    /// the rank (parent and splits), like an MPI profiling counter.
-    bytes_sent: Rc<std::cell::Cell<u64>>,
-    /// Messages this rank has sent.
-    msgs_sent: Rc<std::cell::Cell<u64>>,
+    /// Counters and trace buffer, shared across all communicator handles on
+    /// the rank (parent and splits), like an MPI profiling layer.
+    local: Rc<RankLocal>,
 }
 
 /// Reserved tag namespace for runtime-internal collectives (split, barrier).
@@ -196,12 +603,26 @@ impl Comm {
 
     /// Total bytes this rank has sent (across all communicator handles).
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.get()
+        self.local.bytes_sent.get()
     }
 
     /// Total messages this rank has sent (across all communicator handles).
     pub fn msgs_sent(&self) -> u64 {
-        self.msgs_sent.get()
+        self.local.msgs_sent.get()
+    }
+
+    /// Snapshot of this rank's communication counters (shared across all of
+    /// the rank's communicator handles). Diff two snapshots to attribute
+    /// traffic and blocked time to a region, e.g. one training epoch.
+    pub fn stats(&self) -> CommStats {
+        self.local.snapshot()
+    }
+
+    /// Start a labeled timing phase; the elapsed wall time is added to this
+    /// rank's [`CommStats::phase_ns`] when the returned guard drops. Phases
+    /// may nest (times are inclusive).
+    pub fn phase(&self, label: &'static str) -> PhaseGuard {
+        PhaseGuard { local: Rc::clone(&self.local), label, start: Instant::now() }
     }
 
     /// Send `payload` to group rank `dst` with `tag`. Never blocks.
@@ -212,9 +633,10 @@ impl Comm {
 
     fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
         let gdst = self.group[dst];
-        self.bytes_sent.set(self.bytes_sent.get() + payload.len_bytes() as u64);
-        self.msgs_sent.set(self.msgs_sent.get() + 1);
-        self.txs[self.global_rank][gdst]
+        self.local.bytes_sent.set(self.local.bytes_sent.get() + payload.len_bytes() as u64);
+        self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
+        self.local.trace(TraceEventKind::Send, self.comm_id, tag, Some(gdst), payload.len_bytes());
+        self.txs[gdst]
             .send(Msg { src: self.global_rank, comm_id: self.comm_id, tag, payload })
             .expect("peer hung up");
     }
@@ -230,12 +652,8 @@ impl Comm {
     /// server, which serves whichever worker finishes first.
     pub fn recv_any(&self, tag: u32) -> (usize, Payload) {
         assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
-        let (gsrc, payload) = self.endpoint.borrow_mut().recv_any_matching(
-            self.global_rank,
-            &self.group,
-            self.comm_id,
-            tag,
-        );
+        let (gsrc, payload) =
+            self.endpoint.borrow_mut().recv_from_sources(&self.group, true, self.comm_id, tag);
         let grank = self
             .group
             .iter()
@@ -248,7 +666,8 @@ impl Comm {
         let gsrc = self.group[src];
         self.endpoint
             .borrow_mut()
-            .recv_matching(self.global_rank, gsrc, self.comm_id, tag)
+            .recv_from_sources(&[gsrc], false, self.comm_id, tag)
+            .1
     }
 
     /// Convenience: send an `f32` slice (copies once into the message).
@@ -277,11 +696,14 @@ impl Comm {
         if n <= 1 {
             return;
         }
+        let _phase = self.phase("barrier");
         let mut step = 1usize;
         let mut round = 0u32;
         while step < n {
             let to = (self.my_index + step) % n;
-            let from = (self.my_index + n - step % n) % n;
+            // `step < n` always holds here, so no modulo of `step` is
+            // needed before the subtraction.
+            let from = (self.my_index + n - step) % n;
             self.send_raw(to, TAG_INTERNAL + 1 + round, Payload::Bytes(Vec::new()));
             let _ = self.recv_raw(from, TAG_INTERNAL + 1 + round);
             step <<= 1;
@@ -365,74 +787,175 @@ impl Comm {
             group: Arc::new(group),
             my_index,
             comm_id: h,
-            split_count: std::cell::Cell::new(0),
-            txs: Arc::clone(&self.txs),
+            split_count: Cell::new(0),
+            txs: Rc::clone(&self.txs),
             endpoint: Rc::clone(&self.endpoint),
-            bytes_sent: Rc::clone(&self.bytes_sent),
-            msgs_sent: Rc::clone(&self.msgs_sent),
+            local: Rc::clone(&self.local),
         }
     }
 }
 
+/// Everything one cluster run produced: per-rank results (rank order),
+/// per-rank counters, and — when tracing was on — the merged event stream.
+pub struct ClusterRun<R> {
+    /// The value each rank's closure returned, in rank order.
+    pub results: Vec<R>,
+    /// Final per-rank communication counters, in rank order.
+    pub stats: Vec<CommStats>,
+    /// Merged trace events sorted by timestamp; empty unless tracing was
+    /// enabled via [`ClusterBuilder::trace`] or `DCNN_TRACE`.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Configures and launches a rank cluster; [`run_cluster`] is the shorthand
+/// for the all-defaults case.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    n: usize,
+    trace: Option<bool>,
+    recv_timeout: Option<Duration>,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `n` ranks with default tracing (off unless `DCNN_TRACE`
+    /// is set) and the default receive timeout (60 s unless
+    /// `DCNN_RECV_TIMEOUT_MS` is set).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one rank");
+        ClusterBuilder { n, trace: None, recv_timeout: None }
+    }
+
+    /// Force event tracing on or off, overriding `DCNN_TRACE`.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
+
+    /// How long a receive may block before the deadlock watchdog fires,
+    /// overriding `DCNN_RECV_TIMEOUT_MS`. Tests provoke deadlocks with a
+    /// short timeout here.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// Spawn the rank threads, run `f` on each with its world [`Comm`], and
+    /// collect results, counters and trace events.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic with its original payload (so a
+    /// watchdog deadlock report survives to the caller), after all rank
+    /// threads have been joined.
+    pub fn run<R, F>(self, f: F) -> ClusterRun<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        let n = self.n;
+        let trace_on = self.trace.unwrap_or_else(trace_enabled_from_env);
+        let recv_timeout = self.recv_timeout.unwrap_or_else(|| {
+            std::env::var("DCNN_RECV_TIMEOUT_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or(DEFAULT_RECV_TIMEOUT, Duration::from_millis)
+        });
+
+        let shared = Arc::new(ClusterShared {
+            epoch: Instant::now(),
+            recv_timeout,
+            trace_on,
+            diags: (0..n).map(|_| Mutex::new(RankDiag::default())).collect(),
+            report: Mutex::new(None),
+            trace_sink: Mutex::new(Vec::new()),
+            stats_sink: Mutex::new(vec![CommStats::default(); n]),
+        });
+
+        // One inbox per rank; every rank gets its own clone of the sender
+        // row (mpsc senders are per-thread handles).
+        let mut inboxes: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
+        let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            inboxes.push(Some(rx));
+        }
+        let world: Arc<Vec<usize>> = Arc::new((0..n).collect());
+
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, inbox) in inboxes.iter_mut().enumerate() {
+                let rx = inbox.take().expect("inbox unclaimed");
+                let txs: Vec<Sender<Msg>> = txs.clone();
+                let world = Arc::clone(&world);
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let local = Rc::new(RankLocal::new(rank, shared));
+                    let endpoint = Endpoint {
+                        rx,
+                        stash: HashMap::new(),
+                        stash_len: 0,
+                        local: Rc::clone(&local),
+                    };
+                    let comm = Comm {
+                        global_rank: rank,
+                        group: world,
+                        my_index: rank,
+                        comm_id: 0,
+                        split_count: Cell::new(0),
+                        txs: Rc::new(txs),
+                        endpoint: Rc::new(RefCell::new(endpoint)),
+                        local: Rc::clone(&local),
+                    };
+                    let r = f(&comm);
+                    local.flush();
+                    r
+                }));
+            }
+            // Drop the root sender handles so only live ranks keep inboxes
+            // open, then join everything before propagating any panic (so a
+            // deadlock report from rank k isn't lost to rank 0's join).
+            drop(txs);
+            let joined: Vec<std::thread::Result<R>> =
+                handles.into_iter().map(|h| h.join()).collect();
+            let mut results = Vec::with_capacity(n);
+            let mut first_panic = None;
+            for j in joined {
+                match j {
+                    Ok(r) => results.push(r),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            results
+        });
+
+        let stats = std::mem::take(&mut *shared.stats_sink.lock().expect("stats sink"));
+        let mut events = std::mem::take(&mut *shared.trace_sink.lock().expect("trace sink"));
+        events.sort_by_key(|e| e.t_ns);
+        ClusterRun { results, stats, events }
+    }
+}
+
 /// Spawn `n` rank threads, run `f` on each with its world [`Comm`], and
-/// return the per-rank results in rank order.
+/// return the per-rank results in rank order. See [`ClusterBuilder`] for
+/// tracing, counters and watchdog configuration.
 ///
 /// # Panics
-/// Propagates any rank panic (after all threads have been joined or died).
+/// Propagates any rank panic with its original payload (after all threads
+/// have been joined).
 pub fn run_cluster<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    assert!(n > 0, "cluster needs at least one rank");
-    // Build the full channel fabric: one FIFO per ordered pair.
-    let mut txs: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(n);
-    let mut rx_table: Vec<Vec<Option<Receiver<Msg>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
-    for src in 0..n {
-        let mut row = Vec::with_capacity(n);
-        for (dst, rx_row) in rx_table.iter_mut().enumerate() {
-            let (tx, rx) = unbounded();
-            row.push(tx);
-            rx_row[src] = Some(rx);
-            let _ = dst;
-        }
-        txs.push(row);
-    }
-    let txs = Arc::new(txs);
-    let world: Arc<Vec<usize>> = Arc::new((0..n).collect());
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (rank, rx_row) in rx_table.into_iter().enumerate() {
-            let txs = Arc::clone(&txs);
-            let world = Arc::clone(&world);
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let endpoint = Endpoint {
-                    rxs: rx_row.into_iter().map(|o| o.expect("filled")).collect(),
-                    stash: HashMap::new(),
-                };
-                let comm = Comm {
-                    global_rank: rank,
-                    group: world,
-                    my_index: rank,
-                    comm_id: 0,
-                    split_count: std::cell::Cell::new(0),
-                    txs,
-                    endpoint: Rc::new(RefCell::new(endpoint)),
-                    bytes_sent: Rc::new(std::cell::Cell::new(0)),
-                    msgs_sent: Rc::new(std::cell::Cell::new(0)),
-                };
-                f(&comm)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
-    })
+    ClusterBuilder::new(n).run(f).results
 }
 
 #[cfg(test)]
@@ -632,5 +1155,98 @@ mod tests {
                 c.send_bytes(1, TAG_INTERNAL + 5, vec![]);
             }
         });
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let run = ClusterBuilder::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 0, &[0.0; 64]);
+            } else {
+                let _ = c.recv_f32(0, 0);
+            }
+        });
+        assert_eq!(run.stats[0].bytes_sent, 256);
+        assert_eq!(run.stats[1].bytes_recvd, 256);
+        assert_eq!(run.stats[1].msgs_recvd, 1);
+        assert_eq!(run.stats[0].msgs_sent, 1);
+    }
+
+    #[test]
+    fn stash_high_water_mark_tracks_reordering() {
+        let run = ClusterBuilder::new(2).run(|c| {
+            if c.rank() == 0 {
+                for t in 0..4u32 {
+                    c.send_bytes(1, t, vec![t as u8]);
+                }
+            } else {
+                // Receive in reverse tag order: three arrivals stash first.
+                for t in (0..4u32).rev() {
+                    let _ = c.recv_bytes(0, t);
+                }
+            }
+        });
+        assert_eq!(run.stats[1].stash_hwm, 3);
+        assert_eq!(run.stats[0].stash_hwm, 0);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let run = ClusterBuilder::new(1).run(|c| {
+            {
+                let _p = c.phase("spin");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _p = c.phase("spin");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            c.stats().phase("spin")
+        });
+        let in_run = run.results[0];
+        assert!(in_run >= 3_000_000, "phase time too small: {in_run}ns");
+        assert_eq!(run.stats[0].phase("spin"), in_run);
+        let entry = run.stats[0].phase_ns.iter().find(|p| p.0 == "spin").expect("spin phase");
+        assert_eq!(entry.2, 2); // entered twice
+    }
+
+    #[test]
+    fn trace_records_send_recv_pairs() {
+        let run = ClusterBuilder::new(2).trace(true).run(|c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 4, vec![1, 2, 3]);
+            } else {
+                let _ = c.recv_bytes(0, 4);
+            }
+        });
+        use crate::trace::TraceEventKind as K;
+        let send = run
+            .events
+            .iter()
+            .find(|e| e.kind == K::Send)
+            .expect("send event");
+        assert_eq!((send.rank, send.peer, send.tag, send.bytes), (0, Some(1), 4, 3));
+        let recv = run
+            .events
+            .iter()
+            .find(|e| e.kind == K::Recv)
+            .expect("recv event");
+        assert_eq!((recv.rank, recv.peer, recv.tag, recv.bytes), (1, Some(0), 4, 3));
+        // Sorted by time: the send happens before its delivery.
+        let si = run.events.iter().position(|e| e.kind == K::Send).expect("send");
+        let ri = run.events.iter().position(|e| e.kind == K::Recv).expect("recv");
+        assert!(si < ri);
+    }
+
+    #[test]
+    fn trace_off_records_nothing() {
+        let run = ClusterBuilder::new(2).trace(false).run(|c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 4, vec![9]);
+            } else {
+                let _ = c.recv_bytes(0, 4);
+            }
+        });
+        assert!(run.events.is_empty());
     }
 }

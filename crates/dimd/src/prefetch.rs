@@ -8,8 +8,8 @@
 //! streams `iterations` batches through a bounded channel, and returns the
 //! partition when joined — ready for the end-of-epoch shuffle.
 
-use crossbeam::channel::{bounded, Receiver};
 use dcnn_tensor::Tensor;
+use std::sync::mpsc::{sync_channel, Receiver};
 
 use crate::store::Dimd;
 
@@ -31,7 +31,7 @@ impl Prefetcher {
         depth: usize,
     ) -> Prefetcher {
         assert!(depth >= 1, "queue depth must be at least 1");
-        let (tx, rx) = bounded(depth);
+        let (tx, rx) = sync_channel(depth);
         let handle = std::thread::spawn(move || {
             let mut dimd = dimd;
             for _ in 0..iterations {

@@ -120,7 +120,10 @@ pub fn shuffle_records(
     }
 
     // Local permutation (the paper's final `random_permutation` step).
-    let mut perm_rng = StdRng::seed_from_u64(seed ^ (comm.global_rank() as u64) << 32 | 0xD1D);
+    // XOR the salt in (the old `| 0xD1D` forced the low bits on, so seeds
+    // differing only in those bits produced identical permutations).
+    let mut perm_rng =
+        StdRng::seed_from_u64((seed ^ ((comm.global_rank() as u64) << 32)) ^ 0xD1D);
     received.shuffle(&mut perm_rng);
     received
 }
@@ -260,6 +263,32 @@ mod tests {
                 assert_eq!(origin / 2, group, "rank {r} received from {origin}");
             }
         }
+    }
+
+    #[test]
+    fn adjacent_seeds_permute_differently() {
+        // Regression: the perm seed used to be `seed ^ rank << 32 | 0xD1D`,
+        // which ORs the salt in — every seed pair differing only within the
+        // 0xD1D bits collapsed to the same local permutation.
+        let run = |seed: u64| {
+            run_cluster(2, move |c| {
+                shuffle_records(c, make_records(c.rank(), 40), seed, MPI_COUNT_LIMIT)
+            })
+        };
+        let mut distinct = 0;
+        for base in [0u64, 0x100, 0xD00] {
+            let a = run(base);
+            let b = run(base + 1);
+            assert_eq!(census(&a), census(&b), "same records, different order");
+            if a != b {
+                distinct += 1;
+            }
+        }
+        assert!(
+            distinct >= 2,
+            "adjacent seeds produced identical shuffles in {}/3 cases",
+            3 - distinct
+        );
     }
 
     #[test]

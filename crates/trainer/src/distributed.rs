@@ -95,6 +95,17 @@ pub struct EpochStats {
     pub val_acc: f64,
     /// Learning rate used during the epoch (at its start).
     pub lr: f32,
+    /// Bytes rank 0 sent during the epoch (gradients, shuffle, control).
+    pub comm_bytes: u64,
+    /// Messages rank 0 sent during the epoch.
+    pub comm_msgs: u64,
+    /// Seconds rank 0's receives spent blocked during the epoch.
+    pub comm_wait_secs: f64,
+    /// Seconds rank 0 spent inside the allreduce during the epoch.
+    pub allreduce_secs: f64,
+    /// High-water mark of rank 0's out-of-order message stash (whole run up
+    /// to this epoch; a growing value means receives chronically lag sends).
+    pub stash_hwm: u64,
 }
 
 /// Average a per-rank scalar triple `(loss_sum, correct, count)` cluster-wide.
@@ -185,6 +196,7 @@ fn run_rank(
     let mut stats = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
+        let ep_comm = comm.stats();
         let mut loss_sum = 0.0;
         let mut correct = 0u64;
         let mut seen = 0u64;
@@ -260,12 +272,19 @@ fn run_rank(
             Some(vs) => validate(comm, &mut exec, vs, cfg.crop),
             None => 0.0,
         };
+        let now_comm = comm.stats();
         stats.push(EpochStats {
             epoch,
             train_loss: l / (n * iterations) as f64,
             train_acc: c as f64 / cnt as f64,
             val_acc,
             lr: cfg.lr.lr_at(epoch as f32),
+            comm_bytes: now_comm.bytes_sent - ep_comm.bytes_sent,
+            comm_msgs: now_comm.msgs_sent - ep_comm.msgs_sent,
+            comm_wait_secs: (now_comm.recv_wait_ns - ep_comm.recv_wait_ns) as f64 / 1e9,
+            allreduce_secs: (now_comm.phase(algo.name()) - ep_comm.phase(algo.name())) as f64
+                / 1e9,
+            stash_hwm: now_comm.stash_hwm,
         });
         if cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0 {
             dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
@@ -336,20 +355,42 @@ mod tests {
     }
 
     #[test]
+    fn epoch_stats_carry_comm_counters() {
+        let ds = tiny_ds();
+        let stats = train_distributed(&tiny_cfg(2, 2), &ds, tiny_factory);
+        for s in &stats {
+            assert!(s.comm_bytes > 0, "epoch {}: no bytes counted", s.epoch);
+            assert!(s.comm_msgs > 0, "epoch {}: no messages counted", s.epoch);
+            assert!(
+                s.allreduce_secs > 0.0,
+                "epoch {}: allreduce phase not timed",
+                s.epoch
+            );
+            assert!(s.comm_wait_secs >= 0.0);
+        }
+    }
+
+    #[test]
     fn node_counts_converge_similarly() {
         // Figures 13–16's key property: optimizations and node count change
         // wall-clock, not the loss trajectory (same global batch here).
         let ds = tiny_ds();
-        let mut c1 = tiny_cfg(1, 3);
+        let mut c1 = tiny_cfg(1, 6);
         c1.batch_per_gpu = 8; // global batch 16
-        let mut c2 = tiny_cfg(2, 3);
+        let mut c2 = tiny_cfg(2, 6);
         c2.batch_per_gpu = 4; // global batch 16
         let s1 = train_distributed(&c1, &ds, tiny_factory);
         let s2 = train_distributed(&c2, &ds, tiny_factory);
         let l1 = s1.last().expect("stats").train_loss;
         let l2 = s2.last().expect("stats").train_loss;
+        // The runs draw different sample orders (per-rank RNG streams), so
+        // the losses match only up to sampling noise — and a relative band
+        // degenerates as both approach zero. Assert the real property: both
+        // node counts converge, to within an absolute noise band.
+        assert!(l1 < 0.5, "1-node failed to converge: loss {l1:.3}");
+        assert!(l2 < 0.5, "2-node failed to converge: loss {l2:.3}");
         assert!(
-            (l1 - l2).abs() < 0.35 * l1.max(l2),
+            (l1 - l2).abs() < 0.3,
             "1-node {l1:.3} vs 2-node {l2:.3} should be similar"
         );
     }

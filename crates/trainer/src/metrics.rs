@@ -5,11 +5,22 @@ use crate::distributed::EpochStats;
 
 /// Render epoch statistics as CSV (header + one row per epoch).
 pub fn stats_to_csv(stats: &[EpochStats]) -> String {
-    let mut out = String::from("epoch,lr,train_loss,train_acc,val_acc\n");
+    let mut out = String::from(
+        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm\n",
+    );
     for s in stats {
         out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            s.epoch, s.lr, s.train_loss, s.train_acc, s.val_acc
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            s.epoch,
+            s.lr,
+            s.train_loss,
+            s.train_acc,
+            s.val_acc,
+            s.comm_bytes,
+            s.comm_msgs,
+            s.comm_wait_secs,
+            s.allreduce_secs,
+            s.stash_hwm
         ));
     }
     out
@@ -40,6 +51,11 @@ mod tests {
             train_acc: 0.5,
             val_acc: 0.25 * epoch as f64,
             lr: 0.1,
+            comm_bytes: 1024 * epoch as u64,
+            comm_msgs: 8 * epoch as u64,
+            comm_wait_secs: 0.125,
+            allreduce_secs: 0.0625,
+            stash_hwm: 2,
         }
     }
 
@@ -50,7 +66,7 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,"));
         assert!(lines[1].starts_with("0,"));
-        assert_eq!(lines[1].split(',').count(), 5);
+        assert_eq!(lines[1].split(',').count(), 10);
     }
 
     #[test]
@@ -58,6 +74,8 @@ mod tests {
         let j = stats_to_json(&[fake(2)]);
         let v: serde_json::Value = serde_json::from_str(&j).expect("valid json");
         assert_eq!(v[0]["epoch"], 2);
+        assert_eq!(v[0]["comm_bytes"], 2048);
+        assert_eq!(v[0]["comm_wait_secs"], 0.125);
     }
 
     #[test]

@@ -19,18 +19,31 @@ fn main() {
     for algo in AllreduceAlgo::all() {
         let a = algo.build();
         let t0 = std::time::Instant::now();
-        let out = run_cluster(ranks, |comm| {
+        // ClusterBuilder (vs plain run_cluster) also returns the runtime's
+        // per-rank counters; DCNN_TRACE=1 would add the full event log.
+        let run = ClusterBuilder::new(ranks).run(|comm| {
             let mut buf = vec![(comm.rank() + 1) as f32; elems];
             a.run(comm, &mut buf);
             buf[elems / 2]
         });
         let dt = t0.elapsed().as_secs_f64();
         let expect: f32 = (1..=ranks).map(|r| r as f32).sum();
-        assert!(out.iter().all(|&v| (v - expect).abs() < 1e-3), "{} wrong sum", algo.name());
+        assert!(
+            run.results.iter().all(|&v| (v - expect).abs() < 1e-3),
+            "{} wrong sum",
+            algo.name()
+        );
+        let bytes: u64 = run.stats.iter().map(|s| s.bytes_sent).sum();
+        let max_wait =
+            run.stats.iter().map(CommStats::recv_wait_secs).fold(0.0, f64::max);
+        let stash_hwm = run.stats.iter().map(|s| s.stash_hwm).max().unwrap_or(0);
         println!(
-            "  {:<20} {:>8.2} ms   (sum verified = {expect})",
+            "  {:<20} {:>8.2} ms   (sum ok; {:>6.1} MiB sent, max recv wait {:>6.2} ms, stash hwm {})",
             algo.name(),
-            dt * 1e3
+            dt * 1e3,
+            bytes as f64 / (1 << 20) as f64,
+            max_wait * 1e3,
+            stash_hwm,
         );
     }
 

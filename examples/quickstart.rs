@@ -40,12 +40,17 @@ fn main() {
     let stats = train_distributed(&cfg, &ds, || ResNetConfig::tiny(6).build(7));
     for s in &stats {
         println!(
-            "epoch {:>2}  lr {:.3}  train loss {:.4}  train acc {:>5.1}%  val acc {:>5.1}%",
+            "epoch {:>2}  lr {:.3}  train loss {:.4}  train acc {:>5.1}%  val acc {:>5.1}%  \
+             comm {:>5.1} MiB / {:>4} msgs  allreduce {:>6.1} ms  recv wait {:>6.1} ms",
             s.epoch,
             s.lr,
             s.train_loss,
             s.train_acc * 100.0,
-            s.val_acc * 100.0
+            s.val_acc * 100.0,
+            s.comm_bytes as f64 / (1 << 20) as f64,
+            s.comm_msgs,
+            s.allreduce_secs * 1e3,
+            s.comm_wait_secs * 1e3,
         );
     }
     let best = stats.iter().map(|s| s.val_acc).fold(0.0, f64::max);

@@ -42,7 +42,9 @@ pub use dcnn_core::*;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
-    pub use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo, Comm, MultiColor};
+    pub use dcnn_collectives::{
+        run_cluster, Allreduce, AllreduceAlgo, ClusterBuilder, Comm, CommStats, MultiColor,
+    };
     pub use dcnn_dimd::{Dimd, FileServer, SynthConfig, SynthImageNet};
     pub use dcnn_dpt::{DptExecutor, DptStrategy};
     pub use dcnn_gpusim::{DeviceModel, NodeModel};

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The sandbox cannot fetch crates.io, so the workspace vendors the small
+//! slice of the criterion API its benches use. Each benchmark closure is
+//! timed over a handful of iterations and the mean wall-clock time (plus
+//! throughput when declared) is printed — no statistics, warm-up
+//! scheduling, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to print throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", "4096KiB")` → `algo/4096KiB`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark (criterion's sample count;
+    /// here simply the iteration count, clamped to keep shim runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work so results print a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a routine that takes a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Benchmark a plain routine.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Finish the group (report output is already printed per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher { elapsed: Duration::ZERO, iters: self.sample_size.clamp(1, 20) as u32 }
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let mut line = format!(
+            "{}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e3,
+            b.iters
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(", {:.2} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64));
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(", {:.2} Melem/s", n as f64 / per_iter / 1e6));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &5usize, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The sandbox cannot fetch crates.io, so the workspace vendors the subset
+//! of the proptest API its tests use: the [`Strategy`] trait with
+//! deterministic sampling (integer ranges, tuples, `prop_map`, [`Just`],
+//! unions, `collection::vec`, `any`), plus the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!` and `prop_oneof!`
+//! macros. Sampling is purely random (no shrinking, no persistence);
+//! the RNG is seeded from the test name so failures reproduce exactly.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG (SplitMix64) used to sample strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (the test name) so every run of a
+    /// given test sees the same case sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Why a test case did not pass.
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case without counting it.
+    Reject,
+    /// `prop_assert!`/`prop_assert_eq!` failed — fail the test.
+    Fail(String),
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Driver behind the `proptest!` macro: repeatedly sample-and-run until
+/// `cfg.cases` cases were accepted. Rejected cases (via `prop_assume!`)
+/// are retried, with a cap so a near-impossible assumption cannot hang.
+pub fn run_cases<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let max_attempts = cfg.cases.saturating_mul(20).max(100);
+    for attempt in 0..max_attempts {
+        if accepted >= cfg.cases {
+            return;
+        }
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest property `{name}` failed (attempt {attempt}): {msg}")
+            }
+        }
+    }
+    assert!(
+        accepted > 0,
+        "proptest property `{name}`: every sampled case was rejected by prop_assume!"
+    );
+}
+
+/// A source of random values. Object-safe (the combinator methods require
+/// `Self: Sized`), so `Box<dyn Strategy<Value = T>>` works for unions.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map sampled values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase, for heterogeneous unions (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                ((self.start as u128) + (rng.next_u64() as u128) % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                ((*self.start() as u128) + (rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type AnyStrategy: Strategy<Value = Self>;
+    /// Full-range strategy for this type.
+    fn arbitrary() -> Self::AnyStrategy;
+}
+
+/// Full-range strategy for a primitive (see [`Arbitrary`]).
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+    sample: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for AnyPrimitive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type AnyStrategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::AnyStrategy {
+                AnyPrimitive {
+                    _marker: std::marker::PhantomData,
+                    sample: |rng| rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type AnyStrategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::AnyStrategy {
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+            sample: |rng| rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+/// Full-range strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> T::AnyStrategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element`-sampled values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies and runs the body for
+/// the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &cfg, |__proptest_rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails the whole property with
+/// the sampled case's message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assert_eq failed: {:?} vs {:?}",
+                __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skip (do not count) the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(usize),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds; tuples and prop_map compose.
+        #[test]
+        fn ranges_in_bounds(a in 1usize..=3, b in 10u64..20, pair in (0u32..5, 0u32..5)
+            .prop_map(|(x, y)| x + y))
+        {
+            prop_assert!((1..=3).contains(&a));
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(pair <= 8);
+        }
+
+        /// collection::vec honors length bounds and element strategies.
+        #[test]
+        fn vec_strategy(v in prop::collection::vec((any::<u8>(), 0usize..4), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (_, x) in &v {
+                prop_assert!(*x < 4);
+            }
+        }
+
+        /// prop_oneof unions heterogeneous strategy types.
+        #[test]
+        fn oneof_and_assume(s in prop_oneof![
+            Just(Shape::Dot),
+            (1usize..5).prop_map(Shape::Line),
+        ]) {
+            if let Shape::Line(n) = &s {
+                prop_assume!(*n != 2);
+                prop_assert!(*n < 5 && *n != 2);
+            } else {
+                prop_assert_eq!(s, Shape::Dot);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::TestRng::from_name("x");
+        let mut r2 = crate::TestRng::from_name("x");
+        for _ in 0..10 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The sandbox cannot fetch crates.io, so the workspace vendors the slice
+//! parallelism API it uses (`par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut` and the rayon-style combinators on them) as thin
+//! wrappers over the sequential std iterators. Results are bit-identical to
+//! rayon's (the kernels are order-independent per chunk); only wall-clock
+//! parallelism is lost. Swap the workspace dependency back to crates.io
+//! rayon to restore it.
+
+/// Sequential stand-in for a rayon `ParallelIterator`: wraps a std iterator
+/// and exposes rayon's method signatures (which differ from `Iterator`'s for
+/// `fold` and `reduce` — rayon takes identity *closures* because it folds
+/// per-thread).
+pub struct SeqParIter<I>(I);
+
+impl<I: Iterator> SeqParIter<I> {
+    /// Pair up with another parallel iterator, like rayon's `zip`.
+    pub fn zip<J: Iterator>(self, other: SeqParIter<J>) -> SeqParIter<std::iter::Zip<I, J>> {
+        SeqParIter(self.0.zip(other.0))
+    }
+
+    /// Index each item, like rayon's `enumerate`.
+    pub fn enumerate(self) -> SeqParIter<std::iter::Enumerate<I>> {
+        SeqParIter(self.0.enumerate())
+    }
+
+    /// Transform each item, like rayon's `map`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqParIter<std::iter::Map<I, F>> {
+        SeqParIter(self.0.map(f))
+    }
+
+    /// Consume every item, like rayon's `for_each`.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style fold: `identity` seeds one accumulator per thread and `f`
+    /// folds items into it, yielding the partial accumulators. Sequentially
+    /// there is exactly one partial result.
+    pub fn fold<T, ID, F>(self, identity: ID, f: F) -> SeqParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        SeqParIter(std::iter::once(self.0.fold(identity(), f)))
+    }
+
+    /// Rayon-style reduce: combine all items starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), f)
+    }
+
+    /// Sum the items, like rayon's `sum`.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Collect into a container, like rayon's `collect`.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `par_*` accessors for shared slices.
+pub trait ParallelSliceExt<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> SeqParIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, size: usize) -> SeqParIter<std::slice::Chunks<'_, T>>;
+}
+
+/// `par_*` accessors for mutable slices.
+pub trait ParallelSliceMutExt<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> SeqParIter<std::slice::IterMut<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> SeqParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> SeqParIter<std::slice::Iter<'_, T>> {
+        SeqParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> SeqParIter<std::slice::Chunks<'_, T>> {
+        SeqParIter(self.chunks(size))
+    }
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> SeqParIter<std::slice::IterMut<'_, T>> {
+        SeqParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> SeqParIter<std::slice::ChunksMut<'_, T>> {
+        SeqParIter(self.chunks_mut(size))
+    }
+}
+
+impl<T> ParallelSliceExt<T> for Vec<T> {
+    fn par_iter(&self) -> SeqParIter<std::slice::Iter<'_, T>> {
+        self.as_slice().par_iter()
+    }
+    fn par_chunks(&self, size: usize) -> SeqParIter<std::slice::Chunks<'_, T>> {
+        self.as_slice().par_chunks(size)
+    }
+}
+
+impl<T> ParallelSliceMutExt<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> SeqParIter<std::slice::IterMut<'_, T>> {
+        self.as_mut_slice().par_iter_mut()
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> SeqParIter<std::slice::ChunksMut<'_, T>> {
+        self.as_mut_slice().par_chunks_mut(size)
+    }
+}
+
+/// What `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{ParallelSliceExt, ParallelSliceMutExt, SeqParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_zip_matches_sequential() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let mut c = [0.0f32; 4];
+        c.par_chunks_mut(2).zip(a.par_chunks(2)).for_each(|(ci, ai)| {
+            for (x, y) in ci.iter_mut().zip(ai) {
+                *x = y * 2.0;
+            }
+        });
+        assert_eq!(c, [2.0, 4.0, 6.0, 8.0]);
+        let s: f32 = a.par_iter().sum();
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn fold_reduce_uses_rayon_signatures() {
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let total = a
+            .par_chunks(2)
+            .fold(|| 0u32, |acc, c| acc + c.iter().sum::<u32>())
+            .reduce(|| 0u32, |x, y| x + y);
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn map_enumerate_collect() {
+        let a = [10, 20, 30];
+        let v: Vec<(usize, i32)> = a.par_iter().enumerate().map(|(i, &x)| (i, x * 2)).collect();
+        assert_eq!(v, vec![(0, 20), (1, 40), (2, 60)]);
+    }
+}

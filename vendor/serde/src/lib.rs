@@ -1,0 +1,184 @@
+//! Offline stand-in for `serde`.
+//!
+//! The sandbox cannot fetch crates.io, so the workspace vendors the subset
+//! it uses: a JSON-only [`Serialize`] trait (the vendored `serde_json`
+//! renders through it) and a [`Deserialize`] trait implemented concretely
+//! only by `serde_json::Value` — the sole type this repo parses into.
+//! The derive macros come from the sibling `serde_derive` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-serializable. `json_write` appends a compact JSON encoding of
+/// `self` to `out`; the derive macro generates field-by-field impls.
+pub trait Serialize {
+    /// Append this value's compact JSON encoding to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// JSON-deserializable. Only `serde_json::Value` implements the parse for
+/// real; derived impls keep the default (an error) because nothing in this
+/// workspace parses back into concrete structs.
+pub trait Deserialize: Sized {
+    /// Parse from a JSON document. The default rejects: derived impls are
+    /// compile-time markers only.
+    fn json_parse(_s: &str) -> Result<Self, String> {
+        Err("vendored serde shim: only serde_json::Value deserializes".into())
+    }
+}
+
+/// Escape and quote a string per JSON.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! ser_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+ser_display_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.json_write(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_write(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_write(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut s = String::new();
+        (vec![1u32, 2], "a\"b".to_string(), Some(1.5f64), [3usize; 2]).json_write(&mut s);
+        assert_eq!(s, r#"[[1,2],"a\"b",1.5,[3,3]]"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        let mut s = String::new();
+        f64::NAN.json_write(&mut s);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` shim using only the built-in `proc_macro` API (the
+//! sandbox has no syn/quote). Supports what this workspace derives on:
+//! plain structs with named fields and fieldless enums, no generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) from the
+/// front of `toks`, returning the index of the first remaining token.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a brace-group body on top-level commas. Commas inside `<...>`
+/// generic arguments (e.g. `HashMap<String, usize>`) do not split.
+fn split_fields(body: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in body.clone() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("vendored serde_derive: expected struct/enum, got {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("vendored serde_derive: expected type name, got {t}"),
+    };
+    i += 1;
+    let body = loop {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("vendored serde_derive: generic types are not supported")
+            }
+            _ => i += 1,
+        }
+    };
+    let items = split_fields(&body);
+    match kind.as_str() {
+        "struct" => {
+            let fields = items
+                .iter()
+                .map(|f| {
+                    let j = skip_attrs_and_vis(f, 0);
+                    match &f[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        t => panic!("vendored serde_derive: expected field name, got {t}"),
+                    }
+                })
+                .collect();
+            Shape::Struct(name, fields)
+        }
+        "enum" => {
+            let variants = items
+                .iter()
+                .map(|v| {
+                    let j = skip_attrs_and_vis(v, 0);
+                    match &v[j] {
+                        TokenTree::Ident(id) => {
+                            if v.len() > j + 1 {
+                                panic!(
+                                    "vendored serde_derive: only fieldless enum variants supported"
+                                );
+                            }
+                            id.to_string()
+                        }
+                        t => panic!("vendored serde_derive: expected variant, got {t}"),
+                    }
+                })
+                .collect();
+            Shape::Enum(name, variants)
+        }
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` (the vendored shim's JSON trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut code = String::new();
+    match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            code.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn json_write(&self, out: &mut String) {{\nout.push('{{');\n"
+            ));
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::json_write(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');\n}\n}\n");
+        }
+        Shape::Enum(name, variants) => {
+            code.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn json_write(&self, out: &mut String) {{\nmatch self {{\n"
+            ));
+            for v in &variants {
+                code.push_str(&format!(
+                    "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"
+                ));
+            }
+            code.push_str("}\n}\n}\n");
+        }
+    }
+    code.parse().expect("vendored serde_derive: generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` — a marker impl only; nothing in this
+/// workspace parses JSON back into derived types.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_shape(input) {
+        Shape::Struct(n, _) | Shape::Enum(n, _) => n,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("vendored serde_derive: generated invalid Rust")
+}
