@@ -23,6 +23,14 @@ cargo_try_offline() {
 cargo_try_offline build --release
 cargo_try_offline test -q --workspace
 
+# Multi-process smoke: the TCP transport with real spawned processes, via
+# the dcnn-launch binary (release build from above). A 4-rank allreduce
+# exercises every algorithm with bitwise cross-rank verification built into
+# the workload; the quickstart epoch runs Algorithm 1 end to end over
+# sockets.
+run ./target/release/dcnn-launch --ranks 4 --workload allreduce
+run ./target/release/dcnn-launch --ranks 2 --workload quickstart-epoch
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

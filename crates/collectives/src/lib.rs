@@ -41,6 +41,7 @@ pub mod primitives;
 pub mod reduce;
 pub mod runtime;
 pub mod trace;
+pub mod transport;
 pub mod tree;
 
 pub use algorithms::{
@@ -48,6 +49,7 @@ pub use algorithms::{
     PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
-pub use runtime::{run_cluster, ClusterBuilder, ClusterRun, Comm, CommStats};
-pub use trace::{render_trace, TraceEvent, TraceEventKind};
+pub use runtime::{run_cluster, run_tcp_rank, ClusterBuilder, ClusterRun, Comm, CommStats, ProcessRun};
+pub use trace::{render_trace, write_trace_json, TraceEvent, TraceEventKind};
+pub use transport::{crc32, Payload, Transport, TransportKind};
 pub use tree::ColorTree;

@@ -1,12 +1,19 @@
-//! Threaded rank runtime: the crate's stand-in for MPI.
+//! Rank runtime: the crate's stand-in for MPI, over pluggable transports.
 //!
 //! [`run_cluster`] spawns one OS thread per rank and gives each a [`Comm`]
-//! for the world communicator. Point-to-point messages travel over one
-//! `std::sync::mpsc` inbox per rank (an *eager* protocol: sends never block,
-//! so collectives written against this runtime are deadlock-free as long as
+//! for the world communicator. Point-to-point messages travel over a
+//! [`Transport`] backend (an *eager* protocol: sends never block, so
+//! collectives written against this runtime are deadlock-free as long as
 //! every posted receive is eventually matched). Tag matching follows MPI
 //! semantics: a receive names `(source, communicator, tag)` and out-of-order
 //! arrivals are stashed.
+//!
+//! Two backends exist (see [`crate::transport`]): in-process `mpsc` inboxes
+//! with `Arc`-shared zero-copy payloads (the default), and real TCP sockets
+//! ([`ClusterBuilder::transport`] or `DCNN_TRANSPORT=tcp`). For ranks as
+//! separate OS processes, [`run_tcp_rank`] is the per-process entry point
+//! (driven by the `dcnn-launch` binary via `DCNN_RANK` / `DCNN_WORLD` /
+//! `DCNN_RENDEZVOUS`).
 //!
 //! [`Comm::split`] creates sub-communicators the way `MPI_Comm_split` does;
 //! DIMD's group-based shuffle (paper §4.1, Figure 9) is built on it.
@@ -36,59 +43,21 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::trace::{trace_enabled_from_env, TraceEvent, TraceEventKind};
+use crate::trace::{
+    trace_enabled_from_env, trace_json_path_from_env, write_trace_json, TraceEvent, TraceEventKind,
+};
+use crate::transport::local::local_fabric;
+use crate::transport::tcp::{TcpOptions, TcpTransport};
+use crate::transport::{RecvPoll, Transport, TransportKind, WireMsg};
+
+pub use crate::transport::Payload;
 
 /// Default time a receive may wait before the watchdog declares a deadlock.
 /// Collectives in this crate complete in milliseconds; 60 s means "a bug".
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
-
-/// Payload of a message. Keeping `f32` payloads typed avoids any
-/// serialization cost on the hot allreduce path (the buffer is moved through
-/// the channel untouched, as RDMA would).
-#[derive(Debug, Clone)]
-pub enum Payload {
-    /// Raw bytes (index exchanges, control messages, image records).
-    Bytes(Vec<u8>),
-    /// Gradient / parameter data.
-    F32(Vec<f32>),
-}
-
-impl Payload {
-    /// Interpret as bytes; panics if the payload is typed `f32`.
-    pub fn into_bytes(self) -> Vec<u8> {
-        match self {
-            Payload::Bytes(b) => b,
-            Payload::F32(_) => panic!("expected byte payload, got f32"),
-        }
-    }
-
-    /// Interpret as `f32`s; panics if the payload is raw bytes.
-    pub fn into_f32(self) -> Vec<f32> {
-        match self {
-            Payload::F32(v) => v,
-            Payload::Bytes(_) => panic!("expected f32 payload, got bytes"),
-        }
-    }
-
-    /// Size in bytes, for accounting.
-    pub fn len_bytes(&self) -> usize {
-        match self {
-            Payload::Bytes(b) => b.len(),
-            Payload::F32(v) => v.len() * 4,
-        }
-    }
-}
-
-struct Msg {
-    src: usize, // global rank
-    comm_id: u64,
-    tag: u32,
-    payload: Payload,
-}
 
 /// A blocked-receive descriptor, published to the diagnostics registry while
 /// a rank waits in a receive past the first poll interval.
@@ -119,6 +88,10 @@ struct ClusterShared {
     epoch: Instant,
     recv_timeout: Duration,
     trace_on: bool,
+    /// True when the world spans OS processes: the diagnostics registry
+    /// only sees this process's ranks, so deadlock reports must say so
+    /// instead of claiming remote ranks are "not blocked".
+    cross_process: bool,
     diags: Vec<Mutex<RankDiag>>,
     /// Memoized deadlock report: built once by the first rank to time out,
     /// then reused by every other rank so all panics carry the same text.
@@ -269,12 +242,13 @@ impl Drop for PhaseGuard {
     }
 }
 
-/// Per-rank receive state: the rank's single inbox plus an out-of-order
-/// stash. One `mpsc` channel per rank preserves per-sender FIFO order (all
-/// MPI guarantees) and lets any-source receives block on one queue instead
-/// of a select over `n` channels.
+/// Per-rank receive state: the rank's single transport inbox plus an
+/// out-of-order stash. One inbox per rank preserves per-sender FIFO order
+/// (all MPI guarantees) and lets any-source receives block on one queue
+/// instead of a select over `n` channels — regardless of whether the bytes
+/// arrived over an in-process channel or a TCP socket.
 struct Endpoint {
-    rx: Receiver<Msg>,
+    transport: Rc<dyn Transport>,
     stash: HashMap<(usize, u64, u32), VecDeque<Payload>>,
     stash_len: u64,
     local: Rc<RankLocal>,
@@ -292,7 +266,7 @@ impl Endpoint {
         Some(p)
     }
 
-    fn stash(&mut self, msg: Msg) {
+    fn stash(&mut self, msg: WireMsg) {
         self.local.trace(
             TraceEventKind::Stash,
             msg.comm_id,
@@ -338,8 +312,8 @@ impl Endpoint {
         let poll = (timeout / 4).min(Duration::from_millis(100)).max(Duration::from_millis(1));
         let mut published = false;
         loop {
-            match self.rx.recv_timeout(poll) {
-                Ok(msg) => {
+            match self.transport.recv_timeout(poll) {
+                RecvPoll::Msg(msg) => {
                     let matches =
                         msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src);
                     if matches {
@@ -355,7 +329,7 @@ impl Endpoint {
                     }
                     self.stash(msg);
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                RecvPoll::TimedOut => {
                     if !published {
                         self.publish_blocked(sources, any_source, comm_id, tag);
                         published = true;
@@ -365,9 +339,10 @@ impl Endpoint {
                         panic!("{report}");
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Unreachable while this rank lives (it holds a sender
-                    // to itself), but fail loudly rather than spinning.
+                RecvPoll::Closed => {
+                    // Unreachable on the threaded backend while this rank
+                    // lives (it holds a sender to itself); on TCP it means
+                    // every peer link died. Fail loudly rather than spin.
                     panic!(
                         "rank {}: inbox disconnected (every peer hung up)",
                         self.local.rank
@@ -463,6 +438,10 @@ fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
                     out.push('\n');
                 }
             }
+            None if shared.cross_process => out.push_str(&format!(
+                "  rank {rank}: no visibility (remote process; re-run that rank with \
+                 DCNN_TRACE=1 for its side)\n"
+            )),
             None => out.push_str(&format!("  rank {rank}: not blocked (running or finished)\n")),
         }
     }
@@ -570,7 +549,8 @@ pub struct Comm {
     my_index: usize,
     comm_id: u64,
     split_count: Cell<u64>,
-    txs: Rc<Vec<Sender<Msg>>>, // indexed by destination global rank
+    /// The message fabric (threads or TCP), addressed by global rank.
+    transport: Rc<dyn Transport>,
     endpoint: Rc<RefCell<Endpoint>>,
     /// Counters and trace buffer, shared across all communicator handles on
     /// the rank (parent and splits), like an MPI profiling layer.
@@ -599,6 +579,12 @@ impl Comm {
     /// Global ranks of the members of this communicator.
     pub fn group(&self) -> &[usize] {
         &self.group
+    }
+
+    /// Name of the transport backend carrying this communicator's messages
+    /// ("threads", "tcp") — for diagnostics and smoke tests.
+    pub fn transport_backend(&self) -> &'static str {
+        self.transport.backend()
     }
 
     /// Total bytes this rank has sent (across all communicator handles).
@@ -636,9 +622,10 @@ impl Comm {
         self.local.bytes_sent.set(self.local.bytes_sent.get() + payload.len_bytes() as u64);
         self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
         self.local.trace(TraceEventKind::Send, self.comm_id, tag, Some(gdst), payload.len_bytes());
-        self.txs[gdst]
-            .send(Msg { src: self.global_rank, comm_id: self.comm_id, tag, payload })
-            .expect("peer hung up");
+        self.transport.send(
+            gdst,
+            WireMsg { src: self.global_rank, comm_id: self.comm_id, tag, payload },
+        );
     }
 
     /// Receive the next message from group rank `src` with `tag`.
@@ -672,7 +659,14 @@ impl Comm {
 
     /// Convenience: send an `f32` slice (copies once into the message).
     pub fn send_f32(&self, dst: usize, tag: u32, data: &[f32]) {
-        self.send(dst, tag, Payload::F32(data.to_vec()));
+        self.send(dst, tag, Payload::f32(data.to_vec()));
+    }
+
+    /// Send an already-shared `f32` buffer without copying it; the threaded
+    /// backend delivers the sender's allocation to the receiver (zero-copy,
+    /// as RDMA would), TCP frames it at the socket boundary only.
+    pub fn send_shared_f32(&self, dst: usize, tag: u32, data: std::sync::Arc<Vec<f32>>) {
+        self.send(dst, tag, Payload::shared_f32(data));
     }
 
     /// Convenience: receive an `f32` vector.
@@ -682,7 +676,7 @@ impl Comm {
 
     /// Convenience: send bytes.
     pub fn send_bytes(&self, dst: usize, tag: u32, data: Vec<u8>) {
-        self.send(dst, tag, Payload::Bytes(data));
+        self.send(dst, tag, Payload::bytes(data));
     }
 
     /// Convenience: receive bytes.
@@ -704,7 +698,7 @@ impl Comm {
             // `step < n` always holds here, so no modulo of `step` is
             // needed before the subtraction.
             let from = (self.my_index + n - step) % n;
-            self.send_raw(to, TAG_INTERNAL + 1 + round, Payload::Bytes(Vec::new()));
+            self.send_raw(to, TAG_INTERNAL + 1 + round, Payload::bytes(Vec::new()));
             let _ = self.recv_raw(from, TAG_INTERNAL + 1 + round);
             step <<= 1;
             round += 1;
@@ -728,7 +722,8 @@ impl Comm {
             let mut t = vec![(0, 0); n];
             t[0] = (color, key);
             for (src, slot) in t.iter_mut().enumerate().skip(1) {
-                let b = self.recv_raw(src, tag_up).into_bytes();
+                let p = self.recv_raw(src, tag_up);
+                let b = p.as_bytes();
                 let c = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
                 let k = i64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
                 *slot = (c, k);
@@ -739,16 +734,20 @@ impl Comm {
                 flat.extend_from_slice(&c.to_le_bytes());
                 flat.extend_from_slice(&k.to_le_bytes());
             }
+            // One shared buffer fans out to every destination: each send
+            // clones an `Arc`, not the table bytes.
+            let flat = Payload::bytes(flat);
             for dst in 1..n {
-                self.send_raw(dst, tag_down, Payload::Bytes(flat.clone()));
+                self.send_raw(dst, tag_down, flat.clone());
             }
         } else {
             let mut b = Vec::with_capacity(16);
             b.extend_from_slice(&color.to_le_bytes());
             b.extend_from_slice(&key.to_le_bytes());
-            self.send_raw(0, tag_up, Payload::Bytes(b));
-            let flat = self.recv_raw(0, tag_down).into_bytes();
-            table = flat
+            self.send_raw(0, tag_up, Payload::bytes(b));
+            let p = self.recv_raw(0, tag_down);
+            table = p
+                .as_bytes()
                 .chunks_exact(16)
                 .map(|c| {
                     (
@@ -788,7 +787,7 @@ impl Comm {
             my_index,
             comm_id: h,
             split_count: Cell::new(0),
-            txs: Rc::clone(&self.txs),
+            transport: Rc::clone(&self.transport),
             endpoint: Rc::clone(&self.endpoint),
             local: Rc::clone(&self.local),
         }
@@ -814,15 +813,81 @@ pub struct ClusterBuilder {
     n: usize,
     trace: Option<bool>,
     recv_timeout: Option<Duration>,
+    transport: Option<TransportKind>,
+}
+
+/// Build a rank's world communicator on `transport`, run `f`, flush the
+/// rank's counters and trace events into `shared`'s sinks, and tear the
+/// transport down. The single code path under both the threaded cluster
+/// and the per-process TCP runtime.
+fn rank_main<R>(
+    transport: Rc<dyn Transport>,
+    shared: Arc<ClusterShared>,
+    f: impl FnOnce(&Comm) -> R,
+) -> R {
+    let rank = transport.rank();
+    let n = transport.world_size();
+    let local = Rc::new(RankLocal::new(rank, shared));
+    let endpoint = Endpoint {
+        transport: Rc::clone(&transport),
+        stash: HashMap::new(),
+        stash_len: 0,
+        local: Rc::clone(&local),
+    };
+    let comm = Comm {
+        global_rank: rank,
+        group: Arc::new((0..n).collect()),
+        my_index: rank,
+        comm_id: 0,
+        split_count: Cell::new(0),
+        transport: Rc::clone(&transport),
+        endpoint: Rc::new(RefCell::new(endpoint)),
+        local: Rc::clone(&local),
+    };
+    let r = f(&comm);
+    local.flush();
+    drop(comm);
+    transport.shutdown();
+    r
+}
+
+/// Read the effective receive timeout (builder override, else
+/// `DCNN_RECV_TIMEOUT_MS`, else 60 s).
+fn resolve_recv_timeout(explicit: Option<Duration>) -> Duration {
+    explicit.unwrap_or_else(|| {
+        std::env::var("DCNN_RECV_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(DEFAULT_RECV_TIMEOUT, Duration::from_millis)
+    })
+}
+
+fn new_cluster_shared(
+    n: usize,
+    trace_on: bool,
+    recv_timeout: Duration,
+    cross_process: bool,
+) -> Arc<ClusterShared> {
+    Arc::new(ClusterShared {
+        epoch: Instant::now(),
+        recv_timeout,
+        trace_on,
+        cross_process,
+        diags: (0..n).map(|_| Mutex::new(RankDiag::default())).collect(),
+        report: Mutex::new(None),
+        trace_sink: Mutex::new(Vec::new()),
+        stats_sink: Mutex::new(vec![CommStats::default(); n]),
+    })
 }
 
 impl ClusterBuilder {
     /// A cluster of `n` ranks with default tracing (off unless `DCNN_TRACE`
-    /// is set) and the default receive timeout (60 s unless
-    /// `DCNN_RECV_TIMEOUT_MS` is set).
+    /// or `DCNN_TRACE_JSON` is set), the default receive timeout (60 s
+    /// unless `DCNN_RECV_TIMEOUT_MS` is set) and the default transport
+    /// (in-process threads unless `DCNN_TRANSPORT=tcp`).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "cluster needs at least one rank");
-        ClusterBuilder { n, trace: None, recv_timeout: None }
+        ClusterBuilder { n, trace: None, recv_timeout: None, transport: None }
     }
 
     /// Force event tracing on or off, overriding `DCNN_TRACE`.
@@ -839,8 +904,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Select the message fabric, overriding `DCNN_TRANSPORT`. With
+    /// [`TransportKind::Tcp`] the ranks are still threads of this process
+    /// but every message crosses a real localhost socket — framing, CRC,
+    /// connection setup and all (the rendezvous address comes from
+    /// `DCNN_RENDEZVOUS`, defaulting to an ephemeral localhost port).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
     /// Spawn the rank threads, run `f` on each with its world [`Comm`], and
-    /// collect results, counters and trace events.
+    /// collect results, counters and trace events. If `DCNN_TRACE_JSON`
+    /// names a file, the merged event stream is also written there as JSON
+    /// lines.
     ///
     /// # Panics
     /// Propagates the first rank panic with its original payload (so a
@@ -852,70 +929,73 @@ impl ClusterBuilder {
         F: Fn(&Comm) -> R + Sync,
     {
         let n = self.n;
-        let trace_on = self.trace.unwrap_or_else(trace_enabled_from_env);
-        let recv_timeout = self.recv_timeout.unwrap_or_else(|| {
-            std::env::var("DCNN_RECV_TIMEOUT_MS")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-                .map_or(DEFAULT_RECV_TIMEOUT, Duration::from_millis)
-        });
+        let json_path = trace_json_path_from_env();
+        let trace_on = self
+            .trace
+            .unwrap_or_else(|| trace_enabled_from_env() || json_path.is_some());
+        let recv_timeout = resolve_recv_timeout(self.recv_timeout);
+        let kind = self.transport.unwrap_or_else(TransportKind::from_env);
+        let shared = new_cluster_shared(n, trace_on, recv_timeout, false);
 
-        let shared = Arc::new(ClusterShared {
-            epoch: Instant::now(),
-            recv_timeout,
-            trace_on,
-            diags: (0..n).map(|_| Mutex::new(RankDiag::default())).collect(),
-            report: Mutex::new(None),
-            trace_sink: Mutex::new(Vec::new()),
-            stats_sink: Mutex::new(vec![CommStats::default(); n]),
-        });
-
-        // One inbox per rank; every rank gets its own clone of the sender
-        // row (mpsc senders are per-thread handles).
-        let mut inboxes: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
-        let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            txs.push(tx);
-            inboxes.push(Some(rx));
+        // Per-rank transport seeds, built up front so rank threads only
+        // finish local establishment. TCP mode pre-binds the rendezvous
+        // listener (DCNN_RENDEZVOUS, else an ephemeral localhost port) and
+        // hands it to rank 0's thread.
+        let mut local_seeds: Vec<Option<crate::transport::local::LocalTransport>> = Vec::new();
+        let mut tcp_host: Mutex<Option<std::net::TcpListener>> = Mutex::new(None);
+        let mut tcp_addr = String::new();
+        match kind {
+            TransportKind::Threads => {
+                local_seeds = local_fabric(n).into_iter().map(Some).collect();
+            }
+            TransportKind::Tcp => {
+                let bind = std::env::var("DCNN_RENDEZVOUS")
+                    .unwrap_or_else(|_| "127.0.0.1:0".to_string());
+                let listener = std::net::TcpListener::bind(&bind)
+                    .unwrap_or_else(|e| panic!("bind rendezvous {bind}: {e}"));
+                tcp_addr = listener.local_addr().expect("rendezvous addr").to_string();
+                tcp_host = Mutex::new(Some(listener));
+            }
         }
-        let world: Arc<Vec<usize>> = Arc::new((0..n).collect());
 
         let results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (rank, inbox) in inboxes.iter_mut().enumerate() {
-                let rx = inbox.take().expect("inbox unclaimed");
-                let txs: Vec<Sender<Msg>> = txs.clone();
-                let world = Arc::clone(&world);
+            for rank in 0..n {
+                let seed = match kind {
+                    TransportKind::Threads => {
+                        Some(local_seeds[rank].take().expect("seed unclaimed"))
+                    }
+                    TransportKind::Tcp => None,
+                };
                 let shared = Arc::clone(&shared);
                 let f = &f;
+                let tcp_host = &tcp_host;
+                let tcp_addr = &tcp_addr;
                 handles.push(scope.spawn(move || {
-                    let local = Rc::new(RankLocal::new(rank, shared));
-                    let endpoint = Endpoint {
-                        rx,
-                        stash: HashMap::new(),
-                        stash_len: 0,
-                        local: Rc::clone(&local),
+                    let transport: Rc<dyn Transport> = match seed {
+                        Some(local) => Rc::new(local),
+                        None => {
+                            let opts = TcpOptions::default();
+                            let t = if rank == 0 {
+                                let listener = tcp_host
+                                    .lock()
+                                    .expect("host listener")
+                                    .take()
+                                    .expect("host listener unclaimed");
+                                TcpTransport::host(listener, n, opts)
+                            } else {
+                                TcpTransport::connect(tcp_addr, rank, n, opts)
+                            };
+                            Rc::new(t.unwrap_or_else(|e| {
+                                panic!("rank {rank}: tcp fabric setup failed: {e}")
+                            }))
+                        }
                     };
-                    let comm = Comm {
-                        global_rank: rank,
-                        group: world,
-                        my_index: rank,
-                        comm_id: 0,
-                        split_count: Cell::new(0),
-                        txs: Rc::new(txs),
-                        endpoint: Rc::new(RefCell::new(endpoint)),
-                        local: Rc::clone(&local),
-                    };
-                    let r = f(&comm);
-                    local.flush();
-                    r
+                    rank_main(transport, shared, |c| f(c))
                 }));
             }
-            // Drop the root sender handles so only live ranks keep inboxes
-            // open, then join everything before propagating any panic (so a
-            // deadlock report from rank k isn't lost to rank 0's join).
-            drop(txs);
+            // Join everything before propagating any panic (so a deadlock
+            // report from rank k isn't lost to rank 0's join).
             let joined: Vec<std::thread::Result<R>> =
                 handles.into_iter().map(|h| h.join()).collect();
             let mut results = Vec::with_capacity(n);
@@ -939,8 +1019,68 @@ impl ClusterBuilder {
         let stats = std::mem::take(&mut *shared.stats_sink.lock().expect("stats sink"));
         let mut events = std::mem::take(&mut *shared.trace_sink.lock().expect("trace sink"));
         events.sort_by_key(|e| e.t_ns);
+        if let Some(path) = &json_path {
+            if let Err(e) = write_trace_json(std::path::Path::new(path), &events) {
+                eprintln!("DCNN_TRACE_JSON: failed to write {path}: {e}");
+            }
+        }
         ClusterRun { results, stats, events }
     }
+}
+
+/// Everything one rank of a multi-process TCP run produced.
+pub struct ProcessRun<R> {
+    /// What the rank closure returned.
+    pub result: R,
+    /// This rank's final communication counters.
+    pub stats: CommStats,
+    /// This rank's trace events (empty unless tracing was enabled).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Per-process entry point for the multi-process TCP runtime: join the
+/// fabric described by the `DCNN_RANK`, `DCNN_WORLD` and `DCNN_RENDEZVOUS`
+/// environment variables, run `f` with this rank's world [`Comm`], and
+/// return the result with this rank's counters and trace events.
+///
+/// Rank 0 binds and hosts the rendezvous address; every other rank dials it
+/// (retrying with backoff, since sibling processes start at different
+/// times). The deadlock watchdog stays armed, but its report only has
+/// visibility into this process's rank. If `DCNN_TRACE_JSON=path` is set,
+/// this rank's events are written to `path.rank<N>` as JSON lines — one
+/// file per process, mergeable offline by sorting on `t_ns`.
+///
+/// The `dcnn-launch` binary spawns N local processes wired this way; see
+/// the README's transport section.
+pub fn run_tcp_rank<R>(f: impl FnOnce(&Comm) -> R) -> ProcessRun<R> {
+    let getenv = |k: &str| {
+        std::env::var(k).unwrap_or_else(|_| panic!("{k} must be set for the TCP process runtime"))
+    };
+    let rank: usize = getenv("DCNN_RANK").parse().expect("DCNN_RANK is a rank index");
+    let world: usize = getenv("DCNN_WORLD").parse().expect("DCNN_WORLD is a rank count");
+    let rendezvous = getenv("DCNN_RENDEZVOUS");
+    assert!(world > 0 && rank < world, "rank {rank} out of range for world {world}");
+
+    let json_path = trace_json_path_from_env();
+    let trace_on = trace_enabled_from_env() || json_path.is_some();
+    let recv_timeout = resolve_recv_timeout(None);
+    let shared = new_cluster_shared(world, trace_on, recv_timeout, true);
+
+    let transport = TcpTransport::establish(rank, world, &rendezvous, TcpOptions::default())
+        .unwrap_or_else(|e| panic!("rank {rank}: tcp fabric setup failed: {e}"));
+    let result = rank_main(Rc::new(transport), Arc::clone(&shared), f);
+
+    let stats =
+        std::mem::take(&mut shared.stats_sink.lock().expect("stats sink")[rank]);
+    let mut events = std::mem::take(&mut *shared.trace_sink.lock().expect("trace sink"));
+    events.sort_by_key(|e| e.t_ns);
+    if let Some(path) = &json_path {
+        let per_rank = format!("{path}.rank{rank}");
+        if let Err(e) = write_trace_json(std::path::Path::new(&per_rank), &events) {
+            eprintln!("DCNN_TRACE_JSON: failed to write {per_rank}: {e}");
+        }
+    }
+    ProcessRun { result, stats, events }
 }
 
 /// Spawn `n` rank threads, run `f` on each with its world [`Comm`], and

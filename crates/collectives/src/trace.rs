@@ -10,10 +10,14 @@
 //!
 //! The collected stream comes back in [`crate::runtime::ClusterRun::events`],
 //! merged across ranks and sorted by time; [`render_trace`] formats it for
-//! human reading when chasing an ordering bug.
+//! human reading when chasing an ordering bug, and [`write_trace_json`]
+//! exports it as JSON lines (`DCNN_TRACE_JSON=path`) so traces from
+//! separate rank processes can be concatenated and re-sorted offline.
+
+use serde::Serialize;
 
 /// What happened (one variant per traced runtime operation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum TraceEventKind {
     /// A message was pushed to a peer's inbox (eager send — never blocks).
     Send,
@@ -44,7 +48,7 @@ impl TraceEventKind {
 }
 
 /// One recorded runtime event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TraceEvent {
     /// Nanoseconds since the cluster started (monotonic, comparable across
     /// ranks — all ranks share one epoch instant).
@@ -104,6 +108,34 @@ pub fn trace_enabled_from_env() -> bool {
     }
 }
 
+/// The output path the `DCNN_TRACE_JSON` environment variable asks trace
+/// events to be exported to, if any. Setting it implies tracing on.
+pub fn trace_json_path_from_env() -> Option<String> {
+    match std::env::var("DCNN_TRACE_JSON") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// Serialize `events` to `out` as JSON lines — one compact object per
+/// event, in the order given. Multi-process runs write one file per rank
+/// (`<path>.rank<N>`); concatenating the files and sorting on `t_ns`
+/// reconstructs the merged timeline, which is why the format is
+/// line-oriented rather than one big array.
+pub fn trace_to_json_lines(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        e.json_write(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Write `events` to `path` as JSON lines (see [`trace_to_json_lines`]).
+pub fn write_trace_json(path: &std::path::Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, trace_to_json_lines(events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +159,39 @@ mod tests {
 
         let b = TraceEvent { kind: TraceEventKind::BlockEnter, peer: None, ..e };
         assert!(b.render().contains("<- any"));
+    }
+
+    #[test]
+    fn json_lines_round_trip_through_value_parser() {
+        let events = vec![
+            TraceEvent {
+                t_ns: 42,
+                rank: 1,
+                kind: TraceEventKind::Send,
+                comm_id: 3,
+                tag: 7,
+                peer: Some(0),
+                bytes: 16,
+            },
+            TraceEvent {
+                t_ns: 99,
+                rank: 0,
+                kind: TraceEventKind::BlockEnter,
+                comm_id: 0,
+                tag: 0,
+                peer: None,
+                bytes: 0,
+            },
+        ];
+        let text = trace_to_json_lines(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).expect("line 0 parses");
+        assert_eq!(v.get("t_ns").and_then(|x| x.as_u64()), Some(42));
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("Send"));
+        assert_eq!(v.get("peer").and_then(|x| x.as_u64()), Some(0));
+        let w: serde_json::Value = serde_json::from_str(lines[1]).expect("line 1 parses");
+        assert!(matches!(w.get("peer"), Some(serde_json::Value::Null)));
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The TCP backend: ranks as separate OS processes (or threads) talking
+//! over real sockets.
+//!
+//! ## Wire format
+//!
+//! Every message is one length-prefixed frame with a CRC-32 trailer
+//! (checksum over everything after the magic, [`crate::transport::crc32`],
+//! the same implementation `dcnn_dimd::crc` re-exports):
+//!
+//! ```text
+//! magic "DCTP" | kind u8 | src u32 | comm_id u64 | tag u32 | len u64 | payload | crc u32
+//! ```
+//!
+//! `kind` is 0 for byte payloads, 1 for `f32` payloads (framed as little-
+//! endian words, so results are bit-identical to the threaded backend), and
+//! 2 for the BYE frame that closes a connection cleanly.
+//!
+//! ## Bootstrap
+//!
+//! Rank 0 listens on the rendezvous address (the `DCNN_RENDEZVOUS`
+//! environment variable, e.g. `127.0.0.1:47555`). Every rank binds an
+//! ephemeral data listener, registers `(rank, data_addr)` with rank 0
+//! (connect retries with exponential backoff — processes start at different
+//! times), and receives the full address table back. The mesh is then built
+//! deterministically: rank *r* dials every rank below it and accepts from
+//! every rank above it, each connection starting with a HELLO frame naming
+//! the dialer's rank.
+//!
+//! ## Data plane
+//!
+//! Each established connection gets a reader thread (parses frames, checks
+//! the CRC, pushes [`WireMsg`]s into the rank's single inbox — the same
+//! receive path the threaded backend uses) and a writer thread (drains a
+//! queue of outbound messages so [`Transport::send`] never blocks on a slow
+//! peer, preserving the eager-protocol guarantee the collectives rely on).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::{crc32, Payload, RecvPoll, Transport, WireMsg};
+
+const FRAME_MAGIC: [u8; 4] = *b"DCTP";
+const KIND_BYTES: u8 = 0;
+const KIND_F32: u8 = 1;
+const KIND_BYE: u8 = 2;
+/// Refuse frames claiming more than this many payload bytes: a corrupted
+/// length must not become a giant allocation.
+const MAX_FRAME_PAYLOAD: u64 = 1 << 31;
+
+/// Fixed-size portion after the magic: kind(1) src(4) comm_id(8) tag(4) len(8).
+const HEADER_LEN: usize = 25;
+
+/// Connection-establishment tuning.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Give up dialing (rendezvous or peer) after this long.
+    pub connect_timeout: Duration,
+    /// Set `TCP_NODELAY` on every connection (latency over throughput; the
+    /// collectives exchange many small control frames).
+    pub nodelay: bool,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions { connect_timeout: Duration::from_secs(20), nodelay: true }
+    }
+}
+
+/// Commands for a per-peer writer thread.
+enum WriterCmd {
+    Frame(WireMsg),
+    Bye,
+}
+
+/// One rank's endpoint on the TCP fabric. See the module docs for the
+/// protocol; from the runtime's point of view this behaves exactly like
+/// [`crate::transport::local::LocalTransport`].
+pub struct TcpTransport {
+    rank: usize,
+    world: usize,
+    inbox_rx: Receiver<WireMsg>,
+    /// Loopback for self-sends (no socket, no serialization).
+    inbox_tx: Sender<WireMsg>,
+    /// Outbound queues, indexed by peer global rank (`None` at `rank`).
+    peers: Vec<Option<Sender<WriterCmd>>>,
+    /// Reader + writer threads, joined on shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Serialize one message as a frame.
+fn encode_frame(src: usize, comm_id: u64, tag: u32, payload: &Payload) -> Vec<u8> {
+    let (kind, len) = match payload {
+        Payload::Bytes(b) => (KIND_BYTES, b.len()),
+        Payload::F32(v) => (KIND_F32, v.len() * 4),
+    };
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + len + 4);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(src as u32).to_le_bytes());
+    out.extend_from_slice(&comm_id.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(len as u64).to_le_bytes());
+    match payload {
+        Payload::Bytes(b) => out.extend_from_slice(b),
+        Payload::F32(v) => {
+            for x in v.iter() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn encode_bye(src: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + 4);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(KIND_BYE);
+    out.extend_from_slice(&(src as u32).to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Read one frame. `Ok(None)` means a clean close (BYE or immediate EOF).
+fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
+    let mut magic = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut magic) {
+        return if e.kind() == io::ErrorKind::UnexpectedEof { Ok(None) } else { Err(e) };
+    }
+    if magic != FRAME_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame magic"));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let kind = header[0];
+    let src = u32::from_le_bytes(header[1..5].try_into().expect("4")) as usize;
+    let comm_id = u64::from_le_bytes(header[5..13].try_into().expect("8"));
+    let tag = u32::from_le_bytes(header[13..17].try_into().expect("4"));
+    let len = u64::from_le_bytes(header[17..25].try_into().expect("8"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame claims {len} payload bytes (corrupt length?)"),
+        ));
+    }
+    if kind == KIND_F32 && len % 4 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "f32 frame length not word-aligned"));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    let want = u32::from_le_bytes(trailer);
+    // CRC over header + payload, exactly what the writer summed.
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in header.iter().chain(body.iter()) {
+        c = super::CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    let got = !c;
+    if got != want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch from rank {src}: got {got:#010x}, want {want:#010x}"),
+        ));
+    }
+    if kind == KIND_BYE {
+        return Ok(None);
+    }
+    let payload = match kind {
+        KIND_BYTES => Payload::bytes(body),
+        KIND_F32 => {
+            let v: Vec<f32> = body
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+                .collect();
+            Payload::f32(v)
+        }
+        k => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown frame kind {k}"),
+            ))
+        }
+    };
+    Ok(Some(WireMsg { src, comm_id, tag, payload }))
+}
+
+/// Dial `addr`, retrying with exponential backoff until `timeout` elapses.
+/// Needed because peer processes (and rank 0's rendezvous listener) come up
+/// at different times.
+fn connect_with_backoff(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    let mut delay = Duration::from_millis(5);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() + delay >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("connect to {addr} failed after {timeout:?} of retries: {e}"),
+                    ));
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn write_len_prefixed(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    w.write_all(&(data.len() as u16).to_le_bytes())?;
+    w.write_all(data)
+}
+
+fn read_len_prefixed(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 2];
+    r.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u16::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Rank 0's side of the rendezvous: accept `n-1` registrations of
+/// `(rank, data_addr)`, then send everyone the full table.
+fn rendezvous_host(listener: &TcpListener, n: usize, my_data_addr: &str) -> io::Result<Vec<String>> {
+    let mut table: Vec<Option<String>> = vec![None; n];
+    table[0] = Some(my_data_addr.to_string());
+    let mut regs: Vec<TcpStream> = Vec::with_capacity(n - 1);
+    while table.iter().any(|t| t.is_none()) {
+        let (mut s, _) = listener.accept()?;
+        let mut rank_buf = [0u8; 4];
+        s.read_exact(&mut rank_buf)?;
+        let r = u32::from_le_bytes(rank_buf) as usize;
+        if r >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("rendezvous registration from out-of-range rank {r} (world {n})"),
+            ));
+        }
+        let addr = String::from_utf8(read_len_prefixed(&mut s)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if table[r].replace(addr).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("rank {r} registered twice (stale process from a previous run?)"),
+            ));
+        }
+        regs.push(s);
+    }
+    let full: Vec<String> = table.into_iter().map(|t| t.expect("filled")).collect();
+    for s in &mut regs {
+        s.write_all(&(n as u32).to_le_bytes())?;
+        for a in &full {
+            write_len_prefixed(s, a.as_bytes())?;
+        }
+        s.flush()?;
+    }
+    Ok(full)
+}
+
+/// A non-zero rank's side of the rendezvous: register and read the table.
+fn rendezvous_register(
+    addr: &str,
+    rank: usize,
+    n: usize,
+    my_data_addr: &str,
+    opts: &TcpOptions,
+) -> io::Result<Vec<String>> {
+    let mut s = connect_with_backoff(addr, opts.connect_timeout)?;
+    s.write_all(&(rank as u32).to_le_bytes())?;
+    write_len_prefixed(&mut s, my_data_addr.as_bytes())?;
+    s.flush()?;
+    let mut n_buf = [0u8; 4];
+    s.read_exact(&mut n_buf)?;
+    let got_n = u32::from_le_bytes(n_buf) as usize;
+    if got_n != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("rendezvous world size mismatch: host says {got_n}, we say {n}"),
+        ));
+    }
+    let mut table = Vec::with_capacity(n);
+    for _ in 0..n {
+        table.push(
+            String::from_utf8(read_len_prefixed(&mut s)?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        );
+    }
+    Ok(table)
+}
+
+impl TcpTransport {
+    /// Establish the fabric as rank 0, hosting the rendezvous on an
+    /// already-bound `listener` (bind it yourself to pick the port, or use
+    /// [`TcpTransport::establish`] to bind from an address string).
+    pub fn host(listener: TcpListener, world: usize, opts: TcpOptions) -> io::Result<Self> {
+        Self::build(0, world, RendezvousRole::Host(listener), opts)
+    }
+
+    /// Establish the fabric as a non-zero rank, registering with the
+    /// rendezvous at `addr`.
+    pub fn connect(addr: &str, rank: usize, world: usize, opts: TcpOptions) -> io::Result<Self> {
+        assert!(rank > 0 && rank < world, "rank {rank} out of range for world {world}");
+        Self::build(rank, world, RendezvousRole::Peer(addr.to_string()), opts)
+    }
+
+    /// Establish the fabric from `(rank, world, rendezvous)`: rank 0 binds
+    /// and hosts `rendezvous`, everyone else dials it. This is the entry the
+    /// multi-process runtime uses with `DCNN_RANK` / `DCNN_WORLD` /
+    /// `DCNN_RENDEZVOUS`.
+    pub fn establish(rank: usize, world: usize, rendezvous: &str, opts: TcpOptions) -> io::Result<Self> {
+        if rank == 0 {
+            let listener = TcpListener::bind(rendezvous)?;
+            Self::host(listener, world, opts)
+        } else {
+            Self::connect(rendezvous, rank, world, opts)
+        }
+    }
+
+    fn build(rank: usize, world: usize, role: RendezvousRole, opts: TcpOptions) -> io::Result<Self> {
+        assert!(world >= 1, "world needs at least one rank");
+        let (inbox_tx, inbox_rx) = channel::<WireMsg>();
+        let mut peers: Vec<Option<Sender<WriterCmd>>> = (0..world).map(|_| None).collect();
+        let mut threads = Vec::new();
+
+        if world > 1 {
+            // Every rank accepts mesh connections on its own ephemeral
+            // data listener; the rendezvous only trades addresses.
+            let data_listener = TcpListener::bind("127.0.0.1:0")?;
+            let my_data_addr = data_listener.local_addr()?.to_string();
+            let table = match &role {
+                RendezvousRole::Host(listener) => rendezvous_host(listener, world, &my_data_addr)?,
+                RendezvousRole::Peer(addr) => {
+                    rendezvous_register(addr, rank, world, &my_data_addr, &opts)?
+                }
+            };
+
+            // Deterministic mesh: dial below, accept from above.
+            let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+            for peer in 0..rank {
+                let mut s = connect_with_backoff(&table[peer], opts.connect_timeout)?;
+                s.write_all(&FRAME_MAGIC)?;
+                s.write_all(&(rank as u32).to_le_bytes())?;
+                s.flush()?;
+                streams[peer] = Some(s);
+            }
+            for _ in rank + 1..world {
+                let (mut s, _) = data_listener.accept()?;
+                let mut hello = [0u8; 8];
+                s.read_exact(&mut hello)?;
+                if hello[0..4] != FRAME_MAGIC {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad mesh hello"));
+                }
+                let peer = u32::from_le_bytes(hello[4..8].try_into().expect("4")) as usize;
+                if peer <= rank || peer >= world || streams[peer].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected mesh hello from rank {peer}"),
+                    ));
+                }
+                streams[peer] = Some(s);
+            }
+
+            for (peer, slot) in streams.into_iter().enumerate() {
+                let Some(stream) = slot else { continue };
+                if opts.nodelay {
+                    stream.set_nodelay(true)?;
+                }
+                let reader = stream.try_clone()?;
+                let (wtx, wrx) = channel::<WriterCmd>();
+                peers[peer] = Some(wtx);
+                threads.push(spawn_reader(reader, peer, inbox_tx.clone()));
+                threads.push(spawn_writer(stream, rank, peer, wrx));
+            }
+        }
+
+        Ok(TcpTransport { rank, world, inbox_rx, inbox_tx, peers, threads: Mutex::new(threads) })
+    }
+}
+
+enum RendezvousRole {
+    Host(TcpListener),
+    Peer(String),
+}
+
+fn spawn_reader(mut stream: TcpStream, peer: usize, inbox: Sender<WireMsg>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dcnn-tcp-read-{peer}"))
+        .spawn(move || loop {
+            match read_frame(&mut stream) {
+                Ok(Some(msg)) => {
+                    if inbox.send(msg).is_err() {
+                        return; // local rank already tore its inbox down
+                    }
+                }
+                Ok(None) => return, // BYE or clean EOF
+                Err(e) => {
+                    // Corruption or a torn connection: drop the link loudly
+                    // (the blocked receive will hit the watchdog with this
+                    // context in the log) rather than deliver bad data.
+                    eprintln!("dcnn tcp: link to rank {peer} failed: {e}");
+                    return;
+                }
+            }
+        })
+        .expect("spawn reader thread")
+}
+
+fn spawn_writer(
+    mut stream: TcpStream,
+    my_rank: usize,
+    peer: usize,
+    queue: Receiver<WriterCmd>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dcnn-tcp-write-{peer}"))
+        .spawn(move || {
+            while let Ok(cmd) = queue.recv() {
+                match cmd {
+                    WriterCmd::Frame(msg) => {
+                        let frame = encode_frame(msg.src, msg.comm_id, msg.tag, &msg.payload);
+                        if let Err(e) = stream.write_all(&frame) {
+                            eprintln!("dcnn tcp: write to rank {peer} failed: {e}");
+                            return;
+                        }
+                    }
+                    WriterCmd::Bye => break,
+                }
+            }
+            let _ = stream.write_all(&encode_bye(my_rank));
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        })
+        .expect("spawn writer thread")
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn backend(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send(&self, dst: usize, msg: WireMsg) {
+        if dst == self.rank {
+            self.inbox_tx.send(msg).expect("own inbox open");
+            return;
+        }
+        self.peers[dst]
+            .as_ref()
+            .expect("peer connection established")
+            .send(WriterCmd::Frame(msg))
+            .expect("peer writer alive");
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvPoll {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(msg) => RecvPoll::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => RecvPoll::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvPoll::Closed,
+        }
+    }
+
+    fn shutdown(&self) {
+        for p in self.peers.iter().flatten() {
+            // The writer drains every queued frame before the BYE, so data
+            // already "sent" stays deliverable to peers still receiving.
+            let _ = p.send(WriterCmd::Bye);
+        }
+        let handles = std::mem::take(&mut *self.threads.lock().expect("thread registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(src: usize, tag: u32, payload: Payload) -> WireMsg {
+        WireMsg { src, comm_id: 7, tag, payload }
+    }
+
+    #[test]
+    fn frame_roundtrip_bytes_and_f32() {
+        for payload in [Payload::bytes(vec![1, 2, 3]), Payload::f32(vec![1.5, -2.25, 0.0])] {
+            let frame = encode_frame(3, 7, 9, &payload);
+            let back = read_frame(&mut frame.as_slice()).expect("decode").expect("msg");
+            assert_eq!((back.src, back.comm_id, back.tag), (3, 7, 9));
+            match (&payload, &back.payload) {
+                (Payload::Bytes(a), Payload::Bytes(b)) => assert_eq!(a, b),
+                (Payload::F32(a), Payload::F32(b)) => {
+                    let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+                    let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(ab, bb, "f32 payload must survive bit-exactly");
+                }
+                _ => panic!("payload kind changed in flight"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc_trailer_catches_corruption() {
+        let frame = encode_frame(1, 0, 2, &Payload::bytes(vec![0xAA; 64]));
+        // Flip one payload bit.
+        for pos in [4 + HEADER_LEN, frame.len() - 5] {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x10;
+            let err = read_frame(&mut bad.as_slice()).expect_err("must reject");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        }
+    }
+
+    #[test]
+    fn insane_length_rejected_before_allocation() {
+        let mut frame = encode_frame(0, 0, 0, &Payload::bytes(vec![1]));
+        // Overwrite the length field with 2^62.
+        let len_off = 4 + 17;
+        frame[len_off..len_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        let err = read_frame(&mut frame.as_slice()).expect_err("must reject");
+        assert!(err.to_string().contains("corrupt length"), "{err}");
+    }
+
+    #[test]
+    fn bye_reads_as_clean_close() {
+        let bye = encode_bye(5);
+        assert!(read_frame(&mut bye.as_slice()).expect("decode").is_none());
+        // Immediate EOF is also a clean close.
+        assert!(read_frame(&mut [].as_slice()).expect("eof").is_none());
+    }
+
+    #[test]
+    fn two_rank_fabric_over_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let t = std::thread::spawn(move || {
+            let t1 = TcpTransport::connect(&addr, 1, 2, TcpOptions::default()).expect("rank 1");
+            t1.send(0, msg(1, 4, Payload::f32(vec![2.5; 8])));
+            match t1.recv_timeout(Duration::from_secs(10)) {
+                RecvPoll::Msg(m) => assert_eq!(m.payload.into_bytes(), vec![7, 8]),
+                other => panic!("rank 1 expected reply, got {other:?}"),
+            }
+            t1.shutdown();
+        });
+        let t0 = TcpTransport::host(listener, 2, TcpOptions::default()).expect("rank 0");
+        match t0.recv_timeout(Duration::from_secs(10)) {
+            RecvPoll::Msg(m) => {
+                assert_eq!((m.src, m.tag), (1, 4));
+                assert_eq!(m.payload.as_f32(), &[2.5; 8]);
+            }
+            other => panic!("rank 0 expected message, got {other:?}"),
+        }
+        t0.send(1, msg(0, 5, Payload::bytes(vec![7, 8])));
+        t0.shutdown();
+        t.join().expect("rank 1 thread");
+    }
+
+    #[test]
+    fn self_send_skips_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let t0 = TcpTransport::host(listener, 1, TcpOptions::default()).expect("solo");
+        let data = Arc::new(vec![1.0f32; 4]);
+        let ptr = Arc::as_ptr(&data) as usize;
+        t0.send(0, msg(0, 1, Payload::shared_f32(data)));
+        match t0.recv_timeout(Duration::from_secs(1)) {
+            RecvPoll::Msg(m) => {
+                assert_eq!(Arc::as_ptr(&m.payload.into_shared_f32()) as usize, ptr);
+            }
+            other => panic!("expected loopback message, got {other:?}"),
+        }
+        t0.shutdown();
+    }
+}

@@ -1,38 +1,14 @@
-//! CRC-32 (IEEE 802.3), from scratch — record-level integrity for the blob
-//! store. A 220 GB blob that lives for a multi-day 22k training run on GPFS
-//! wants end-to-end checksums; every production record format (TFRecord,
+//! CRC-32 (IEEE 802.3) — record-level integrity for the blob store. A
+//! 220 GB blob that lives for a multi-day 22k training run on GPFS wants
+//! end-to-end checksums; every production record format (TFRecord,
 //! RecordIO) carries them.
+//!
+//! The implementation lives in `dcnn_collectives::transport` (the TCP
+//! frame trailer uses the same polynomial, and the dependency already
+//! points dimd → collectives); this module re-exports it so blob-store
+//! code keeps its `crc::crc32` spelling.
 
-/// Reflected polynomial of CRC-32/IEEE.
-const POLY: u32 = 0xEDB8_8320;
-
-const fn table() -> [u32; 256] {
-    let mut t = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        t[i] = c;
-        i += 1;
-    }
-    t
-}
-
-/// Lookup table computed at compile time.
-static TABLE: [u32; 256] = table();
-
-/// CRC-32 of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+pub use dcnn_collectives::transport::crc32;
 
 #[cfg(test)]
 mod tests {

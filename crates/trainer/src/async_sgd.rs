@@ -179,8 +179,8 @@ fn worker(comm: &Comm, cfg: &AsyncConfig, ds: &SynthImageNet, factory: &(impl Fn
         let mut meta = Vec::with_capacity(16);
         meta.extend_from_slice(&version.to_le_bytes());
         meta.extend_from_slice(&out.loss.to_le_bytes());
-        comm.send(0, TAG_META, Payload::Bytes(meta));
-        comm.send(0, TAG_GRAD, Payload::F32(out.grad));
+        comm.send(0, TAG_META, Payload::bytes(meta));
+        comm.send(0, TAG_GRAD, Payload::f32(out.grad));
     }
 
     // Validate a stride of the validation set with the final weights and
@@ -209,7 +209,7 @@ fn worker(comm: &Comm, cfg: &AsyncConfig, ds: &SynthImageNet, factory: &(impl Fn
     let mut meta = Vec::with_capacity(16);
     meta.extend_from_slice(&correct.to_le_bytes());
     meta.extend_from_slice(&count.to_le_bytes());
-    comm.send(0, TAG_VAL, Payload::Bytes(meta));
+    comm.send(0, TAG_VAL, Payload::bytes(meta));
 }
 
 /// Run asynchronous training; returns the server's statistics.

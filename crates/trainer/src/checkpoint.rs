@@ -9,6 +9,46 @@ use dcnn_tensor::layers::{
 
 const MAGIC: &[u8; 4] = b"DCKP";
 
+/// Why a serialized checkpoint failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Shorter than the fixed 16-byte header.
+    TooShort {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The first four bytes are not the `DCKP` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// Header promised `expected` bytes of payload; the buffer has `len`.
+    Truncated {
+        /// Total length the header implies.
+        expected: usize,
+        /// Total length actually present.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::TooShort { len } => {
+                write!(f, "checkpoint buffer too short: {len} bytes, header needs 16")
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic {found:02x?}, expected {MAGIC:02x?}")
+            }
+            CheckpointError::Truncated { expected, len } => {
+                write!(f, "truncated checkpoint: header implies {expected} bytes, got {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// A point-in-time training state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -51,22 +91,32 @@ impl Checkpoint {
         out
     }
 
-    /// Parse a serialized checkpoint.
-    ///
-    /// # Panics
-    /// Panics on malformed input.
-    pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len() >= 16 && &bytes[0..4] == MAGIC, "bad checkpoint magic");
+    /// Parse a serialized checkpoint. A malformed buffer (a partial write,
+    /// a wrong file, bit rot) comes back as a typed [`CheckpointError`]
+    /// rather than a panic, so a resume path can fall back to earlier
+    /// checkpoints.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 16 {
+            return Err(CheckpointError::TooShort { len: bytes.len() });
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: bytes[0..4].try_into().expect("4"),
+            });
+        }
         let epoch = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
         let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
-        assert_eq!(bytes.len(), 16 + 8 * n, "truncated checkpoint");
+        let expected = 16usize.saturating_add(n.saturating_mul(8));
+        if bytes.len() != expected {
+            return Err(CheckpointError::Truncated { expected, len: bytes.len() });
+        }
         let read = |off: usize, count: usize| -> Vec<f32> {
             bytes[off..off + 4 * count]
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
                 .collect()
         };
-        Checkpoint { epoch, params: read(16, n), momentum: read(16 + 4 * n, n) }
+        Ok(Checkpoint { epoch, params: read(16, n), momentum: read(16 + 4 * n, n) })
     }
 }
 
@@ -113,7 +163,7 @@ mod tests {
         let mut m = model();
         train_steps(m.as_mut(), 3, 1);
         let ck = Checkpoint::capture(m.as_mut(), 7);
-        let back = Checkpoint::from_bytes(&ck.to_bytes());
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("roundtrip parses");
         assert_eq!(back, ck);
         assert_eq!(back.epoch, 7);
     }
@@ -154,8 +204,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn corrupt_checkpoint_panics() {
-        let _ = Checkpoint::from_bytes(&[0u8; 20]);
+    fn too_short_buffer_is_typed_error() {
+        assert_eq!(
+            Checkpoint::from_bytes(&[0u8; 3]),
+            Err(CheckpointError::TooShort { len: 3 })
+        );
+        assert_eq!(
+            Checkpoint::from_bytes(&[]),
+            Err(CheckpointError::TooShort { len: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_typed_error() {
+        assert_eq!(
+            Checkpoint::from_bytes(&[0u8; 20]),
+            Err(CheckpointError::BadMagic { found: [0, 0, 0, 0] })
+        );
+    }
+
+    #[test]
+    fn truncated_buffer_is_typed_error() {
+        let mut m = model();
+        let full = Checkpoint::capture(m.as_mut(), 1).to_bytes();
+        // Chop one byte off the end: header still promises the full size.
+        let err = Checkpoint::from_bytes(&full[..full.len() - 1]).expect_err("truncated");
+        assert_eq!(
+            err,
+            CheckpointError::Truncated { expected: full.len(), len: full.len() - 1 }
+        );
+        // A corrupt (absurd) count must error, not attempt a huge allocation.
+        let mut bomb = full[..16].to_vec();
+        bomb[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bomb),
+            Err(CheckpointError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_cause() {
+        let s = CheckpointError::Truncated { expected: 32, len: 20 }.to_string();
+        assert!(s.contains("32") && s.contains("20"), "{s}");
+        let s = CheckpointError::BadMagic { found: *b"NOPE" }.to_string();
+        assert!(s.contains("magic"), "{s}");
     }
 }

@@ -156,11 +156,29 @@ pub fn train_distributed(
     factory: impl Fn() -> Box<dyn Module> + Sync,
 ) -> Vec<EpochStats> {
     assert!(cfg.nodes >= 1 && cfg.gpus_per_node >= 1 && cfg.batch_per_gpu >= 1);
-    let algo = cfg.algo.build();
-    let mut out = run_cluster(cfg.nodes, |comm| {
-        run_rank(comm, cfg, ds, &factory, algo.as_ref())
-    });
+    let mut out = run_cluster(cfg.nodes, |comm| train_on_comm(comm, cfg, ds, &factory));
     out.swap_remove(0)
+}
+
+/// Run this rank's share of Algorithm 1 on an existing communicator — the
+/// entry point for multi-process runs, where [`crate::train_distributed`]'s
+/// own cluster spawning doesn't apply (each OS process joins the fabric via
+/// `dcnn_collectives::run_tcp_rank` and brings its own `Comm`). `cfg.nodes`
+/// must equal `comm.size()`; every rank must pass identical `cfg`, `ds` and
+/// `factory` seeds, exactly as the threaded path arranges implicitly.
+pub fn train_on_comm(
+    comm: &Comm,
+    cfg: &TrainConfig,
+    ds: &SynthImageNet,
+    factory: &(impl Fn() -> Box<dyn Module> + Sync),
+) -> Vec<EpochStats> {
+    assert_eq!(
+        cfg.nodes,
+        comm.size(),
+        "cfg.nodes must match the communicator's size"
+    );
+    let algo = cfg.algo.build();
+    run_rank(comm, cfg, ds, factory, algo.as_ref())
 }
 
 /// One micro-step: sample, run the DPT, return (loss, grad, correct).

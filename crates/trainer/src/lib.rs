@@ -25,6 +25,6 @@ pub mod epoch_model;
 pub mod metrics;
 
 pub use async_sgd::{train_async, AsyncConfig, AsyncStats};
-pub use checkpoint::Checkpoint;
-pub use distributed::{train_distributed, EpochStats, TrainConfig};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use distributed::{train_distributed, train_on_comm, EpochStats, TrainConfig};
 pub use epoch_model::{ClusterSetup, EpochBreakdown, EpochTimeModel, OptimizationFlags, Workload};

@@ -1,0 +1,166 @@
+//! Registered workloads for `dcnn-launch`, the multi-process runner.
+//!
+//! A workload is a plain `fn(&Comm) -> Vec<String>`: it runs on every rank
+//! of a cluster and returns report lines (rank 0's lines are what the
+//! launcher prints). Keeping workloads transport-agnostic is the point —
+//! the same function body runs on the threaded fabric inside one process
+//! and across N OS processes over TCP, and because every line is derived
+//! from deterministic math, the outputs must match byte-for-byte. The
+//! integration tests and `ci.sh`'s smoke test compare exactly that.
+
+use dcnn_collectives::primitives::allgather_bytes;
+use dcnn_collectives::{crc32, AllreduceAlgo, Comm};
+use dcnn_dimd::{SynthConfig, SynthImageNet};
+use dcnn_tensor::optim::LrSchedule;
+use dcnn_trainer::{train_on_comm, TrainConfig};
+
+/// Names every registered workload, in registry order.
+pub fn workload_names() -> &'static [&'static str] {
+    &["allreduce", "quickstart-epoch"]
+}
+
+/// Look a workload up by name.
+pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
+    match name {
+        "allreduce" => Some(allreduce_workload),
+        "quickstart-epoch" => Some(quickstart_epoch_workload),
+        _ => None,
+    }
+}
+
+/// Rank `rank`'s deterministic input value at element `i` — the same
+/// pattern the allreduce equivalence tests use, so results are comparable
+/// across test layers.
+pub fn contribution(rank: usize, i: usize, seed: u64) -> f32 {
+    let x = (rank as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(i as u64)
+        .wrapping_add(seed);
+    ((x % 1000) as f32 - 500.0) / 250.0
+}
+
+/// CRC-32 over the exact bit patterns of `buf` — a compact fingerprint
+/// that only matches when two results are bitwise identical.
+pub fn f32_fingerprint(buf: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(buf.len() * 4);
+    for v in buf {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+/// Every allreduce algorithm (including multicolor) over deterministic
+/// per-rank data. Each rank fingerprints its result buffer; an allgather
+/// asserts every rank produced the *bitwise* same sums, then rank 0's
+/// report carries one `allreduce <name> ... crc=<hex>` line per algorithm
+/// plus the per-rank `bytes_sent`/`msgs_sent` counters accumulated up to
+/// that point. Both the crc and the counters are backend-invariant, which
+/// is exactly what the thread-vs-TCP smoke comparison checks.
+pub fn allreduce_workload(comm: &Comm) -> Vec<String> {
+    const LEN: usize = 260;
+    const SEED: u64 = 42;
+    let mut lines = Vec::new();
+    for algo in AllreduceAlgo::all() {
+        let a = algo.build();
+        let mut buf: Vec<f32> =
+            (0..LEN).map(|i| contribution(comm.rank(), i, SEED)).collect();
+        a.run(comm, &mut buf);
+        let crc = f32_fingerprint(&buf);
+        let all = allgather_bytes(comm, crc.to_le_bytes().to_vec());
+        for (r, b) in all.iter().enumerate() {
+            let theirs = u32::from_le_bytes(b.as_slice().try_into().expect("4"));
+            assert_eq!(
+                theirs,
+                crc,
+                "{}: rank {} disagrees with rank {r}",
+                a.name(),
+                comm.rank()
+            );
+        }
+        lines.push(format!("allreduce {} len={LEN} crc={crc:08x}", a.name()));
+    }
+    // Counter snapshot before the stats exchange itself, gathered so rank
+    // 0's report covers every rank.
+    let s = comm.stats();
+    let mut mine = Vec::with_capacity(16);
+    mine.extend_from_slice(&s.bytes_sent.to_le_bytes());
+    mine.extend_from_slice(&s.msgs_sent.to_le_bytes());
+    for (r, b) in allgather_bytes(comm, mine).iter().enumerate() {
+        let bytes = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+        let msgs = u64::from_le_bytes(b[8..16].try_into().expect("8"));
+        lines.push(format!("stats rank={r} bytes_sent={bytes} msgs_sent={msgs}"));
+    }
+    lines
+}
+
+/// One epoch of the quickstart training run (scaled ResNet, DIMD
+/// partitions, multicolor allreduce) on however many ranks the cluster
+/// has. Every rank regenerates the same synthetic dataset from the same
+/// seed, exactly as separate nodes would. The loss is printed to full
+/// precision: training math is deterministic, so backends must agree on
+/// every bit of it.
+pub fn quickstart_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 24;
+    synth.val_per_class = 8;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut cfg = TrainConfig::paper(comm.size(), 2, 4, 1);
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 6,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(77)
+    });
+    stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in workload_names() {
+            assert!(workload(name).is_some(), "{name} missing from registry");
+        }
+        assert!(workload("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn allreduce_workload_reports_on_threads() {
+        let out = dcnn_collectives::run_cluster(2, allreduce_workload);
+        let lines = &out[0];
+        let algos = AllreduceAlgo::all().len();
+        assert_eq!(lines.len(), algos + 2, "{lines:?}");
+        assert!(lines[0].starts_with("allreduce "));
+        assert!(lines[algos].starts_with("stats rank=0 "));
+        // Identical report on every rank (the workload asserts bitwise
+        // agreement internally, so the lines must match too).
+        assert_eq!(out[0], out[1]);
+    }
+}

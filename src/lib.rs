@@ -40,6 +40,8 @@
 
 pub use dcnn_core::*;
 
+pub mod launch;
+
 /// The most commonly used types, in one import.
 pub mod prelude {
     pub use dcnn_collectives::{

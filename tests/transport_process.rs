@@ -1,0 +1,76 @@
+//! End-to-end multi-process coverage: spawn the real `dcnn-launch` binary
+//! (4 OS processes over TCP) and check its report against the same
+//! workload run on the threaded backend inside this test process. Every
+//! line is deterministic — allreduce crcs fingerprint the exact result
+//! bits, and the stats lines carry per-rank send counters — so the two
+//! reports must match byte for byte.
+
+use std::process::Command;
+
+use dist_cnn::launch::{allreduce_workload, workload};
+
+fn launch(ranks: usize, workload: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dcnn-launch"))
+        .args(["--ranks", &ranks.to_string(), "--workload", workload])
+        // Isolate from any ambient transport/trace settings.
+        .env_remove("DCNN_RENDEZVOUS")
+        .env_remove("DCNN_TRANSPORT")
+        .env_remove("DCNN_TRACE")
+        .env_remove("DCNN_TRACE_JSON")
+        .output()
+        .expect("spawn dcnn-launch")
+}
+
+#[test]
+fn four_process_allreduce_matches_threaded_run() {
+    let out = launch(4, "allreduce");
+    assert!(
+        out.status.success(),
+        "dcnn-launch failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tcp_lines: Vec<String> = String::from_utf8(out.stdout)
+        .expect("utf8 report")
+        .lines()
+        .map(str::to_string)
+        .collect();
+
+    let threaded = dcnn_collectives::run_cluster(4, allreduce_workload);
+    assert_eq!(
+        tcp_lines, threaded[0],
+        "spawned-process TCP report diverged from the threaded backend"
+    );
+    // The report covered every algorithm and every rank's counters.
+    assert!(tcp_lines.iter().any(|l| l.starts_with("allreduce multicolor ")));
+    assert_eq!(tcp_lines.iter().filter(|l| l.starts_with("stats rank=")).count(), 4);
+}
+
+#[test]
+fn two_process_quickstart_epoch_matches_threaded_run() {
+    let out = launch(2, "quickstart-epoch");
+    assert!(
+        out.status.success(),
+        "dcnn-launch failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tcp_report = String::from_utf8(out.stdout).expect("utf8 report");
+
+    let work = workload("quickstart-epoch").expect("registered");
+    let threaded = dcnn_collectives::run_cluster(2, work);
+    let threaded_report: String =
+        threaded[0].iter().map(|l| format!("{l}\n")).collect();
+    assert_eq!(
+        tcp_report, threaded_report,
+        "training over sockets must reproduce the threaded trajectory bit-for-bit"
+    );
+}
+
+#[test]
+fn launcher_rejects_unknown_workload() {
+    let out = launch(2, "no-such-workload");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
