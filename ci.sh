@@ -31,6 +31,25 @@ cargo_try_offline test -q --workspace
 run ./target/release/dcnn-launch --ranks 4 --workload allreduce
 run ./target/release/dcnn-launch --ranks 2 --workload quickstart-epoch
 
+# Overlap-engine smoke: the same epoch trained blocking (bucket bytes 0)
+# and bucketed (4 KiB buckets, many nonblocking allreduces in flight) must
+# report bitwise-identical loss lines at two ranks, and the bucketed run
+# must prove actual overlap via its in-flight high-water mark.
+echo "+ bucketed-epoch bitwise smoke (blocking vs DCNN_BUCKET_BYTES=4096)"
+blocking_out=$(DCNN_BUCKET_BYTES=0 ./target/release/dcnn-launch --ranks 2 --workload bucketed-epoch)
+bucketed_out=$(DCNN_BUCKET_BYTES=4096 ./target/release/dcnn-launch --ranks 2 --workload bucketed-epoch)
+echo "$blocking_out" | sed 's/^/  blocking: /'
+echo "$bucketed_out" | sed 's/^/  bucketed: /'
+if [ "$(echo "$blocking_out" | grep '^epoch ')" != "$(echo "$bucketed_out" | grep '^epoch ')" ]; then
+    echo "ci.sh: bucketed epoch diverged from blocking epoch" >&2
+    exit 1
+fi
+hwm=$(echo "$bucketed_out" | sed -n 's/^inflight_hwm=//p')
+if [ -z "$hwm" ] || [ "$hwm" -lt 2 ]; then
+    echo "ci.sh: expected >=2 bucket reduces in flight, saw '${hwm:-none}'" >&2
+    exit 1
+fi
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -15,6 +15,7 @@ use crate::primitives::{bcast_f32, reduce_f32};
 use crate::runtime::Comm;
 
 /// Hierarchical allreduce: per-group reduce → leaders' allreduce → bcast.
+#[derive(Debug, Clone)]
 pub struct Hierarchical {
     group_size: usize,
     inner: MultiColor,

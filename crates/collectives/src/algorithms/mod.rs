@@ -20,9 +20,11 @@ pub use rdouble::RecursiveDoubling;
 pub use ring::PipelinedRing;
 pub use ring_rs::RingReduceScatter;
 
+use std::sync::Arc;
+
 use dcnn_simnet::CommSchedule;
 
-use crate::runtime::Comm;
+use crate::runtime::{Comm, PendingReduce};
 
 /// Cost constants for compiling an algorithm to a schedule.
 #[derive(Debug, Clone)]
@@ -83,6 +85,17 @@ pub trait Allreduce {
 
     /// Compile to a network schedule for `n` ranks and a `bytes` payload.
     fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule;
+
+    /// Launch this algorithm as a nonblocking reduce of `bucket` on `comm`'s
+    /// comm worker; the returned handle resolves to the reduced buffer (see
+    /// [`Comm::allreduce_async`]). Collective: every rank must start the
+    /// same buckets in the same order.
+    fn start(&self, comm: &Comm, bucket: Vec<f32>) -> PendingReduce
+    where
+        Self: Clone + Send + Sync + Sized + 'static,
+    {
+        comm.allreduce_async(Arc::new(self.clone()), bucket)
+    }
 }
 
 /// Enum of all algorithms, for configuration and sweeps.
@@ -134,6 +147,19 @@ impl AllreduceAlgo {
             AllreduceAlgo::RingReduceScatter => Box::new(RingReduceScatter),
             AllreduceAlgo::HalvingDoubling => Box::new(HalvingDoubling),
             AllreduceAlgo::Hierarchical(g) => Box::new(Hierarchical::new(g, 4)),
+        }
+    }
+
+    /// Instantiate as a shared handle, for repeated async bucket launches
+    /// through [`Comm::allreduce_async`].
+    pub fn build_shared(&self) -> Arc<dyn Allreduce + Send + Sync> {
+        match *self {
+            AllreduceAlgo::MultiColor(k) => Arc::new(MultiColor::new(k)),
+            AllreduceAlgo::PipelinedRing => Arc::new(PipelinedRing::default()),
+            AllreduceAlgo::RecursiveDoubling => Arc::new(RecursiveDoubling),
+            AllreduceAlgo::RingReduceScatter => Arc::new(RingReduceScatter),
+            AllreduceAlgo::HalvingDoubling => Arc::new(HalvingDoubling),
+            AllreduceAlgo::Hierarchical(g) => Arc::new(Hierarchical::new(g, 4)),
         }
     }
 

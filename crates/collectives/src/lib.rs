@@ -49,7 +49,10 @@ pub use algorithms::{
     PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
-pub use runtime::{run_cluster, run_tcp_rank, ClusterBuilder, ClusterRun, Comm, CommStats, ProcessRun};
+pub use runtime::{
+    run_cluster, run_tcp_rank, ClusterBuilder, ClusterRun, Comm, CommStats, PendingReduce,
+    ProcessRun,
+};
 pub use trace::{render_trace, write_trace_json, TraceEvent, TraceEventKind};
 pub use transport::{crc32, Payload, Transport, TransportKind};
 pub use tree::ColorTree;

@@ -18,34 +18,53 @@
 //! [`Comm::split`] creates sub-communicators the way `MPI_Comm_split` does;
 //! DIMD's group-based shuffle (paper §4.1, Figure 9) is built on it.
 //!
+//! ## Nonblocking collectives
+//!
+//! [`Comm::allreduce_async`] (or [`crate::algorithms::Allreduce::start`])
+//! launches an allreduce on the rank's comm worker — a small lazily-spawned
+//! thread pool (`DCNN_COMM_WORKERS`, default 2) — and returns a
+//! [`PendingReduce`] handle. Each launch runs on its own derived bucket
+//! communicator, so several reductions can be in flight without their
+//! messages cross-matching; the rank's single transport inbox is shared
+//! between the main thread and the workers through the receive router (a
+//! leader/follower protocol: exactly one thread polls the transport at a
+//! time, parking non-matching arrivals in the stash for the others). The
+//! bucketed overlap-aware trainer loop is built on this.
+//!
 //! ## Deadlock watchdog
 //!
 //! A receive that stays blocked past the cluster's receive timeout
 //! ([`ClusterBuilder::recv_timeout`], default 60 s, overridable with the
 //! `DCNN_RECV_TIMEOUT_MS` environment variable) does not die with a bare
-//! timeout panic. Instead, every blocked rank publishes its blocked-receive
+//! timeout panic. Instead, every blocked consumer (a rank's main thread, or
+//! one of its in-flight async buckets) publishes its blocked-receive
 //! descriptor `(rank, sources, comm, tag)` and a snapshot of its stash keys
 //! into a shared diagnostics registry; the first rank to time out assembles
 //! the cross-rank wait-for graph, runs cycle detection, and panics with a
-//! readable report naming every blocked rank, what it waits for, what it
-//! has stashed, and the deadlock cycle if one exists. All other timing-out
-//! ranks panic with the same (memoized) report.
+//! readable report naming every blocked rank (bucket reduces labelled with
+//! their bucket number), what it waits for, what it has stashed, and the
+//! deadlock cycle if one exists. All other timing-out ranks panic with the
+//! same (memoized) report.
 //!
 //! ## Tracing and counters
 //!
 //! [`ClusterBuilder::trace`] (or `DCNN_TRACE=1`) turns on per-rank event
 //! recording (see [`crate::trace`]); the runtime always keeps cheap per-rank
 //! counters — bytes/messages sent and received, time spent blocked in
-//! receives, stash high-water mark, and per-phase timings via
-//! [`Comm::phase`] — returned as [`CommStats`] in [`ClusterRun::stats`] and
-//! queryable mid-run with [`Comm::stats`].
+//! receives, stash high-water mark, async launches and their in-flight
+//! high-water mark, time spent draining async reduces, and per-phase timings
+//! via [`Comm::phase`] — returned as [`CommStats`] in [`ClusterRun::stats`]
+//! and queryable mid-run with [`Comm::stats`].
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::algorithms::Allreduce;
 use crate::trace::{
     trace_enabled_from_env, trace_json_path_from_env, write_trace_json, TraceEvent, TraceEventKind,
 };
@@ -59,8 +78,20 @@ pub use crate::transport::Payload;
 /// Collectives in this crate complete in milliseconds; 60 s means "a bug".
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Which consumer of a rank's inbox a receive belongs to: the rank's main
+/// thread, or the comm worker running one async bucket reduce. Ordered so
+/// `Main` sorts before buckets in watchdog reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ConsumerId {
+    /// The rank's own thread (blocking sends/receives/collectives).
+    Main,
+    /// The async reduce launched with this sequence number on its parent
+    /// communicator.
+    Bucket(u64),
+}
+
 /// A blocked-receive descriptor, published to the diagnostics registry while
-/// a rank waits in a receive past the first poll interval.
+/// a consumer waits in a receive past the first poll interval.
 #[derive(Debug, Clone)]
 struct BlockedRecv {
     /// Global ranks the receive can match (one entry for a plain `recv`,
@@ -70,14 +101,16 @@ struct BlockedRecv {
     any_source: bool,
     comm_id: u64,
     tag: u32,
-    /// Nanoseconds since cluster start when the rank blocked.
+    /// Nanoseconds since cluster start when the consumer blocked.
     since_ns: u64,
 }
 
 /// Per-rank slot in the shared diagnostics registry.
 #[derive(Default)]
 struct RankDiag {
-    blocked: Option<BlockedRecv>,
+    /// Blocked-receive descriptors, one per blocked consumer of the rank's
+    /// inbox (main thread and/or in-flight async buckets).
+    blocked: Vec<(ConsumerId, BlockedRecv)>,
     /// Stash keys `(src, comm_id, tag, queued)` snapshotted at block time.
     stash_keys: Vec<(usize, u64, u32, usize)>,
 }
@@ -107,20 +140,31 @@ impl ClusterShared {
 }
 
 /// Per-rank counters and trace buffer, shared by every [`Comm`] handle of
-/// the rank (world and splits), like an MPI profiling layer.
+/// the rank (world, splits and async buckets) across the rank's main thread
+/// and its comm workers, like an MPI profiling layer.
 struct RankLocal {
     rank: usize,
     shared: Arc<ClusterShared>,
-    bytes_sent: Cell<u64>,
-    msgs_sent: Cell<u64>,
-    bytes_recvd: Cell<u64>,
-    msgs_recvd: Cell<u64>,
-    recv_wait_ns: Cell<u64>,
-    recv_blocks: Cell<u64>,
-    stash_hwm: Cell<u64>,
+    bytes_sent: AtomicU64,
+    msgs_sent: AtomicU64,
+    bytes_recvd: AtomicU64,
+    msgs_recvd: AtomicU64,
+    recv_wait_ns: AtomicU64,
+    recv_blocks: AtomicU64,
+    stash_hwm: AtomicU64,
+    /// Async reduces launched via [`Comm::allreduce_async`].
+    async_launched: AtomicU64,
+    /// Async reduces launched but not yet completed, right now.
+    async_inflight: AtomicU64,
+    /// High-water mark of `async_inflight` — proof of overlap when ≥ 2.
+    async_inflight_hwm: AtomicU64,
+    /// Time the main thread spent blocked in [`PendingReduce::wait`].
+    bucket_wait_ns: AtomicU64,
+    /// Wall time comm workers spent inside async collectives.
+    async_comm_ns: AtomicU64,
     /// Inclusive per-phase wall time: `(label, ns, entries)`.
-    phases: RefCell<Vec<(&'static str, u64, u64)>>,
-    events: RefCell<Vec<TraceEvent>>,
+    phases: Mutex<Vec<(&'static str, u64, u64)>>,
+    events: Mutex<Vec<TraceEvent>>,
 }
 
 impl RankLocal {
@@ -128,15 +172,20 @@ impl RankLocal {
         RankLocal {
             rank,
             shared,
-            bytes_sent: Cell::new(0),
-            msgs_sent: Cell::new(0),
-            bytes_recvd: Cell::new(0),
-            msgs_recvd: Cell::new(0),
-            recv_wait_ns: Cell::new(0),
-            recv_blocks: Cell::new(0),
-            stash_hwm: Cell::new(0),
-            phases: RefCell::new(Vec::new()),
-            events: RefCell::new(Vec::new()),
+            bytes_sent: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            bytes_recvd: AtomicU64::new(0),
+            msgs_recvd: AtomicU64::new(0),
+            recv_wait_ns: AtomicU64::new(0),
+            recv_blocks: AtomicU64::new(0),
+            stash_hwm: AtomicU64::new(0),
+            async_launched: AtomicU64::new(0),
+            async_inflight: AtomicU64::new(0),
+            async_inflight_hwm: AtomicU64::new(0),
+            bucket_wait_ns: AtomicU64::new(0),
+            async_comm_ns: AtomicU64::new(0),
+            phases: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
         }
     }
 
@@ -145,7 +194,7 @@ impl RankLocal {
         if !self.shared.trace_on {
             return;
         }
-        self.events.borrow_mut().push(TraceEvent {
+        self.events.lock().expect("trace buffer").push(TraceEvent {
             t_ns: self.shared.now_ns(),
             rank: self.rank,
             kind,
@@ -157,7 +206,7 @@ impl RankLocal {
     }
 
     fn add_phase(&self, label: &'static str, ns: u64) {
-        let mut phases = self.phases.borrow_mut();
+        let mut phases = self.phases.lock().expect("phase table");
         if let Some(p) = phases.iter_mut().find(|p| p.0 == label) {
             p.1 += ns;
             p.2 += 1;
@@ -168,16 +217,21 @@ impl RankLocal {
 
     fn snapshot(&self) -> CommStats {
         CommStats {
-            bytes_sent: self.bytes_sent.get(),
-            msgs_sent: self.msgs_sent.get(),
-            bytes_recvd: self.bytes_recvd.get(),
-            msgs_recvd: self.msgs_recvd.get(),
-            recv_wait_ns: self.recv_wait_ns.get(),
-            recv_blocks: self.recv_blocks.get(),
-            stash_hwm: self.stash_hwm.get(),
+            bytes_sent: self.bytes_sent.load(Relaxed),
+            msgs_sent: self.msgs_sent.load(Relaxed),
+            bytes_recvd: self.bytes_recvd.load(Relaxed),
+            msgs_recvd: self.msgs_recvd.load(Relaxed),
+            recv_wait_ns: self.recv_wait_ns.load(Relaxed),
+            recv_blocks: self.recv_blocks.load(Relaxed),
+            stash_hwm: self.stash_hwm.load(Relaxed),
+            async_launched: self.async_launched.load(Relaxed),
+            async_inflight_hwm: self.async_inflight_hwm.load(Relaxed),
+            bucket_wait_ns: self.bucket_wait_ns.load(Relaxed),
+            async_comm_ns: self.async_comm_ns.load(Relaxed),
             phase_ns: self
                 .phases
-                .borrow()
+                .lock()
+                .expect("phase table")
                 .iter()
                 .map(|&(l, ns, n)| (l.to_string(), ns, n))
                 .collect(),
@@ -188,7 +242,7 @@ impl RankLocal {
     /// sinks (called once, after the rank closure returns).
     fn flush(&self) {
         if self.shared.trace_on {
-            let mut events = self.events.borrow_mut();
+            let mut events = self.events.lock().expect("trace buffer");
             self.shared.trace_sink.lock().expect("trace sink").append(&mut events);
         }
         self.shared.stats_sink.lock().expect("stats sink")[self.rank] = self.snapshot();
@@ -212,6 +266,17 @@ pub struct CommStats {
     pub recv_blocks: u64,
     /// High-water mark of messages parked in the out-of-order stash.
     pub stash_hwm: u64,
+    /// Async reduces launched via [`Comm::allreduce_async`].
+    pub async_launched: u64,
+    /// High-water mark of async reduces in flight at once; ≥ 2 proves
+    /// bucket reductions actually overlapped.
+    pub async_inflight_hwm: u64,
+    /// Nanoseconds the launching thread spent blocked in
+    /// [`PendingReduce::wait`] — communication *not* hidden by compute.
+    pub bucket_wait_ns: u64,
+    /// Nanoseconds comm workers spent inside async collectives (inclusive
+    /// wall time across buckets; overlapping buckets both count).
+    pub async_comm_ns: u64,
     /// Inclusive wall time per [`Comm::phase`] label: `(label, ns, entries)`.
     /// Nested phases both accumulate, so times are inclusive.
     pub phase_ns: Vec<(String, u64, u64)>,
@@ -223,6 +288,21 @@ impl CommStats {
         self.recv_wait_ns as f64 / 1e9
     }
 
+    /// Seconds the launching thread spent draining async bucket reduces.
+    pub fn bucket_wait_secs(&self) -> f64 {
+        self.bucket_wait_ns as f64 / 1e9
+    }
+
+    /// Fraction of async collective time hidden behind compute:
+    /// `1 − bucket_wait / async_comm`, clamped to `[0, 1]`; `0.0` when no
+    /// async reduce ran.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.async_comm_ns == 0 {
+            return 0.0;
+        }
+        (1.0 - self.bucket_wait_ns as f64 / self.async_comm_ns as f64).clamp(0.0, 1.0)
+    }
+
     /// Nanoseconds accumulated under `label`, 0 if never entered.
     pub fn phase(&self, label: &str) -> u64 {
         self.phase_ns.iter().find(|p| p.0 == label).map_or(0, |p| p.1)
@@ -231,7 +311,7 @@ impl CommStats {
 
 /// Measures one labeled phase; created by [`Comm::phase`], records on drop.
 pub struct PhaseGuard {
-    local: Rc<RankLocal>,
+    local: Arc<RankLocal>,
     label: &'static str,
     start: Instant,
 }
@@ -242,31 +322,56 @@ impl Drop for PhaseGuard {
     }
 }
 
-/// Per-rank receive state: the rank's single transport inbox plus an
-/// out-of-order stash. One inbox per rank preserves per-sender FIFO order
-/// (all MPI guarantees) and lets any-source receives block on one queue
-/// instead of a select over `n` channels — regardless of whether the bytes
-/// arrived over an in-process channel or a TCP socket.
-struct Endpoint {
-    transport: Rc<dyn Transport>,
+/// The part of the receive router that lives under its mutex: the
+/// out-of-order stash plus the leader/follower flag.
+struct RouterState {
     stash: HashMap<(usize, u64, u32), VecDeque<Payload>>,
     stash_len: u64,
-    local: Rc<RankLocal>,
+    /// True while some consumer is polling the transport with the lock
+    /// released; everyone else waits on the condvar instead of polling.
+    pumping: bool,
 }
 
-impl Endpoint {
-    fn take_stashed(&mut self, key: (usize, u64, u32)) -> Option<Payload> {
-        let q = self.stash.get_mut(&key)?;
+/// Per-rank receive router: the rank's single transport inbox plus an
+/// out-of-order stash, shared by every consumer of the rank (the main
+/// thread and the comm workers running async bucket reduces). One inbox per
+/// rank preserves per-sender FIFO order (all MPI guarantees); the router's
+/// leader/follower protocol lets many consumers block on it concurrently —
+/// exactly one polls the transport at a time, parking arrivals that match
+/// someone else's receive in the stash and waking the waiters.
+struct Router {
+    transport: Arc<dyn Transport>,
+    local: Arc<RankLocal>,
+    state: Mutex<RouterState>,
+    cv: Condvar,
+}
+
+impl Router {
+    fn new(transport: Arc<dyn Transport>, local: Arc<RankLocal>) -> Self {
+        Router {
+            transport,
+            local,
+            state: Mutex::new(RouterState {
+                stash: HashMap::new(),
+                stash_len: 0,
+                pumping: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn take_stashed(&self, state: &mut RouterState, key: (usize, u64, u32)) -> Option<Payload> {
+        let q = state.stash.get_mut(&key)?;
         let p = q.pop_front()?;
         if q.is_empty() {
-            self.stash.remove(&key);
+            state.stash.remove(&key);
         }
-        self.stash_len -= 1;
+        state.stash_len -= 1;
         self.local.trace(TraceEventKind::Unstash, key.1, key.2, Some(key.0), p.len_bytes());
         Some(p)
     }
 
-    fn stash(&mut self, msg: WireMsg) {
+    fn stash_msg(&self, state: &mut RouterState, msg: WireMsg) {
         self.local.trace(
             TraceEventKind::Stash,
             msg.comm_id,
@@ -274,88 +379,140 @@ impl Endpoint {
             Some(msg.src),
             msg.payload.len_bytes(),
         );
-        self.stash.entry((msg.src, msg.comm_id, msg.tag)).or_default().push_back(msg.payload);
-        self.stash_len += 1;
-        if self.stash_len > self.local.stash_hwm.get() {
-            self.local.stash_hwm.set(self.stash_len);
-        }
+        state.stash.entry((msg.src, msg.comm_id, msg.tag)).or_default().push_back(msg.payload);
+        state.stash_len += 1;
+        self.local.stash_hwm.fetch_max(state.stash_len, Relaxed);
     }
 
     fn delivered(&self, src: usize, comm_id: u64, tag: u32, payload: Payload) -> Payload {
-        self.local.bytes_recvd.set(self.local.bytes_recvd.get() + payload.len_bytes() as u64);
-        self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+        self.local.bytes_recvd.fetch_add(payload.len_bytes() as u64, Relaxed);
+        self.local.msgs_recvd.fetch_add(1, Relaxed);
         self.local.trace(TraceEventKind::Recv, comm_id, tag, Some(src), payload.len_bytes());
         payload
     }
 
-    /// Blocking receive matching `(any of sources, comm_id, tag)`. Returns
-    /// `(global_src, payload)`. On timeout, panics with the watchdog's
-    /// cross-rank deadlock report.
+    /// Bookkeeping for a satisfied receive: retract the blocked-receive
+    /// descriptor if one was published and account the blocked time.
+    fn finish_wait(
+        &self,
+        published: bool,
+        wait_start: Option<Instant>,
+        consumer: ConsumerId,
+        comm_id: u64,
+        tag: u32,
+    ) {
+        if published {
+            self.unpublish_blocked(consumer, comm_id, tag);
+        }
+        if let Some(t0) = wait_start {
+            self.local.recv_wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        }
+    }
+
+    /// Blocking receive matching `(any of sources, comm_id, tag)` on behalf
+    /// of `consumer`. Returns `(global_src, payload)`. On timeout, panics
+    /// with the watchdog's cross-rank deadlock report.
     fn recv_from_sources(
-        &mut self,
+        &self,
         sources: &[usize],
         any_source: bool,
         comm_id: u64,
         tag: u32,
+        consumer: ConsumerId,
     ) -> (usize, Payload) {
-        // Fast path: an eligible message was already stashed.
-        for &src in sources {
-            if let Some(p) = self.take_stashed((src, comm_id, tag)) {
-                return (src, self.delivered(src, comm_id, tag, p));
-            }
-        }
-        let deadline_start = Instant::now();
         let timeout = self.local.shared.recv_timeout;
-        // Poll in slices so blocked ranks publish diagnostics long before
-        // any rank's deadline expires; the fast path (data already queued)
-        // never touches the registry.
+        // Poll in slices so blocked consumers publish diagnostics long
+        // before any rank's deadline expires; the fast path (data already
+        // stashed) never touches the registry.
         let poll = (timeout / 4).min(Duration::from_millis(100)).max(Duration::from_millis(1));
+        let mut state = self.state.lock().expect("router state");
+        let mut wait_start: Option<Instant> = None;
         let mut published = false;
         loop {
-            match self.transport.recv_timeout(poll) {
-                RecvPoll::Msg(msg) => {
-                    let matches =
-                        msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src);
-                    if matches {
-                        if published {
-                            self.unpublish_blocked(comm_id, tag);
+            // Check the stash first: the fast path on entry, and afterwards
+            // whatever another consumer's poll may have parked for us.
+            for &src in sources {
+                if let Some(p) = self.take_stashed(&mut state, (src, comm_id, tag)) {
+                    drop(state);
+                    self.finish_wait(published, wait_start, consumer, comm_id, tag);
+                    return (src, self.delivered(src, comm_id, tag, p));
+                }
+            }
+            let started = *wait_start.get_or_insert_with(Instant::now);
+            if !state.pumping {
+                // Become the pumper: poll the transport with the lock
+                // released so other consumers can keep checking the stash.
+                state.pumping = true;
+                drop(state);
+                let polled = self.transport.recv_timeout(poll);
+                state = self.state.lock().expect("router state");
+                state.pumping = false;
+                self.cv.notify_all();
+                match polled {
+                    RecvPoll::Msg(msg) => {
+                        let matches =
+                            msg.comm_id == comm_id && msg.tag == tag && sources.contains(&msg.src);
+                        if matches {
+                            drop(state);
+                            self.finish_wait(published, wait_start, consumer, comm_id, tag);
+                            let src = msg.src;
+                            return (src, self.delivered(src, comm_id, tag, msg.payload));
                         }
-                        self.local.recv_wait_ns.set(
-                            self.local.recv_wait_ns.get()
-                                + deadline_start.elapsed().as_nanos() as u64,
+                        self.stash_msg(&mut state, msg);
+                    }
+                    RecvPoll::TimedOut => {
+                        if !published {
+                            self.publish_blocked(&state, sources, any_source, comm_id, tag, consumer);
+                            published = true;
+                        }
+                        if started.elapsed() >= timeout {
+                            drop(state);
+                            let report = deadlock_report(&self.local.shared, self.local.rank);
+                            panic!("{report}");
+                        }
+                    }
+                    RecvPoll::Closed => {
+                        // Unreachable on the threaded backend while this rank
+                        // lives (it holds a sender to itself); on TCP it means
+                        // every peer link died. Fail loudly rather than spin.
+                        drop(state);
+                        panic!(
+                            "rank {}: inbox disconnected (every peer hung up)",
+                            self.local.rank
                         );
-                        let src = msg.src;
-                        return (src, self.delivered(src, comm_id, tag, msg.payload));
-                    }
-                    self.stash(msg);
-                }
-                RecvPoll::TimedOut => {
-                    if !published {
-                        self.publish_blocked(sources, any_source, comm_id, tag);
-                        published = true;
-                    }
-                    if deadline_start.elapsed() >= timeout {
-                        let report = deadlock_report(&self.local.shared, self.local.rank);
-                        panic!("{report}");
                     }
                 }
-                RecvPoll::Closed => {
-                    // Unreachable on the threaded backend while this rank
-                    // lives (it holds a sender to itself); on TCP it means
-                    // every peer link died. Fail loudly rather than spin.
-                    panic!(
-                        "rank {}: inbox disconnected (every peer hung up)",
-                        self.local.rank
-                    );
+            } else {
+                // Another consumer is polling the transport; sleep until it
+                // stashes or delivers something, then re-check.
+                let (guard, _timed_out) =
+                    self.cv.wait_timeout(state, poll).expect("router state");
+                state = guard;
+                if !published && started.elapsed() >= poll {
+                    self.publish_blocked(&state, sources, any_source, comm_id, tag, consumer);
+                    published = true;
+                }
+                if started.elapsed() >= timeout {
+                    drop(state);
+                    let report = deadlock_report(&self.local.shared, self.local.rank);
+                    panic!("{report}");
                 }
             }
         }
     }
 
-    fn publish_blocked(&self, sources: &[usize], any_source: bool, comm_id: u64, tag: u32) {
+    fn publish_blocked(
+        &self,
+        state: &RouterState,
+        sources: &[usize],
+        any_source: bool,
+        comm_id: u64,
+        tag: u32,
+        consumer: ConsumerId,
+    ) {
         let shared = &self.local.shared;
         let me = self.local.rank;
-        self.local.recv_blocks.set(self.local.recv_blocks.get() + 1);
+        self.local.recv_blocks.fetch_add(1, Relaxed);
         self.local.trace(
             TraceEventKind::BlockEnter,
             comm_id,
@@ -363,15 +520,20 @@ impl Endpoint {
             if any_source { None } else { sources.first().copied() },
             0,
         );
-        let mut slot = shared.diags[me].lock().expect("diag slot");
-        slot.blocked = Some(BlockedRecv {
+        let desc = BlockedRecv {
             sources: sources.to_vec(),
             any_source,
             comm_id,
             tag,
             since_ns: shared.now_ns(),
-        });
-        slot.stash_keys = self
+        };
+        let mut slot = shared.diags[me].lock().expect("diag slot");
+        if let Some(e) = slot.blocked.iter_mut().find(|(c, _)| *c == consumer) {
+            e.1 = desc;
+        } else {
+            slot.blocked.push((consumer, desc));
+        }
+        slot.stash_keys = state
             .stash
             .iter()
             .map(|(&(src, cid, t), q)| (src, cid, t, q.len()))
@@ -379,22 +541,33 @@ impl Endpoint {
         slot.stash_keys.sort_unstable();
     }
 
-    fn unpublish_blocked(&self, comm_id: u64, tag: u32) {
+    fn unpublish_blocked(&self, consumer: ConsumerId, comm_id: u64, tag: u32) {
         let shared = &self.local.shared;
         let mut slot = shared.diags[self.local.rank].lock().expect("diag slot");
-        slot.blocked = None;
-        slot.stash_keys.clear();
+        slot.blocked.retain(|(c, _)| *c != consumer);
+        if slot.blocked.is_empty() {
+            slot.stash_keys.clear();
+        }
         drop(slot);
         self.local.trace(TraceEventKind::BlockExit, comm_id, tag, None, 0);
     }
 }
 
-/// One rank's diagnostics snapshot: its blocked-receive descriptor (if any)
-/// and its stash keys `(src, comm_id, tag, queued)`.
-type DiagSnapshot = (Option<BlockedRecv>, Vec<(usize, u64, u32, usize)>);
+/// One rank's diagnostics snapshot: its blocked-receive descriptors (one per
+/// blocked consumer) and its stash keys `(src, comm_id, tag, queued)`.
+type DiagSnapshot = (Vec<(ConsumerId, BlockedRecv)>, Vec<(usize, u64, u32, usize)>);
 
-/// Build (once) the cross-rank deadlock report: every rank's blocked-receive
-/// descriptor and stash snapshot, the wait-for graph, and any cycle in it.
+/// The rank's main-thread blocked descriptor, if any. The wait-for graph is
+/// built over main threads only: a rank whose main thread still runs can
+/// always make progress toward the send a peer waits on, while async bucket
+/// workers reduce independently and are reported but not graphed.
+fn main_blocked(entry: &DiagSnapshot) -> Option<&BlockedRecv> {
+    entry.0.iter().find(|(c, _)| *c == ConsumerId::Main).map(|(_, b)| b)
+}
+
+/// Build (once) the cross-rank deadlock report: every blocked consumer's
+/// receive descriptor and stash snapshot, the wait-for graph, and any cycle
+/// in it.
 fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
     let mut memo = shared.report.lock().expect("report memo");
     if let Some(r) = memo.as_ref() {
@@ -416,33 +589,43 @@ fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
          blocked receives:\n"
     );
     for (rank, (blocked, stash)) in snap.iter().enumerate() {
-        match blocked {
-            Some(b) => {
-                let src = if b.any_source {
-                    format!("any of {:?}", b.sources)
-                } else {
-                    format!("src {}", b.sources[0])
-                };
-                let waited = (shared.now_ns().saturating_sub(b.since_ns)) as f64 / 1e9;
+        if blocked.is_empty() {
+            if shared.cross_process {
                 out.push_str(&format!(
-                    "  rank {rank}: waiting on {src} (comm {:#x}, tag {}), blocked {waited:.1}s\n",
-                    b.comm_id, b.tag
+                    "  rank {rank}: no visibility (remote process; re-run that rank with \
+                     DCNN_TRACE=1 for its side)\n"
                 ));
-                if stash.is_empty() {
-                    out.push_str("          stash: empty\n");
-                } else {
-                    out.push_str("          stash:");
-                    for &(s, cid, t, n) in stash {
-                        out.push_str(&format!(" (src {s}, comm {cid:#x}, tag {t}) x{n}"));
-                    }
-                    out.push('\n');
-                }
+            } else {
+                out.push_str(&format!("  rank {rank}: not blocked (running or finished)\n"));
             }
-            None if shared.cross_process => out.push_str(&format!(
-                "  rank {rank}: no visibility (remote process; re-run that rank with \
-                 DCNN_TRACE=1 for its side)\n"
-            )),
-            None => out.push_str(&format!("  rank {rank}: not blocked (running or finished)\n")),
+            continue;
+        }
+        let mut entries = blocked.clone();
+        entries.sort_by_key(|&(c, _)| c);
+        for (consumer, b) in &entries {
+            let who = match consumer {
+                ConsumerId::Main => format!("rank {rank}"),
+                ConsumerId::Bucket(k) => format!("rank {rank} [bucket {k}]"),
+            };
+            let src = if b.any_source {
+                format!("any of {:?}", b.sources)
+            } else {
+                format!("src {}", b.sources[0])
+            };
+            let waited = (shared.now_ns().saturating_sub(b.since_ns)) as f64 / 1e9;
+            out.push_str(&format!(
+                "  {who}: waiting on {src} (comm {:#x}, tag {}), blocked {waited:.1}s\n",
+                b.comm_id, b.tag
+            ));
+        }
+        if stash.is_empty() {
+            out.push_str("          stash: empty\n");
+        } else {
+            out.push_str("          stash:");
+            for &(s, cid, t, n) in stash {
+                out.push_str(&format!(" (src {s}, comm {cid:#x}, tag {t}) x{n}"));
+            }
+            out.push('\n');
         }
     }
 
@@ -465,9 +648,9 @@ fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
         let waiting_on_live: Vec<usize> = snap
             .iter()
             .enumerate()
-            .filter_map(|(r, (b, _))| {
-                b.as_ref()
-                    .filter(|b| b.sources.iter().any(|&s| snap[s].0.is_none()))
+            .filter_map(|(r, entry)| {
+                main_blocked(entry)
+                    .filter(|b| b.sources.iter().any(|&s| main_blocked(&snap[s]).is_none()))
                     .map(|_| r)
             })
             .collect();
@@ -498,16 +681,16 @@ fn find_wait_cycle(snap: &[DiagSnapshot]) -> Option<Vec<usize>> {
     ) -> Option<Vec<usize>> {
         state[r] = 1;
         stack.push(r);
-        if let Some(b) = &snap[r].0 {
+        if let Some(b) = main_blocked(&snap[r]) {
             // An any-source receive is stuck only if every possible sender
             // is; while one source still runs, draw no edges (it may send).
-            let live_source =
-                b.any_source && b.sources.iter().any(|&s| s != r && snap[s].0.is_none());
+            let live_source = b.any_source
+                && b.sources.iter().any(|&s| s != r && main_blocked(&snap[s]).is_none());
             for &s in &b.sources {
                 if live_source || (b.any_source && s == r) {
                     continue; // a blocked rank cannot send to itself
                 }
-                if snap[s].0.is_none() {
+                if main_blocked(&snap[s]).is_none() {
                     continue; // a running rank can still satisfy the recv
                 }
                 match state[s] {
@@ -538,9 +721,169 @@ fn find_wait_cycle(snap: &[DiagSnapshot]) -> Option<Vec<usize>> {
     })
 }
 
-/// A communicator handle: a group of ranks that can exchange messages and run
-/// collectives. Cheap to clone-like via [`Comm::split`]; not `Send` (each
-/// rank's `Comm`s live on that rank's thread, as MPI communicators do).
+/// Work item for the comm worker pool: one bucket's blocking collective.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How many comm worker threads each rank spawns for async reduces
+/// (`DCNN_COMM_WORKERS`, default 2, minimum 1).
+fn comm_worker_threads() -> usize {
+    std::env::var("DCNN_COMM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+struct WorkerState {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// A rank's comm worker pool: runs the blocking collective behind each
+/// async bucket reduce off the rank's main thread. Threads spawn lazily on
+/// the first launch (purely blocking runs pay nothing) and are joined — with
+/// any panic payload re-raised, so a watchdog deadlock report survives to
+/// the rank thread — when the rank's closure returns.
+struct CommWorker {
+    rank: usize,
+    state: Mutex<WorkerState>,
+}
+
+impl CommWorker {
+    fn new(rank: usize) -> Self {
+        CommWorker {
+            rank,
+            state: Mutex::new(WorkerState { tx: None, handles: Vec::new() }),
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut state = self.state.lock().expect("comm worker state");
+        if state.tx.is_none() {
+            assert!(
+                state.handles.is_empty(),
+                "rank {}: async launch after comm worker shutdown",
+                self.rank
+            );
+            let (tx, rx) = channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            for i in 0..comm_worker_threads() {
+                let rx = Arc::clone(&rx);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dcnn-comm-{}-{i}", self.rank))
+                    .spawn(move || loop {
+                        // The queue lock is held only for the dequeue; it is
+                        // released before the job runs, so a panicking job
+                        // cannot poison it.
+                        let job = rx.lock().expect("job queue").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn comm worker thread");
+                state.handles.push(handle);
+            }
+            state.tx = Some(tx);
+        }
+        if state.tx.as_ref().expect("job sender").send(job).is_err() {
+            drop(state);
+            // Every worker died before taking the job: join them and
+            // re-raise the panic that killed them.
+            self.shutdown_and_propagate();
+            panic!("rank {}: comm workers exited before accepting the job", self.rank);
+        }
+    }
+
+    /// Close the job queue, join every worker thread, and re-raise the
+    /// first worker panic (if any) on the calling thread. Idempotent.
+    fn shutdown_and_propagate(&self) {
+        let handles = {
+            let mut state = self.state.lock().expect("comm worker state");
+            state.tx = None;
+            std::mem::take(&mut state.handles)
+        };
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Handle to one in-flight nonblocking allreduce, returned by
+/// [`Comm::allreduce_async`] / [`crate::algorithms::Allreduce::start`].
+/// Resolve it with [`wait`](PendingReduce::wait) (blocking) or poll it with
+/// [`try_complete`](PendingReduce::try_complete).
+pub struct PendingReduce {
+    rx: Receiver<Vec<f32>>,
+    done: Option<Vec<f32>>,
+    seq: u64,
+    local: Arc<RankLocal>,
+    worker: Arc<CommWorker>,
+}
+
+impl PendingReduce {
+    /// Launch sequence number on the parent communicator (bucket index when
+    /// every iteration launches its buckets in order).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// True once the reduced buffer is ready; never blocks. After `true`,
+    /// [`wait`](PendingReduce::wait) returns immediately.
+    pub fn try_complete(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        match self.rx.try_recv() {
+            Ok(buf) => {
+                self.done = Some(buf);
+                true
+            }
+            Err(TryRecvError::Empty) => false,
+            Err(TryRecvError::Disconnected) => self.worker_died(),
+        }
+    }
+
+    /// Block until the reduction finishes and return the reduced buffer
+    /// (every rank's elementwise sum). Blocked time is accounted to
+    /// [`CommStats::bucket_wait_ns`].
+    pub fn wait(mut self) -> Vec<f32> {
+        if let Some(buf) = self.done.take() {
+            return buf;
+        }
+        let start = Instant::now();
+        let res = self.rx.recv();
+        self.local.bucket_wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+        match res {
+            Ok(buf) => buf,
+            Err(_) => self.worker_died(),
+        }
+    }
+
+    /// The worker dropped the result channel without sending: it panicked
+    /// (e.g. the deadlock watchdog fired inside the bucket's collective).
+    /// Join the pool and re-raise its payload so the report reaches the
+    /// rank thread.
+    fn worker_died(&self) -> ! {
+        self.worker.shutdown_and_propagate();
+        panic!("bucket {}: comm worker exited without delivering a result", self.seq)
+    }
+}
+
+/// A communicator handle: a group of ranks that can exchange messages and
+/// run collectives. Cheap to clone-like via [`Comm::split`]. A `Comm` is
+/// owned by one rank; it is `Send` (async bucket reduces move a derived
+/// handle onto the rank's comm worker) but not `Sync` — concurrent
+/// consumers of a rank's inbox each get their own handle, as MPI
+/// communicators work.
 pub struct Comm {
     global_rank: usize,
     /// Global ranks of the group members, in group-rank order.
@@ -549,12 +892,20 @@ pub struct Comm {
     my_index: usize,
     comm_id: u64,
     split_count: Cell<u64>,
+    /// Async launches on this communicator, numbering derived bucket
+    /// communicators (symmetric across ranks by collective-call order).
+    async_seq: Cell<u64>,
     /// The message fabric (threads or TCP), addressed by global rank.
-    transport: Rc<dyn Transport>,
-    endpoint: Rc<RefCell<Endpoint>>,
+    transport: Arc<dyn Transport>,
+    /// The rank's shared receive router (stash + leader/follower polling).
+    router: Arc<Router>,
     /// Counters and trace buffer, shared across all communicator handles on
-    /// the rank (parent and splits), like an MPI profiling layer.
-    local: Rc<RankLocal>,
+    /// the rank (parent, splits and buckets), like an MPI profiling layer.
+    local: Arc<RankLocal>,
+    /// The rank's comm worker pool for async reduces.
+    worker: Arc<CommWorker>,
+    /// Which inbox consumer this handle's receives belong to.
+    consumer: ConsumerId,
 }
 
 /// Reserved tag namespace for runtime-internal collectives (split, barrier).
@@ -589,12 +940,12 @@ impl Comm {
 
     /// Total bytes this rank has sent (across all communicator handles).
     pub fn bytes_sent(&self) -> u64 {
-        self.local.bytes_sent.get()
+        self.local.bytes_sent.load(Relaxed)
     }
 
     /// Total messages this rank has sent (across all communicator handles).
     pub fn msgs_sent(&self) -> u64 {
-        self.local.msgs_sent.get()
+        self.local.msgs_sent.load(Relaxed)
     }
 
     /// Snapshot of this rank's communication counters (shared across all of
@@ -608,7 +959,7 @@ impl Comm {
     /// rank's [`CommStats::phase_ns`] when the returned guard drops. Phases
     /// may nest (times are inclusive).
     pub fn phase(&self, label: &'static str) -> PhaseGuard {
-        PhaseGuard { local: Rc::clone(&self.local), label, start: Instant::now() }
+        PhaseGuard { local: Arc::clone(&self.local), label, start: Instant::now() }
     }
 
     /// Send `payload` to group rank `dst` with `tag`. Never blocks.
@@ -619,8 +970,8 @@ impl Comm {
 
     fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
         let gdst = self.group[dst];
-        self.local.bytes_sent.set(self.local.bytes_sent.get() + payload.len_bytes() as u64);
-        self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
+        self.local.bytes_sent.fetch_add(payload.len_bytes() as u64, Relaxed);
+        self.local.msgs_sent.fetch_add(1, Relaxed);
         self.local.trace(TraceEventKind::Send, self.comm_id, tag, Some(gdst), payload.len_bytes());
         self.transport.send(
             gdst,
@@ -640,7 +991,7 @@ impl Comm {
     pub fn recv_any(&self, tag: u32) -> (usize, Payload) {
         assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
         let (gsrc, payload) =
-            self.endpoint.borrow_mut().recv_from_sources(&self.group, true, self.comm_id, tag);
+            self.router.recv_from_sources(&self.group, true, self.comm_id, tag, self.consumer);
         let grank = self
             .group
             .iter()
@@ -651,9 +1002,8 @@ impl Comm {
 
     fn recv_raw(&self, src: usize, tag: u32) -> Payload {
         let gsrc = self.group[src];
-        self.endpoint
-            .borrow_mut()
-            .recv_from_sources(&[gsrc], false, self.comm_id, tag)
+        self.router
+            .recv_from_sources(&[gsrc], false, self.comm_id, tag, self.consumer)
             .1
     }
 
@@ -702,6 +1052,66 @@ impl Comm {
             let _ = self.recv_raw(from, TAG_INTERNAL + 1 + round);
             step <<= 1;
             round += 1;
+        }
+    }
+
+    /// Launch a nonblocking allreduce of `bucket` on this rank's comm
+    /// worker, returning a handle to the in-flight reduction. On
+    /// [`PendingReduce::wait`] the buffer holds the elementwise sum over
+    /// all ranks, exactly as the blocking [`Allreduce::run`] would leave it.
+    ///
+    /// Collective: every rank of this communicator must launch the same
+    /// sequence of async reduces (same algorithms, same bucket lengths, same
+    /// order). Each launch runs on its own derived bucket communicator — a
+    /// fresh tag space keyed by the launch sequence number — so several
+    /// in-flight buckets can never cross-match, on either transport.
+    pub fn allreduce_async(
+        &self,
+        algo: Arc<dyn Allreduce + Send + Sync>,
+        bucket: Vec<f32>,
+    ) -> PendingReduce {
+        let seq = self.async_seq.get();
+        self.async_seq.set(seq + 1);
+        // Deterministic bucket communicator id, identical across members;
+        // same FNV-style mixing as `split` but over the launch sequence.
+        let mut h = self.comm_id ^ 0xA5B3_55E1_D00D_FEED;
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(seq);
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(0x9E37);
+        let sub = Comm {
+            global_rank: self.global_rank,
+            group: Arc::clone(&self.group),
+            my_index: self.my_index,
+            comm_id: h,
+            split_count: Cell::new(0),
+            async_seq: Cell::new(0),
+            transport: Arc::clone(&self.transport),
+            router: Arc::clone(&self.router),
+            local: Arc::clone(&self.local),
+            worker: Arc::clone(&self.worker),
+            consumer: ConsumerId::Bucket(seq),
+        };
+        let local = Arc::clone(&self.local);
+        local.async_launched.fetch_add(1, Relaxed);
+        let inflight = local.async_inflight.fetch_add(1, Relaxed) + 1;
+        local.async_inflight_hwm.fetch_max(inflight, Relaxed);
+        local.trace(TraceEventKind::AsyncLaunch, h, seq as u32, None, bucket.len() * 4);
+        let (done_tx, done_rx) = channel();
+        let job_local = Arc::clone(&local);
+        self.worker.submit(Box::new(move || {
+            let mut bucket = bucket;
+            let start = Instant::now();
+            algo.run(&sub, &mut bucket);
+            job_local.async_comm_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+            job_local.async_inflight.fetch_sub(1, Relaxed);
+            job_local.trace(TraceEventKind::AsyncDone, sub.comm_id, seq as u32, None, bucket.len() * 4);
+            let _ = done_tx.send(bucket);
+        }));
+        PendingReduce {
+            rx: done_rx,
+            done: None,
+            seq,
+            local,
+            worker: Arc::clone(&self.worker),
         }
     }
 
@@ -787,9 +1197,12 @@ impl Comm {
             my_index,
             comm_id: h,
             split_count: Cell::new(0),
-            transport: Rc::clone(&self.transport),
-            endpoint: Rc::clone(&self.endpoint),
-            local: Rc::clone(&self.local),
+            async_seq: Cell::new(0),
+            transport: Arc::clone(&self.transport),
+            router: Arc::clone(&self.router),
+            local: Arc::clone(&self.local),
+            worker: Arc::clone(&self.worker),
+            consumer: self.consumer,
         }
     }
 }
@@ -819,32 +1232,34 @@ pub struct ClusterBuilder {
 /// Build a rank's world communicator on `transport`, run `f`, flush the
 /// rank's counters and trace events into `shared`'s sinks, and tear the
 /// transport down. The single code path under both the threaded cluster
-/// and the per-process TCP runtime.
+/// and the per-process TCP runtime. Comm workers (async bucket reduces)
+/// are joined — re-raising any worker panic — before the counters flush,
+/// so stats include every bucket and the transport outlives its users.
 fn rank_main<R>(
-    transport: Rc<dyn Transport>,
+    transport: Arc<dyn Transport>,
     shared: Arc<ClusterShared>,
     f: impl FnOnce(&Comm) -> R,
 ) -> R {
     let rank = transport.rank();
     let n = transport.world_size();
-    let local = Rc::new(RankLocal::new(rank, shared));
-    let endpoint = Endpoint {
-        transport: Rc::clone(&transport),
-        stash: HashMap::new(),
-        stash_len: 0,
-        local: Rc::clone(&local),
-    };
+    let local = Arc::new(RankLocal::new(rank, shared));
+    let router = Arc::new(Router::new(Arc::clone(&transport), Arc::clone(&local)));
+    let worker = Arc::new(CommWorker::new(rank));
     let comm = Comm {
         global_rank: rank,
         group: Arc::new((0..n).collect()),
         my_index: rank,
         comm_id: 0,
         split_count: Cell::new(0),
-        transport: Rc::clone(&transport),
-        endpoint: Rc::new(RefCell::new(endpoint)),
-        local: Rc::clone(&local),
+        async_seq: Cell::new(0),
+        transport: Arc::clone(&transport),
+        router,
+        local: Arc::clone(&local),
+        worker: Arc::clone(&worker),
+        consumer: ConsumerId::Main,
     };
     let r = f(&comm);
+    worker.shutdown_and_propagate();
     local.flush();
     drop(comm);
     transport.shutdown();
@@ -972,8 +1387,8 @@ impl ClusterBuilder {
                 let tcp_host = &tcp_host;
                 let tcp_addr = &tcp_addr;
                 handles.push(scope.spawn(move || {
-                    let transport: Rc<dyn Transport> = match seed {
-                        Some(local) => Rc::new(local),
+                    let transport: Arc<dyn Transport> = match seed {
+                        Some(local) => Arc::new(local),
                         None => {
                             let opts = TcpOptions::default();
                             let t = if rank == 0 {
@@ -986,7 +1401,7 @@ impl ClusterBuilder {
                             } else {
                                 TcpTransport::connect(tcp_addr, rank, n, opts)
                             };
-                            Rc::new(t.unwrap_or_else(|e| {
+                            Arc::new(t.unwrap_or_else(|e| {
                                 panic!("rank {rank}: tcp fabric setup failed: {e}")
                             }))
                         }
@@ -1068,7 +1483,7 @@ pub fn run_tcp_rank<R>(f: impl FnOnce(&Comm) -> R) -> ProcessRun<R> {
 
     let transport = TcpTransport::establish(rank, world, &rendezvous, TcpOptions::default())
         .unwrap_or_else(|e| panic!("rank {rank}: tcp fabric setup failed: {e}"));
-    let result = rank_main(Rc::new(transport), Arc::clone(&shared), f);
+    let result = rank_main(Arc::new(transport), Arc::clone(&shared), f);
 
     let stats =
         std::mem::take(&mut shared.stats_sink.lock().expect("stats sink")[rank]);
@@ -1389,4 +1804,107 @@ mod tests {
         });
         assert!(run.events.is_empty());
     }
+
+    #[test]
+    fn async_allreduce_matches_blocking_bitwise() {
+        use crate::algorithms::RecursiveDoubling;
+        let seed = |r: usize| -> Vec<f32> {
+            (0..97).map(|i| ((r * 97 + i) as f32).sin() * 3.0).collect()
+        };
+        let blocking = run_cluster(4, |c| {
+            let mut buf = seed(c.rank());
+            RecursiveDoubling.run(c, &mut buf);
+            buf
+        });
+        let nonblocking = run_cluster(4, |c| RecursiveDoubling.start(c, seed(c.rank())).wait());
+        for (b, nb) in blocking.iter().zip(&nonblocking) {
+            let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            let nb_bits: Vec<u32> = nb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(b_bits, nb_bits);
+        }
+    }
+
+    #[test]
+    fn concurrent_buckets_stay_isolated() {
+        use crate::algorithms::MultiColor;
+        // Buckets big enough that all three launches land before the first
+        // reduce can finish — the in-flight high-water mark must show
+        // genuine overlap.
+        let run = ClusterBuilder::new(4).run(|c| {
+            let algo: Arc<dyn Allreduce + Send + Sync> = Arc::new(MultiColor::new(2));
+            let pending: Vec<PendingReduce> = (0..3u64)
+                .map(|b| {
+                    let len = 16_384 + 512 * b as usize;
+                    let buf = vec![(c.rank() as f32 + 1.0) * (b as f32 + 1.0); len];
+                    c.allreduce_async(Arc::clone(&algo), buf)
+                })
+                .collect();
+            pending.into_iter().map(PendingReduce::wait).collect::<Vec<_>>()
+        });
+        for out in &run.results {
+            for (b, buf) in out.iter().enumerate() {
+                let expect = (1.0 + 2.0 + 3.0 + 4.0) * (b as f32 + 1.0);
+                assert_eq!(buf.len(), 16_384 + 512 * b);
+                assert!(
+                    buf.iter().all(|&x| x == expect),
+                    "bucket {b}: got {:?}, want {expect}",
+                    &buf[..4]
+                );
+            }
+        }
+        for s in &run.stats {
+            assert_eq!(s.async_launched, 3);
+            assert!(s.async_inflight_hwm >= 2, "no overlap: hwm {}", s.async_inflight_hwm);
+            assert!(s.async_comm_ns > 0);
+        }
+    }
+
+    #[test]
+    fn try_complete_polls_to_completion() {
+        use crate::algorithms::PipelinedRing;
+        let out = run_cluster(2, |c| {
+            let mut p = PipelinedRing::default().start(c, vec![c.rank() as f32 + 1.0; 8]);
+            while !p.try_complete() {
+                std::thread::yield_now();
+            }
+            p.wait()
+        });
+        assert!(out.iter().all(|b| b.iter().all(|&x| x == 3.0)));
+    }
+
+    #[test]
+    fn async_reduce_on_subcommunicator() {
+        use crate::algorithms::RecursiveDoubling;
+        let out = run_cluster(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as i64);
+            RecursiveDoubling.start(&sub, vec![c.rank() as f32; 4]).wait()
+        });
+        assert_eq!(out[0][0], 2.0); // ranks 0 + 2
+        assert_eq!(out[1][0], 4.0); // ranks 1 + 3
+    }
+
+    #[test]
+    fn async_overlaps_with_main_thread_traffic() {
+        use crate::algorithms::RecursiveDoubling;
+        // The main thread keeps exchanging point-to-point messages while a
+        // bucket reduces on the comm worker — both share the inbox through
+        // the router and neither may steal the other's messages.
+        let out = run_cluster(2, |c| {
+            let pending = RecursiveDoubling.start(c, vec![c.rank() as f32 + 1.0; 4096]);
+            let peer = 1 - c.rank();
+            let mut acc = 0u64;
+            for i in 0..50u8 {
+                c.send_bytes(peer, 11, vec![i]);
+                acc += u64::from(c.recv_bytes(peer, 11)[0]);
+            }
+            (acc, pending.wait())
+        });
+        for (acc, buf) in &out {
+            assert_eq!(*acc, (0..50u64).sum::<u64>());
+            assert!(buf.iter().all(|&x| x == 3.0));
+        }
+    }
 }
+
+
+

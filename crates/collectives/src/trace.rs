@@ -31,6 +31,11 @@ pub enum TraceEventKind {
     BlockEnter,
     /// A blocked receive was satisfied and resumed.
     BlockExit,
+    /// A nonblocking allreduce was handed to the comm worker (`tag` holds
+    /// the launch sequence number, `comm_id` the derived bucket comm).
+    AsyncLaunch,
+    /// A nonblocking allreduce finished on the comm worker.
+    AsyncDone,
 }
 
 impl TraceEventKind {
@@ -43,6 +48,8 @@ impl TraceEventKind {
             TraceEventKind::Unstash => "unstash",
             TraceEventKind::BlockEnter => "block",
             TraceEventKind::BlockExit => "resume",
+            TraceEventKind::AsyncLaunch => "launch",
+            TraceEventKind::AsyncDone => "reduced",
         }
     }
 }

@@ -6,6 +6,7 @@
 //! buffer without copying — the same-process stand-in for zero-copy RDMA.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use super::{RecvPoll, Transport, WireMsg};
@@ -17,7 +18,10 @@ pub struct LocalTransport {
     /// a full row (including its own inbox, which also keeps `rx` connected
     /// while the rank lives).
     txs: Vec<Sender<WireMsg>>,
-    rx: Receiver<WireMsg>,
+    /// The inbox. `mpsc::Receiver` is single-consumer; the runtime's router
+    /// guarantees one polling thread at a time, and the mutex makes the
+    /// endpoint shareable between a rank's main thread and its comm worker.
+    rx: Mutex<Receiver<WireMsg>>,
 }
 
 /// Build the full in-process fabric for `n` ranks: one endpoint per rank,
@@ -32,7 +36,7 @@ pub fn local_fabric(n: usize) -> Vec<LocalTransport> {
     }
     rxs.into_iter()
         .enumerate()
-        .map(|(rank, rx)| LocalTransport { rank, txs: txs.clone(), rx })
+        .map(|(rank, rx)| LocalTransport { rank, txs: txs.clone(), rx: Mutex::new(rx) })
         .collect()
 }
 
@@ -54,7 +58,7 @@ impl Transport for LocalTransport {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> RecvPoll {
-        match self.rx.recv_timeout(timeout) {
+        match self.rx.lock().expect("inbox receiver").recv_timeout(timeout) {
             Ok(msg) => RecvPoll::Msg(msg),
             Err(RecvTimeoutError::Timeout) => RecvPoll::TimedOut,
             Err(RecvTimeoutError::Disconnected) => RecvPoll::Closed,

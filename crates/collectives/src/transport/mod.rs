@@ -141,8 +141,10 @@ pub enum RecvPoll {
 /// An eager, tagged, rank-addressed message fabric — what the rank runtime
 /// needs from MPI. Sends never block (buffering happens behind the trait);
 /// receives deliver in per-sender FIFO order. One `Transport` instance
-/// belongs to one rank and lives on that rank's thread.
-pub trait Transport {
+/// belongs to one rank, shared between the rank's main thread and its comm
+/// worker (hence `Send + Sync`); the runtime's receive router guarantees at
+/// most one thread polls `recv_timeout` at a time.
+pub trait Transport: Send + Sync {
     /// This endpoint's global rank.
     fn rank(&self) -> usize;
 

@@ -82,7 +82,10 @@ enum WriterCmd {
 pub struct TcpTransport {
     rank: usize,
     world: usize,
-    inbox_rx: Receiver<WireMsg>,
+    /// The single inbox all reader threads feed. Mutex-wrapped so the
+    /// endpoint is shareable between a rank's main thread and its comm
+    /// worker (the runtime's router serializes actual polling).
+    inbox_rx: Mutex<Receiver<WireMsg>>,
     /// Loopback for self-sends (no socket, no serialization).
     inbox_tx: Sender<WireMsg>,
     /// Outbound queues, indexed by peer global rank (`None` at `rank`).
@@ -384,7 +387,14 @@ impl TcpTransport {
             }
         }
 
-        Ok(TcpTransport { rank, world, inbox_rx, inbox_tx, peers, threads: Mutex::new(threads) })
+        Ok(TcpTransport {
+            rank,
+            world,
+            inbox_rx: Mutex::new(inbox_rx),
+            inbox_tx,
+            peers,
+            threads: Mutex::new(threads),
+        })
     }
 }
 
@@ -470,7 +480,7 @@ impl Transport for TcpTransport {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> RecvPoll {
-        match self.inbox_rx.recv_timeout(timeout) {
+        match self.inbox_rx.lock().expect("inbox receiver").recv_timeout(timeout) {
             Ok(msg) => RecvPoll::Msg(msg),
             Err(RecvTimeoutError::Timeout) => RecvPoll::TimedOut,
             Err(RecvTimeoutError::Disconnected) => RecvPoll::Closed,

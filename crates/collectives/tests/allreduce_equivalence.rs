@@ -2,9 +2,11 @@
 //! compute the same sums, and the simulated fabric must rank the paper's
 //! three algorithms the way Figure 5 does.
 
+use std::sync::Arc;
+
 use dcnn_collectives::{
-    run_cluster, Allreduce, AllreduceAlgo, CostModel, MultiColor, PipelinedRing,
-    RecursiveDoubling,
+    run_cluster, Allreduce, AllreduceAlgo, ClusterBuilder, CostModel, MultiColor,
+    PipelinedRing, RecursiveDoubling, TransportKind,
 };
 use dcnn_simnet::{throughput_gbps, FatTree, SimOptions};
 use proptest::prelude::*;
@@ -56,6 +58,96 @@ fn all_algorithms_agree_with_reference() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Blocking reference on an arbitrary transport.
+fn run_blocking(kind: TransportKind, algo: &AllreduceAlgo, n: usize, len: usize) -> Vec<Vec<f32>> {
+    let a = algo.build();
+    ClusterBuilder::new(n)
+        .transport(kind)
+        .run(move |c| {
+            let mut buf: Vec<f32> = (0..len).map(|i| contribution(c.rank(), i, 9)).collect();
+            a.run(c, &mut buf);
+            buf
+        })
+        .results
+}
+
+/// Same payload through the nonblocking engine, cut into `bucket_len`-sized
+/// buckets all launched before any is drained.
+fn run_async_bucketed(
+    kind: TransportKind,
+    algo: &AllreduceAlgo,
+    n: usize,
+    len: usize,
+    bucket_len: usize,
+) -> Vec<Vec<f32>> {
+    let a = algo.build_shared();
+    ClusterBuilder::new(n)
+        .transport(kind)
+        .run(move |c| {
+            let full: Vec<f32> = (0..len).map(|i| contribution(c.rank(), i, 9)).collect();
+            let mut spans = Vec::new();
+            let mut pending = Vec::new();
+            let mut start = 0;
+            while start < len {
+                let end = (start + bucket_len).min(len);
+                pending.push(c.allreduce_async(Arc::clone(&a), full[start..end].to_vec()));
+                spans.push(start..end);
+                start = end;
+            }
+            let mut out = vec![0.0f32; len];
+            for (span, p) in spans.into_iter().zip(pending) {
+                out[span].copy_from_slice(&p.wait());
+            }
+            out
+        })
+        .results
+}
+
+fn assert_bitwise(label: &str, a: &[Vec<f32>], b: &[Vec<f32>]) {
+    for (rank, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.len(), y.len(), "{label} rank {rank}");
+        for i in 0..x.len() {
+            assert_eq!(
+                x[i].to_bits(),
+                y[i].to_bits(),
+                "{label} rank={rank} i={i}: {} vs {}",
+                x[i],
+                y[i]
+            );
+        }
+    }
+}
+
+/// One async bucket spanning the whole payload is the blocking call run on
+/// a worker thread: every algorithm, both transports, bitwise identical.
+#[test]
+fn async_single_bucket_bitwise_matches_blocking_every_algorithm() {
+    let (n, len) = (4, 193);
+    for kind in [TransportKind::Threads, TransportKind::Tcp] {
+        for algo in AllreduceAlgo::all() {
+            let blocking = run_blocking(kind, &algo, n, len);
+            let async_one = run_async_bucketed(kind, &algo, n, len, len);
+            assert_bitwise(&format!("{} {kind:?}", algo.name()), &blocking, &async_one);
+        }
+    }
+}
+
+/// At two ranks every per-element sum is one f32 addition, so any bucketing
+/// must reproduce the fused blocking result exactly — the invariant the
+/// trainer's bitwise CI smoke leans on, across all algorithms and both
+/// transports.
+#[test]
+fn bucketed_async_bitwise_matches_blocking_at_two_ranks() {
+    let (n, len) = (2, 260);
+    for kind in [TransportKind::Threads, TransportKind::Tcp] {
+        for algo in AllreduceAlgo::all() {
+            let blocking = run_blocking(kind, &algo, n, len);
+            let bucketed = run_async_bucketed(kind, &algo, n, len, 37);
+            assert_bitwise(&format!("{} {kind:?}", algo.name()), &blocking, &bucketed);
         }
     }
 }

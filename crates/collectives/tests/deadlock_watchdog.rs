@@ -110,6 +110,28 @@ fn subcommunicator_deadlock_reports_nonzero_comm_id() {
 }
 
 #[test]
+fn async_bucket_deadlock_names_the_owning_bucket() {
+    // Rank 0 launches a nonblocking bucket reduce that rank 1 never joins:
+    // the blocked receive lives on rank 0's comm worker, and the report
+    // must attribute it to the bucket (its launch sequence number) rather
+    // than printing an anonymous rank-0 wait.
+    use dcnn_collectives::AllreduceAlgo;
+    let report = provoke(2, |c| {
+        if c.rank() == 0 {
+            let algo = AllreduceAlgo::RecursiveDoubling.build_shared();
+            let p = c.allreduce_async(algo, vec![1.0f32; 64]);
+            let _ = p.wait(); // never resolves: the peer never launches
+        } else {
+            let _ = c.recv(0, 33); // keep rank 1 alive and blocked too
+        }
+    });
+    assert!(report.contains("deadlock suspected"), "{report}");
+    assert!(report.contains("rank 0 [bucket 0]: waiting on src 1"), "{report}");
+    assert!(report.contains("rank 1: waiting on src 0"), "{report}");
+    assert!(report.contains("tag 33"), "{report}");
+}
+
+#[test]
 fn healthy_cluster_with_short_timeout_does_not_fire() {
     // The watchdog must not false-positive on a run that simply takes a few
     // poll intervals: rank 1 sleeps well past the poll slice, then sends.

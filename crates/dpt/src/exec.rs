@@ -8,7 +8,11 @@
 //! "none of the optimizations … have any impact on the final accuracy"
 //! claim (§5.4), made checkable.
 
-use dcnn_tensor::layers::{collect_grads, set_params, zero_grads, Module};
+use std::sync::Arc;
+
+use dcnn_tensor::layers::{
+    collect_grads, param_segments, set_params, zero_grads, Module, ParamSegment,
+};
 use dcnn_tensor::loss::SoftmaxCrossEntropy;
 use dcnn_tensor::Tensor;
 use rayon::prelude::*;
@@ -27,15 +31,34 @@ pub enum DptStrategy {
 pub struct IterOutput {
     /// Mean loss over the node batch.
     pub loss: f64,
-    /// Average gradient over the node batch, flattened.
+    /// Average gradient over the node batch, flattened in
+    /// [`Module::visit_params`] (forward layer) order.
     pub grad: Vec<f32>,
     /// Top-1 hits in the node batch.
     pub correct: usize,
+    /// Segment map over `grad`: one named span per parameter, in forward
+    /// layer order (shared with the executor that produced this output).
+    pub segments: Arc<Vec<ParamSegment>>,
+}
+
+impl IterOutput {
+    /// The gradient's segments in **reverse layer order** — the order
+    /// backprop finishes them, and the order an overlap-aware exchange
+    /// should bucket them (last layer's gradient is ready first).
+    pub fn rev_segments(&self) -> impl Iterator<Item = &ParamSegment> {
+        self.segments.iter().rev()
+    }
+
+    /// The gradient slice belonging to `seg`.
+    pub fn grad_segment(&self, seg: &ParamSegment) -> &[f32] {
+        &self.grad[seg.range()]
+    }
 }
 
 /// `m` model replicas driven by one of the two strategies.
 pub struct DptExecutor {
     replicas: Vec<Box<dyn Module>>,
+    segments: Arc<Vec<ParamSegment>>,
 }
 
 impl DptExecutor {
@@ -43,12 +66,20 @@ impl DptExecutor {
     /// replicas start identical, as Algorithm 1 requires).
     pub fn new(m: usize, factory: impl Fn() -> Box<dyn Module>) -> Self {
         assert!(m >= 1);
-        DptExecutor { replicas: (0..m).map(|_| factory()).collect() }
+        let mut replicas: Vec<Box<dyn Module>> = (0..m).map(|_| factory()).collect();
+        let segments = Arc::new(param_segments(replicas[0].as_mut()));
+        DptExecutor { replicas, segments }
     }
 
     /// Number of replicas (simulated GPUs).
     pub fn gpus(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// The model's parameter segment map (forward layer order; offsets index
+    /// the flattened gradient emitted by [`DptExecutor::step`]).
+    pub fn segments(&self) -> &Arc<Vec<ParamSegment>> {
+        &self.segments
     }
 
     /// Overwrite every replica's parameters (weight broadcast).
@@ -126,7 +157,7 @@ impl DptExecutor {
                         *a += b / m as f32;
                     }
                 }
-                IterOutput { loss, grad, correct }
+                IterOutput { loss, grad, correct, segments: Arc::clone(&self.segments) }
             }
             DptStrategy::Baseline => {
                 // Forwards run per GPU, but logits are gathered and the
@@ -172,7 +203,12 @@ impl DptExecutor {
                         }
                     }
                 }
-                IterOutput { loss: out.loss, grad: grad.expect("replicas"), correct: out.correct }
+                IterOutput {
+                    loss: out.loss,
+                    grad: grad.expect("replicas"),
+                    correct: out.correct,
+                    segments: Arc::clone(&self.segments),
+                }
             }
         }
     }
@@ -269,6 +305,40 @@ mod tests {
         let (x, labels) = batch(6, 1);
         let mut e = DptExecutor::new(4, tiny_factory);
         let _ = e.step(&x, &labels, DptStrategy::Optimized);
+    }
+
+    #[test]
+    fn iter_output_segments_tile_the_gradient() {
+        let (x, labels) = batch(4, 13);
+        let mut e = DptExecutor::new(2, tiny_factory);
+        let out = e.step(&x, &labels, DptStrategy::Optimized);
+        let mut off = 0;
+        for s in out.segments.iter() {
+            assert_eq!(s.offset, off);
+            assert_eq!(out.grad_segment(s).len(), s.len);
+            off += s.len;
+        }
+        assert_eq!(off, out.grad.len(), "segments must cover the whole gradient");
+        // The executor hands out the same shared map every step.
+        assert!(Arc::ptr_eq(&out.segments, e.segments()));
+    }
+
+    #[test]
+    fn rev_segments_walk_backprop_completion_order() {
+        let mut e = DptExecutor::new(1, tiny_factory);
+        let segs = Arc::clone(e.segments());
+        let (x, labels) = batch(2, 17);
+        let out = e.step(&x, &labels, DptStrategy::Optimized);
+        let rev: Vec<&ParamSegment> = out.rev_segments().collect();
+        assert_eq!(rev.len(), segs.len());
+        // First emitted segment is the network's last parameter (the
+        // classifier), whose gradient backprop produces first.
+        assert_eq!(rev[0].name, segs.last().unwrap().name);
+        assert_eq!(rev.last().unwrap().name, segs[0].name);
+        // Offsets strictly decrease walking in reverse.
+        for w in rev.windows(2) {
+            assert!(w[0].offset > w[1].offset);
+        }
     }
 
     #[test]

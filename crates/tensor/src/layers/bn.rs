@@ -171,6 +171,11 @@ impl Module for BatchNorm2d {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&format!("{prefix}gamma"), &mut self.gamma);
+        f(&format!("{prefix}beta"), &mut self.beta);
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,13 @@ impl Module for Conv2d {
             f(b);
         }
     }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&format!("{prefix}weight"), &mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(&format!("{prefix}bias"), b);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,11 @@ impl Module for Linear {
         f(&mut self.weight);
         f(&mut self.bias);
     }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&format!("{prefix}weight"), &mut self.weight);
+        f(&format!("{prefix}bias"), &mut self.bias);
+    }
 }
 
 #[cfg(test)]

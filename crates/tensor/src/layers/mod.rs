@@ -70,6 +70,54 @@ pub trait Module: Send {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         let _ = f;
     }
+
+    /// Visit every trainable parameter with a hierarchical name, in exactly
+    /// the order of [`Module::visit_params`] (the flattened-gradient layout
+    /// depends on that). Composite modules extend `prefix` per child; leaf
+    /// layers name their parameters (`weight`, `bias`, `gamma`, `beta`).
+    /// The default numbers the unnamed parameters `p0`, `p1`, ….
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        let mut i = 0usize;
+        self.visit_params(&mut |p| {
+            f(&format!("{prefix}p{i}"), p);
+            i += 1;
+        });
+    }
+}
+
+/// One named span of the flattened parameter/gradient vector: the slice
+/// `flat[offset .. offset + len]` belongs to the parameter `name`. Segments
+/// come out in [`Module::visit_params`] order — forward layer order — so the
+/// overlap engine walks them in reverse to reduce early layers first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSegment {
+    /// Hierarchical parameter name, e.g. `blocks.3.main.0.weight`.
+    pub name: String,
+    /// Start index within the flattened vector.
+    pub offset: usize,
+    /// Number of scalars.
+    pub len: usize,
+}
+
+impl ParamSegment {
+    /// The segment's span as a range over the flattened vector.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// The module's parameter segment map: one entry per parameter, in
+/// [`Module::visit_params`] order, with offsets into the flattened
+/// gradient/parameter vector ([`collect_grads`] / [`set_grads`] layout).
+pub fn param_segments(m: &mut dyn Module) -> Vec<ParamSegment> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    m.visit_params_named("", &mut |name, p| {
+        let len = p.len();
+        out.push(ParamSegment { name: name.to_string(), offset, len });
+        offset += len;
+    });
+    out
 }
 
 /// Total trainable parameter count of a module.

@@ -61,6 +61,12 @@ impl Module for Sequential {
             m.visit_params(f);
         }
     }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, m) in self.mods.iter_mut().enumerate() {
+            m.visit_params_named(&format!("{prefix}{i}."), f);
+        }
+    }
 }
 
 /// A ResNet-style residual block: `y = ReLU(main(x) + shortcut(x))`, where an
@@ -127,6 +133,11 @@ impl Module for Residual {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.main.visit_params(f);
         self.shortcut.visit_params(f);
+    }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.main.visit_params_named(&format!("{prefix}main."), f);
+        self.shortcut.visit_params_named(&format!("{prefix}shortcut."), f);
     }
 }
 
@@ -204,12 +215,18 @@ impl Module for Concat {
             b.visit_params(f);
         }
     }
+
+    fn visit_params_named(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, b) in self.branches.iter_mut().enumerate() {
+            b.visit_params_named(&format!("{prefix}b{i}."), f);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Conv2d, Linear, ReLU};
+    use crate::layers::{param_count, param_segments, Conv2d, Linear, ReLU};
 
     #[test]
     fn sequential_chains_and_backprops() {
@@ -292,6 +309,64 @@ mod tests {
         let y = c.forward(&x, false);
         assert_eq!(y.shape(), &[2, 2, 1, 2]);
         assert_eq!(y.data(), &[2.0, 2.0, 3.0, 3.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn segments_tile_flat_layout_with_unique_names() {
+        use crate::layers::BatchNorm2d;
+        let main = Sequential::new()
+            .push(Conv2d::new(2, 2, 3, 1, 1, false, 1))
+            .push(BatchNorm2d::new(2))
+            .push(ReLU::new());
+        let mut m = Sequential::new()
+            .push(Conv2d::new(2, 2, 1, 1, 0, true, 0))
+            .push(Residual::new(main))
+            .push(Concat::new(vec![
+                Sequential::new().push(Conv2d::new(2, 1, 1, 1, 0, false, 2)),
+                Sequential::new().push(Conv2d::new(2, 3, 1, 1, 0, false, 3)),
+            ]));
+        let segs = param_segments(&mut m);
+        // Contiguous tiling of [0, param_count): each segment starts where
+        // the previous ended, in visit_params order.
+        let total = param_count(&mut m);
+        let mut off = 0;
+        for s in &segs {
+            assert_eq!(s.offset, off, "segment {} not contiguous", s.name);
+            assert!(s.len > 0);
+            assert_eq!(s.range(), s.offset..s.offset + s.len);
+            off += s.len;
+        }
+        assert_eq!(off, total);
+        let names: std::collections::HashSet<&str> =
+            segs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), segs.len(), "duplicate segment names");
+        // Structural prefixes: chain index, residual main path, concat branch.
+        assert!(names.contains("0.weight"), "{names:?}");
+        assert!(names.contains("0.bias"), "{names:?}");
+        assert!(names.contains("1.main.0.weight"), "{names:?}");
+        assert!(names.contains("1.main.1.gamma"), "{names:?}");
+        assert!(names.contains("1.main.1.beta"), "{names:?}");
+        assert!(names.contains("2.b0.0.weight"), "{names:?}");
+        assert!(names.contains("2.b1.0.weight"), "{names:?}");
+    }
+
+    #[test]
+    fn segment_order_matches_visit_params() {
+        let mut m = Sequential::new()
+            .push(Linear::new(4, 8, 1))
+            .push(ReLU::new())
+            .push(Linear::new(8, 2, 2));
+        let segs = param_segments(&mut m);
+        let mut lens = Vec::new();
+        m.visit_params(&mut |p| lens.push(p.len()));
+        assert_eq!(segs.len(), lens.len());
+        for (s, l) in segs.iter().zip(&lens) {
+            assert_eq!(s.len, *l);
+        }
+        assert_eq!(
+            segs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["0.weight", "0.bias", "2.weight", "2.bias"]
+        );
     }
 
     #[test]

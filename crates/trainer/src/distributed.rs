@@ -7,6 +7,8 @@
 //! identical everywhere (same factory seed) and stay identical because every
 //! rank applies the same averaged gradient — asserted in tests.
 
+use std::sync::Arc;
+
 use dcnn_collectives::primitives::allgather_bytes;
 use dcnn_collectives::runtime::Comm;
 use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo};
@@ -17,6 +19,8 @@ use dcnn_tensor::layers::{set_grads, Module};
 use dcnn_tensor::loss::SoftmaxCrossEntropy;
 use dcnn_tensor::optim::{LrSchedule, Sgd, SgdConfig};
 use serde::Serialize;
+
+use crate::grad_sync::{bucket_bytes_from_env, GradSync};
 
 /// Training-run configuration.
 #[derive(Clone)]
@@ -54,6 +58,12 @@ pub struct TrainConfig {
     /// sequential micro-batches before the allreduce, multiplying the
     /// effective batch without more device memory (extension).
     pub accum_steps: usize,
+    /// Target bucket size in bytes for the overlap-aware gradient exchange:
+    /// parameter segments are packed into buckets of roughly this size in
+    /// reverse layer order and each bucket's allreduce is launched
+    /// nonblocking as it fills. `0` = one fused blocking allreduce (the
+    /// classic Algorithm 1 behavior). Overridable via `DCNN_BUCKET_BYTES`.
+    pub bucket_bytes: usize,
     /// SGD hyper-parameters.
     pub sgd: SgdConfig,
 }
@@ -77,6 +87,7 @@ impl TrainConfig {
             fp16_grads: false,
             prefetch_depth: 0,
             accum_steps: 1,
+            bucket_bytes: bucket_bytes_from_env().unwrap_or(0),
             sgd: SgdConfig::default(),
         }
     }
@@ -106,6 +117,27 @@ pub struct EpochStats {
     /// High-water mark of rank 0's out-of-order message stash (whole run up
     /// to this epoch; a growing value means receives chronically lag sends).
     pub stash_hwm: u64,
+    /// Seconds rank 0 spent blocked draining bucket handles this epoch
+    /// (zero in fused blocking mode).
+    pub bucket_wait_secs: f64,
+    /// Fraction of this epoch's asynchronous reduction time hidden behind
+    /// other work: `1 - bucket_wait/async_comm`, clamped to `[0, 1]`; zero
+    /// when no nonblocking reduces ran.
+    pub overlap_frac: f64,
+    /// High-water mark of concurrently in-flight bucket reduces, maxed over
+    /// all ranks (whole run up to this epoch; ≥ 2 proves genuine overlap —
+    /// a rank whose peer runs ahead can drain each bucket instantly, so the
+    /// overlap shows on the leading rank, not a fixed one).
+    pub async_inflight_hwm: u64,
+}
+
+/// Cluster-wide maximum of a per-rank `u64` (for high-water-mark stats).
+fn allreduce_max_u64(comm: &Comm, v: u64) -> u64 {
+    allgather_bytes(comm, v.to_le_bytes().to_vec())
+        .iter()
+        .map(|b| u64::from_le_bytes(b[0..8].try_into().expect("8")))
+        .max()
+        .unwrap_or(v)
 }
 
 /// Average a per-rank scalar triple `(loss_sum, correct, count)` cluster-wide.
@@ -177,8 +209,7 @@ pub fn train_on_comm(
         comm.size(),
         "cfg.nodes must match the communicator's size"
     );
-    let algo = cfg.algo.build();
-    run_rank(comm, cfg, ds, factory, algo.as_ref())
+    run_rank(comm, cfg, ds, factory, cfg.algo.build_shared())
 }
 
 /// One micro-step: sample, run the DPT, return (loss, grad, correct).
@@ -197,7 +228,7 @@ fn run_rank(
     cfg: &TrainConfig,
     ds: &SynthImageNet,
     factory: &(impl Fn() -> Box<dyn Module> + Sync),
-    algo: &(dyn Allreduce + Send + Sync),
+    algo: Arc<dyn Allreduce + Send + Sync>,
 ) -> Vec<EpochStats> {
     let me = comm.rank();
     let n = comm.size();
@@ -211,6 +242,11 @@ fn run_rank(
     // every learner; evaluation decodes from it, like training does.
     let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
     let mut exec = DptExecutor::new(cfg.gpus_per_node, factory);
+    let gsync = GradSync::new(algo, exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
+    // One accumulation buffer for the whole run: sized from the segment
+    // map, reused every iteration instead of reallocating per micro-batch.
+    let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
+    let mut grad = vec![0.0f32; param_total];
     let mut stats = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
@@ -233,12 +269,12 @@ fn run_rank(
             let frac_epoch = epoch as f32 + it as f32 / iterations as f32;
             let lr = cfg.lr.lr_at(frac_epoch);
             // Gradient accumulation: average `accum_steps` micro-batches
-            // before the (single) allreduce.
+            // before the exchange, reusing the pre-sized buffer (the first
+            // micro-step overwrites, the rest add in place).
             let accum = cfg.accum_steps.max(1);
-            let mut grad: Vec<f32> = Vec::new();
             let mut micro_loss = 0.0;
             let mut micro_correct = 0u64;
-            for _ in 0..accum {
+            for micro in 0..accum {
                 let (x, labels) = match &prefetch {
                     Some(p) => p.next_batch(),
                     None => dimd
@@ -249,8 +285,8 @@ fn run_rank(
                 let (l, g, c) = micro_step(&mut exec, &x, &labels, cfg.strategy);
                 micro_loss += l / accum as f64;
                 micro_correct += c;
-                if grad.is_empty() {
-                    grad = g;
+                if micro == 0 {
+                    grad.copy_from_slice(&g);
                 } else {
                     for (a, b) in grad.iter_mut().zip(&g) {
                         *a += b;
@@ -265,11 +301,9 @@ fn run_rank(
             }
             let step_loss = micro_loss;
             let step_correct = micro_correct;
-            // Inter-node average: sum node-averages, divide by N.
-            if cfg.fp16_grads {
-                dcnn_collectives::quantize_f16(&mut grad);
-            }
-            algo.run(comm, &mut grad);
+            // Inter-node average: sum node-averages (fused blocking or
+            // bucketed nonblocking, per `cfg.bucket_bytes`), divide by N.
+            gsync.reduce(comm, &mut grad);
             let inv = 1.0 / n as f32;
             for g in &mut grad {
                 *g *= inv;
@@ -291,6 +325,9 @@ fn run_rank(
             None => 0.0,
         };
         let now_comm = comm.stats();
+        let phase = gsync.algo_name();
+        let async_ns = now_comm.async_comm_ns - ep_comm.async_comm_ns;
+        let wait_ns = now_comm.bucket_wait_ns - ep_comm.bucket_wait_ns;
         stats.push(EpochStats {
             epoch,
             train_loss: l / (n * iterations) as f64,
@@ -300,9 +337,15 @@ fn run_rank(
             comm_bytes: now_comm.bytes_sent - ep_comm.bytes_sent,
             comm_msgs: now_comm.msgs_sent - ep_comm.msgs_sent,
             comm_wait_secs: (now_comm.recv_wait_ns - ep_comm.recv_wait_ns) as f64 / 1e9,
-            allreduce_secs: (now_comm.phase(algo.name()) - ep_comm.phase(algo.name())) as f64
-                / 1e9,
+            allreduce_secs: (now_comm.phase(phase) - ep_comm.phase(phase)) as f64 / 1e9,
             stash_hwm: now_comm.stash_hwm,
+            bucket_wait_secs: wait_ns as f64 / 1e9,
+            overlap_frac: if async_ns == 0 {
+                0.0
+            } else {
+                (1.0 - wait_ns as f64 / async_ns as f64).clamp(0.0, 1.0)
+            },
+            async_inflight_hwm: allreduce_max_u64(comm, now_comm.async_inflight_hwm),
         });
         if cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0 {
             dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
@@ -488,6 +531,103 @@ mod tests {
             (last - last32).abs() < 0.25 * last32.max(last),
             "fp16 {last:.3} vs fp32 {last32:.3}"
         );
+    }
+
+    #[test]
+    fn bucketed_training_is_bitwise_identical_to_blocking() {
+        // Two ranks: every per-element sum is a single f32 addition, which
+        // commutes — so any bucketing (and the async engine under it) must
+        // reproduce the fused blocking run exactly, not approximately.
+        let ds = tiny_ds();
+        let mut blocking = tiny_cfg(2, 2);
+        blocking.bucket_bytes = 0;
+        blocking.validate = false;
+        let mut bucketed = blocking.clone();
+        bucketed.bucket_bytes = 1024; // many small buckets per iteration
+        let sb = train_distributed(&blocking, &ds, tiny_factory);
+        let so = train_distributed(&bucketed, &ds, tiny_factory);
+        for (a, b) in sb.iter().zip(&so) {
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "epoch {}: blocking {} vs bucketed {}",
+                a.epoch,
+                a.train_loss,
+                b.train_loss
+            );
+            assert_eq!(a.train_acc.to_bits(), b.train_acc.to_bits());
+        }
+        // The blocking run never launches async reduces.
+        assert_eq!(sb.last().expect("stats").async_inflight_hwm, 0);
+        let last = so.last().expect("stats");
+        assert!(last.bucket_wait_secs >= 0.0);
+        assert!((0.0..=1.0).contains(&last.overlap_frac));
+    }
+
+    #[test]
+    fn bucketed_training_overlaps_buckets_in_flight() {
+        // A wider model gives buckets whose reduces take far longer than
+        // the next bucket's launch, so the in-flight high-water mark must
+        // observe ≥ 2 concurrent reduces (the overlap the engine exists
+        // for). Tiny buckets could drain between launches; ~8 KB ones
+        // cannot.
+        let wide_factory = || -> Box<dyn Module> {
+            ResNetConfig {
+                blocks: vec![1],
+                base_width: 24,
+                bottleneck: false,
+                classes: 4,
+                input: [3, 16, 16],
+                imagenet_stem: false,
+            }
+            .build(78)
+        };
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(2, 1);
+        cfg.bucket_bytes = 8 * 1024;
+        cfg.validate = false;
+        cfg.shuffle_every_epochs = 0;
+        let stats = train_distributed(&cfg, &ds, wide_factory);
+        let last = stats.last().expect("stats");
+        assert!(
+            last.async_inflight_hwm >= 2,
+            "expected ≥2 buckets in flight, saw {}",
+            last.async_inflight_hwm
+        );
+    }
+
+    #[test]
+    fn bucketed_fp16_matches_fused_fp16_bitwise() {
+        // Quantization is elementwise, so it commutes with bucketing too.
+        let ds = tiny_ds();
+        let mut fused = tiny_cfg(2, 2);
+        fused.fp16_grads = true;
+        fused.validate = false;
+        let mut bucketed = fused.clone();
+        bucketed.bucket_bytes = 2048;
+        let sf = train_distributed(&fused, &ds, tiny_factory);
+        let sb = train_distributed(&bucketed, &ds, tiny_factory);
+        for (a, b) in sf.iter().zip(&sb) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn bucketed_training_works_with_accumulation() {
+        // Buckets and micro-batch accumulation compose: the buffer-reuse
+        // path feeds the same averaged gradient into the bucketed exchange.
+        let ds = tiny_ds();
+        let mut blocking = tiny_cfg(2, 2);
+        blocking.accum_steps = 2;
+        blocking.batch_per_gpu = 2;
+        blocking.validate = false;
+        let mut bucketed = blocking.clone();
+        bucketed.bucket_bytes = 1024;
+        let sb = train_distributed(&blocking, &ds, tiny_factory);
+        let so = train_distributed(&bucketed, &ds, tiny_factory);
+        for (a, b) in sb.iter().zip(&so) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
     }
 
     #[test]

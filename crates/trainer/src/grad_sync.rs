@@ -1,0 +1,281 @@
+//! Overlap-aware gradient exchange: bucketed, nonblocking allreduce.
+//!
+//! Backprop finishes the **last** layer's gradient first, yet the classic
+//! Algorithm 1 waits for the whole flattened gradient before starting one
+//! fused allreduce. [`GradSync`] instead packs the model's parameter
+//! segments — walked in reverse layer order, the order backprop completes
+//! them — into size-targeted buckets and launches each bucket's reduction
+//! on the rank's comm worker ([`Comm::allreduce_async`]) as soon as it is
+//! packed, so early buckets travel the network while later ones are still
+//! being prepared and while the trainer does other work. The handles are
+//! drained in launch order just before the SGD step.
+//!
+//! A bucket size of `0` disables bucketing entirely: one blocking allreduce
+//! over the fused gradient, byte-for-byte today's behavior. At two ranks the
+//! bucketed path is **bitwise identical** to the blocking one for every
+//! algorithm (a single f32 addition per element commutes); at larger scale
+//! each algorithm's summation order over a sub-range can differ from its
+//! order over the fused buffer, exactly as MPI makes no cross-count
+//! reproducibility promise.
+
+use std::sync::Arc;
+
+use dcnn_collectives::runtime::Comm;
+use dcnn_collectives::{quantize_f16, Allreduce};
+use dcnn_tensor::layers::ParamSegment;
+
+/// One planned bucket: a contiguous span of the flattened gradient covering
+/// consecutive parameter segments in reverse layer order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Start offset within the flattened gradient.
+    pub offset: usize,
+    /// Number of scalars.
+    pub len: usize,
+    /// Names of the parameter segments packed into this bucket, in reverse
+    /// layer order (diagnostic: shows up in overlap reports).
+    pub params: Vec<String>,
+}
+
+impl Bucket {
+    /// The bucket's span over the flattened gradient.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len * 4
+    }
+}
+
+/// Bucket-size override from the `DCNN_BUCKET_BYTES` environment variable
+/// (decimal bytes; `0` keeps the fused blocking exchange). Unset, empty or
+/// unparsable values mean "no override".
+pub fn bucket_bytes_from_env() -> Option<usize> {
+    std::env::var("DCNN_BUCKET_BYTES").ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Greedily pack `segments` (given in forward layer order) into buckets of
+/// roughly `bucket_bytes` each, walking the segments in **reverse** so the
+/// first bucket holds the parameters backprop finishes first. A segment
+/// larger than the target gets a bucket of its own; `bucket_bytes == 0`
+/// yields a single bucket spanning everything (the blocking path).
+pub fn plan_buckets(segments: &[ParamSegment], bucket_bytes: usize) -> Vec<Bucket> {
+    let total: usize = segments.iter().map(|s| s.len).sum();
+    if bucket_bytes == 0 || segments.is_empty() {
+        return vec![Bucket {
+            offset: 0,
+            len: total,
+            params: segments.iter().map(|s| s.name.clone()).rev().collect(),
+        }];
+    }
+    let mut out = Vec::new();
+    let mut cur: Option<Bucket> = None;
+    for seg in segments.iter().rev() {
+        match &mut cur {
+            Some(b) if (b.len + seg.len) * 4 <= bucket_bytes => {
+                // Reverse walk: `seg` immediately precedes the bucket's
+                // current start in the flat layout.
+                debug_assert_eq!(seg.offset + seg.len, b.offset);
+                b.offset = seg.offset;
+                b.len += seg.len;
+                b.params.push(seg.name.clone());
+            }
+            _ => {
+                if let Some(b) = cur.take() {
+                    out.push(b);
+                }
+                cur = Some(Bucket {
+                    offset: seg.offset,
+                    len: seg.len,
+                    params: vec![seg.name.clone()],
+                });
+            }
+        }
+    }
+    if let Some(b) = cur {
+        out.push(b);
+    }
+    out
+}
+
+/// The gradient-exchange engine: owns the allreduce algorithm and the
+/// bucket plan, and runs one exchange per training iteration.
+pub struct GradSync {
+    algo: Arc<dyn Allreduce + Send + Sync>,
+    buckets: Vec<Bucket>,
+    fp16: bool,
+    bucketed: bool,
+}
+
+impl GradSync {
+    /// Plan buckets over `segments` (forward layer order, as produced by
+    /// `dcnn_tensor::layers::param_segments`). `bucket_bytes == 0` selects
+    /// the fused blocking exchange; `fp16` quantizes each bucket's payload
+    /// before it is reduced (elementwise, so identical to quantizing the
+    /// fused gradient).
+    pub fn new(
+        algo: Arc<dyn Allreduce + Send + Sync>,
+        segments: &[ParamSegment],
+        bucket_bytes: usize,
+        fp16: bool,
+    ) -> Self {
+        let buckets = plan_buckets(segments, bucket_bytes);
+        GradSync { algo, buckets, fp16, bucketed: bucket_bytes > 0 }
+    }
+
+    /// The planned buckets, in launch (reverse layer) order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Whether the nonblocking bucketed path is active.
+    pub fn is_bucketed(&self) -> bool {
+        self.bucketed
+    }
+
+    /// The algorithm's display name (phase label in comm stats).
+    pub fn algo_name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    /// Sum `grad` elementwise across all ranks of `comm`, in place.
+    ///
+    /// Blocking mode runs one fused allreduce on the calling thread.
+    /// Bucketed mode launches every bucket's nonblocking reduce in reverse
+    /// layer order, then drains the handles in launch order and scatters
+    /// the reduced payloads back — early buckets finish while later ones
+    /// are still being packed or are in flight.
+    pub fn reduce(&self, comm: &Comm, grad: &mut [f32]) {
+        if !self.bucketed {
+            if self.fp16 {
+                quantize_f16(grad);
+            }
+            self.algo.run(comm, grad);
+            return;
+        }
+        let mut pending = Vec::with_capacity(self.buckets.len());
+        for b in &self.buckets {
+            let mut payload = grad[b.range()].to_vec();
+            if self.fp16 {
+                quantize_f16(&mut payload);
+            }
+            pending.push(comm.allreduce_async(Arc::clone(&self.algo), payload));
+        }
+        for (b, p) in self.buckets.iter().zip(pending) {
+            let reduced = p.wait();
+            grad[b.range()].copy_from_slice(&reduced);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnn_collectives::{run_cluster, AllreduceAlgo};
+
+    fn segs(lens: &[usize]) -> Vec<ParamSegment> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        for (i, &l) in lens.iter().enumerate() {
+            out.push(ParamSegment { name: format!("p{i}"), offset: off, len: l });
+            off += l;
+        }
+        out
+    }
+
+    #[test]
+    fn zero_target_is_one_fused_bucket() {
+        let s = segs(&[10, 20, 30]);
+        let plan = plan_buckets(&s, 0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].offset, 0);
+        assert_eq!(plan[0].len, 60);
+        assert_eq!(plan[0].params, ["p2", "p1", "p0"]);
+    }
+
+    #[test]
+    fn buckets_tile_the_gradient_in_reverse_order() {
+        let s = segs(&[100, 3, 7, 50, 40]);
+        let total: usize = 200;
+        for bytes in [1, 64, 160, 200, 400, 1_000_000] {
+            let plan = plan_buckets(&s, bytes);
+            // Launch order walks the flat layout backwards without gaps.
+            let mut end = total;
+            let mut names = Vec::new();
+            for b in &plan {
+                assert_eq!(b.offset + b.len, end, "gap at bucket {b:?}");
+                assert!(b.len > 0);
+                end = b.offset;
+                names.extend(b.params.iter().cloned());
+            }
+            assert_eq!(end, 0, "buckets must reach offset 0");
+            assert_eq!(names, ["p4", "p3", "p2", "p1", "p0"]);
+        }
+    }
+
+    #[test]
+    fn respects_size_target_except_oversized_segments() {
+        let s = segs(&[100, 3, 7, 50, 40]);
+        let plan = plan_buckets(&s, 160); // 40 floats
+        for b in &plan {
+            assert!(
+                b.bytes() <= 160 || b.params.len() == 1,
+                "over-target multi-segment bucket: {b:?}"
+            );
+        }
+        // 100-float segment must sit alone.
+        let big = plan.iter().find(|b| b.params.contains(&"p0".to_string())).unwrap();
+        assert_eq!(big.params, ["p0"]);
+    }
+
+    #[test]
+    fn bucketed_reduce_matches_blocking_bitwise_at_two_ranks() {
+        let s = segs(&[33, 5, 61, 2]);
+        let out = run_cluster(2, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..101).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
+            };
+            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let mut blocking = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+            let mut bucketed = mk(comm.rank());
+            GradSync::new(algo, &s, 128, false).reduce(comm, &mut bucketed);
+            (blocking, bucketed)
+        });
+        for (rank, (a, b)) in out.iter().enumerate() {
+            for i in 0..a.len() {
+                assert_eq!(
+                    a[i].to_bits(),
+                    b[i].to_bits(),
+                    "rank {rank} elem {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_bucketing_equals_fp16_fused_at_two_ranks() {
+        let s = segs(&[17, 48]);
+        let out = run_cluster(2, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..65).map(|i| ((i + rank * 7) as f32).cos()).collect()
+            };
+            let algo = AllreduceAlgo::RecursiveDoubling.build_shared();
+            let mut fused = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 0, true).reduce(comm, &mut fused);
+            let mut bucketed = mk(comm.rank());
+            GradSync::new(algo, &s, 64, true).reduce(comm, &mut bucketed);
+            (fused, bucketed)
+        });
+        for (a, b) in &out {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -22,9 +22,11 @@ pub mod async_sgd;
 pub mod checkpoint;
 pub mod distributed;
 pub mod epoch_model;
+pub mod grad_sync;
 pub mod metrics;
 
 pub use async_sgd::{train_async, AsyncConfig, AsyncStats};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use distributed::{train_distributed, train_on_comm, EpochStats, TrainConfig};
+pub use grad_sync::{bucket_bytes_from_env, plan_buckets, Bucket, GradSync};
 pub use epoch_model::{ClusterSetup, EpochBreakdown, EpochTimeModel, OptimizationFlags, Workload};

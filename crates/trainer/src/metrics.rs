@@ -6,11 +6,11 @@ use crate::distributed::EpochStats;
 /// Render epoch statistics as CSV (header + one row per epoch).
 pub fn stats_to_csv(stats: &[EpochStats]) -> String {
     let mut out = String::from(
-        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm\n",
+        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm\n",
     );
     for s in stats {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             s.epoch,
             s.lr,
             s.train_loss,
@@ -20,7 +20,10 @@ pub fn stats_to_csv(stats: &[EpochStats]) -> String {
             s.comm_msgs,
             s.comm_wait_secs,
             s.allreduce_secs,
-            s.stash_hwm
+            s.stash_hwm,
+            s.bucket_wait_secs,
+            s.overlap_frac,
+            s.async_inflight_hwm
         ));
     }
     out
@@ -56,6 +59,9 @@ mod tests {
             comm_wait_secs: 0.125,
             allreduce_secs: 0.0625,
             stash_hwm: 2,
+            bucket_wait_secs: 0.03125,
+            overlap_frac: 0.75,
+            async_inflight_hwm: 3,
         }
     }
 
@@ -66,7 +72,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,"));
         assert!(lines[1].starts_with("0,"));
-        assert_eq!(lines[1].split(',').count(), 10);
+        assert_eq!(lines[1].split(',').count(), 13);
+        assert!(lines[0].ends_with("bucket_wait_secs,overlap_frac,async_inflight_hwm"));
     }
 
     #[test]

@@ -16,9 +16,15 @@ fn main() {
     let ds = SynthImageNet::new(synth);
 
     // 4 learners × 2 GPUs × batch 4 (global batch 32), the paper's
-    // multi-color allreduce + DIMD partitions + optimized DPT.
+    // multi-color allreduce + DIMD partitions + optimized DPT, plus the
+    // overlap engine: gradients leave in 16 KiB reverse-layer buckets whose
+    // allreduces run concurrently with the remaining backprop drain
+    // (set DCNN_BUCKET_BYTES to override, 0 for the fused blocking path).
     let mut cfg = TrainConfig::paper(4, 2, 4, 8);
     cfg.crop = 32;
+    if dist_cnn::trainer::bucket_bytes_from_env().is_none() {
+        cfg.bucket_bytes = 16 * 1024;
+    }
     cfg.lr = dist_cnn::tensor::optim::LrSchedule {
         init_lr: 0.05,
         base_lr: 0.05,
@@ -28,12 +34,14 @@ fn main() {
     };
 
     println!(
-        "training scaled ResNet on {} train / {} val images, {} ranks × {} GPUs, global batch {}",
+        "training scaled ResNet on {} train / {} val images, {} ranks × {} GPUs, global batch {}, \
+         gradient buckets of {} KiB",
         ds.train_len(),
         ds.val_len(),
         cfg.nodes,
         cfg.gpus_per_node,
         cfg.nodes * cfg.gpus_per_node * cfg.batch_per_gpu,
+        cfg.bucket_bytes / 1024,
     );
 
     let t0 = std::time::Instant::now();
@@ -41,7 +49,8 @@ fn main() {
     for s in &stats {
         println!(
             "epoch {:>2}  lr {:.3}  train loss {:.4}  train acc {:>5.1}%  val acc {:>5.1}%  \
-             comm {:>5.1} MiB / {:>4} msgs  allreduce {:>6.1} ms  recv wait {:>6.1} ms",
+             comm {:>5.1} MiB / {:>4} msgs  allreduce {:>6.1} ms  recv wait {:>6.1} ms  \
+             overlap {:>4.0}%  inflight hwm {}",
             s.epoch,
             s.lr,
             s.train_loss,
@@ -51,6 +60,8 @@ fn main() {
             s.comm_msgs,
             s.allreduce_secs * 1e3,
             s.comm_wait_secs * 1e3,
+            s.overlap_frac * 100.0,
+            s.async_inflight_hwm,
         );
     }
     let best = stats.iter().map(|s| s.val_acc).fold(0.0, f64::max);

@@ -16,7 +16,7 @@ use dcnn_trainer::{train_on_comm, TrainConfig};
 
 /// Names every registered workload, in registry order.
 pub fn workload_names() -> &'static [&'static str] {
-    &["allreduce", "quickstart-epoch"]
+    &["allreduce", "quickstart-epoch", "bucketed-epoch"]
 }
 
 /// Look a workload up by name.
@@ -24,6 +24,7 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
     match name {
         "allreduce" => Some(allreduce_workload),
         "quickstart-epoch" => Some(quickstart_epoch_workload),
+        "bucketed-epoch" => Some(bucketed_epoch_workload),
         _ => None,
     }
 }
@@ -139,6 +140,60 @@ pub fn quickstart_epoch_workload(comm: &Comm) -> Vec<String> {
         .collect()
 }
 
+/// One epoch of overlap-aware training: a wider ResNet than the quickstart
+/// (enough parameters to split into many buckets) trained with whatever
+/// `DCNN_BUCKET_BYTES` says — `0`/unset keeps the fused blocking exchange,
+/// anything else packs reverse-layer buckets and launches their allreduces
+/// nonblocking. The epoch lines carry the loss to full precision; at two
+/// ranks every per-element gradient sum is a single f32 addition, so the
+/// bucketed run must reproduce the blocking loss *bitwise* and `ci.sh`
+/// diffs exactly that. The trailing `inflight_hwm=` line reports the
+/// cluster-wide high-water mark of concurrently in-flight bucket reduces —
+/// the observable proof that the overlap engine actually overlapped.
+pub fn bucketed_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 12;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut cfg = TrainConfig::paper(comm.size(), 2, 4, 1);
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.shuffle_every_epochs = 0;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 24,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(78)
+    });
+    let mut lines: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect();
+    let hwm = stats.iter().map(|s| s.async_inflight_hwm).max().unwrap_or(0);
+    lines.push(format!("inflight_hwm={hwm}"));
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +216,17 @@ mod tests {
         assert!(lines[algos].starts_with("stats rank=0 "));
         // Identical report on every rank (the workload asserts bitwise
         // agreement internally, so the lines must match too).
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn bucketed_epoch_workload_reports_on_threads() {
+        let out = dcnn_collectives::run_cluster(2, bucketed_epoch_workload);
+        let lines = &out[0];
+        assert_eq!(lines.len(), 2, "{lines:?}"); // one epoch + hwm line
+        assert!(lines[0].starts_with("epoch 0 loss="), "{lines:?}");
+        assert!(lines[1].starts_with("inflight_hwm="), "{lines:?}");
+        // Training math is deterministic: every rank reports the same bits.
         assert_eq!(out[0], out[1]);
     }
 }
