@@ -50,6 +50,39 @@ if [ -z "$hwm" ] || [ "$hwm" -lt 2 ]; then
     exit 1
 fi
 
+# Backward-hook overlap smoke: the overlap-epoch workload trained three
+# ways over real TCP processes — blocking, drain (buckets launched after
+# backward), hooked (buckets launched mid-backprop) — must produce
+# bitwise-identical epoch lines, and the hooked schedule must hide strictly
+# more reduce time than drain. The fraction is a wall-clock measurement, so
+# allow a few attempts before declaring the scheduler broken.
+echo "+ overlap-epoch three-way smoke (blocking vs drain vs hooked)"
+overlap_ok=0
+for attempt in 1 2 3; do
+    blocking_out=$(DCNN_BUCKET_BYTES=0 ./target/release/dcnn-launch --ranks 2 --workload overlap-epoch)
+    drain_out=$(DCNN_BUCKET_BYTES=16384 DCNN_OVERLAP_MODE=drain ./target/release/dcnn-launch --ranks 2 --workload overlap-epoch)
+    hooked_out=$(DCNN_BUCKET_BYTES=16384 DCNN_OVERLAP_MODE=hooked ./target/release/dcnn-launch --ranks 2 --workload overlap-epoch)
+    if [ "$(echo "$blocking_out" | grep '^epoch ')" != "$(echo "$drain_out" | grep '^epoch ')" ]; then
+        echo "ci.sh: drain overlap epoch diverged from blocking epoch" >&2
+        exit 1
+    fi
+    if [ "$(echo "$blocking_out" | grep '^epoch ')" != "$(echo "$hooked_out" | grep '^epoch ')" ]; then
+        echo "ci.sh: hooked overlap epoch diverged from blocking epoch" >&2
+        exit 1
+    fi
+    drain_frac=$(echo "$drain_out" | sed -n 's/^overlap_frac=//p')
+    hooked_frac=$(echo "$hooked_out" | sed -n 's/^overlap_frac=//p')
+    echo "  attempt $attempt: drain overlap_frac=$drain_frac hooked overlap_frac=$hooked_frac"
+    if awk -v h="$hooked_frac" -v d="$drain_frac" 'BEGIN { exit !(h > d) }'; then
+        overlap_ok=1
+        break
+    fi
+done
+if [ "$overlap_ok" -ne 1 ]; then
+    echo "ci.sh: hooked schedule never beat drain on overlap_frac" >&2
+    exit 1
+fi
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -350,6 +350,12 @@ pub struct CommRow {
     pub async_inflight_hwm: u64,
     /// Milliseconds the rank spent blocked draining bucket handles.
     pub bucket_wait_ms: f64,
+    /// Nonblocking bucket reduces this rank completed (one timestamped
+    /// launch/done span each).
+    pub bucket_spans: u64,
+    /// Average bytes in flight across the rank's bucket-span window — the
+    /// measurement adaptive bucket sizing steers toward its budget.
+    pub inflight_bytes_avg: u64,
 }
 
 /// Run the paper's multi-color allreduce for real across `nodes` rank
@@ -366,7 +372,12 @@ pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
         let mut off = 0;
         while off < elems {
             let len = bucket.min(elems - off);
-            pending.push(c.allreduce_async(Arc::clone(&algo), vec![c.rank() as f32 + 1.0; len]));
+            let label: Arc<str> = Arc::from(format!("bucket.{}", pending.len()));
+            pending.push(c.allreduce_async_labeled(
+                Arc::clone(&algo),
+                vec![c.rank() as f32 + 1.0; len],
+                Some(label),
+            ));
             off += len;
         }
         for p in pending {
@@ -385,6 +396,8 @@ pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
             allreduce_ms: s.phase("multicolor") as f64 / 1e6,
             async_inflight_hwm: s.async_inflight_hwm,
             bucket_wait_ms: s.bucket_wait_ns as f64 / 1e6,
+            bucket_spans: s.bucket_spans.len() as u64,
+            inflight_bytes_avg: s.inflight_bytes_avg(0),
         })
         .collect()
 }
@@ -403,6 +416,8 @@ pub fn render_comm() -> String {
             "allreduce ms",
             "inflight hwm",
             "bucket wait ms",
+            "spans",
+            "inflight B avg",
         ],
         &rows
             .iter()
@@ -416,6 +431,8 @@ pub fn render_comm() -> String {
                     format!("{:.2}", r.allreduce_ms),
                     r.async_inflight_hwm.to_string(),
                     format!("{:.2}", r.bucket_wait_ms),
+                    r.bucket_spans.to_string(),
+                    r.inflight_bytes_avg.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -423,8 +440,10 @@ pub fn render_comm() -> String {
     format!(
         "## Comm — runtime counters for a real multi-color allreduce (8 ranks, 256 KiB, 4 async buckets)\n\n\
          Per-rank counters from the threaded runtime's diagnostics layer; the payload travels \
-         through the nonblocking bucket engine, so the in-flight high-water mark and bucket \
-         wait columns show real overlap. Set DCNN_TRACE=1 for the full per-message event log.\n\n{table}"
+         through the nonblocking bucket engine, so the in-flight high-water mark, bucket wait \
+         and per-bucket launch/done spans (with their windowed average of in-flight bytes — \
+         the signal adaptive bucket sizing steers on) show real overlap. Set DCNN_TRACE=1 \
+         for the full per-message event log.\n\n{table}"
     )
 }
 

@@ -1,0 +1,463 @@
+//! Unified typed runtime configuration: every `DCNN_*` environment variable
+//! parsed in one place.
+//!
+//! Runtime knobs used to be read ad hoc wherever they were consumed —
+//! transport selection in `transport`, tracing in `trace`, worker counts and
+//! timeouts in `runtime`, bucket sizes in the trainer — each with its own
+//! silent fallback on a malformed value. [`RuntimeConfig`] replaces that:
+//! [`RuntimeConfig::from_env`] parses the whole `DCNN_*` namespace once and
+//! returns a [`ConfigError`] that names the offending variable, its value and
+//! what was expected, instead of quietly training with a default. Builders
+//! ([`crate::runtime::ClusterBuilder::configure`]) and the trainer derive
+//! from the parsed struct; the `with_*` methods are the programmatic
+//! override layer (explicit code wins over environment).
+//!
+//! Every field is an `Option`: `None` means "the variable was unset or
+//! empty", so call sites can distinguish "operator said 0" from "operator
+//! said nothing" and apply their own default (`*_or_default` accessors give
+//! the runtime's). The README's environment table documents exactly
+//! [`RuntimeConfig::ENV_VARS`]; a doc-consistency test keeps the two in sync.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::transport::TransportKind;
+
+/// How the trainer schedules gradient-bucket allreduces relative to
+/// backprop (`DCNN_OVERLAP_MODE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapMode {
+    /// PR 3 behavior: finish the whole backward pass, then launch every
+    /// bucket nonblocking and drain — buckets overlap each other only.
+    Drain,
+    /// Launch each bucket the moment backprop finishes its last segment
+    /// (per-layer backward hooks), so reductions overlap the *remaining*
+    /// backward compute. The default.
+    #[default]
+    Hooked,
+}
+
+/// A malformed `DCNN_*` environment variable: which one, what it held, and
+/// what the parser expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The value it held.
+    pub value: String,
+    /// Human-readable description of the accepted syntax.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed snapshot of the whole `DCNN_*` configuration namespace.
+///
+/// `None` fields were unset (or empty) in the source; consumers apply their
+/// defaults through the `*_or_default` accessors. Construct with
+/// [`RuntimeConfig::from_env`] (strict parsing) or [`RuntimeConfig::default`]
+/// plus `with_*` overrides (programmatic, environment-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Message fabric (`DCNN_TRANSPORT`: `threads` or `tcp`).
+    pub transport: Option<TransportKind>,
+    /// Rendezvous address for the TCP fabric (`DCNN_RENDEZVOUS`,
+    /// `host:port`; rank 0 binds it, everyone else dials it).
+    pub rendezvous: Option<String>,
+    /// This process's rank in a multi-process run (`DCNN_RANK`).
+    pub rank: Option<usize>,
+    /// World size of a multi-process run (`DCNN_WORLD`).
+    pub world: Option<usize>,
+    /// Event tracing on/off (`DCNN_TRACE`: `1`/`true`/`on` or
+    /// `0`/`false`/`off`).
+    pub trace: Option<bool>,
+    /// JSON-lines trace export path (`DCNN_TRACE_JSON`; implies tracing).
+    pub trace_json: Option<String>,
+    /// Deadlock-watchdog receive timeout (`DCNN_RECV_TIMEOUT_MS`).
+    pub recv_timeout: Option<Duration>,
+    /// Comm-worker threads per rank for async reduces
+    /// (`DCNN_COMM_WORKERS`, ≥ 1).
+    pub comm_workers: Option<usize>,
+    /// Gradient bucket size target in bytes (`DCNN_BUCKET_BYTES`;
+    /// `0` = one fused blocking allreduce).
+    pub bucket_bytes: Option<usize>,
+    /// Bucket scheduling relative to backprop (`DCNN_OVERLAP_MODE`:
+    /// `hooked` or `drain`).
+    pub overlap_mode: Option<OverlapMode>,
+    /// Adaptive bucket sizing target: desired in-flight reduce bytes
+    /// (`DCNN_INFLIGHT_BUDGET`, bytes; `0`/unset disables resizing).
+    pub inflight_budget_bytes: Option<usize>,
+}
+
+fn parse_usize(
+    var: &'static str,
+    v: &str,
+    expected: &'static str,
+) -> Result<usize, ConfigError> {
+    v.trim().parse().map_err(|_| ConfigError { var, value: v.to_string(), expected })
+}
+
+impl RuntimeConfig {
+    /// Every environment variable this struct parses — the full public
+    /// `DCNN_*` surface. (The `dcnn-launch` binary additionally uses the
+    /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
+    /// variables, which are not configuration.) The README env table is
+    /// tested against this list.
+    pub const ENV_VARS: [&'static str; 11] = [
+        "DCNN_TRANSPORT",
+        "DCNN_RENDEZVOUS",
+        "DCNN_RANK",
+        "DCNN_WORLD",
+        "DCNN_TRACE",
+        "DCNN_TRACE_JSON",
+        "DCNN_RECV_TIMEOUT_MS",
+        "DCNN_COMM_WORKERS",
+        "DCNN_BUCKET_BYTES",
+        "DCNN_OVERLAP_MODE",
+        "DCNN_INFLIGHT_BUDGET",
+    ];
+
+    /// Parse the process environment. Unset (or empty) variables become
+    /// `None`; a present-but-malformed value is an error naming the
+    /// variable, never a silent default.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        Self::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// Parse from an arbitrary variable source (`from_env` with the real
+    /// environment; tests pass closures so they never mutate process-global
+    /// state). Empty values count as unset.
+    pub fn from_lookup(
+        lookup: impl Fn(&'static str) -> Option<String>,
+    ) -> Result<Self, ConfigError> {
+        let get = |var: &'static str| lookup(var).filter(|v| !v.trim().is_empty());
+        let mut cfg = RuntimeConfig::default();
+
+        if let Some(v) = get("DCNN_TRANSPORT") {
+            cfg.transport = Some(match v.trim().to_ascii_lowercase().as_str() {
+                "threads" => TransportKind::Threads,
+                "tcp" => TransportKind::Tcp,
+                _ => {
+                    return Err(ConfigError {
+                        var: "DCNN_TRANSPORT",
+                        value: v,
+                        expected: "\"threads\" or \"tcp\"",
+                    })
+                }
+            });
+        }
+        cfg.rendezvous = get("DCNN_RENDEZVOUS");
+        if let Some(v) = get("DCNN_RANK") {
+            cfg.rank = Some(parse_usize("DCNN_RANK", &v, "a rank index (unsigned integer)")?);
+        }
+        if let Some(v) = get("DCNN_WORLD") {
+            let w = parse_usize("DCNN_WORLD", &v, "a rank count (integer ≥ 1)")?;
+            if w == 0 {
+                return Err(ConfigError {
+                    var: "DCNN_WORLD",
+                    value: v,
+                    expected: "a rank count (integer ≥ 1)",
+                });
+            }
+            cfg.world = Some(w);
+        }
+        if let Some(v) = get("DCNN_TRACE") {
+            cfg.trace = Some(match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" => true,
+                "0" | "false" | "off" => false,
+                _ => {
+                    return Err(ConfigError {
+                        var: "DCNN_TRACE",
+                        value: v,
+                        expected: "1/true/on or 0/false/off",
+                    })
+                }
+            });
+        }
+        cfg.trace_json = get("DCNN_TRACE_JSON");
+        if let Some(v) = get("DCNN_RECV_TIMEOUT_MS") {
+            let ms = v.trim().parse::<u64>().map_err(|_| ConfigError {
+                var: "DCNN_RECV_TIMEOUT_MS",
+                value: v,
+                expected: "a timeout in milliseconds (unsigned integer)",
+            })?;
+            cfg.recv_timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(v) = get("DCNN_COMM_WORKERS") {
+            let n = parse_usize("DCNN_COMM_WORKERS", &v, "a thread count (integer ≥ 1)")?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: "DCNN_COMM_WORKERS",
+                    value: v,
+                    expected: "a thread count (integer ≥ 1)",
+                });
+            }
+            cfg.comm_workers = Some(n);
+        }
+        if let Some(v) = get("DCNN_BUCKET_BYTES") {
+            cfg.bucket_bytes =
+                Some(parse_usize("DCNN_BUCKET_BYTES", &v, "a size in bytes (0 = fused blocking)")?);
+        }
+        if let Some(v) = get("DCNN_OVERLAP_MODE") {
+            cfg.overlap_mode = Some(match v.trim().to_ascii_lowercase().as_str() {
+                "hooked" => OverlapMode::Hooked,
+                "drain" => OverlapMode::Drain,
+                _ => {
+                    return Err(ConfigError {
+                        var: "DCNN_OVERLAP_MODE",
+                        value: v,
+                        expected: "\"hooked\" or \"drain\"",
+                    })
+                }
+            });
+        }
+        if let Some(v) = get("DCNN_INFLIGHT_BUDGET") {
+            cfg.inflight_budget_bytes = Some(parse_usize(
+                "DCNN_INFLIGHT_BUDGET",
+                &v,
+                "an in-flight byte budget (0 = fixed bucket size)",
+            )?);
+        }
+        Ok(cfg)
+    }
+
+    // ---- resolved accessors (the runtime's defaults) ----
+
+    /// The transport backend to use (default: in-process threads).
+    pub fn transport_or_default(&self) -> TransportKind {
+        self.transport.unwrap_or(TransportKind::Threads)
+    }
+
+    /// Whether event tracing is on (explicitly, or implied by a JSON export
+    /// path).
+    pub fn trace_or_default(&self) -> bool {
+        self.trace.unwrap_or(false) || self.trace_json.is_some()
+    }
+
+    /// The deadlock-watchdog receive timeout (default 60 s).
+    pub fn recv_timeout_or_default(&self) -> Duration {
+        self.recv_timeout.unwrap_or(Duration::from_secs(60))
+    }
+
+    /// Comm-worker threads per rank (default 2, minimum 1).
+    pub fn comm_workers_or_default(&self) -> usize {
+        self.comm_workers.unwrap_or(2).max(1)
+    }
+
+    /// Gradient bucket size target in bytes (default 0 = fused blocking).
+    pub fn bucket_bytes_or_default(&self) -> usize {
+        self.bucket_bytes.unwrap_or(0)
+    }
+
+    /// Bucket scheduling mode (default [`OverlapMode::Hooked`]).
+    pub fn overlap_mode_or_default(&self) -> OverlapMode {
+        self.overlap_mode.unwrap_or_default()
+    }
+
+    /// Adaptive in-flight byte budget (default 0 = fixed bucket size).
+    pub fn inflight_budget_or_default(&self) -> usize {
+        self.inflight_budget_bytes.unwrap_or(0)
+    }
+
+    // ---- builder-style programmatic overrides ----
+
+    /// Override the transport backend.
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
+    /// Override the rendezvous address.
+    pub fn with_rendezvous(mut self, addr: impl Into<String>) -> Self {
+        self.rendezvous = Some(addr.into());
+        self
+    }
+
+    /// Override rank and world size for a multi-process run.
+    pub fn with_rank_world(mut self, rank: usize, world: usize) -> Self {
+        self.rank = Some(rank);
+        self.world = Some(world);
+        self
+    }
+
+    /// Override event tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
+
+    /// Override the watchdog receive timeout.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// Override the comm-worker thread count.
+    pub fn with_comm_workers(mut self, n: usize) -> Self {
+        self.comm_workers = Some(n);
+        self
+    }
+
+    /// Override the gradient bucket size target.
+    pub fn with_bucket_bytes(mut self, bytes: usize) -> Self {
+        self.bucket_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the bucket scheduling mode.
+    pub fn with_overlap_mode(mut self, mode: OverlapMode) -> Self {
+        self.overlap_mode = Some(mode);
+        self
+    }
+
+    /// Override the adaptive in-flight byte budget.
+    pub fn with_inflight_budget(mut self, bytes: usize) -> Self {
+        self.inflight_budget_bytes = Some(bytes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn from_map(pairs: &[(&'static str, &str)]) -> Result<RuntimeConfig, ConfigError> {
+        let map: HashMap<&str, String> =
+            pairs.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        RuntimeConfig::from_lookup(|var| map.get(var).cloned())
+    }
+
+    #[test]
+    fn empty_environment_is_all_defaults() {
+        let cfg = from_map(&[]).expect("empty env parses");
+        assert_eq!(cfg, RuntimeConfig::default());
+        assert_eq!(cfg.transport_or_default(), TransportKind::Threads);
+        assert!(!cfg.trace_or_default());
+        assert_eq!(cfg.recv_timeout_or_default(), Duration::from_secs(60));
+        assert_eq!(cfg.comm_workers_or_default(), 2);
+        assert_eq!(cfg.bucket_bytes_or_default(), 0);
+        assert_eq!(cfg.overlap_mode_or_default(), OverlapMode::Hooked);
+        assert_eq!(cfg.inflight_budget_or_default(), 0);
+    }
+
+    #[test]
+    fn empty_values_count_as_unset() {
+        let cfg = from_map(&[("DCNN_TRACE", ""), ("DCNN_BUCKET_BYTES", "  ")])
+            .expect("empty values are unset");
+        assert_eq!(cfg.trace, None);
+        assert_eq!(cfg.bucket_bytes, None);
+    }
+
+    #[test]
+    fn full_environment_parses() {
+        let cfg = from_map(&[
+            ("DCNN_TRANSPORT", "TCP"),
+            ("DCNN_RENDEZVOUS", "127.0.0.1:4400"),
+            ("DCNN_RANK", "1"),
+            ("DCNN_WORLD", "4"),
+            ("DCNN_TRACE", "on"),
+            ("DCNN_TRACE_JSON", "/tmp/trace.jsonl"),
+            ("DCNN_RECV_TIMEOUT_MS", "2500"),
+            ("DCNN_COMM_WORKERS", "3"),
+            ("DCNN_BUCKET_BYTES", "4096"),
+            ("DCNN_OVERLAP_MODE", "drain"),
+            ("DCNN_INFLIGHT_BUDGET", "65536"),
+        ])
+        .expect("full env parses");
+        assert_eq!(cfg.transport, Some(TransportKind::Tcp));
+        assert_eq!(cfg.rendezvous.as_deref(), Some("127.0.0.1:4400"));
+        assert_eq!(cfg.rank, Some(1));
+        assert_eq!(cfg.world, Some(4));
+        assert_eq!(cfg.trace, Some(true));
+        assert_eq!(cfg.trace_json.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(cfg.recv_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(cfg.comm_workers, Some(3));
+        assert_eq!(cfg.bucket_bytes, Some(4096));
+        assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
+        assert_eq!(cfg.inflight_budget_bytes, Some(65536));
+    }
+
+    #[test]
+    fn malformed_values_name_the_variable() {
+        for (var, value) in [
+            ("DCNN_TRANSPORT", "carrier-pigeon"),
+            ("DCNN_RANK", "zero"),
+            ("DCNN_WORLD", "0"),
+            ("DCNN_TRACE", "maybe"),
+            ("DCNN_RECV_TIMEOUT_MS", "2.5s"),
+            ("DCNN_COMM_WORKERS", "0"),
+            ("DCNN_BUCKET_BYTES", "-1"),
+            ("DCNN_OVERLAP_MODE", "eager"),
+            ("DCNN_INFLIGHT_BUDGET", "lots"),
+        ] {
+            let err = from_map(&[(var, value)])
+                .expect_err(&format!("{var}={value} must be rejected"));
+            assert_eq!(err.var, var);
+            assert_eq!(err.value, value);
+            let msg = err.to_string();
+            assert!(msg.contains(var), "error must name the variable: {msg}");
+            assert!(msg.contains("expected"), "error must say what was expected: {msg}");
+        }
+    }
+
+    #[test]
+    fn trace_json_implies_tracing() {
+        let cfg = from_map(&[("DCNN_TRACE_JSON", "/tmp/t.jsonl")]).expect("parses");
+        assert_eq!(cfg.trace, None);
+        assert!(cfg.trace_or_default());
+    }
+
+    #[test]
+    fn builder_overrides_win() {
+        let cfg = from_map(&[("DCNN_BUCKET_BYTES", "4096")])
+            .expect("parses")
+            .with_bucket_bytes(8192)
+            .with_overlap_mode(OverlapMode::Drain)
+            .with_comm_workers(5)
+            .with_transport(TransportKind::Tcp)
+            .with_rank_world(2, 8)
+            .with_rendezvous("10.0.0.1:9000")
+            .with_trace(true)
+            .with_recv_timeout(Duration::from_secs(5))
+            .with_inflight_budget(1 << 20);
+        assert_eq!(cfg.bucket_bytes, Some(8192));
+        assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
+        assert_eq!(cfg.comm_workers, Some(5));
+        assert_eq!(cfg.transport, Some(TransportKind::Tcp));
+        assert_eq!((cfg.rank, cfg.world), (Some(2), Some(8)));
+        assert_eq!(cfg.rendezvous.as_deref(), Some("10.0.0.1:9000"));
+        assert_eq!(cfg.trace, Some(true));
+        assert_eq!(cfg.recv_timeout, Some(Duration::from_secs(5)));
+        assert_eq!(cfg.inflight_budget_bytes, Some(1 << 20));
+    }
+
+    #[test]
+    fn env_vars_list_is_complete_and_unique() {
+        let vars = RuntimeConfig::ENV_VARS;
+        let set: std::collections::HashSet<&str> = vars.iter().copied().collect();
+        assert_eq!(set.len(), vars.len(), "duplicate entries in ENV_VARS");
+        // Every listed var is actually consulted by the parser: setting it
+        // alone to a recognizable bad value must either error or change the
+        // parse relative to the empty environment.
+        let baseline = from_map(&[]).expect("empty env");
+        for var in vars {
+            let poked = from_map(&[(var, "definitely-not-a-valid-value !")]);
+            let consulted = match poked {
+                Err(e) => e.var == var,
+                Ok(cfg) => cfg != baseline, // free-form vars (paths, addrs)
+            };
+            assert!(consulted, "{var} is listed but never parsed");
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod algorithms;
 pub mod compress;
+pub mod config;
 pub mod primitives;
 pub mod reduce;
 pub mod runtime;
@@ -49,9 +50,10 @@ pub use algorithms::{
     PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
+pub use config::{ConfigError, OverlapMode, RuntimeConfig};
 pub use runtime::{
-    run_cluster, run_tcp_rank, ClusterBuilder, ClusterRun, Comm, CommStats, PendingReduce,
-    ProcessRun,
+    run_cluster, run_tcp_rank, run_tcp_rank_with, BucketSpan, ClusterBuilder, ClusterRun, Comm,
+    CommStats, PendingReduce, ProcessRun,
 };
 pub use trace::{render_trace, write_trace_json, TraceEvent, TraceEventKind};
 pub use transport::{crc32, Payload, Transport, TransportKind};

@@ -65,18 +65,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::algorithms::Allreduce;
-use crate::trace::{
-    trace_enabled_from_env, trace_json_path_from_env, write_trace_json, TraceEvent, TraceEventKind,
-};
+use crate::config::RuntimeConfig;
+use crate::trace::{write_trace_json, TraceEvent, TraceEventKind};
 use crate::transport::local::local_fabric;
 use crate::transport::tcp::{TcpOptions, TcpTransport};
 use crate::transport::{RecvPoll, Transport, TransportKind, WireMsg};
 
 pub use crate::transport::Payload;
-
-/// Default time a receive may wait before the watchdog declares a deadlock.
-/// Collectives in this crate complete in milliseconds; 60 s means "a bug".
-const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Which consumer of a rank's inbox a receive belongs to: the rank's main
 /// thread, or the comm worker running one async bucket reduce. Ordered so
@@ -103,6 +98,10 @@ struct BlockedRecv {
     tag: u32,
     /// Nanoseconds since cluster start when the consumer blocked.
     since_ns: u64,
+    /// For bucket consumers: the gradient segment that sealed the bucket
+    /// (set by the trainer's streaming scheduler), so watchdog reports can
+    /// name the layer instead of just a launch sequence number.
+    label: Option<Arc<str>>,
 }
 
 /// Per-rank slot in the shared diagnostics registry.
@@ -125,6 +124,8 @@ struct ClusterShared {
     /// only sees this process's ranks, so deadlock reports must say so
     /// instead of claiming remote ranks are "not blocked".
     cross_process: bool,
+    /// Comm worker threads each rank spawns for async reduces.
+    comm_workers: usize,
     diags: Vec<Mutex<RankDiag>>,
     /// Memoized deadlock report: built once by the first rank to time out,
     /// then reused by every other rank so all panics carry the same text.
@@ -162,6 +163,9 @@ struct RankLocal {
     bucket_wait_ns: AtomicU64,
     /// Wall time comm workers spent inside async collectives.
     async_comm_ns: AtomicU64,
+    /// Launch/complete timestamps for every async bucket reduce, in
+    /// completion order.
+    bucket_spans: Mutex<Vec<BucketSpan>>,
     /// Inclusive per-phase wall time: `(label, ns, entries)`.
     phases: Mutex<Vec<(&'static str, u64, u64)>>,
     events: Mutex<Vec<TraceEvent>>,
@@ -184,6 +188,7 @@ impl RankLocal {
             async_inflight_hwm: AtomicU64::new(0),
             bucket_wait_ns: AtomicU64::new(0),
             async_comm_ns: AtomicU64::new(0),
+            bucket_spans: Mutex::new(Vec::new()),
             phases: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
         }
@@ -228,6 +233,7 @@ impl RankLocal {
             async_inflight_hwm: self.async_inflight_hwm.load(Relaxed),
             bucket_wait_ns: self.bucket_wait_ns.load(Relaxed),
             async_comm_ns: self.async_comm_ns.load(Relaxed),
+            bucket_spans: self.bucket_spans.lock().expect("bucket spans").clone(),
             phase_ns: self
                 .phases
                 .lock()
@@ -246,6 +252,29 @@ impl RankLocal {
             self.shared.trace_sink.lock().expect("trace sink").append(&mut events);
         }
         self.shared.stats_sink.lock().expect("stats sink")[self.rank] = self.snapshot();
+    }
+}
+
+/// Launch/complete timestamps of one async bucket reduce, for bandwidth
+/// measurement (adaptive bucket sizing) and `repro comm` reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSpan {
+    /// Launch sequence number on the parent communicator.
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Nanoseconds since cluster start when the launch was submitted.
+    pub launch_ns: u64,
+    /// Nanoseconds since cluster start when the reduce completed.
+    pub done_ns: u64,
+    /// The sealing gradient segment, when the launcher supplied one.
+    pub label: String,
+}
+
+impl BucketSpan {
+    /// Wall nanoseconds the bucket was in flight.
+    pub fn duration_ns(&self) -> u64 {
+        self.done_ns.saturating_sub(self.launch_ns)
     }
 }
 
@@ -277,6 +306,10 @@ pub struct CommStats {
     /// Nanoseconds comm workers spent inside async collectives (inclusive
     /// wall time across buckets; overlapping buckets both count).
     pub async_comm_ns: u64,
+    /// Launch/complete timestamps per async bucket reduce, in completion
+    /// order — the raw data behind bandwidth measurement and adaptive
+    /// bucket sizing.
+    pub bucket_spans: Vec<BucketSpan>,
     /// Inclusive wall time per [`Comm::phase`] label: `(label, ns, entries)`.
     /// Nested phases both accumulate, so times are inclusive.
     pub phase_ns: Vec<(String, u64, u64)>,
@@ -306,6 +339,27 @@ impl CommStats {
     /// Nanoseconds accumulated under `label`, 0 if never entered.
     pub fn phase(&self, label: &str) -> u64 {
         self.phase_ns.iter().find(|p| p.0 == label).map_or(0, |p| p.1)
+    }
+
+    /// Time-averaged bytes in flight across the async bucket reduces in
+    /// `bucket_spans[from..]`: Σ(bytes × duration) over the window from the
+    /// earliest launch to the latest completion. This is the measurement
+    /// adaptive bucket sizing steers toward the configured in-flight
+    /// budget. Returns 0 when the window is empty or instantaneous.
+    pub fn inflight_bytes_avg(&self, from: usize) -> u64 {
+        let spans = match self.bucket_spans.get(from..) {
+            Some(s) if !s.is_empty() => s,
+            _ => return 0,
+        };
+        let start = spans.iter().map(|s| s.launch_ns).min().unwrap_or(0);
+        let end = spans.iter().map(|s| s.done_ns).max().unwrap_or(0);
+        let window = end.saturating_sub(start) as u128;
+        if window == 0 {
+            return 0;
+        }
+        let byte_ns: u128 =
+            spans.iter().map(|s| s.bytes as u128 * s.duration_ns() as u128).sum();
+        (byte_ns / window) as u64
     }
 }
 
@@ -419,6 +473,7 @@ impl Router {
         comm_id: u64,
         tag: u32,
         consumer: ConsumerId,
+        label: Option<&Arc<str>>,
     ) -> (usize, Payload) {
         let timeout = self.local.shared.recv_timeout;
         // Poll in slices so blocked consumers publish diagnostics long
@@ -462,7 +517,9 @@ impl Router {
                     }
                     RecvPoll::TimedOut => {
                         if !published {
-                            self.publish_blocked(&state, sources, any_source, comm_id, tag, consumer);
+                            self.publish_blocked(
+                                &state, sources, any_source, comm_id, tag, consumer, label,
+                            );
                             published = true;
                         }
                         if started.elapsed() >= timeout {
@@ -489,7 +546,9 @@ impl Router {
                     self.cv.wait_timeout(state, poll).expect("router state");
                 state = guard;
                 if !published && started.elapsed() >= poll {
-                    self.publish_blocked(&state, sources, any_source, comm_id, tag, consumer);
+                    self.publish_blocked(
+                        &state, sources, any_source, comm_id, tag, consumer, label,
+                    );
                     published = true;
                 }
                 if started.elapsed() >= timeout {
@@ -501,6 +560,7 @@ impl Router {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn publish_blocked(
         &self,
         state: &RouterState,
@@ -509,6 +569,7 @@ impl Router {
         comm_id: u64,
         tag: u32,
         consumer: ConsumerId,
+        label: Option<&Arc<str>>,
     ) {
         let shared = &self.local.shared;
         let me = self.local.rank;
@@ -526,6 +587,7 @@ impl Router {
             comm_id,
             tag,
             since_ns: shared.now_ns(),
+            label: label.cloned(),
         };
         let mut slot = shared.diags[me].lock().expect("diag slot");
         if let Some(e) = slot.blocked.iter_mut().find(|(c, _)| *c == consumer) {
@@ -603,9 +665,12 @@ fn deadlock_report(shared: &Arc<ClusterShared>, me: usize) -> Arc<String> {
         let mut entries = blocked.clone();
         entries.sort_by_key(|&(c, _)| c);
         for (consumer, b) in &entries {
-            let who = match consumer {
-                ConsumerId::Main => format!("rank {rank}"),
-                ConsumerId::Bucket(k) => format!("rank {rank} [bucket {k}]"),
+            let who = match (consumer, b.label.as_deref()) {
+                (ConsumerId::Main, _) => format!("rank {rank}"),
+                (ConsumerId::Bucket(k), Some(l)) => {
+                    format!("rank {rank} [bucket {k}, sealed by {l}]")
+                }
+                (ConsumerId::Bucket(k), None) => format!("rank {rank} [bucket {k}]"),
             };
             let src = if b.any_source {
                 format!("any of {:?}", b.sources)
@@ -724,16 +789,6 @@ fn find_wait_cycle(snap: &[DiagSnapshot]) -> Option<Vec<usize>> {
 /// Work item for the comm worker pool: one bucket's blocking collective.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// How many comm worker threads each rank spawns for async reduces
-/// (`DCNN_COMM_WORKERS`, default 2, minimum 1).
-fn comm_worker_threads() -> usize {
-    std::env::var("DCNN_COMM_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(2)
-}
-
 struct WorkerState {
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
@@ -746,13 +801,17 @@ struct WorkerState {
 /// the rank thread — when the rank's closure returns.
 struct CommWorker {
     rank: usize,
+    /// Pool size (from [`RuntimeConfig::comm_workers_or_default`], i.e.
+    /// `DCNN_COMM_WORKERS`; default 2, minimum 1).
+    threads: usize,
     state: Mutex<WorkerState>,
 }
 
 impl CommWorker {
-    fn new(rank: usize) -> Self {
+    fn new(rank: usize, threads: usize) -> Self {
         CommWorker {
             rank,
+            threads: threads.max(1),
             state: Mutex::new(WorkerState { tx: None, handles: Vec::new() }),
         }
     }
@@ -767,7 +826,7 @@ impl CommWorker {
             );
             let (tx, rx) = channel::<Job>();
             let rx = Arc::new(Mutex::new(rx));
-            for i in 0..comm_worker_threads() {
+            for i in 0..self.threads {
                 let rx = Arc::clone(&rx);
                 let handle = std::thread::Builder::new()
                     .name(format!("dcnn-comm-{}-{i}", self.rank))
@@ -906,6 +965,9 @@ pub struct Comm {
     worker: Arc<CommWorker>,
     /// Which inbox consumer this handle's receives belong to.
     consumer: ConsumerId,
+    /// Human-readable attribution for bucket communicators (the gradient
+    /// segment that sealed the bucket); shown by the deadlock watchdog.
+    label: Option<Arc<str>>,
 }
 
 /// Reserved tag namespace for runtime-internal collectives (split, barrier).
@@ -990,8 +1052,14 @@ impl Comm {
     /// server, which serves whichever worker finishes first.
     pub fn recv_any(&self, tag: u32) -> (usize, Payload) {
         assert!(tag < TAG_INTERNAL, "tag {tag:#x} is reserved for the runtime");
-        let (gsrc, payload) =
-            self.router.recv_from_sources(&self.group, true, self.comm_id, tag, self.consumer);
+        let (gsrc, payload) = self.router.recv_from_sources(
+            &self.group,
+            true,
+            self.comm_id,
+            tag,
+            self.consumer,
+            self.label.as_ref(),
+        );
         let grank = self
             .group
             .iter()
@@ -1003,7 +1071,7 @@ impl Comm {
     fn recv_raw(&self, src: usize, tag: u32) -> Payload {
         let gsrc = self.group[src];
         self.router
-            .recv_from_sources(&[gsrc], false, self.comm_id, tag, self.consumer)
+            .recv_from_sources(&[gsrc], false, self.comm_id, tag, self.consumer, self.label.as_ref())
             .1
     }
 
@@ -1070,6 +1138,20 @@ impl Comm {
         algo: Arc<dyn Allreduce + Send + Sync>,
         bucket: Vec<f32>,
     ) -> PendingReduce {
+        self.allreduce_async_labeled(algo, bucket, None)
+    }
+
+    /// [`Comm::allreduce_async`] with a human-readable attribution label —
+    /// the gradient segment that sealed this bucket. The label shows up in
+    /// deadlock-watchdog reports (`rank 0 [bucket 3, sealed by conv1.w]`)
+    /// and in the bucket's [`BucketSpan`]; it has no effect on the
+    /// collective itself.
+    pub fn allreduce_async_labeled(
+        &self,
+        algo: Arc<dyn Allreduce + Send + Sync>,
+        bucket: Vec<f32>,
+        label: Option<Arc<str>>,
+    ) -> PendingReduce {
         let seq = self.async_seq.get();
         self.async_seq.set(seq + 1);
         // Deterministic bucket communicator id, identical across members;
@@ -1089,12 +1171,14 @@ impl Comm {
             local: Arc::clone(&self.local),
             worker: Arc::clone(&self.worker),
             consumer: ConsumerId::Bucket(seq),
+            label: label.clone(),
         };
         let local = Arc::clone(&self.local);
         local.async_launched.fetch_add(1, Relaxed);
         let inflight = local.async_inflight.fetch_add(1, Relaxed) + 1;
         local.async_inflight_hwm.fetch_max(inflight, Relaxed);
         local.trace(TraceEventKind::AsyncLaunch, h, seq as u32, None, bucket.len() * 4);
+        let launch_ns = local.shared.now_ns();
         let (done_tx, done_rx) = channel();
         let job_local = Arc::clone(&local);
         self.worker.submit(Box::new(move || {
@@ -1104,6 +1188,13 @@ impl Comm {
             job_local.async_comm_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
             job_local.async_inflight.fetch_sub(1, Relaxed);
             job_local.trace(TraceEventKind::AsyncDone, sub.comm_id, seq as u32, None, bucket.len() * 4);
+            job_local.bucket_spans.lock().expect("bucket spans").push(BucketSpan {
+                seq,
+                bytes: (bucket.len() * 4) as u64,
+                launch_ns,
+                done_ns: job_local.shared.now_ns(),
+                label: label.as_deref().unwrap_or("").to_string(),
+            });
             let _ = done_tx.send(bucket);
         }));
         PendingReduce {
@@ -1203,6 +1294,7 @@ impl Comm {
             local: Arc::clone(&self.local),
             worker: Arc::clone(&self.worker),
             consumer: self.consumer,
+            label: self.label.clone(),
         }
     }
 }
@@ -1227,6 +1319,7 @@ pub struct ClusterBuilder {
     trace: Option<bool>,
     recv_timeout: Option<Duration>,
     transport: Option<TransportKind>,
+    config: Option<RuntimeConfig>,
 }
 
 /// Build a rank's world communicator on `transport`, run `f`, flush the
@@ -1242,9 +1335,10 @@ fn rank_main<R>(
 ) -> R {
     let rank = transport.rank();
     let n = transport.world_size();
+    let comm_workers = shared.comm_workers;
     let local = Arc::new(RankLocal::new(rank, shared));
     let router = Arc::new(Router::new(Arc::clone(&transport), Arc::clone(&local)));
-    let worker = Arc::new(CommWorker::new(rank));
+    let worker = Arc::new(CommWorker::new(rank, comm_workers));
     let comm = Comm {
         global_rank: rank,
         group: Arc::new((0..n).collect()),
@@ -1257,6 +1351,7 @@ fn rank_main<R>(
         local: Arc::clone(&local),
         worker: Arc::clone(&worker),
         consumer: ConsumerId::Main,
+        label: None,
     };
     let r = f(&comm);
     worker.shutdown_and_propagate();
@@ -1266,15 +1361,11 @@ fn rank_main<R>(
     r
 }
 
-/// Read the effective receive timeout (builder override, else
-/// `DCNN_RECV_TIMEOUT_MS`, else 60 s).
-fn resolve_recv_timeout(explicit: Option<Duration>) -> Duration {
-    explicit.unwrap_or_else(|| {
-        std::env::var("DCNN_RECV_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map_or(DEFAULT_RECV_TIMEOUT, Duration::from_millis)
-    })
+/// Parse the `DCNN_*` environment, panicking with the parser's readable
+/// error (naming the variable and value) on a malformed entry — the
+/// entry-point behavior when no explicit [`RuntimeConfig`] was supplied.
+fn runtime_config_from_env() -> RuntimeConfig {
+    RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn new_cluster_shared(
@@ -1282,12 +1373,14 @@ fn new_cluster_shared(
     trace_on: bool,
     recv_timeout: Duration,
     cross_process: bool,
+    comm_workers: usize,
 ) -> Arc<ClusterShared> {
     Arc::new(ClusterShared {
         epoch: Instant::now(),
         recv_timeout,
         trace_on,
         cross_process,
+        comm_workers,
         diags: (0..n).map(|_| Mutex::new(RankDiag::default())).collect(),
         report: Mutex::new(None),
         trace_sink: Mutex::new(Vec::new()),
@@ -1302,7 +1395,16 @@ impl ClusterBuilder {
     /// (in-process threads unless `DCNN_TRANSPORT=tcp`).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "cluster needs at least one rank");
-        ClusterBuilder { n, trace: None, recv_timeout: None, transport: None }
+        ClusterBuilder { n, trace: None, recv_timeout: None, transport: None, config: None }
+    }
+
+    /// Use `config` instead of parsing the process environment. Explicit
+    /// builder overrides ([`trace`](Self::trace),
+    /// [`recv_timeout`](Self::recv_timeout),
+    /// [`transport`](Self::transport)) still win over the config's fields.
+    pub fn configure(mut self, config: RuntimeConfig) -> Self {
+        self.config = Some(config);
+        self
     }
 
     /// Force event tracing on or off, overriding `DCNN_TRACE`.
@@ -1344,13 +1446,13 @@ impl ClusterBuilder {
         F: Fn(&Comm) -> R + Sync,
     {
         let n = self.n;
-        let json_path = trace_json_path_from_env();
-        let trace_on = self
-            .trace
-            .unwrap_or_else(|| trace_enabled_from_env() || json_path.is_some());
-        let recv_timeout = resolve_recv_timeout(self.recv_timeout);
-        let kind = self.transport.unwrap_or_else(TransportKind::from_env);
-        let shared = new_cluster_shared(n, trace_on, recv_timeout, false);
+        let cfg = self.config.unwrap_or_else(runtime_config_from_env);
+        let json_path = cfg.trace_json.clone();
+        let trace_on = self.trace.unwrap_or_else(|| cfg.trace_or_default());
+        let recv_timeout = self.recv_timeout.unwrap_or_else(|| cfg.recv_timeout_or_default());
+        let kind = self.transport.unwrap_or_else(|| cfg.transport_or_default());
+        let shared =
+            new_cluster_shared(n, trace_on, recv_timeout, false, cfg.comm_workers_or_default());
 
         // Per-rank transport seeds, built up front so rank threads only
         // finish local establishment. TCP mode pre-binds the rendezvous
@@ -1364,8 +1466,8 @@ impl ClusterBuilder {
                 local_seeds = local_fabric(n).into_iter().map(Some).collect();
             }
             TransportKind::Tcp => {
-                let bind = std::env::var("DCNN_RENDEZVOUS")
-                    .unwrap_or_else(|_| "127.0.0.1:0".to_string());
+                let bind =
+                    cfg.rendezvous.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
                 let listener = std::net::TcpListener::bind(&bind)
                     .unwrap_or_else(|e| panic!("bind rendezvous {bind}: {e}"));
                 tcp_addr = listener.local_addr().expect("rendezvous addr").to_string();
@@ -1468,18 +1570,35 @@ pub struct ProcessRun<R> {
 /// The `dcnn-launch` binary spawns N local processes wired this way; see
 /// the README's transport section.
 pub fn run_tcp_rank<R>(f: impl FnOnce(&Comm) -> R) -> ProcessRun<R> {
-    let getenv = |k: &str| {
-        std::env::var(k).unwrap_or_else(|_| panic!("{k} must be set for the TCP process runtime"))
+    run_tcp_rank_with(&runtime_config_from_env(), f)
+}
+
+/// [`run_tcp_rank`] with an explicit [`RuntimeConfig`] instead of the
+/// process environment. The config must carry `rank`, `world` and
+/// `rendezvous` (the `DCNN_RANK` / `DCNN_WORLD` / `DCNN_RENDEZVOUS`
+/// triple); everything else falls back to the runtime's defaults.
+pub fn run_tcp_rank_with<R>(cfg: &RuntimeConfig, f: impl FnOnce(&Comm) -> R) -> ProcessRun<R> {
+    let need = |field: Option<usize>, var: &str| {
+        field.unwrap_or_else(|| panic!("{var} must be set for the TCP process runtime"))
     };
-    let rank: usize = getenv("DCNN_RANK").parse().expect("DCNN_RANK is a rank index");
-    let world: usize = getenv("DCNN_WORLD").parse().expect("DCNN_WORLD is a rank count");
-    let rendezvous = getenv("DCNN_RENDEZVOUS");
+    let rank = need(cfg.rank, "DCNN_RANK");
+    let world = need(cfg.world, "DCNN_WORLD");
+    let rendezvous = cfg
+        .rendezvous
+        .clone()
+        .unwrap_or_else(|| panic!("DCNN_RENDEZVOUS must be set for the TCP process runtime"));
     assert!(world > 0 && rank < world, "rank {rank} out of range for world {world}");
 
-    let json_path = trace_json_path_from_env();
-    let trace_on = trace_enabled_from_env() || json_path.is_some();
-    let recv_timeout = resolve_recv_timeout(None);
-    let shared = new_cluster_shared(world, trace_on, recv_timeout, true);
+    let json_path = cfg.trace_json.clone();
+    let trace_on = cfg.trace_or_default();
+    let recv_timeout = cfg.recv_timeout_or_default();
+    let shared = new_cluster_shared(
+        world,
+        trace_on,
+        recv_timeout,
+        true,
+        cfg.comm_workers_or_default(),
+    );
 
     let transport = TcpTransport::establish(rank, world, &rendezvous, TcpOptions::default())
         .unwrap_or_else(|e| panic!("rank {rank}: tcp fabric setup failed: {e}"));

@@ -108,6 +108,8 @@ pub fn render_trace(events: &[TraceEvent]) -> String {
 
 /// Whether the `DCNN_TRACE` environment variable asks for tracing
 /// (`1`, `true`, `on`, case-insensitive).
+#[deprecated(note = "use crate::config::RuntimeConfig::from_env, which parses every DCNN_* \
+                     variable in one place and rejects malformed values")]
 pub fn trace_enabled_from_env() -> bool {
     match std::env::var("DCNN_TRACE") {
         Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on"),
@@ -117,6 +119,8 @@ pub fn trace_enabled_from_env() -> bool {
 
 /// The output path the `DCNN_TRACE_JSON` environment variable asks trace
 /// events to be exported to, if any. Setting it implies tracing on.
+#[deprecated(note = "use crate::config::RuntimeConfig::from_env, which parses every DCNN_* \
+                     variable in one place and rejects malformed values")]
 pub fn trace_json_path_from_env() -> Option<String> {
     match std::env::var("DCNN_TRACE_JSON") {
         Ok(p) if !p.is_empty() => Some(p),
@@ -202,6 +206,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn env_toggle_parses() {
         // Only exercises the parser, not the environment (tests run in
         // parallel; setting env vars here would race other tests).

@@ -132,6 +132,31 @@ fn async_bucket_deadlock_names_the_owning_bucket() {
 }
 
 #[test]
+fn labeled_bucket_deadlock_names_the_sealing_segment() {
+    // The hooked overlap engine labels each bucket launch with the name of
+    // the parameter segment that sealed it; a hung bucket reduce must
+    // surface that label so the report points at a layer, not just a
+    // sequence number.
+    use dcnn_collectives::AllreduceAlgo;
+    use std::sync::Arc;
+    let report = provoke(2, |c| {
+        if c.rank() == 0 {
+            let algo = AllreduceAlgo::RecursiveDoubling.build_shared();
+            let label: Arc<str> = Arc::from("blocks.0.main.2.weight");
+            let p = c.allreduce_async_labeled(algo, vec![1.0f32; 64], Some(label));
+            let _ = p.wait(); // never resolves: the peer never launches
+        } else {
+            let _ = c.recv(0, 33); // keep rank 1 alive and blocked too
+        }
+    });
+    assert!(report.contains("deadlock suspected"), "{report}");
+    assert!(
+        report.contains("rank 0 [bucket 0, sealed by blocks.0.main.2.weight]: waiting on src 1"),
+        "{report}"
+    );
+}
+
+#[test]
 fn healthy_cluster_with_short_timeout_does_not_fire() {
     // The watchdog must not false-positive on a run that simply takes a few
     // poll intervals: rank 1 sleeps well past the poll slice, then sends.

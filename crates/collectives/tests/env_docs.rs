@@ -1,0 +1,80 @@
+//! Doc-consistency: the README's environment-variable table and
+//! [`RuntimeConfig::ENV_VARS`] must describe the same set of `DCNN_*`
+//! knobs, in both directions. A variable added to the parser without a
+//! README row (or documented without a parser) fails here, not in review.
+
+use dcnn_collectives::RuntimeConfig;
+use std::collections::BTreeSet;
+
+/// Pull every `DCNN_[A-Z0-9_]+` token out of a line.
+fn dcnn_tokens(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = line[i..].find("DCNN_") {
+        let start = i + pos;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_uppercase() || bytes[end].is_ascii_digit() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if end > start + "DCNN_".len() {
+            out.push(line[start..end].to_string());
+        }
+        i = end.max(start + 1);
+    }
+    out
+}
+
+/// The README env table: markdown rows of the form `| \`DCNN_...\` | ... |`.
+/// A single row may document several variables (e.g. `DCNN_RANK` /
+/// `DCNN_WORLD` share one), so tokens are extracted per row, not one-per-row.
+fn readme_table_vars(readme: &str) -> BTreeSet<String> {
+    readme
+        .lines()
+        .filter(|l| l.trim_start().starts_with("| `DCNN_"))
+        .flat_map(dcnn_tokens)
+        .collect()
+}
+
+#[test]
+fn readme_env_table_matches_runtime_config() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md at workspace root");
+
+    let documented = readme_table_vars(&readme);
+    assert!(
+        !documented.is_empty(),
+        "README env table not found (no `| \\`DCNN_...\\`` rows)"
+    );
+
+    let parsed: BTreeSet<String> = RuntimeConfig::ENV_VARS.iter().map(|v| v.to_string()).collect();
+
+    let undocumented: Vec<_> = parsed.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "RuntimeConfig parses vars missing from the README env table: {undocumented:?}"
+    );
+    let unparsed: Vec<_> = documented.difference(&parsed).collect();
+    assert!(
+        unparsed.is_empty(),
+        "README env table documents vars RuntimeConfig never parses: {unparsed:?}"
+    );
+}
+
+#[test]
+fn every_readme_mention_is_a_known_variable() {
+    // Prose and examples outside the table also name DCNN_* vars; none of
+    // those mentions may refer to a variable the parser doesn't know.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md at workspace root");
+    let parsed: BTreeSet<String> = RuntimeConfig::ENV_VARS.iter().map(|v| v.to_string()).collect();
+    for (ln, line) in readme.lines().enumerate() {
+        for tok in dcnn_tokens(line) {
+            assert!(
+                parsed.contains(&tok),
+                "README line {} mentions unknown variable {tok}",
+                ln + 1
+            );
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! "none of the optimizations … have any impact on the final accuracy"
 //! claim (§5.4), made checkable.
 
+use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 use dcnn_tensor::layers::{
@@ -100,6 +102,108 @@ impl DptExecutor {
     /// Inference on replica 0 (eval mode; used for validation).
     pub fn eval_logits(&mut self, x: &Tensor) -> Tensor {
         self.replicas[0].forward(x, false)
+    }
+
+    /// Run one iteration like [`DptExecutor::step`] under
+    /// [`DptStrategy::Optimized`], but report the node-averaged gradient
+    /// incrementally *during* backprop: `on_segment(offset, grads)` fires
+    /// the moment every replica has finished the backward step for one
+    /// parameter range of the flattened gradient ([`collect_grads`] layout),
+    /// in backward-traversal order — tail-layer ranges first. The overlap
+    /// engine seals and launches gradient buckets from this callback while
+    /// earlier layers are still backpropagating.
+    ///
+    /// The ranges tile `[0, param_count)` exactly, and both the reported
+    /// values and the returned `(mean loss, correct)` pair are
+    /// **bitwise identical** to what `step` produces: replicas are averaged
+    /// in replica index order with the same per-element operation sequence.
+    ///
+    /// # Panics
+    /// Panics unless the batch divides evenly across replicas.
+    pub fn step_streamed(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        mut on_segment: impl FnMut(usize, &[f32]),
+    ) -> (f64, usize) {
+        let b = x.shape()[0];
+        let m = self.replicas.len();
+        assert_eq!(b % m, 0, "batch {b} must divide across {m} GPUs");
+        assert_eq!(labels.len(), b);
+        let shard = b / m;
+        let sample = x.len() / b;
+
+        let shards: Vec<Tensor> = (0..m)
+            .map(|g| {
+                Tensor::from_vec(
+                    x.data()[g * shard * sample..(g + 1) * shard * sample].to_vec(),
+                    &{
+                        let mut s = x.shape().to_vec();
+                        s[0] = shard;
+                        s
+                    },
+                )
+            })
+            .collect();
+
+        // One thread per replica, like the Optimized rayon path, but with a
+        // channel back to this thread so ranges stream out as they finish.
+        let (tx, rx) = mpsc::channel::<(usize, usize, Vec<f32>)>();
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .replicas
+                .iter_mut()
+                .zip(&shards)
+                .enumerate()
+                .map(|(g, (model, xs))| {
+                    let tx = tx.clone();
+                    let shard_labels = &labels[g * shard..(g + 1) * shard];
+                    s.spawn(move || {
+                        zero_grads(model.as_mut());
+                        let logits = model.forward(xs, true);
+                        let out = SoftmaxCrossEntropy.forward(&logits, shard_labels);
+                        let _ = model.backward_hooked(&out.grad, 0, &mut |off, vals| {
+                            let _ = tx.send((g, off, vals.to_vec()));
+                        });
+                        (out.loss, out.correct)
+                    })
+                })
+                .collect();
+            // Drop the original sender so the collector loop ends once every
+            // replica thread has finished its backward pass.
+            drop(tx);
+
+            // Fire `on_segment` the moment the last replica reports a range.
+            // Every replica walks the same module tree, so ranges complete in
+            // backward order; averaging runs in replica *index* order from
+            // zeros — the exact per-element sequence of `step`'s merge.
+            let mut slots: HashMap<usize, Vec<Option<Vec<f32>>>> = HashMap::new();
+            while let Ok((g, off, vals)) = rx.recv() {
+                let entry = slots.entry(off).or_insert_with(|| vec![None; m]);
+                entry[g] = Some(vals);
+                if entry.iter().all(Option::is_some) {
+                    let parts = slots.remove(&off).expect("slot just filled");
+                    let n = parts[0].as_ref().expect("all parts present").len();
+                    let mut avg = vec![0.0f32; n];
+                    for p in &parts {
+                        for (a, b) in avg.iter_mut().zip(p.as_ref().expect("all parts present")) {
+                            *a += b / m as f32;
+                        }
+                    }
+                    on_segment(off, &avg);
+                }
+            }
+            assert!(slots.is_empty(), "every replica must report every range");
+
+            for h in handles {
+                let (l, c) = h.join().expect("replica thread");
+                loss += l / m as f64;
+                correct += c;
+            }
+        });
+        (loss, correct)
     }
 
     /// Run one iteration on a node batch `x: [B, C, H, W]` under `strategy`.
@@ -339,6 +443,36 @@ mod tests {
         for w in rev.windows(2) {
             assert!(w[0].offset > w[1].offset);
         }
+    }
+
+    #[test]
+    fn step_streamed_matches_step_bitwise() {
+        let (x, labels) = batch(8, 19);
+        let mut plain = DptExecutor::new(2, tiny_factory);
+        let mut streamed = DptExecutor::new(2, tiny_factory);
+        let reference = plain.step(&x, &labels, DptStrategy::Optimized);
+
+        let mut grad = vec![f32::NAN; reference.grad.len()];
+        let mut fired: Vec<(usize, usize)> = Vec::new();
+        let (loss, correct) = streamed.step_streamed(&x, &labels, |off, vals| {
+            grad[off..off + vals.len()].copy_from_slice(vals);
+            fired.push((off, vals.len()));
+        });
+
+        assert_eq!(loss.to_bits(), reference.loss.to_bits());
+        assert_eq!(correct, reference.correct);
+        for (i, (a, b)) in grad.iter().zip(&reference.grad).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{i}]: {a} vs {b}");
+        }
+        // Ranges tile the gradient exactly and stream tail-first.
+        assert!(fired[0].0 > fired[fired.len() - 1].0, "backward reports tail layers first");
+        fired.sort_unstable();
+        let mut off = 0;
+        for (o, n) in fired {
+            assert_eq!(o, off, "ranges must tile without gaps or overlap");
+            off += n;
+        }
+        assert_eq!(off, reference.grad.len());
     }
 
     #[test]

@@ -66,6 +66,37 @@ pub trait Module: Send {
     /// accumulating parameter gradients along the way.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
 
+    /// [`Module::backward`] with a per-layer completion hook: as soon as a
+    /// parameter range of the flattened gradient vector
+    /// ([`collect_grads`] layout) is final — no later backward step will
+    /// touch it again — `hook(offset, grads)` fires with the range's start
+    /// offset (relative to the whole model; `base` is this module's start)
+    /// and its gradient values in [`Module::visit_params`] order. The
+    /// overlap engine launches gradient buckets from these hooks *during*
+    /// backprop instead of after it.
+    ///
+    /// The default covers any module: run the plain backward, then report
+    /// all of the module's own parameters as one range. Composite modules
+    /// (`Sequential`, `Residual`, `Concat`) override this to recurse with
+    /// per-child offsets, so leaves report the moment their own backward
+    /// finishes. Hooks fire in backward traversal order, which is
+    /// deterministic for a fixed module tree — every data-parallel rank
+    /// sees the same sequence.
+    fn backward_hooked(
+        &mut self,
+        grad: &Tensor,
+        base: usize,
+        hook: &mut dyn FnMut(usize, &[f32]),
+    ) -> Tensor {
+        let dx = self.backward(grad);
+        let mut own: Vec<f32> = Vec::new();
+        self.visit_params(&mut |p| own.extend_from_slice(p.grad.data()));
+        if !own.is_empty() {
+            hook(base, &own);
+        }
+        dx
+    }
+
     /// Visit every trainable parameter (deterministic order).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         let _ = f;

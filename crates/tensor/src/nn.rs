@@ -1,7 +1,7 @@
 //! Module composition: sequential chains, residual blocks (ResNet) and
 //! channel-concatenated parallel branches (GoogLeNet inception modules).
 
-use crate::layers::{Module, Param};
+use crate::layers::{param_count, Module, Param};
 use crate::tensor::Tensor;
 
 /// A chain of modules applied in order.
@@ -49,9 +49,27 @@ impl Module for Sequential {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.backward_hooked(grad, 0, &mut |_, _| {})
+    }
+
+    fn backward_hooked(
+        &mut self,
+        grad: &Tensor,
+        base: usize,
+        hook: &mut dyn FnMut(usize, &[f32]),
+    ) -> Tensor {
+        // Child base offsets follow visit_params order (forward order);
+        // backward then walks the chain in reverse, so the last child's
+        // parameters are reported first.
+        let mut bases = Vec::with_capacity(self.mods.len());
+        let mut off = base;
+        for m in &mut self.mods {
+            bases.push(off);
+            off += param_count(m.as_mut());
+        }
         let mut cur = grad.clone();
-        for m in self.mods.iter_mut().rev() {
-            cur = m.backward(&cur);
+        for (m, b) in self.mods.iter_mut().zip(bases).rev() {
+            cur = m.backward_hooked(&cur, b, hook);
         }
         cur
     }
@@ -112,6 +130,15 @@ impl Module for Residual {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.backward_hooked(grad, 0, &mut |_, _| {})
+    }
+
+    fn backward_hooked(
+        &mut self,
+        grad: &Tensor,
+        base: usize,
+        hook: &mut dyn FnMut(usize, &[f32]),
+    ) -> Tensor {
         let mask = self.relu_mask.take().expect("forward(train=true) before backward");
         let gated = Tensor::from_vec(
             grad.data()
@@ -121,11 +148,14 @@ impl Module for Residual {
                 .collect(),
             grad.shape(),
         );
-        let mut dx = self.main.backward(&gated);
+        // visit_params order is main then shortcut, so the shortcut's
+        // parameters live after the main path's in the flat layout.
+        let main_len = param_count(&mut self.main);
+        let mut dx = self.main.backward_hooked(&gated, base, hook);
         if self.shortcut.is_empty() {
             dx.add_(&gated);
         } else {
-            dx.add_(&self.shortcut.backward(&gated));
+            dx.add_(&self.shortcut.backward_hooked(&gated, base + main_len, hook));
         }
         dx
     }
@@ -186,21 +216,37 @@ impl Module for Concat {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.backward_hooked(grad, 0, &mut |_, _| {})
+    }
+
+    fn backward_hooked(
+        &mut self,
+        grad: &Tensor,
+        base: usize,
+        hook: &mut dyn FnMut(usize, &[f32]),
+    ) -> Tensor {
         let channels = self.saved_channels.take().expect("forward(train=true) before backward");
         let (n, c_total, h, w) =
             (grad.shape()[0], grad.shape()[1], grad.shape()[2], grad.shape()[3]);
         assert_eq!(c_total, channels.iter().sum::<usize>());
+        // Branch base offsets in visit_params order (branch order).
+        let mut bases = Vec::with_capacity(self.branches.len());
+        let mut off = base;
+        for b in &mut self.branches {
+            bases.push(off);
+            off += param_count(b);
+        }
         let plane = h * w;
         let mut dx: Option<Tensor> = None;
         let mut c_off = 0;
-        for (b, &cb) in self.branches.iter_mut().zip(&channels) {
+        for ((b, &cb), bb) in self.branches.iter_mut().zip(&channels).zip(bases) {
             let mut gb = Tensor::zeros(&[n, cb, h, w]);
             for ni in 0..n {
                 let src_start = (ni * c_total + c_off) * plane;
                 let dst = &mut gb.data_mut()[ni * cb * plane..(ni + 1) * cb * plane];
                 dst.copy_from_slice(&grad.data()[src_start..src_start + cb * plane]);
             }
-            let gi = b.backward(&gb);
+            let gi = b.backward_hooked(&gb, bb, hook);
             match &mut dx {
                 None => dx = Some(gi),
                 Some(acc) => acc.add_(&gi),
@@ -367,6 +413,82 @@ mod tests {
             segs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
             ["0.weight", "0.bias", "2.weight", "2.bias"]
         );
+    }
+
+    #[test]
+    fn backward_hooked_tiles_params_and_matches_collect_grads() {
+        use crate::layers::{collect_grads, BatchNorm2d};
+        let build = || {
+            let main = Sequential::new()
+                .push(Conv2d::new(2, 2, 3, 1, 1, false, 1))
+                .push(BatchNorm2d::new(2))
+                .push(ReLU::new());
+            Sequential::new()
+                .push(Conv2d::new(2, 2, 1, 1, 0, true, 0))
+                .push(Residual::new(main))
+                .push(Concat::new(vec![
+                    Sequential::new().push(Conv2d::new(2, 1, 1, 1, 0, false, 2)),
+                    Sequential::new().push(Conv2d::new(2, 3, 1, 1, 0, false, 3)),
+                ]))
+        };
+        let x = Tensor::randn(&[2, 2, 4, 4], 1.0, 7);
+        let g = Tensor::full(&[2, 4, 4, 4], 0.5);
+
+        let mut plain = build();
+        let _ = plain.forward(&x, true);
+        let dx_plain = plain.backward(&g);
+        let flat_plain = collect_grads(&mut plain);
+
+        let mut hooked = build();
+        let _ = hooked.forward(&x, true);
+        let mut fired: Vec<(usize, Vec<f32>)> = Vec::new();
+        let dx_hooked =
+            hooked.backward_hooked(&g, 0, &mut |off, data| fired.push((off, data.to_vec())));
+        assert_eq!(dx_plain.data(), dx_hooked.data(), "hooked backward changed dx");
+
+        // The fired ranges tile [0, param_count) exactly once.
+        let total = param_count(&mut hooked);
+        let mut ranges: Vec<(usize, usize)> =
+            fired.iter().map(|(off, d)| (*off, d.len())).collect();
+        ranges.sort_unstable();
+        let mut off = 0;
+        for &(start, len) in &ranges {
+            assert_eq!(start, off, "hook ranges must tile the flat layout");
+            assert!(len > 0);
+            off += len;
+        }
+        assert_eq!(off, total);
+
+        // Every range's values equal the final flattened gradient bitwise:
+        // a fired range is complete, no later backward step touches it.
+        for (start, data) in &fired {
+            for (i, (a, b)) in data.iter().zip(&flat_plain[*start..]).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "grad mismatch at flat[{}]",
+                    start + i
+                );
+            }
+        }
+
+        // The chain's last child reports before its first (reverse order).
+        assert!(fired[0].0 > fired[fired.len() - 1].0, "backward reports tail layers first");
+    }
+
+    #[test]
+    fn default_backward_hooked_reports_leaf_once() {
+        let mut lin = Linear::new(4, 2, 9);
+        let x = Tensor::randn(&[3, 4], 1.0, 1);
+        let _ = lin.forward(&x, true);
+        let mut fired = Vec::new();
+        let _ = lin.backward_hooked(
+            &Tensor::full(&[3, 2], 1.0),
+            100,
+            &mut |off, data| fired.push((off, data.len())),
+        );
+        assert_eq!(fired.len(), 1, "a leaf reports all its params as one range");
+        assert_eq!(fired[0], (100, param_count(&mut lin)));
     }
 
     #[test]

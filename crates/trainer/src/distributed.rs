@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use dcnn_collectives::primitives::allgather_bytes;
 use dcnn_collectives::runtime::Comm;
-use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo};
+use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo, OverlapMode, RuntimeConfig};
 use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
 use dcnn_dimd::{Dimd, Prefetcher, SynthImageNet, ValSet};
 use dcnn_dpt::{DptExecutor, DptStrategy};
@@ -20,7 +20,7 @@ use dcnn_tensor::loss::SoftmaxCrossEntropy;
 use dcnn_tensor::optim::{LrSchedule, Sgd, SgdConfig};
 use serde::Serialize;
 
-use crate::grad_sync::{bucket_bytes_from_env, GradSync};
+use crate::grad_sync::GradSync;
 
 /// Training-run configuration.
 #[derive(Clone)]
@@ -62,14 +62,29 @@ pub struct TrainConfig {
     /// parameter segments are packed into buckets of roughly this size in
     /// reverse layer order and each bucket's allreduce is launched
     /// nonblocking as it fills. `0` = one fused blocking allreduce (the
-    /// classic Algorithm 1 behavior). Overridable via `DCNN_BUCKET_BYTES`.
+    /// classic Algorithm 1 behavior). Set it from `DCNN_BUCKET_BYTES` via
+    /// [`TrainConfig::apply_runtime`].
     pub bucket_bytes: usize,
+    /// When bucketing is on, how bucket reduces interleave with backprop:
+    /// [`OverlapMode::Hooked`] launches each bucket from the backward hook
+    /// the moment its gradients are final; [`OverlapMode::Drain`] launches
+    /// all buckets after backward completes (the pre-hook behavior). Both
+    /// are bitwise identical to the fused blocking exchange at two ranks.
+    pub overlap: OverlapMode,
+    /// Adaptive bucket sizing target: when nonzero (bytes) and bucketing is
+    /// on, the bucket size is re-planned between epochs so the measured
+    /// average of in-flight reduce bytes approaches this budget. `0`
+    /// disables adaptation. All ranks agree on the measurement (cluster
+    /// max), so plans stay identical everywhere.
+    pub inflight_budget_bytes: usize,
     /// SGD hyper-parameters.
     pub sgd: SgdConfig,
 }
 
 impl TrainConfig {
     /// A paper-shaped config with the LR schedule derived from (k, n).
+    /// Purely programmatic — nothing is read from the environment; layer
+    /// `DCNN_*` overrides on top with [`TrainConfig::apply_runtime`].
     pub fn paper(nodes: usize, gpus_per_node: usize, batch_per_gpu: usize, epochs: usize) -> Self {
         TrainConfig {
             nodes,
@@ -87,9 +102,39 @@ impl TrainConfig {
             fp16_grads: false,
             prefetch_depth: 0,
             accum_steps: 1,
-            bucket_bytes: bucket_bytes_from_env().unwrap_or(0),
+            bucket_bytes: 0,
+            overlap: OverlapMode::Hooked,
+            inflight_budget_bytes: 0,
             sgd: SgdConfig::default(),
         }
+    }
+
+    /// Overlay the training-related fields of a parsed [`RuntimeConfig`]
+    /// (only the variables that were actually set): `DCNN_BUCKET_BYTES`,
+    /// `DCNN_OVERLAP_MODE` and `DCNN_INFLIGHT_BUDGET`.
+    pub fn apply_runtime(&mut self, rt: &RuntimeConfig) {
+        if let Some(b) = rt.bucket_bytes {
+            self.bucket_bytes = b;
+        }
+        if let Some(m) = rt.overlap_mode {
+            self.overlap = m;
+        }
+        if let Some(b) = rt.inflight_budget_bytes {
+            self.inflight_budget_bytes = b;
+        }
+    }
+
+    /// [`TrainConfig::paper`] with `rt`'s overrides already applied.
+    pub fn from_runtime(
+        nodes: usize,
+        gpus_per_node: usize,
+        batch_per_gpu: usize,
+        epochs: usize,
+        rt: &RuntimeConfig,
+    ) -> Self {
+        let mut cfg = Self::paper(nodes, gpus_per_node, batch_per_gpu, epochs);
+        cfg.apply_runtime(rt);
+        cfg
     }
 }
 
@@ -121,14 +166,22 @@ pub struct EpochStats {
     /// (zero in fused blocking mode).
     pub bucket_wait_secs: f64,
     /// Fraction of this epoch's asynchronous reduction time hidden behind
-    /// other work: `1 - bucket_wait/async_comm`, clamped to `[0, 1]`; zero
-    /// when no nonblocking reduces ran.
+    /// other work: `1 - bucket_wait/async_comm`, clamped to `[0, 1]`, maxed
+    /// over all ranks (the leading rank is the one that gets to overlap —
+    /// its laggard peer drains instantly); zero when no nonblocking reduces
+    /// ran.
     pub overlap_frac: f64,
     /// High-water mark of concurrently in-flight bucket reduces, maxed over
     /// all ranks (whole run up to this epoch; ≥ 2 proves genuine overlap —
     /// a rank whose peer runs ahead can drain each bucket instantly, so the
     /// overlap shows on the leading rank, not a fixed one).
     pub async_inflight_hwm: u64,
+    /// Bucket size target (bytes) the exchange used during this epoch
+    /// (adaptive sizing re-plans it *between* epochs; 0 = fused blocking).
+    pub bucket_bytes: u64,
+    /// Nonblocking bucket reduces this rank launched during the epoch
+    /// (0 in fused blocking mode).
+    pub buckets_launched: u64,
 }
 
 /// Cluster-wide maximum of a per-rank `u64` (for high-water-mark stats).
@@ -138,6 +191,15 @@ fn allreduce_max_u64(comm: &Comm, v: u64) -> u64 {
         .map(|b| u64::from_le_bytes(b[0..8].try_into().expect("8")))
         .max()
         .unwrap_or(v)
+}
+
+/// Cluster-wide maximum of a per-rank `f64` (every rank gets the same
+/// value, so derived decisions stay identical everywhere).
+fn allreduce_max_f64(comm: &Comm, v: f64) -> f64 {
+    allgather_bytes(comm, v.to_le_bytes().to_vec())
+        .iter()
+        .map(|b| f64::from_le_bytes(b[0..8].try_into().expect("8")))
+        .fold(v, f64::max)
 }
 
 /// Average a per-rank scalar triple `(loss_sum, correct, count)` cluster-wide.
@@ -242,7 +304,13 @@ fn run_rank(
     // every learner; evaluation decodes from it, like training does.
     let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
     let mut exec = DptExecutor::new(cfg.gpus_per_node, factory);
-    let gsync = GradSync::new(algo, exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
+    let mut gsync = GradSync::new(algo, exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
+    // Hooked overlap needs the parallel DPT path to stream segments during
+    // backprop and a bucket plan to stream them into; otherwise the drain
+    // schedule (launch-after-backward) applies.
+    let hooked = cfg.overlap == OverlapMode::Hooked
+        && gsync.is_bucketed()
+        && cfg.strategy == DptStrategy::Optimized;
     // One accumulation buffer for the whole run: sized from the segment
     // map, reused every iteration instead of reallocating per micro-batch.
     let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
@@ -251,6 +319,7 @@ fn run_rank(
 
     for epoch in 0..cfg.epochs {
         let ep_comm = comm.stats();
+        let mut buckets_launched = 0u64;
         let mut loss_sum = 0.0;
         let mut correct = 0u64;
         let mut seen = 0u64;
@@ -282,28 +351,64 @@ fn run_rank(
                         .expect("partition present")
                         .random_batch(batch_node, cfg.crop),
                 };
-                let (l, g, c) = micro_step(&mut exec, &x, &labels, cfg.strategy);
-                micro_loss += l / accum as f64;
-                micro_correct += c;
-                if micro == 0 {
-                    grad.copy_from_slice(&g);
+                if hooked && micro + 1 == accum {
+                    // Final micro-batch: stream parameter ranges out of the
+                    // backward pass, finalizing each range in place (add the
+                    // micro-gradient, scale by 1/accum) with exactly the
+                    // per-element operation sequence of the buffered path,
+                    // then hand it to the bucket scheduler — a bucket's
+                    // allreduce launches the instant its last range lands.
+                    let inv_accum = 1.0 / accum as f32;
+                    let mut stream = gsync.begin(comm);
+                    let (l, c) = exec.step_streamed(&x, &labels, |off, vals| {
+                        let seg = &mut grad[off..off + vals.len()];
+                        if accum == 1 {
+                            seg.copy_from_slice(vals);
+                        } else {
+                            for (a, b) in seg.iter_mut().zip(vals) {
+                                *a += b;
+                            }
+                            for a in seg.iter_mut() {
+                                *a *= inv_accum;
+                            }
+                        }
+                        stream.segment_ready(&grad, off, vals.len());
+                    });
+                    micro_loss += l / accum as f64;
+                    micro_correct += c as u64;
+                    stream.finish(&mut grad);
+                    buckets_launched += gsync.buckets().len() as u64;
                 } else {
-                    for (a, b) in grad.iter_mut().zip(&g) {
-                        *a += b;
+                    let (l, g, c) = micro_step(&mut exec, &x, &labels, cfg.strategy);
+                    micro_loss += l / accum as f64;
+                    micro_correct += c;
+                    if micro == 0 {
+                        grad.copy_from_slice(&g);
+                    } else {
+                        for (a, b) in grad.iter_mut().zip(&g) {
+                            *a += b;
+                        }
                     }
-                }
-            }
-            if accum > 1 {
-                let inv = 1.0 / accum as f32;
-                for g in &mut grad {
-                    *g *= inv;
                 }
             }
             let step_loss = micro_loss;
             let step_correct = micro_correct;
-            // Inter-node average: sum node-averages (fused blocking or
-            // bucketed nonblocking, per `cfg.bucket_bytes`), divide by N.
-            gsync.reduce(comm, &mut grad);
+            // Inter-node average: sum node-averages, divide by N. The hooked
+            // path already reduced during backprop; drain mode launches the
+            // buckets nonblocking here; `bucket_bytes == 0` runs one fused
+            // blocking allreduce.
+            if !hooked {
+                if accum > 1 {
+                    let inv = 1.0 / accum as f32;
+                    for g in &mut grad {
+                        *g *= inv;
+                    }
+                }
+                gsync.reduce(comm, &mut grad);
+                if gsync.is_bucketed() {
+                    buckets_launched += gsync.buckets().len() as u64;
+                }
+            }
             let inv = 1.0 / n as f32;
             for g in &mut grad {
                 *g *= inv;
@@ -328,6 +433,11 @@ fn run_rank(
         let phase = gsync.algo_name();
         let async_ns = now_comm.async_comm_ns - ep_comm.async_comm_ns;
         let wait_ns = now_comm.bucket_wait_ns - ep_comm.bucket_wait_ns;
+        let my_overlap = if async_ns == 0 {
+            0.0
+        } else {
+            (1.0 - wait_ns as f64 / async_ns as f64).clamp(0.0, 1.0)
+        };
         stats.push(EpochStats {
             epoch,
             train_loss: l / (n * iterations) as f64,
@@ -340,13 +450,28 @@ fn run_rank(
             allreduce_secs: (now_comm.phase(phase) - ep_comm.phase(phase)) as f64 / 1e9,
             stash_hwm: now_comm.stash_hwm,
             bucket_wait_secs: wait_ns as f64 / 1e9,
-            overlap_frac: if async_ns == 0 {
-                0.0
-            } else {
-                (1.0 - wait_ns as f64 / async_ns as f64).clamp(0.0, 1.0)
-            },
+            overlap_frac: allreduce_max_f64(comm, my_overlap),
             async_inflight_hwm: allreduce_max_u64(comm, now_comm.async_inflight_hwm),
+            bucket_bytes: gsync.bucket_bytes() as u64,
+            buckets_launched,
         });
+        // Adaptive bucket sizing: steer the measured average of in-flight
+        // reduce bytes toward the configured budget by scaling the target
+        // between epochs. Every rank adopts the cluster-max measurement, so
+        // all ranks re-plan to the identical target (launch order and
+        // bucket communicator derivation depend on that).
+        if cfg.inflight_budget_bytes > 0 && gsync.is_bucketed() {
+            let avg = now_comm.inflight_bytes_avg(ep_comm.bucket_spans.len());
+            let agreed = allreduce_max_u64(comm, avg);
+            if agreed > 0 {
+                let cur = gsync.bucket_bytes() as u128;
+                let scaled = cur * cfg.inflight_budget_bytes as u128 / agreed as u128;
+                let new = (scaled.min(usize::MAX as u128) as usize).clamp(1024, param_total * 4);
+                if new != gsync.bucket_bytes() {
+                    gsync.replan(new);
+                }
+            }
+        }
         if cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0 {
             dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
         }
@@ -594,6 +719,92 @@ mod tests {
             "expected ≥2 buckets in flight, saw {}",
             last.async_inflight_hwm
         );
+    }
+
+    #[test]
+    fn drain_mode_training_is_bitwise_identical_to_blocking() {
+        // The pre-hook schedule (launch all buckets after backward) must
+        // keep working and keep matching the fused run exactly.
+        let ds = tiny_ds();
+        let mut blocking = tiny_cfg(2, 2);
+        blocking.bucket_bytes = 0;
+        blocking.validate = false;
+        let mut drained = blocking.clone();
+        drained.bucket_bytes = 1024;
+        drained.overlap = OverlapMode::Drain;
+        let sb = train_distributed(&blocking, &ds, tiny_factory);
+        let sd = train_distributed(&drained, &ds, tiny_factory);
+        for (a, b) in sb.iter().zip(&sd) {
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "epoch {}: blocking {} vs drain {}",
+                a.epoch,
+                a.train_loss,
+                b.train_loss
+            );
+        }
+        assert!(sd.iter().all(|s| s.buckets_launched > 0));
+    }
+
+    #[test]
+    fn hooked_overlap_matches_blocking_bitwise_for_every_algorithm() {
+        // Single-bucket granularity (target larger than the model): the
+        // hooked scheduler launches exactly one bucket per iteration, from
+        // the backward hook, for each of the six allreduce algorithms — and
+        // at two ranks every one must reproduce the fused blocking bits.
+        let ds = tiny_ds();
+        for algo in AllreduceAlgo::all() {
+            let mut blocking = tiny_cfg(2, 1);
+            blocking.algo = algo;
+            blocking.validate = false;
+            blocking.shuffle_every_epochs = 0;
+            let mut hooked = blocking.clone();
+            hooked.bucket_bytes = 64 * 1024 * 1024;
+            hooked.overlap = OverlapMode::Hooked;
+            let sb = train_distributed(&blocking, &ds, tiny_factory);
+            let sh = train_distributed(&hooked, &ds, tiny_factory);
+            for (a, b) in sb.iter().zip(&sh) {
+                assert_eq!(
+                    a.train_loss.to_bits(),
+                    b.train_loss.to_bits(),
+                    "{:?} epoch {}: blocking {} vs hooked {}",
+                    hooked.algo,
+                    a.epoch,
+                    a.train_loss,
+                    b.train_loss
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_bucket_sizing_replans_between_epochs() {
+        // A huge in-flight budget must push the bucket target up toward the
+        // clamp; the trajectory still matches blocking bitwise (any
+        // bucketing is exact at two ranks), so adaptation is free.
+        let ds = tiny_ds();
+        let mut blocking = tiny_cfg(2, 3);
+        blocking.validate = false;
+        blocking.shuffle_every_epochs = 0;
+        let mut adaptive = blocking.clone();
+        adaptive.bucket_bytes = 1024;
+        adaptive.inflight_budget_bytes = 64 * 1024 * 1024;
+        let sb = train_distributed(&blocking, &ds, tiny_factory);
+        let sa = train_distributed(&adaptive, &ds, tiny_factory);
+        for (a, b) in sb.iter().zip(&sa) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "epoch {}", a.epoch);
+        }
+        assert_eq!(sa[0].bucket_bytes, 1024, "first epoch runs the configured target");
+        let last = sa.last().expect("stats");
+        assert!(
+            last.bucket_bytes > 1024,
+            "budget {} should have grown the target, still {}",
+            adaptive.inflight_budget_bytes,
+            last.bucket_bytes
+        );
+        // Fewer, larger buckets → fewer launches per epoch.
+        assert!(last.buckets_launched < sa[0].buckets_launched);
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! Overlap-aware gradient exchange: bucketed, nonblocking allreduce.
+//! Overlap-aware gradient exchange: bucketed, nonblocking allreduce driven
+//! by backward hooks.
 //!
 //! Backprop finishes the **last** layer's gradient first, yet the classic
 //! Algorithm 1 waits for the whole flattened gradient before starting one
 //! fused allreduce. [`GradSync`] instead packs the model's parameter
 //! segments — walked in reverse layer order, the order backprop completes
-//! them — into size-targeted buckets and launches each bucket's reduction
-//! on the rank's comm worker ([`Comm::allreduce_async`]) as soon as it is
-//! packed, so early buckets travel the network while later ones are still
-//! being prepared and while the trainer does other work. The handles are
-//! drained in launch order just before the SGD step.
+//! them — into size-targeted buckets. Two launch schedules share that plan:
+//!
+//! * **Drain** ([`GradSync::reduce`]): after backward completes, launch
+//!   every bucket's nonblocking reduce back-to-back and drain the handles
+//!   in launch order — buckets overlap *each other* but not backprop.
+//! * **Hooked** ([`GradSync::begin`] → [`GradStream`]): the backward hook
+//!   reports each parameter range the moment its gradient is final
+//!   ([`GradStream::segment_ready`]); a bucket seals and launches the
+//!   instant its last segment arrives, so early buckets travel the network
+//!   while earlier layers are still backpropagating.
+//!   [`GradStream::finish`] then launches any stragglers **first-needed
+//!   first** (the bucket covering the first forward layer goes out ahead of
+//!   the rest) and drains the in-flight handles in reverse-launch order, so
+//!   the bucket the next iteration's forward pass needs first completes
+//!   first.
 //!
 //! A bucket size of `0` disables bucketing entirely: one blocking allreduce
 //! over the fused gradient, byte-for-byte today's behavior. At two ranks the
@@ -16,11 +27,14 @@
 //! algorithm (a single f32 addition per element commutes); at larger scale
 //! each algorithm's summation order over a sub-range can differ from its
 //! order over the fused buffer, exactly as MPI makes no cross-count
-//! reproducibility promise.
+//! reproducibility promise. Seal order is deterministic and identical on
+//! every rank (each rank walks the same module tree backwards), which is
+//! what lets the runtime derive matching bucket communicator IDs from
+//! launch sequence numbers alone.
 
 use std::sync::Arc;
 
-use dcnn_collectives::runtime::Comm;
+use dcnn_collectives::runtime::{Comm, PendingReduce};
 use dcnn_collectives::{quantize_f16, Allreduce};
 use dcnn_tensor::layers::ParamSegment;
 
@@ -52,6 +66,8 @@ impl Bucket {
 /// Bucket-size override from the `DCNN_BUCKET_BYTES` environment variable
 /// (decimal bytes; `0` keeps the fused blocking exchange). Unset, empty or
 /// unparsable values mean "no override".
+#[deprecated(note = "use dcnn_collectives::RuntimeConfig::from_env, which parses every DCNN_* \
+                     variable in one place and rejects malformed values")]
 pub fn bucket_bytes_from_env() -> Option<usize> {
     std::env::var("DCNN_BUCKET_BYTES").ok().and_then(|v| v.trim().parse().ok())
 }
@@ -104,7 +120,9 @@ pub fn plan_buckets(segments: &[ParamSegment], bucket_bytes: usize) -> Vec<Bucke
 /// bucket plan, and runs one exchange per training iteration.
 pub struct GradSync {
     algo: Arc<dyn Allreduce + Send + Sync>,
+    segments: Vec<ParamSegment>,
     buckets: Vec<Bucket>,
+    bucket_bytes: usize,
     fp16: bool,
     bucketed: bool,
 }
@@ -122,12 +140,34 @@ impl GradSync {
         fp16: bool,
     ) -> Self {
         let buckets = plan_buckets(segments, bucket_bytes);
-        GradSync { algo, buckets, fp16, bucketed: bucket_bytes > 0 }
+        GradSync {
+            algo,
+            segments: segments.to_vec(),
+            buckets,
+            bucket_bytes,
+            fp16,
+            bucketed: bucket_bytes > 0,
+        }
     }
 
     /// The planned buckets, in launch (reverse layer) order.
     pub fn buckets(&self) -> &[Bucket] {
         &self.buckets
+    }
+
+    /// The current bucket size target in bytes (`0` = fused blocking).
+    pub fn bucket_bytes(&self) -> usize {
+        self.bucket_bytes
+    }
+
+    /// Re-plan the buckets for a new size target (adaptive sizing between
+    /// epochs). Every rank must call this with the **same** target — the
+    /// plan drives launch order and bucket communicator derivation, so it
+    /// has to stay identical cluster-wide.
+    pub fn replan(&mut self, bucket_bytes: usize) {
+        self.buckets = plan_buckets(&self.segments, bucket_bytes);
+        self.bucket_bytes = bucket_bytes;
+        self.bucketed = bucket_bytes > 0;
     }
 
     /// Whether the nonblocking bucketed path is active.
@@ -138,6 +178,29 @@ impl GradSync {
     /// The algorithm's display name (phase label in comm stats).
     pub fn algo_name(&self) -> &'static str {
         self.algo.name()
+    }
+
+    /// Name of the parameter segment containing flat index `idx` (used to
+    /// label a bucket with the segment that sealed it).
+    fn segment_name_at(&self, idx: usize) -> &str {
+        let i = self.segments.partition_point(|s| s.offset <= idx);
+        if i == 0 {
+            return "";
+        }
+        &self.segments[i - 1].name
+    }
+
+    /// Start one iteration's streaming exchange. Feed the stream from the
+    /// backward hook via [`GradStream::segment_ready`], then call
+    /// [`GradStream::finish`] before the SGD step.
+    pub fn begin<'a>(&'a self, comm: &'a Comm) -> GradStream<'a> {
+        GradStream {
+            sync: self,
+            comm,
+            remaining: self.buckets.iter().map(|b| b.len).collect(),
+            pending: self.buckets.iter().map(|_| None).collect(),
+            launch_order: Vec::with_capacity(self.buckets.len()),
+        }
     }
 
     /// Sum `grad` elementwise across all ranks of `comm`, in place.
@@ -166,6 +229,93 @@ impl GradSync {
         for (b, p) in self.buckets.iter().zip(pending) {
             let reduced = p.wait();
             grad[b.range()].copy_from_slice(&reduced);
+        }
+    }
+}
+
+/// One training iteration's streaming gradient exchange: buckets seal and
+/// launch as the backward hook reports parameter ranges, and the remainder
+/// drains with next-iteration priority in [`GradStream::finish`].
+pub struct GradStream<'a> {
+    sync: &'a GradSync,
+    comm: &'a Comm,
+    /// Scalars of each bucket not yet reported by the hook; `0` = sealed.
+    remaining: Vec<usize>,
+    /// In-flight handle per bucket (set when the bucket launches).
+    pending: Vec<Option<PendingReduce>>,
+    /// Bucket indices in the order they launched.
+    launch_order: Vec<usize>,
+}
+
+impl<'a> GradStream<'a> {
+    /// Report that `grad[off..off + len]` is final (no later backward step
+    /// will touch it). Every bucket the range overlaps credits the overlap;
+    /// a bucket whose last outstanding scalars just arrived seals — its
+    /// payload is copied out of `grad` and its nonblocking allreduce
+    /// launches immediately, labeled with the name of the parameter segment
+    /// that sealed it (the watchdog surfaces that label if the reduce ever
+    /// blocks).
+    ///
+    /// All ranks must report the same ranges in the same order — true by
+    /// construction when the reports come from the backward hook over
+    /// identical model replicas.
+    pub fn segment_ready(&mut self, grad: &[f32], off: usize, len: usize) {
+        let end = off + len;
+        for (i, b) in self.sync.buckets.iter().enumerate() {
+            if self.remaining[i] == 0 {
+                continue;
+            }
+            let lo = b.offset.max(off);
+            let hi = (b.offset + b.len).min(end);
+            if lo >= hi {
+                continue;
+            }
+            self.remaining[i] -= hi - lo;
+            if self.remaining[i] == 0 {
+                self.seal(i, grad, lo);
+            }
+        }
+    }
+
+    /// Number of buckets whose reduce has launched so far.
+    pub fn launched(&self) -> usize {
+        self.launch_order.len()
+    }
+
+    fn seal(&mut self, i: usize, grad: &[f32], sealed_at: usize) {
+        let sync = self.sync;
+        let b = &sync.buckets[i];
+        let mut payload = grad[b.range()].to_vec();
+        if sync.fp16 {
+            quantize_f16(&mut payload);
+        }
+        let label: Arc<str> = Arc::from(sync.segment_name_at(sealed_at));
+        self.pending[i] =
+            Some(self.comm.allreduce_async_labeled(Arc::clone(&sync.algo), payload, Some(label)));
+        self.launch_order.push(i);
+    }
+
+    /// Launch any buckets backprop never sealed (stragglers, or ranges the
+    /// caller withheld) and drain everything in flight, scattering the
+    /// reduced payloads back into `grad`.
+    ///
+    /// Stragglers launch in **reverse bucket-index order** — the plan's last
+    /// bucket covers the first forward layers, which the next iteration
+    /// needs first — and the drain walks reverse-launch order for the same
+    /// reason. Both orders are deterministic, so ranks keep launching the
+    /// same buckets in the same sequence.
+    pub fn finish(mut self, grad: &mut [f32]) {
+        for i in (0..self.sync.buckets.len()).rev() {
+            if self.remaining[i] > 0 {
+                self.remaining[i] = 0;
+                self.seal(i, grad, self.sync.buckets[i].offset);
+            }
+        }
+        let order = std::mem::take(&mut self.launch_order);
+        for &i in order.iter().rev() {
+            let p = self.pending[i].take().expect("launched bucket has a handle");
+            let reduced = p.wait();
+            grad[self.sync.buckets[i].range()].copy_from_slice(&reduced);
         }
     }
 }
@@ -255,6 +405,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streamed_exchange_matches_blocking_bitwise_at_two_ranks() {
+        let s = segs(&[33, 5, 61, 2]);
+        let out = run_cluster(2, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..101).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
+            };
+            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let mut blocking = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+
+            // Hooked: report segments in backward (reverse) order so buckets
+            // seal and launch mid-"backprop".
+            let gsync = GradSync::new(algo, &s, 128, false);
+            let mut streamed = mk(comm.rank());
+            let mut stream = gsync.begin(comm);
+            for seg in s.iter().rev() {
+                stream.segment_ready(&streamed, seg.offset, seg.len);
+            }
+            assert_eq!(stream.launched(), gsync.buckets().len(), "every bucket sealed");
+            stream.finish(&mut streamed);
+            (blocking, streamed)
+        });
+        for (rank, (a, b)) in out.iter().enumerate() {
+            for i in 0..a.len() {
+                assert_eq!(a[i].to_bits(), b[i].to_bits(), "rank {rank} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_launches_stragglers_and_still_matches() {
+        // Report only the tail segment; finish must seal and reduce the
+        // rest (first-needed-first) and end bitwise equal to blocking.
+        let s = segs(&[40, 9, 12]);
+        let out = run_cluster(2, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..61).map(|i| ((i + 3 * rank) as f32).cos()).collect()
+            };
+            let algo = AllreduceAlgo::HalvingDoubling.build_shared();
+            let mut blocking = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+
+            let gsync = GradSync::new(algo, &s, 64, false);
+            let mut streamed = mk(comm.rank());
+            let mut stream = gsync.begin(comm);
+            stream.segment_ready(&streamed, s[2].offset, s[2].len);
+            stream.finish(&mut streamed);
+            (blocking, streamed)
+        });
+        for (a, b) in &out {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn replan_retiles_and_reports_target() {
+        let s = segs(&[100, 3, 7, 50, 40]);
+        let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+        let mut g = GradSync::new(algo, &s, 0, false);
+        assert!(!g.is_bucketed());
+        assert_eq!(g.bucket_bytes(), 0);
+        assert_eq!(g.buckets().len(), 1);
+        g.replan(160);
+        assert!(g.is_bucketed());
+        assert_eq!(g.bucket_bytes(), 160);
+        assert!(g.buckets().len() > 1);
+        let mut end = 200;
+        for b in g.buckets() {
+            assert_eq!(b.offset + b.len, end);
+            end = b.offset;
+        }
+        assert_eq!(end, 0);
     }
 
     #[test]

@@ -28,5 +28,7 @@ pub mod metrics;
 pub use async_sgd::{train_async, AsyncConfig, AsyncStats};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use distributed::{train_distributed, train_on_comm, EpochStats, TrainConfig};
-pub use grad_sync::{bucket_bytes_from_env, plan_buckets, Bucket, GradSync};
+#[allow(deprecated)]
+pub use grad_sync::bucket_bytes_from_env;
+pub use grad_sync::{plan_buckets, Bucket, GradStream, GradSync};
 pub use epoch_model::{ClusterSetup, EpochBreakdown, EpochTimeModel, OptimizationFlags, Workload};

@@ -6,11 +6,11 @@ use crate::distributed::EpochStats;
 /// Render epoch statistics as CSV (header + one row per epoch).
 pub fn stats_to_csv(stats: &[EpochStats]) -> String {
     let mut out = String::from(
-        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm\n",
+        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm,bucket_bytes,buckets_launched\n",
     );
     for s in stats {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             s.epoch,
             s.lr,
             s.train_loss,
@@ -23,7 +23,9 @@ pub fn stats_to_csv(stats: &[EpochStats]) -> String {
             s.stash_hwm,
             s.bucket_wait_secs,
             s.overlap_frac,
-            s.async_inflight_hwm
+            s.async_inflight_hwm,
+            s.bucket_bytes,
+            s.buckets_launched
         ));
     }
     out
@@ -62,6 +64,8 @@ mod tests {
             bucket_wait_secs: 0.03125,
             overlap_frac: 0.75,
             async_inflight_hwm: 3,
+            bucket_bytes: 4096,
+            buckets_launched: 12 * epoch as u64,
         }
     }
 
@@ -72,8 +76,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,"));
         assert!(lines[1].starts_with("0,"));
-        assert_eq!(lines[1].split(',').count(), 13);
-        assert!(lines[0].ends_with("bucket_wait_secs,overlap_frac,async_inflight_hwm"));
+        assert_eq!(lines[1].split(',').count(), 15);
+        assert!(lines[0].ends_with("async_inflight_hwm,bucket_bytes,buckets_launched"));
     }
 
     #[test]

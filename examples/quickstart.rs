@@ -18,13 +18,14 @@ fn main() {
     // 4 learners × 2 GPUs × batch 4 (global batch 32), the paper's
     // multi-color allreduce + DIMD partitions + optimized DPT, plus the
     // overlap engine: gradients leave in 16 KiB reverse-layer buckets whose
-    // allreduces run concurrently with the remaining backprop drain
-    // (set DCNN_BUCKET_BYTES to override, 0 for the fused blocking path).
+    // allreduces launch from the backward hook, mid-backprop (set
+    // DCNN_BUCKET_BYTES to override, 0 for the fused blocking path;
+    // DCNN_OVERLAP_MODE=drain for launch-after-backward).
+    let rt = dist_cnn::collectives::RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
     let mut cfg = TrainConfig::paper(4, 2, 4, 8);
     cfg.crop = 32;
-    if dist_cnn::trainer::bucket_bytes_from_env().is_none() {
-        cfg.bucket_bytes = 16 * 1024;
-    }
+    cfg.bucket_bytes = 16 * 1024;
+    cfg.apply_runtime(&rt);
     cfg.lr = dist_cnn::tensor::optim::LrSchedule {
         init_lr: 0.05,
         base_lr: 0.05,

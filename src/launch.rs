@@ -9,14 +9,14 @@
 //! integration tests and `ci.sh`'s smoke test compare exactly that.
 
 use dcnn_collectives::primitives::allgather_bytes;
-use dcnn_collectives::{crc32, AllreduceAlgo, Comm};
+use dcnn_collectives::{crc32, AllreduceAlgo, Comm, RuntimeConfig};
 use dcnn_dimd::{SynthConfig, SynthImageNet};
 use dcnn_tensor::optim::LrSchedule;
 use dcnn_trainer::{train_on_comm, TrainConfig};
 
 /// Names every registered workload, in registry order.
 pub fn workload_names() -> &'static [&'static str] {
-    &["allreduce", "quickstart-epoch", "bucketed-epoch"]
+    &["allreduce", "quickstart-epoch", "bucketed-epoch", "overlap-epoch"]
 }
 
 /// Look a workload up by name.
@@ -25,8 +25,16 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "allreduce" => Some(allreduce_workload),
         "quickstart-epoch" => Some(quickstart_epoch_workload),
         "bucketed-epoch" => Some(bucketed_epoch_workload),
+        "overlap-epoch" => Some(overlap_epoch_workload),
         _ => None,
     }
+}
+
+/// The `DCNN_*` environment, parsed strictly — a malformed value aborts the
+/// workload with a message naming the variable rather than training with a
+/// silently ignored override.
+fn runtime() -> RuntimeConfig {
+    RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Rank `rank`'s deterministic input value at element `i` — the same
@@ -106,7 +114,7 @@ pub fn quickstart_epoch_workload(comm: &Comm) -> Vec<String> {
     synth.val_per_class = 8;
     synth.base_hw = 16;
     let ds = SynthImageNet::new(synth);
-    let mut cfg = TrainConfig::paper(comm.size(), 2, 4, 1);
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 1, &runtime());
     cfg.crop = 16;
     cfg.validate = false;
     cfg.lr = LrSchedule {
@@ -144,19 +152,21 @@ pub fn quickstart_epoch_workload(comm: &Comm) -> Vec<String> {
 /// (enough parameters to split into many buckets) trained with whatever
 /// `DCNN_BUCKET_BYTES` says — `0`/unset keeps the fused blocking exchange,
 /// anything else packs reverse-layer buckets and launches their allreduces
-/// nonblocking. The epoch lines carry the loss to full precision; at two
-/// ranks every per-element gradient sum is a single f32 addition, so the
-/// bucketed run must reproduce the blocking loss *bitwise* and `ci.sh`
-/// diffs exactly that. The trailing `inflight_hwm=` line reports the
-/// cluster-wide high-water mark of concurrently in-flight bucket reduces —
-/// the observable proof that the overlap engine actually overlapped.
+/// nonblocking (from the backward hook by default; `DCNN_OVERLAP_MODE=drain`
+/// defers the launches to after backward). The epoch lines carry the loss to
+/// full precision; at two ranks every per-element gradient sum is a single
+/// f32 addition, so the bucketed run must reproduce the blocking loss
+/// *bitwise* and `ci.sh` diffs exactly that. The trailing `inflight_hwm=`
+/// line reports the cluster-wide high-water mark of concurrently in-flight
+/// bucket reduces — the observable proof that the overlap engine actually
+/// overlapped.
 pub fn bucketed_epoch_workload(comm: &Comm) -> Vec<String> {
     let mut synth = SynthConfig::tiny(4);
     synth.train_per_class = 12;
     synth.val_per_class = 4;
     synth.base_hw = 16;
     let ds = SynthImageNet::new(synth);
-    let mut cfg = TrainConfig::paper(comm.size(), 2, 4, 1);
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 1, &runtime());
     cfg.crop = 16;
     cfg.validate = false;
     cfg.shuffle_every_epochs = 0;
@@ -194,6 +204,60 @@ pub fn bucketed_epoch_workload(comm: &Comm) -> Vec<String> {
     lines
 }
 
+/// Two epochs of backward-hook overlap training on the wide ResNet. Same
+/// model and data as [`bucketed_epoch_workload`] but longer, so the
+/// `overlap_frac=` line (cluster-max fraction of async reduce time hidden
+/// behind other work, best epoch) is a stable measurement: `ci.sh` runs
+/// this workload blocking, drain-bucketed and hook-bucketed, checks the
+/// `epoch` lines agree bitwise across all three, and asserts the hooked
+/// schedule hides strictly more reduce time than the end-of-backward drain
+/// schedule. The trailing `inflight_hwm=` line proves reduces overlapped.
+pub fn overlap_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 12;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 2, &runtime());
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.shuffle_every_epochs = 0;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 24,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(78)
+    });
+    let mut lines: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect();
+    let overlap = stats.iter().map(|s| s.overlap_frac).fold(0.0, f64::max);
+    let hwm = stats.iter().map(|s| s.async_inflight_hwm).max().unwrap_or(0);
+    lines.push(format!("overlap_frac={overlap:.6}"));
+    lines.push(format!("inflight_hwm={hwm}"));
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +280,17 @@ mod tests {
         assert!(lines[algos].starts_with("stats rank=0 "));
         // Identical report on every rank (the workload asserts bitwise
         // agreement internally, so the lines must match too).
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn overlap_epoch_workload_reports_on_threads() {
+        let out = dcnn_collectives::run_cluster(2, overlap_epoch_workload);
+        let lines = &out[0];
+        assert_eq!(lines.len(), 4, "{lines:?}"); // two epochs + overlap + hwm
+        assert!(lines[0].starts_with("epoch 0 loss="), "{lines:?}");
+        assert!(lines[2].starts_with("overlap_frac="), "{lines:?}");
+        assert!(lines[3].starts_with("inflight_hwm="), "{lines:?}");
         assert_eq!(out[0], out[1]);
     }
 

@@ -46,6 +46,7 @@ pub mod launch;
 pub mod prelude {
     pub use dcnn_collectives::{
         run_cluster, Allreduce, AllreduceAlgo, ClusterBuilder, Comm, CommStats, MultiColor,
+        OverlapMode, RuntimeConfig,
     };
     pub use dcnn_dimd::{Dimd, FileServer, SynthConfig, SynthImageNet};
     pub use dcnn_dpt::{DptExecutor, DptStrategy};

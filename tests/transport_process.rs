@@ -9,16 +9,21 @@ use std::process::Command;
 
 use dist_cnn::launch::{allreduce_workload, workload};
 
+fn launch_with(ranks: usize, workload: &str, envs: &[(&str, &str)]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcnn-launch"));
+    cmd.args(["--ranks", &ranks.to_string(), "--workload", workload]);
+    // Isolate from any ambient transport/trace/overlap settings.
+    for var in dcnn_collectives::RuntimeConfig::ENV_VARS {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn dcnn-launch")
+}
+
 fn launch(ranks: usize, workload: &str) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_dcnn-launch"))
-        .args(["--ranks", &ranks.to_string(), "--workload", workload])
-        // Isolate from any ambient transport/trace settings.
-        .env_remove("DCNN_RENDEZVOUS")
-        .env_remove("DCNN_TRANSPORT")
-        .env_remove("DCNN_TRACE")
-        .env_remove("DCNN_TRACE_JSON")
-        .output()
-        .expect("spawn dcnn-launch")
+    launch_with(ranks, workload, &[])
 }
 
 #[test]
@@ -65,6 +70,56 @@ fn two_process_quickstart_epoch_matches_threaded_run() {
         tcp_report, threaded_report,
         "training over sockets must reproduce the threaded trajectory bit-for-bit"
     );
+}
+
+#[test]
+fn two_process_overlap_epoch_matches_threaded_run() {
+    // The epoch lines are bitwise-deterministic; overlap_frac/inflight_hwm
+    // are measured timings and may differ between runs, so compare only the
+    // training trajectory and sanity-check the measurements separately.
+    fn epoch_lines(report: &str) -> Vec<String> {
+        report.lines().filter(|l| l.starts_with("epoch ")).map(str::to_string).collect()
+    }
+    fn overlap_frac(report: &str) -> f64 {
+        report
+            .lines()
+            .find_map(|l| l.strip_prefix("overlap_frac="))
+            .expect("report carries overlap_frac")
+            .parse()
+            .expect("overlap_frac parses")
+    }
+
+    let work = workload("overlap-epoch").expect("registered");
+    let threaded = dcnn_collectives::run_cluster(2, work);
+    let threaded_epochs: Vec<String> = threaded[0]
+        .iter()
+        .filter(|l| l.starts_with("epoch "))
+        .cloned()
+        .collect();
+    assert!(!threaded_epochs.is_empty());
+
+    // Blocking (no buckets) over real sockets reproduces the trajectory.
+    let blocking = launch_with(2, "overlap-epoch", &[]);
+    assert!(blocking.status.success(), "{}", String::from_utf8_lossy(&blocking.stderr));
+    let blocking_report = String::from_utf8(blocking.stdout).expect("utf8");
+    assert_eq!(epoch_lines(&blocking_report), threaded_epochs);
+
+    // Hooked overlap (buckets launched mid-backprop) over real sockets is
+    // bitwise identical to both, and reports a finite overlap fraction.
+    let hooked = launch_with(
+        2,
+        "overlap-epoch",
+        &[("DCNN_BUCKET_BYTES", "16384"), ("DCNN_OVERLAP_MODE", "hooked")],
+    );
+    assert!(hooked.status.success(), "{}", String::from_utf8_lossy(&hooked.stderr));
+    let hooked_report = String::from_utf8(hooked.stdout).expect("utf8");
+    assert_eq!(
+        epoch_lines(&hooked_report),
+        threaded_epochs,
+        "hooked overlap over sockets must not change a single loss bit"
+    );
+    let frac = overlap_frac(&hooked_report);
+    assert!((0.0..=1.0).contains(&frac), "overlap_frac={frac}");
 }
 
 #[test]
