@@ -83,6 +83,34 @@ if [ "$overlap_ok" -ne 1 ]; then
     exit 1
 fi
 
+# Fault-injection smoke: a 2-rank training run over real TCP processes,
+# with rank 1 armed to abort() right after optimizer step 2 (mid-epoch 0).
+# No DCNN_RECV_TIMEOUT_MS is set: the survivor must fail fast on the bare
+# EOF alone, exit nonzero with a structured report naming the dead peer,
+# and never show a raw panic backtrace. `timeout` bounds the whole launch
+# so a propagation regression fails CI instead of wedging it.
+echo "+ fault-injection smoke (kill-after-step=2@1 over TCP processes)"
+fault_status=0
+fault_out=$(DCNN_FAULT=kill-after-step=2@1 timeout 30 \
+    ./target/release/dcnn-launch --ranks 2 --workload fault-epoch 2>&1) || fault_status=$?
+echo "$fault_out" | sed 's/^/  fault: /'
+if [ "$fault_status" -eq 0 ]; then
+    echo "ci.sh: fault-injection run exited 0 despite a killed rank" >&2
+    exit 1
+fi
+if [ "$fault_status" -eq 124 ]; then
+    echo "ci.sh: fault-injection run hung (timeout): survivors never detected the dead peer" >&2
+    exit 1
+fi
+if ! echo "$fault_out" | grep -q "peer rank 1 is dead"; then
+    echo "ci.sh: survivor did not report 'peer rank 1 is dead'" >&2
+    exit 1
+fi
+if echo "$fault_out" | grep -q "stack backtrace"; then
+    echo "ci.sh: fault report contains a raw panic backtrace" >&2
+    exit 1
+fi
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

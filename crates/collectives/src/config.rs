@@ -37,6 +37,69 @@ pub enum OverlapMode {
     Hooked,
 }
 
+/// An injected fault for exercising the failure paths on real processes
+/// (`DCNN_FAULT`). Production runs leave it unset; the kill-one-rank tests
+/// and the ci.sh fault smoke drive the peer-death machinery through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// `kill-after-step=N@R` (or `kill-after-step=N`, which defaults to
+    /// rank 1): rank `R` calls `std::process::abort()` right after finishing
+    /// optimizer step `N` — the kernel closes its sockets, so every peer
+    /// observes the same bare EOF a SIGKILLed process leaves.
+    KillAfterStep {
+        /// Zero-based optimizer step after which the rank dies.
+        step: usize,
+        /// The rank that dies. Defaults to 1 so rank 0 survives to report.
+        rank: usize,
+    },
+    /// `drop-link=FROM:TO`: rank `FROM` shuts down its established socket
+    /// to rank `TO` immediately after the fabric comes up, so both ends see
+    /// an abnormal link tear without any process dying.
+    DropLink {
+        /// Rank that severs the connection.
+        from: usize,
+        /// Rank on the other end of the severed link.
+        to: usize,
+    },
+}
+
+const FAULT_SYNTAX: &str = "\"kill-after-step=N\", \"kill-after-step=N@RANK\" or \"drop-link=FROM:TO\"";
+
+impl FaultSpec {
+    /// Parse the `DCNN_FAULT` syntax. Returns `None` on malformed input so
+    /// the caller can wrap it in a [`ConfigError`] naming the variable.
+    fn parse(v: &str) -> Option<FaultSpec> {
+        let v = v.trim();
+        if let Some(rest) = v.strip_prefix("kill-after-step=") {
+            let (step, rank) = match rest.split_once('@') {
+                Some((s, r)) => (s.trim().parse().ok()?, r.trim().parse().ok()?),
+                None => (rest.trim().parse().ok()?, 1),
+            };
+            Some(FaultSpec::KillAfterStep { step, rank })
+        } else if let Some(rest) = v.strip_prefix("drop-link=") {
+            let (from, to) = rest.split_once(':')?;
+            let (from, to) = (from.trim().parse().ok()?, to.trim().parse().ok()?);
+            if from == to {
+                return None;
+            }
+            Some(FaultSpec::DropLink { from, to })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::KillAfterStep { step, rank } => {
+                write!(f, "kill-after-step={step}@{rank}")
+            }
+            FaultSpec::DropLink { from, to } => write!(f, "drop-link={from}:{to}"),
+        }
+    }
+}
+
 /// A malformed `DCNN_*` environment variable: which one, what it held, and
 /// what the parser expected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +160,15 @@ pub struct RuntimeConfig {
     /// Adaptive bucket sizing target: desired in-flight reduce bytes
     /// (`DCNN_INFLIGHT_BUDGET`, bytes; `0`/unset disables resizing).
     pub inflight_budget_bytes: Option<usize>,
+    /// TCP dial/rendezvous bound (`DCNN_CONNECT_TIMEOUT_MS`): how long
+    /// bootstrap connects retry and rank 0's registration accept loop
+    /// waits before naming the ranks that never showed up.
+    pub connect_timeout: Option<Duration>,
+    /// Injected fault for failure-path testing (`DCNN_FAULT`).
+    pub fault: Option<FaultSpec>,
+    /// Directory the trainer flushes an abort checkpoint into when a peer
+    /// dies mid-epoch (`DCNN_CHECKPOINT_DIR`; unset = no abort checkpoint).
+    pub checkpoint_dir: Option<String>,
 }
 
 fn parse_usize(
@@ -113,7 +185,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 11] = [
+    pub const ENV_VARS: [&'static str; 14] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -125,6 +197,9 @@ impl RuntimeConfig {
         "DCNN_BUCKET_BYTES",
         "DCNN_OVERLAP_MODE",
         "DCNN_INFLIGHT_BUDGET",
+        "DCNN_CONNECT_TIMEOUT_MS",
+        "DCNN_FAULT",
+        "DCNN_CHECKPOINT_DIR",
     ];
 
     /// Parse the process environment. Unset (or empty) variables become
@@ -228,6 +303,24 @@ impl RuntimeConfig {
                 "an in-flight byte budget (0 = fixed bucket size)",
             )?);
         }
+        if let Some(v) = get("DCNN_CONNECT_TIMEOUT_MS") {
+            let ms = v.trim().parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                ConfigError {
+                    var: "DCNN_CONNECT_TIMEOUT_MS",
+                    value: v.clone(),
+                    expected: "a timeout in milliseconds (integer ≥ 1)",
+                }
+            })?;
+            cfg.connect_timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(v) = get("DCNN_FAULT") {
+            cfg.fault = Some(FaultSpec::parse(&v).ok_or(ConfigError {
+                var: "DCNN_FAULT",
+                value: v,
+                expected: FAULT_SYNTAX,
+            })?);
+        }
+        cfg.checkpoint_dir = get("DCNN_CHECKPOINT_DIR");
         Ok(cfg)
     }
 
@@ -267,6 +360,11 @@ impl RuntimeConfig {
     /// Adaptive in-flight byte budget (default 0 = fixed bucket size).
     pub fn inflight_budget_or_default(&self) -> usize {
         self.inflight_budget_bytes.unwrap_or(0)
+    }
+
+    /// TCP connect/rendezvous timeout (default 20 s).
+    pub fn connect_timeout_or_default(&self) -> Duration {
+        self.connect_timeout.unwrap_or(Duration::from_secs(20))
     }
 
     // ---- builder-style programmatic overrides ----
@@ -325,6 +423,24 @@ impl RuntimeConfig {
         self.inflight_budget_bytes = Some(bytes);
         self
     }
+
+    /// Override the TCP connect/rendezvous timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Inject a fault (see [`FaultSpec`]).
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Override the abort-checkpoint directory.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +489,9 @@ mod tests {
             ("DCNN_BUCKET_BYTES", "4096"),
             ("DCNN_OVERLAP_MODE", "drain"),
             ("DCNN_INFLIGHT_BUDGET", "65536"),
+            ("DCNN_CONNECT_TIMEOUT_MS", "750"),
+            ("DCNN_FAULT", "kill-after-step=3@2"),
+            ("DCNN_CHECKPOINT_DIR", "/tmp/ckpt"),
         ])
         .expect("full env parses");
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
@@ -386,6 +505,33 @@ mod tests {
         assert_eq!(cfg.bucket_bytes, Some(4096));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.inflight_budget_bytes, Some(65536));
+        assert_eq!(cfg.connect_timeout, Some(Duration::from_millis(750)));
+        assert_eq!(cfg.fault, Some(FaultSpec::KillAfterStep { step: 3, rank: 2 }));
+        assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+    }
+
+    #[test]
+    fn fault_spec_syntax() {
+        for (text, want) in [
+            ("kill-after-step=5", FaultSpec::KillAfterStep { step: 5, rank: 1 }),
+            ("kill-after-step=0@3", FaultSpec::KillAfterStep { step: 0, rank: 3 }),
+            ("drop-link=0:2", FaultSpec::DropLink { from: 0, to: 2 }),
+            (" drop-link=1 : 0 ", FaultSpec::DropLink { from: 1, to: 0 }),
+        ] {
+            let cfg = from_map(&[("DCNN_FAULT", text)])
+                .unwrap_or_else(|e| panic!("{text:?} must parse: {e}"));
+            assert_eq!(cfg.fault, Some(want), "{text:?}");
+            // Display round-trips through the parser.
+            assert_eq!(FaultSpec::parse(&want.to_string()), Some(want));
+        }
+        for bad in [
+            "kill-after-step=", "kill-after-step=two", "kill-after-step=3@",
+            "drop-link=1", "drop-link=1:1", "drop-link=a:b", "reboot",
+        ] {
+            let err = from_map(&[("DCNN_FAULT", bad)])
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert_eq!(err.var, "DCNN_FAULT");
+        }
     }
 
     #[test]
@@ -400,6 +546,8 @@ mod tests {
             ("DCNN_BUCKET_BYTES", "-1"),
             ("DCNN_OVERLAP_MODE", "eager"),
             ("DCNN_INFLIGHT_BUDGET", "lots"),
+            ("DCNN_CONNECT_TIMEOUT_MS", "0"),
+            ("DCNN_FAULT", "unplug-the-rack"),
         ] {
             let err = from_map(&[(var, value)])
                 .expect_err(&format!("{var}={value} must be rejected"));
@@ -430,7 +578,10 @@ mod tests {
             .with_rendezvous("10.0.0.1:9000")
             .with_trace(true)
             .with_recv_timeout(Duration::from_secs(5))
-            .with_inflight_budget(1 << 20);
+            .with_inflight_budget(1 << 20)
+            .with_connect_timeout(Duration::from_secs(2))
+            .with_fault(FaultSpec::DropLink { from: 0, to: 1 })
+            .with_checkpoint_dir("/tmp/abort-ckpt");
         assert_eq!(cfg.bucket_bytes, Some(8192));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.comm_workers, Some(5));
@@ -440,6 +591,9 @@ mod tests {
         assert_eq!(cfg.trace, Some(true));
         assert_eq!(cfg.recv_timeout, Some(Duration::from_secs(5)));
         assert_eq!(cfg.inflight_budget_bytes, Some(1 << 20));
+        assert_eq!(cfg.connect_timeout, Some(Duration::from_secs(2)));
+        assert_eq!(cfg.fault, Some(FaultSpec::DropLink { from: 0, to: 1 }));
+        assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/abort-ckpt"));
     }
 
     #[test]

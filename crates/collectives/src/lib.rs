@@ -50,10 +50,10 @@ pub use algorithms::{
     PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
-pub use config::{ConfigError, OverlapMode, RuntimeConfig};
+pub use config::{ConfigError, FaultSpec, OverlapMode, RuntimeConfig};
 pub use runtime::{
-    run_cluster, run_tcp_rank, run_tcp_rank_with, BucketSpan, ClusterBuilder, ClusterRun, Comm,
-    CommStats, PendingReduce, ProcessRun,
+    run_cluster, run_tcp_rank, run_tcp_rank_with, try_run_tcp_rank_with, BucketSpan,
+    ClusterBuilder, ClusterRun, Comm, CommError, CommStats, PendingReduce, ProcessRun,
 };
 pub use trace::{render_trace, write_trace_json, TraceEvent, TraceEventKind};
 pub use transport::{crc32, Payload, Transport, TransportKind};

@@ -56,7 +56,7 @@
 //! via [`Comm::phase`] — returned as [`CommStats`] in [`ClusterRun::stats`]
 //! and queryable mid-run with [`Comm::stats`].
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -83,6 +83,92 @@ enum ConsumerId {
     /// The async reduce launched with this sequence number on its parent
     /// communicator.
     Bucket(u64),
+}
+
+/// A structured communication failure. Raised as a panic *payload* (via
+/// `std::panic::panic_any`) so it rides the existing propagation machinery
+/// unchanged — comm workers re-raise it through
+/// `CommWorker::shutdown_and_propagate` / [`PendingReduce::wait`], rank
+/// threads through [`ClusterBuilder::run`]'s join — and is caught and
+/// returned as a value at the process boundary by [`try_run_tcp_rank_with`].
+/// A dedicated panic hook prints the structured message instead of the
+/// default panic banner, so a dying rank reports `rank 2: peer rank 1 is
+/// dead (...)`, not a raw backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive could never complete because the link to the peer it
+    /// needed died (torn socket, killed process, frame corruption).
+    PeerDead {
+        /// The surviving rank reporting the failure.
+        rank: usize,
+        /// The dead peer's global rank.
+        peer: usize,
+        /// The transport's failure cause (the underlying I/O error).
+        cause: String,
+        /// Innermost [`Comm::phase`] label on the failing thread — the
+        /// algorithm phase ("ring_rs", "bcast", …) the receive belonged to.
+        phase: Option<String>,
+        /// The in-flight async bucket (launch sequence number) whose reduce
+        /// hit the dead peer; `None` when the main thread did.
+        bucket: Option<u64>,
+        /// The gradient segment that sealed the bucket, when labeled.
+        label: Option<String>,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerDead { rank, peer, cause, phase, bucket, label } => {
+                write!(f, "rank {rank}: peer rank {peer} is dead ({cause})")?;
+                if let Some(p) = phase {
+                    write!(f, " during {p}")?;
+                }
+                if let Some(b) = bucket {
+                    write!(f, " [bucket {b}")?;
+                    if let Some(l) = label {
+                        write!(f, ", sealed by {l}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Replace the default panic hook with one that prints a single structured
+/// line for [`CommError`] payloads and defers to the previous hook for
+/// everything else. Installed lazily, right before the first structured
+/// panic, so ordinary runs never touch the global hook.
+fn install_comm_error_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(e) = info.payload().downcast_ref::<CommError>() {
+                eprintln!("dcnn: {e}");
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+thread_local! {
+    /// Innermost-to-outermost [`Comm::phase`] labels active on this thread.
+    /// Thread-local because phases run both on rank main threads and on
+    /// comm workers (each bucket's collective enters its algorithm phase on
+    /// the worker thread), and a peer-death report must name the phase of
+    /// the thread that was actually blocked.
+    static PHASE_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The phase label the current thread is inside, if any.
+fn current_phase() -> Option<String> {
+    PHASE_STACK.with(|s| s.borrow().last().map(|l| l.to_string()))
 }
 
 /// A blocked-receive descriptor, published to the diagnostics registry while
@@ -364,6 +450,8 @@ impl CommStats {
 }
 
 /// Measures one labeled phase; created by [`Comm::phase`], records on drop.
+/// While alive, the label sits on the thread's phase stack so a peer-death
+/// report can name the algorithm phase the failing receive belonged to.
 pub struct PhaseGuard {
     local: Arc<RankLocal>,
     label: &'static str,
@@ -372,6 +460,9 @@ pub struct PhaseGuard {
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
+        PHASE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
         self.local.add_phase(self.label, self.start.elapsed().as_nanos() as u64);
     }
 }
@@ -384,6 +475,10 @@ struct RouterState {
     /// True while some consumer is polling the transport with the lock
     /// released; everyone else waits on the condvar instead of polling.
     pumping: bool,
+    /// Peers whose links died abnormally (`peer` → failure cause). A
+    /// receive that can only be satisfied by a dead peer fails fast with
+    /// [`CommError::PeerDead`] instead of waiting out the watchdog.
+    dead: HashMap<usize, String>,
 }
 
 /// Per-rank receive router: the rank's single transport inbox plus an
@@ -409,6 +504,7 @@ impl Router {
                 stash: HashMap::new(),
                 stash_len: 0,
                 pumping: false,
+                dead: HashMap::new(),
             }),
             cv: Condvar::new(),
         }
@@ -493,6 +589,33 @@ impl Router {
                     return (src, self.delivered(src, comm_id, tag, p));
                 }
             }
+            // Nothing stashed: if every source that could still satisfy this
+            // receive is dead, no message will ever arrive — fail fast with
+            // a structured error instead of waiting out the watchdog.
+            // (Messages that arrived before the link died were already
+            // checked above, so nothing deliverable is lost.)
+            if !state.dead.is_empty() {
+                let me = self.local.rank;
+                let fatal = if any_source {
+                    // An any-source receive is doomed only once every
+                    // non-self source is dead (self-sends bypass the wire).
+                    sources
+                        .iter()
+                        .filter(|&&s| s != me)
+                        .all(|s| state.dead.contains_key(s))
+                        .then(|| sources.iter().find(|&&s| s != me && state.dead.contains_key(&s)))
+                        .flatten()
+                } else {
+                    sources.first().filter(|&&s| s != me && state.dead.contains_key(&s))
+                };
+                if let Some(&peer) = fatal {
+                    let cause = state.dead.get(&peer).cloned().unwrap_or_default();
+                    // Release the lock before unwinding so sibling
+                    // consumers see a clean (unpoisoned) router.
+                    drop(state);
+                    self.fail_peer_dead(peer, cause, consumer, label);
+                }
+            }
             let started = *wait_start.get_or_insert_with(Instant::now);
             if !state.pumping {
                 // Become the pumper: poll the transport with the lock
@@ -528,6 +651,21 @@ impl Router {
                             panic!("{report}");
                         }
                     }
+                    RecvPoll::LinkDown { peer, cause } => {
+                        // A link died. Record it and loop: the dead-source
+                        // check at the top decides whether *this* receive is
+                        // doomed; followers woken by the notify above re-run
+                        // the same check for theirs.
+                        self.local.trace(
+                            TraceEventKind::LinkDown,
+                            comm_id,
+                            tag,
+                            Some(peer),
+                            0,
+                        );
+                        state.dead.entry(peer).or_insert(cause);
+                        self.cv.notify_all();
+                    }
                     RecvPoll::Closed => {
                         // Unreachable on the threaded backend while this rank
                         // lives (it holds a sender to itself); on TCP it means
@@ -558,6 +696,33 @@ impl Router {
                 }
             }
         }
+    }
+
+    /// Abort a doomed receive with a structured [`CommError::PeerDead`]
+    /// panic payload, attributed with the thread's current algorithm phase
+    /// and (for bucket consumers) the bucket number and sealing segment —
+    /// the same descriptors the deadlock watchdog reports.
+    fn fail_peer_dead(
+        &self,
+        peer: usize,
+        cause: String,
+        consumer: ConsumerId,
+        label: Option<&Arc<str>>,
+    ) -> ! {
+        let (bucket, seg) = match consumer {
+            ConsumerId::Main => (None, None),
+            ConsumerId::Bucket(k) => (Some(k), label.map(|l| l.to_string())),
+        };
+        let err = CommError::PeerDead {
+            rank: self.local.rank,
+            peer,
+            cause,
+            phase: current_phase(),
+            bucket,
+            label: seg,
+        };
+        install_comm_error_hook();
+        std::panic::panic_any(err);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1021,6 +1186,7 @@ impl Comm {
     /// rank's [`CommStats::phase_ns`] when the returned guard drops. Phases
     /// may nest (times are inclusive).
     pub fn phase(&self, label: &'static str) -> PhaseGuard {
+        PHASE_STACK.with(|s| s.borrow_mut().push(label));
         PhaseGuard { local: Arc::clone(&self.local), label, start: Instant::now() }
     }
 
@@ -1458,6 +1624,8 @@ impl ClusterBuilder {
         // finish local establishment. TCP mode pre-binds the rendezvous
         // listener (DCNN_RENDEZVOUS, else an ephemeral localhost port) and
         // hands it to rank 0's thread.
+        let connect_timeout = cfg.connect_timeout_or_default();
+        let fault = cfg.fault;
         let mut local_seeds: Vec<Option<crate::transport::local::LocalTransport>> = Vec::new();
         let mut tcp_host: Mutex<Option<std::net::TcpListener>> = Mutex::new(None);
         let mut tcp_addr = String::new();
@@ -1492,7 +1660,7 @@ impl ClusterBuilder {
                     let transport: Arc<dyn Transport> = match seed {
                         Some(local) => Arc::new(local),
                         None => {
-                            let opts = TcpOptions::default();
+                            let opts = TcpOptions { connect_timeout, nodelay: true };
                             let t = if rank == 0 {
                                 let listener = tcp_host
                                     .lock()
@@ -1503,9 +1671,11 @@ impl ClusterBuilder {
                             } else {
                                 TcpTransport::connect(tcp_addr, rank, n, opts)
                             };
-                            Arc::new(t.unwrap_or_else(|e| {
+                            let t = t.unwrap_or_else(|e| {
                                 panic!("rank {rank}: tcp fabric setup failed: {e}")
-                            }))
+                            });
+                            apply_link_fault(&t, rank, fault);
+                            Arc::new(t)
                         }
                     };
                     rank_main(transport, shared, |c| f(c))
@@ -1600,8 +1770,10 @@ pub fn run_tcp_rank_with<R>(cfg: &RuntimeConfig, f: impl FnOnce(&Comm) -> R) -> 
         cfg.comm_workers_or_default(),
     );
 
-    let transport = TcpTransport::establish(rank, world, &rendezvous, TcpOptions::default())
+    let opts = TcpOptions { connect_timeout: cfg.connect_timeout_or_default(), nodelay: true };
+    let transport = TcpTransport::establish(rank, world, &rendezvous, opts)
         .unwrap_or_else(|e| panic!("rank {rank}: tcp fabric setup failed: {e}"));
+    apply_link_fault(&transport, rank, cfg.fault);
     let result = rank_main(Arc::new(transport), Arc::clone(&shared), f);
 
     let stats =
@@ -1615,6 +1787,38 @@ pub fn run_tcp_rank_with<R>(cfg: &RuntimeConfig, f: impl FnOnce(&Comm) -> R) -> 
         }
     }
     ProcessRun { result, stats, events }
+}
+
+/// Apply the link-severing half of a [`crate::config::FaultSpec`] right
+/// after the fabric comes up: `drop-link=from:to` makes rank `from` shut
+/// down its socket to rank `to`, so both ends observe a bare EOF (the same
+/// signature a killed process leaves). Kill faults are the trainer's job —
+/// they need step counting — so they are ignored here.
+fn apply_link_fault(t: &TcpTransport, rank: usize, fault: Option<crate::config::FaultSpec>) {
+    if let Some(crate::config::FaultSpec::DropLink { from, to }) = fault {
+        if rank == from {
+            t.sever_link(to);
+        }
+    }
+}
+
+/// [`run_tcp_rank_with`], but a dead peer comes back as `Err(CommError)`
+/// instead of an unwinding panic. The structured report has already been
+/// printed to stderr by the panic hook at the point of failure; callers
+/// (the `dcnn-launch` child, bin entry points) just map the error to a
+/// nonzero exit. Panics that are *not* [`CommError`]s — setup failures,
+/// genuine bugs — keep unwinding unchanged.
+pub fn try_run_tcp_rank_with<R>(
+    cfg: &RuntimeConfig,
+    f: impl FnOnce(&Comm) -> R,
+) -> Result<ProcessRun<R>, CommError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_tcp_rank_with(cfg, f))) {
+        Ok(run) => Ok(run),
+        Err(payload) => match payload.downcast::<CommError>() {
+            Ok(e) => Err(*e),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
 }
 
 /// Spawn `n` rank threads, run `f` on each with its world [`Comm`], and

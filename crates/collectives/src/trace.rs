@@ -36,6 +36,10 @@ pub enum TraceEventKind {
     AsyncLaunch,
     /// A nonblocking allreduce finished on the comm worker.
     AsyncDone,
+    /// The link to `peer` died abnormally (no BYE): the receive that
+    /// observed the death records it before failing over to the structured
+    /// `CommError::PeerDead` path.
+    LinkDown,
 }
 
 impl TraceEventKind {
@@ -50,6 +54,7 @@ impl TraceEventKind {
             TraceEventKind::BlockExit => "resume",
             TraceEventKind::AsyncLaunch => "launch",
             TraceEventKind::AsyncDone => "reduced",
+            TraceEventKind::LinkDown => "linkdown",
         }
     }
 }

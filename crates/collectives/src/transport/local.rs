@@ -54,7 +54,11 @@ impl Transport for LocalTransport {
     }
 
     fn send(&self, dst: usize, msg: WireMsg) {
-        self.txs[dst].send(msg).expect("peer hung up");
+        // A hung-up peer (its thread panicked and dropped the inbox) must
+        // not take the sender down with it — same contract as the TCP
+        // backend, where writes to a dead peer are dropped and the failure
+        // surfaces on the receive path instead.
+        let _ = self.txs[dst].send(msg);
     }
 
     fn recv_timeout(&self, timeout: Duration) -> RecvPoll {

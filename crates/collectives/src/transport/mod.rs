@@ -134,6 +134,17 @@ pub enum RecvPoll {
     Msg(WireMsg),
     /// Nothing arrived within the timeout.
     TimedOut,
+    /// The link to `peer` died abnormally (torn socket, CRC corruption, a
+    /// killed process — anything but a clean BYE). Messages from `peer`
+    /// received before the failure remain deliverable; nothing further will
+    /// arrive from it. Delivered in-band so a blocked receive fails fast
+    /// instead of waiting for a watchdog timeout.
+    LinkDown {
+        /// Global rank whose link failed.
+        peer: usize,
+        /// Human-readable failure cause (the underlying I/O error).
+        cause: String,
+    },
     /// The fabric is gone (every peer hung up); no message can ever arrive.
     Closed,
 }

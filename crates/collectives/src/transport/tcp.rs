@@ -33,6 +33,18 @@
 //! receive path the threaded backend uses) and a writer thread (drains a
 //! queue of outbound messages so [`Transport::send`] never blocks on a slow
 //! peer, preserving the eager-protocol guarantee the collectives rely on).
+//!
+//! ## Failure semantics
+//!
+//! A connection that ends **without** a BYE frame is an abnormal death: a
+//! SIGKILLed peer's kernel closes the socket, a torn link resets it, a
+//! corrupted frame fails its CRC. In every such case the reader/writer
+//! thread delivers a [`RecvPoll::LinkDown`] event into the same inbox the
+//! data frames use, so a receive blocked on that peer fails fast — no
+//! timeout required. Messages that arrived before the failure stay
+//! deliverable (per-sender FIFO holds right up to the cut). A clean
+//! shutdown always sends BYE first, which is what lets bare EOF be treated
+//! as a peer death rather than a graceful close.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -76,6 +88,13 @@ enum WriterCmd {
     Bye,
 }
 
+/// What the reader/writer threads push into the rank's single inbox: data
+/// frames, or the structured death notice of a link.
+enum Inbound {
+    Msg(WireMsg),
+    LinkDown { peer: usize, cause: String },
+}
+
 /// One rank's endpoint on the TCP fabric. See the module docs for the
 /// protocol; from the runtime's point of view this behaves exactly like
 /// [`crate::transport::local::LocalTransport`].
@@ -85,11 +104,15 @@ pub struct TcpTransport {
     /// The single inbox all reader threads feed. Mutex-wrapped so the
     /// endpoint is shareable between a rank's main thread and its comm
     /// worker (the runtime's router serializes actual polling).
-    inbox_rx: Mutex<Receiver<WireMsg>>,
+    inbox_rx: Mutex<Receiver<Inbound>>,
     /// Loopback for self-sends (no socket, no serialization).
-    inbox_tx: Sender<WireMsg>,
+    inbox_tx: Sender<Inbound>,
     /// Outbound queues, indexed by peer global rank (`None` at `rank`).
     peers: Vec<Option<Sender<WriterCmd>>>,
+    /// Raw socket per peer (clone of the reader/writer streams), kept so
+    /// [`TcpTransport::sever_link`] can cut a live connection for fault
+    /// injection without going through the writer queue.
+    links: Mutex<Vec<Option<TcpStream>>>,
     /// Reader + writer threads, joined on shutdown.
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -133,11 +156,25 @@ fn encode_bye(src: usize) -> Vec<u8> {
     out
 }
 
-/// Read one frame. `Ok(None)` means a clean close (BYE or immediate EOF).
-fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
+/// One parsed read off a connection.
+#[derive(Debug)]
+enum FrameRead {
+    /// A data frame.
+    Msg(WireMsg),
+    /// The peer closed the connection gracefully (explicit BYE frame).
+    Bye,
+    /// The stream ended with no BYE: the peer died without shutting down.
+    Eof,
+}
+
+/// Read one frame. A graceful close ([`FrameRead::Bye`]) and a bare EOF
+/// ([`FrameRead::Eof`]) are distinct outcomes: every clean shutdown path
+/// sends BYE first, so an EOF at a frame boundary means the peer process
+/// died (SIGKILL, crash) and its kernel closed the socket.
+fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
     let mut magic = [0u8; 4];
     if let Err(e) = r.read_exact(&mut magic) {
-        return if e.kind() == io::ErrorKind::UnexpectedEof { Ok(None) } else { Err(e) };
+        return if e.kind() == io::ErrorKind::UnexpectedEof { Ok(FrameRead::Eof) } else { Err(e) };
     }
     if magic != FRAME_MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame magic"));
@@ -176,7 +213,7 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
         ));
     }
     if kind == KIND_BYE {
-        return Ok(None);
+        return Ok(FrameRead::Bye);
     }
     let payload = match kind {
         KIND_BYTES => Payload::bytes(body),
@@ -194,7 +231,7 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<WireMsg>> {
             ))
         }
     };
-    Ok(Some(WireMsg { src, comm_id, tag, payload }))
+    Ok(FrameRead::Msg(WireMsg { src, comm_id, tag, payload }))
 }
 
 /// Dial `addr`, retrying with exponential backoff until `timeout` elapses.
@@ -234,17 +271,55 @@ fn read_len_prefixed(r: &mut impl Read) -> io::Result<Vec<u8>> {
 }
 
 /// Rank 0's side of the rendezvous: accept `n-1` registrations of
-/// `(rank, data_addr)`, then send everyone the full table.
-fn rendezvous_host(listener: &TcpListener, n: usize, my_data_addr: &str) -> io::Result<Vec<String>> {
+/// `(rank, data_addr)` within `timeout`, then send everyone the full table.
+///
+/// The accept loop is bounded: if some rank never starts (a crashed
+/// launcher child, a typoed world size), the host fails after `timeout`
+/// with an error **listing the ranks that never registered** instead of
+/// blocking every process in the job forever. A rank that re-registers
+/// (its first registration connection tore mid-handshake and it retried
+/// with backoff) replaces its earlier entry — last registration wins.
+fn rendezvous_host(
+    listener: &TcpListener,
+    n: usize,
+    my_data_addr: &str,
+    timeout: Duration,
+) -> io::Result<Vec<String>> {
+    let deadline = Instant::now() + timeout;
+    listener.set_nonblocking(true)?;
     let mut table: Vec<Option<String>> = vec![None; n];
     table[0] = Some(my_data_addr.to_string());
-    let mut regs: Vec<TcpStream> = Vec::with_capacity(n - 1);
+    let mut regs: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
     while table.iter().any(|t| t.is_none()) {
-        let (mut s, _) = listener.accept()?;
+        let mut s = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    let missing: Vec<String> = table
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.is_none())
+                        .map(|(r, _)| r.to_string())
+                        .collect();
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "rendezvous timed out after {timeout:?}: rank(s) {} never \
+                             registered (world {n})",
+                            missing.join(", ")
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        s.set_nonblocking(false)?;
         let mut rank_buf = [0u8; 4];
         s.read_exact(&mut rank_buf)?;
         let r = u32::from_le_bytes(rank_buf) as usize;
-        if r >= n {
+        if r == 0 || r >= n {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("rendezvous registration from out-of-range rank {r} (world {n})"),
@@ -252,16 +327,12 @@ fn rendezvous_host(listener: &TcpListener, n: usize, my_data_addr: &str) -> io::
         }
         let addr = String::from_utf8(read_len_prefixed(&mut s)?)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        if table[r].replace(addr).is_some() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("rank {r} registered twice (stale process from a previous run?)"),
-            ));
-        }
-        regs.push(s);
+        table[r] = Some(addr);
+        regs[r] = Some(s);
     }
+    listener.set_nonblocking(false)?;
     let full: Vec<String> = table.into_iter().map(|t| t.expect("filled")).collect();
-    for s in &mut regs {
+    for s in regs.iter_mut().flatten() {
         s.write_all(&(n as u32).to_le_bytes())?;
         for a in &full {
             write_len_prefixed(s, a.as_bytes())?;
@@ -271,15 +342,18 @@ fn rendezvous_host(listener: &TcpListener, n: usize, my_data_addr: &str) -> io::
     Ok(full)
 }
 
-/// A non-zero rank's side of the rendezvous: register and read the table.
-fn rendezvous_register(
+/// A non-zero rank's side of the rendezvous: register and read the table
+/// back. One attempt; [`rendezvous_register`] wraps this in a bounded
+/// retry loop so a registration connection that tears mid-handshake (rank
+/// 0 restarting, a flaky first SYN) is re-dialed instead of fatal.
+fn rendezvous_register_once(
     addr: &str,
     rank: usize,
     n: usize,
     my_data_addr: &str,
-    opts: &TcpOptions,
+    timeout: Duration,
 ) -> io::Result<Vec<String>> {
-    let mut s = connect_with_backoff(addr, opts.connect_timeout)?;
+    let mut s = connect_with_backoff(addr, timeout)?;
     s.write_all(&(rank as u32).to_le_bytes())?;
     write_len_prefixed(&mut s, my_data_addr.as_bytes())?;
     s.flush()?;
@@ -300,6 +374,77 @@ fn rendezvous_register(
         );
     }
     Ok(table)
+}
+
+/// Whether a bootstrap-time I/O failure is a torn connection worth
+/// re-dialing (as opposed to a protocol violation, which never heals).
+fn is_torn(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionRefused
+    )
+}
+
+/// Register with the rendezvous, retrying torn connections with backoff
+/// until `opts.connect_timeout` elapses.
+fn rendezvous_register(
+    addr: &str,
+    rank: usize,
+    n: usize,
+    my_data_addr: &str,
+    opts: &TcpOptions,
+) -> io::Result<Vec<String>> {
+    let deadline = Instant::now() + opts.connect_timeout;
+    let mut delay = Duration::from_millis(5);
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rendezvous_register_once(addr, rank, n, my_data_addr, left.max(delay)) {
+            Ok(table) => return Ok(table),
+            Err(e) if is_torn(&e) && Instant::now() + delay < deadline => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("rank {rank}: rendezvous registration with {addr} failed: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Dial a mesh peer and complete the HELLO handshake, retrying torn
+/// connections with backoff until `timeout` elapses.
+fn mesh_dial(addr: &str, my_rank: usize, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    let mut delay = Duration::from_millis(5);
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        let attempt = connect_with_backoff(addr, left.max(delay)).and_then(|mut s| {
+            s.write_all(&FRAME_MAGIC)?;
+            s.write_all(&(my_rank as u32).to_le_bytes())?;
+            s.flush()?;
+            Ok(s)
+        });
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(e) if is_torn(&e) && Instant::now() + delay < deadline => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("rank {my_rank}: mesh dial of {addr} failed: {e}"),
+                ))
+            }
+        }
+    }
 }
 
 impl TcpTransport {
@@ -332,8 +477,9 @@ impl TcpTransport {
 
     fn build(rank: usize, world: usize, role: RendezvousRole, opts: TcpOptions) -> io::Result<Self> {
         assert!(world >= 1, "world needs at least one rank");
-        let (inbox_tx, inbox_rx) = channel::<WireMsg>();
+        let (inbox_tx, inbox_rx) = channel::<Inbound>();
         let mut peers: Vec<Option<Sender<WriterCmd>>> = (0..world).map(|_| None).collect();
+        let mut links: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
         let mut threads = Vec::new();
 
         if world > 1 {
@@ -342,7 +488,9 @@ impl TcpTransport {
             let data_listener = TcpListener::bind("127.0.0.1:0")?;
             let my_data_addr = data_listener.local_addr()?.to_string();
             let table = match &role {
-                RendezvousRole::Host(listener) => rendezvous_host(listener, world, &my_data_addr)?,
+                RendezvousRole::Host(listener) => {
+                    rendezvous_host(listener, world, &my_data_addr, opts.connect_timeout)?
+                }
                 RendezvousRole::Peer(addr) => {
                     rendezvous_register(addr, rank, world, &my_data_addr, &opts)?
                 }
@@ -351,27 +499,35 @@ impl TcpTransport {
             // Deterministic mesh: dial below, accept from above.
             let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
             for peer in 0..rank {
-                let mut s = connect_with_backoff(&table[peer], opts.connect_timeout)?;
-                s.write_all(&FRAME_MAGIC)?;
-                s.write_all(&(rank as u32).to_le_bytes())?;
-                s.flush()?;
-                streams[peer] = Some(s);
+                streams[peer] = Some(mesh_dial(&table[peer], rank, opts.connect_timeout)?);
             }
-            for _ in rank + 1..world {
+            let mut missing = world - rank - 1;
+            while missing > 0 {
                 let (mut s, _) = data_listener.accept()?;
                 let mut hello = [0u8; 8];
-                s.read_exact(&mut hello)?;
+                // A dialer that died between connect and HELLO delivers a
+                // short read here; skip the husk and keep accepting (the
+                // retrying dialer will come back on a fresh connection).
+                match s.read_exact(&mut hello) {
+                    Ok(()) => {}
+                    Err(e) if is_torn(&e) => continue,
+                    Err(e) => return Err(e),
+                }
                 if hello[0..4] != FRAME_MAGIC {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, "bad mesh hello"));
                 }
                 let peer = u32::from_le_bytes(hello[4..8].try_into().expect("4")) as usize;
-                if peer <= rank || peer >= world || streams[peer].is_some() {
+                if peer <= rank || peer >= world {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("unexpected mesh hello from rank {peer}"),
                     ));
                 }
-                streams[peer] = Some(s);
+                // Last HELLO wins: a duplicate means the dialer's first
+                // attempt tore after the handshake bytes left its socket.
+                if streams[peer].replace(s).is_none() {
+                    missing -= 1;
+                }
             }
 
             for (peer, slot) in streams.into_iter().enumerate() {
@@ -380,10 +536,11 @@ impl TcpTransport {
                     stream.set_nodelay(true)?;
                 }
                 let reader = stream.try_clone()?;
+                links[peer] = Some(stream.try_clone()?);
                 let (wtx, wrx) = channel::<WriterCmd>();
                 peers[peer] = Some(wtx);
                 threads.push(spawn_reader(reader, peer, inbox_tx.clone()));
-                threads.push(spawn_writer(stream, rank, peer, wrx));
+                threads.push(spawn_writer(stream, rank, peer, wrx, inbox_tx.clone()));
             }
         }
 
@@ -393,8 +550,20 @@ impl TcpTransport {
             inbox_rx: Mutex::new(inbox_rx),
             inbox_tx,
             peers,
+            links: Mutex::new(links),
             threads: Mutex::new(threads),
         })
+    }
+
+    /// Fault injection: cut the live connection to `peer` at the socket
+    /// level (both directions). Every side of the link observes the same
+    /// thing a peer death produces — an EOF/reset with no BYE — so the
+    /// full LinkDown → `PeerDead` path runs exactly as it would for a
+    /// SIGKILLed process. No-op if the link is already gone.
+    pub fn sever_link(&self, peer: usize) {
+        if let Some(s) = self.links.lock().expect("link registry")[peer].as_ref() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -403,22 +572,32 @@ enum RendezvousRole {
     Peer(String),
 }
 
-fn spawn_reader(mut stream: TcpStream, peer: usize, inbox: Sender<WireMsg>) -> JoinHandle<()> {
+fn spawn_reader(mut stream: TcpStream, peer: usize, inbox: Sender<Inbound>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dcnn-tcp-read-{peer}"))
         .spawn(move || loop {
             match read_frame(&mut stream) {
-                Ok(Some(msg)) => {
-                    if inbox.send(msg).is_err() {
+                Ok(FrameRead::Msg(msg)) => {
+                    if inbox.send(Inbound::Msg(msg)).is_err() {
                         return; // local rank already tore its inbox down
                     }
                 }
-                Ok(None) => return, // BYE or clean EOF
+                Ok(FrameRead::Bye) => return, // graceful close
+                Ok(FrameRead::Eof) => {
+                    // EOF with no BYE: the peer's process died and its
+                    // kernel closed the socket. Surface it in-band so a
+                    // blocked receive fails fast instead of hanging.
+                    let _ = inbox.send(Inbound::LinkDown {
+                        peer,
+                        cause: "connection closed without BYE (peer process died?)".into(),
+                    });
+                    return;
+                }
                 Err(e) => {
-                    // Corruption or a torn connection: drop the link loudly
-                    // (the blocked receive will hit the watchdog with this
-                    // context in the log) rather than deliver bad data.
-                    eprintln!("dcnn tcp: link to rank {peer} failed: {e}");
+                    // Corruption or a torn connection: deliver the death
+                    // notice rather than bad data (or silence).
+                    let _ = inbox
+                        .send(Inbound::LinkDown { peer, cause: format!("read failed: {e}") });
                     return;
                 }
             }
@@ -431,20 +610,34 @@ fn spawn_writer(
     my_rank: usize,
     peer: usize,
     queue: Receiver<WriterCmd>,
+    inbox: Sender<Inbound>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dcnn-tcp-write-{peer}"))
         .spawn(move || {
-            while let Ok(cmd) = queue.recv() {
-                match cmd {
-                    WriterCmd::Frame(msg) => {
+            loop {
+                match queue.recv() {
+                    Ok(WriterCmd::Frame(msg)) => {
                         let frame = encode_frame(msg.src, msg.comm_id, msg.tag, &msg.payload);
                         if let Err(e) = stream.write_all(&frame) {
-                            eprintln!("dcnn tcp: write to rank {peer} failed: {e}");
+                            // The send side sees a dead peer first when we
+                            // talk more than we listen; report it on the
+                            // same in-band path the reader uses.
+                            let _ = inbox.send(Inbound::LinkDown {
+                                peer,
+                                cause: format!("write failed: {e}"),
+                            });
                             return;
                         }
                     }
-                    WriterCmd::Bye => break,
+                    Ok(WriterCmd::Bye) => break,
+                    // Queue disconnected: the transport was dropped without
+                    // shutdown(), i.e. this rank is unwinding from a
+                    // failure. Close abruptly — no BYE — so the peer's
+                    // reader reports LinkDown and the failure cascades,
+                    // instead of masquerading as a graceful leave. Only an
+                    // explicit Bye command may produce the graceful close.
+                    Err(_) => return,
                 }
             }
             let _ = stream.write_all(&encode_bye(my_rank));
@@ -469,19 +662,21 @@ impl Transport for TcpTransport {
 
     fn send(&self, dst: usize, msg: WireMsg) {
         if dst == self.rank {
-            self.inbox_tx.send(msg).expect("own inbox open");
+            let _ = self.inbox_tx.send(Inbound::Msg(msg));
             return;
         }
-        self.peers[dst]
-            .as_ref()
-            .expect("peer connection established")
-            .send(WriterCmd::Frame(msg))
-            .expect("peer writer alive");
+        // A send to a dead peer is dropped, not a panic: the writer thread
+        // already delivered a LinkDown event into the inbox, and the next
+        // receive touching that peer turns it into a structured failure.
+        if let Some(q) = self.peers[dst].as_ref() {
+            let _ = q.send(WriterCmd::Frame(msg));
+        }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> RecvPoll {
         match self.inbox_rx.lock().expect("inbox receiver").recv_timeout(timeout) {
-            Ok(msg) => RecvPoll::Msg(msg),
+            Ok(Inbound::Msg(msg)) => RecvPoll::Msg(msg),
+            Ok(Inbound::LinkDown { peer, cause }) => RecvPoll::LinkDown { peer, cause },
             Err(RecvTimeoutError::Timeout) => RecvPoll::TimedOut,
             Err(RecvTimeoutError::Disconnected) => RecvPoll::Closed,
         }
@@ -513,7 +708,9 @@ mod tests {
     fn frame_roundtrip_bytes_and_f32() {
         for payload in [Payload::bytes(vec![1, 2, 3]), Payload::f32(vec![1.5, -2.25, 0.0])] {
             let frame = encode_frame(3, 7, 9, &payload);
-            let back = read_frame(&mut frame.as_slice()).expect("decode").expect("msg");
+            let FrameRead::Msg(back) = read_frame(&mut frame.as_slice()).expect("decode") else {
+                panic!("expected a data frame");
+            };
             assert_eq!((back.src, back.comm_id, back.tag), (3, 7, 9));
             match (&payload, &back.payload) {
                 (Payload::Bytes(a), Payload::Bytes(b)) => assert_eq!(a, b),
@@ -550,11 +747,62 @@ mod tests {
     }
 
     #[test]
-    fn bye_reads_as_clean_close() {
+    fn bye_and_bare_eof_are_distinct_closes() {
+        // BYE is a graceful close; bare EOF means the peer died without
+        // shutting down — the reader turns only the latter into LinkDown.
         let bye = encode_bye(5);
-        assert!(read_frame(&mut bye.as_slice()).expect("decode").is_none());
-        // Immediate EOF is also a clean close.
-        assert!(read_frame(&mut [].as_slice()).expect("eof").is_none());
+        assert!(matches!(read_frame(&mut bye.as_slice()).expect("decode"), FrameRead::Bye));
+        assert!(matches!(read_frame(&mut [].as_slice()).expect("eof"), FrameRead::Eof));
+    }
+
+    #[test]
+    fn severed_link_surfaces_as_linkdown_on_both_ends() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let t = std::thread::spawn(move || {
+            let t1 = TcpTransport::connect(&addr, 1, 2, TcpOptions::default()).expect("rank 1");
+            // The remote end of a cut link sees an EOF/reset with no BYE.
+            match t1.recv_timeout(Duration::from_secs(10)) {
+                RecvPoll::LinkDown { peer, cause } => {
+                    assert_eq!(peer, 0);
+                    assert!(!cause.is_empty());
+                }
+                other => panic!("rank 1 expected LinkDown, got {other:?}"),
+            }
+            // Sends to the dead peer are dropped, not panics.
+            t1.send(0, msg(1, 9, Payload::bytes(vec![1])));
+            t1.shutdown();
+        });
+        let t0 = TcpTransport::host(listener, 2, TcpOptions::default()).expect("rank 0");
+        t0.sever_link(1);
+        match t0.recv_timeout(Duration::from_secs(10)) {
+            RecvPoll::LinkDown { peer, .. } => assert_eq!(peer, 1),
+            other => panic!("rank 0 expected LinkDown, got {other:?}"),
+        }
+        t0.shutdown();
+        t.join().expect("rank 1 thread");
+    }
+
+    #[test]
+    fn rendezvous_names_missing_ranks_instead_of_hanging() {
+        // World of 3, but only rank 1 ever registers: the host must fail
+        // within the bound and name rank 2 as the absentee.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let reg = std::thread::spawn(move || {
+            // Register as rank 1, then just hold the socket open.
+            let mut s = connect_with_backoff(&addr, Duration::from_secs(5)).expect("dial");
+            s.write_all(&1u32.to_le_bytes()).expect("rank");
+            write_len_prefixed(&mut s, b"127.0.0.1:1").expect("addr");
+            s.flush().expect("flush");
+            s
+        });
+        let err = rendezvous_host(&listener, 3, "127.0.0.1:0", Duration::from_millis(300))
+            .expect_err("must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let text = err.to_string();
+        assert!(text.contains('2') && text.contains("never registered"), "{text}");
+        drop(reg.join());
     }
 
     #[test]

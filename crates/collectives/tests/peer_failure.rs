@@ -1,0 +1,86 @@
+//! Peer failure propagates as a structured [`CommError`] instead of a hang:
+//! sever a live TCP link via the `drop-link` fault and check that a blocked
+//! collective fails fast with an error naming the dead peer — with no
+//! `DCNN_RECV_TIMEOUT_MS` involved, on the real socket transport.
+
+use std::time::{Duration, Instant};
+
+use dcnn_collectives::runtime::ClusterBuilder;
+use dcnn_collectives::{
+    Allreduce, CommError, FaultSpec, MultiColor, RuntimeConfig, TransportKind,
+};
+
+fn peer_dead_from(payload: Box<dyn std::any::Any + Send>) -> CommError {
+    match payload.downcast::<CommError>() {
+        Ok(e) => *e,
+        Err(other) => {
+            let msg = other
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| other.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string payload>".to_string());
+            panic!("expected a CommError panic payload, got: {msg}");
+        }
+    }
+}
+
+#[test]
+fn severed_link_fails_collective_with_structured_error() {
+    // Rank 0 severs its socket to rank 1 the moment the fabric is up. The
+    // first allreduce then blocks on the dead link; the LinkDown event must
+    // fail it immediately — well inside the (default, 60 s) watchdog window.
+    let cfg = RuntimeConfig::default().with_fault(FaultSpec::DropLink { from: 0, to: 1 });
+    let started = Instant::now();
+    let run = std::panic::catch_unwind(|| {
+        ClusterBuilder::new(2)
+            .transport(TransportKind::Tcp)
+            .configure(cfg)
+            .run(|comm| {
+                let mut buf = vec![comm.rank() as f32; 64];
+                MultiColor::new(2).run(comm, &mut buf);
+                buf
+            })
+    });
+    let elapsed = started.elapsed();
+
+    let Err(payload) = run else {
+        panic!("collective over a severed link must fail")
+    };
+    let err = peer_dead_from(payload);
+    let CommError::PeerDead { rank, peer, cause, .. } = &err;
+    assert!(
+        (*rank == 0 && *peer == 1) || (*rank == 1 && *peer == 0),
+        "wrong endpoints in {err}"
+    );
+    assert!(!cause.is_empty(), "cause must describe the tear: {err}");
+    let msg = err.to_string();
+    assert!(msg.contains("is dead"), "{msg}");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "failure took {elapsed:?}; LinkDown should fail fast, not wait out a timeout"
+    );
+}
+
+#[test]
+fn point_to_point_recv_from_dead_peer_fails_with_phase_context() {
+    // Same fault, but a bare recv inside a labeled phase: the error must
+    // carry the phase attribution so the report says *where* training was.
+    let cfg = RuntimeConfig::default().with_fault(FaultSpec::DropLink { from: 0, to: 1 });
+    let run = std::panic::catch_unwind(|| {
+        ClusterBuilder::new(2)
+            .transport(TransportKind::Tcp)
+            .configure(cfg)
+            .run(|comm| {
+                let _g = comm.phase("shuffle");
+                if comm.rank() == 0 {
+                    comm.recv_f32(1, 7)
+                } else {
+                    comm.recv_f32(0, 7)
+                }
+            })
+    });
+    let Err(payload) = run else { panic!("recv from a dead peer must fail") };
+    let err = peer_dead_from(payload);
+    let CommError::PeerDead { phase, .. } = &err;
+    assert_eq!(phase.as_deref(), Some("shuffle"), "missing phase in {err}");
+}

@@ -32,15 +32,82 @@ fn pack(records: &[Record]) -> Vec<u8> {
     out
 }
 
-fn unpack(mut buf: &[u8], out: &mut Vec<Record>) {
-    while !buf.is_empty() {
-        assert!(buf.len() >= 8, "truncated record header");
-        let len = u32::from_le_bytes(buf[0..4].try_into().expect("4")) as usize;
-        let label = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
-        assert!(buf.len() >= 8 + len, "truncated record payload");
-        out.push((buf[8..8 + len].to_vec(), label));
-        buf = &buf[8 + len..];
+/// What was wrong with a malformed packed record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleErrorKind {
+    /// Fewer than the 8 header bytes remained in the buffer.
+    Header {
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The header promised `need` payload bytes; fewer remained.
+    Payload {
+        /// Payload bytes the header promised.
+        need: usize,
+        /// Bytes actually remaining after the header.
+        remaining: usize,
+    },
+}
+
+/// A malformed buffer in the shuffle exchange, with enough context to
+/// point at the culprit: which receiving rank saw it, which sending rank
+/// packed it, which alltoallv segment round carried it, and where parsing
+/// stopped. A truncated record means wire corruption or a peer running a
+/// different version — either way the operator needs the link, not a bare
+/// "truncated record header".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShuffleError {
+    /// Rank that was unpacking when the corruption surfaced.
+    pub rank: usize,
+    /// Rank whose packed buffer was malformed.
+    pub src: usize,
+    /// Zero-based alltoallv segment round (Algorithm 2's `m` loop).
+    pub segment: usize,
+    /// Byte offset into the received buffer where parsing stopped.
+    pub offset: usize,
+    /// What was truncated.
+    pub kind: ShuffleErrorKind,
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {}: malformed shuffle record from rank {} in segment round {} at byte {}: ",
+            self.rank, self.src, self.segment, self.offset
+        )?;
+        match self.kind {
+            ShuffleErrorKind::Header { remaining } => {
+                write!(f, "record header truncated ({remaining} of 8 bytes)")
+            }
+            ShuffleErrorKind::Payload { need, remaining } => {
+                write!(f, "record payload truncated ({remaining} of {need} bytes)")
+            }
+        }
     }
+}
+
+impl std::error::Error for ShuffleError {}
+
+fn unpack(buf: &[u8], out: &mut Vec<Record>) -> Result<(), (usize, ShuffleErrorKind)> {
+    let mut off = 0usize;
+    while off < buf.len() {
+        let rest = &buf[off..];
+        if rest.len() < 8 {
+            return Err((off, ShuffleErrorKind::Header { remaining: rest.len() }));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4")) as usize;
+        let label = u32::from_le_bytes(rest[4..8].try_into().expect("4"));
+        if rest.len() < 8 + len {
+            return Err((
+                off,
+                ShuffleErrorKind::Payload { need: len, remaining: rest.len() - 8 },
+            ));
+        }
+        out.push((rest[8..8 + len].to_vec(), label));
+        off += 8 + len;
+    }
+    Ok(())
 }
 
 /// Shuffle `records` across the ranks of `comm` (Algorithm 2).
@@ -53,19 +120,36 @@ fn unpack(mut buf: &[u8], out: &mut Vec<Record>) {
 ///   for realism or something small to exercise segmentation.
 ///
 /// Returns this rank's new partition, locally permuted.
+///
+/// # Panics
+/// Panics with a rendered [`ShuffleError`] if a received buffer holds a
+/// truncated record; use [`try_shuffle_records`] to handle that as a value.
 pub fn shuffle_records(
     comm: &Comm,
     records: Vec<Record>,
     seed: u64,
     max_segment_bytes: usize,
 ) -> Vec<Record> {
+    try_shuffle_records(comm, records, seed, max_segment_bytes)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`shuffle_records`], but a malformed received buffer comes back as a
+/// typed [`ShuffleError`] naming the link and segment round instead of a
+/// panic.
+pub fn try_shuffle_records(
+    comm: &Comm,
+    records: Vec<Record>,
+    seed: u64,
+    max_segment_bytes: usize,
+) -> Result<Vec<Record>, ShuffleError> {
     let n = comm.size();
     assert!(max_segment_bytes > 0);
     if n <= 1 {
         let mut out = records;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1D);
         out.shuffle(&mut rng);
-        return out;
+        return Ok(out);
     }
     let mut rng = StdRng::seed_from_u64(
         seed.wrapping_mul(0x9E3779B97F4A7C15) ^ comm.global_rank() as u64,
@@ -76,6 +160,7 @@ pub fn shuffle_records(
         records.into_iter().map(|r| (rng.random_range(0..n), r)).collect();
 
     let mut received: Vec<Record> = Vec::new();
+    let mut round = 0usize;
     // Segment greedily: each alltoallv round ships at most
     // `max_segment_bytes` of payload from this rank — but every rank must
     // participate in the same number of rounds, so rounds continue until all
@@ -114,9 +199,16 @@ pub fn shuffle_records(
         }
         let send: Vec<Vec<u8>> = per_dest.iter().map(|d| pack(d)).collect();
         let recv = alltoallv_bytes(comm, send);
-        for buf in recv {
-            unpack(&buf, &mut received);
+        for (src, buf) in recv.iter().enumerate() {
+            unpack(buf, &mut received).map_err(|(offset, kind)| ShuffleError {
+                rank: comm.rank(),
+                src,
+                segment: round,
+                offset,
+                kind,
+            })?;
         }
+        round += 1;
     }
 
     // Local permutation (the paper's final `random_permutation` step).
@@ -125,7 +217,7 @@ pub fn shuffle_records(
     let mut perm_rng =
         StdRng::seed_from_u64((seed ^ ((comm.global_rank() as u64) << 32)) ^ 0xD1D);
     received.shuffle(&mut perm_rng);
-    received
+    Ok(received)
 }
 
 /// Byte-count matrix of one shuffle round for virtual-time simulation:
@@ -289,6 +381,42 @@ mod tests {
             "adjacent seeds produced identical shuffles in {}/3 cases",
             3 - distinct
         );
+    }
+
+    #[test]
+    fn truncated_buffers_are_typed_errors_with_context() {
+        let packed = pack(&make_records(0, 3));
+        // Intact buffer parses.
+        let mut out = Vec::new();
+        unpack(&packed, &mut out).expect("intact buffer");
+        assert_eq!(out.len(), 3);
+        // Chop mid-payload: the header promises more than remains.
+        let (off, kind) = unpack(&packed[..packed.len() - 2], &mut Vec::new())
+            .expect_err("truncated payload");
+        assert!(matches!(kind, ShuffleErrorKind::Payload { .. }), "{kind:?}");
+        // Chop mid-header of the first record.
+        let (off0, kind0) =
+            unpack(&packed[..5], &mut Vec::new()).expect_err("truncated header");
+        assert_eq!(off0, 0);
+        assert_eq!(kind0, ShuffleErrorKind::Header { remaining: 5 });
+        // The rendered error names every coordinate an operator needs.
+        let e = ShuffleError { rank: 2, src: 3, segment: 1, offset: off, kind };
+        let s = e.to_string();
+        for needle in ["rank 2", "rank 3", "segment round 1", "truncated"] {
+            assert!(s.contains(needle), "{s:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn try_shuffle_returns_clean_records() {
+        let n = 3;
+        let before: Vec<Vec<Record>> = (0..n).map(|r| make_records(r, 12)).collect();
+        let expect = census(&before);
+        let after = run_cluster(n, |c| {
+            try_shuffle_records(c, make_records(c.rank(), 12), 7, MPI_COUNT_LIMIT)
+                .expect("clean exchange")
+        });
+        assert_eq!(census(&after), expect);
     }
 
     #[test]

@@ -118,6 +118,23 @@ impl Checkpoint {
         };
         Ok(Checkpoint { epoch, params: read(16, n), momentum: read(16 + 4 * n, n) })
     }
+
+    /// Write the serialized checkpoint to `path` via a `.tmp` sibling and a
+    /// rename, so a crash mid-write never leaves a half-written file under
+    /// the final name (the abort path runs exactly when things are failing).
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read and parse a checkpoint file; a malformed file surfaces as an
+    /// `InvalidData` I/O error wrapping the [`CheckpointError`].
+    pub fn read_from(path: &std::path::Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +257,22 @@ mod tests {
             Checkpoint::from_bytes(&bomb),
             Err(CheckpointError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_garbage_file_is_invalid_data() {
+        let dir = std::env::temp_dir().join(format!("dcnn-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("state.ckpt");
+        let mut m = model();
+        let ck = Checkpoint::capture(m.as_mut(), 2);
+        ck.write_to(&path).expect("write");
+        let back = Checkpoint::read_from(&path).expect("read");
+        assert_eq!(back, ck);
+        std::fs::write(&path, b"garbage").expect("overwrite");
+        let err = Checkpoint::read_from(&path).expect_err("garbage must not parse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 use std::sync::Arc;
 
 use dcnn_collectives::primitives::allgather_bytes;
-use dcnn_collectives::runtime::Comm;
-use dcnn_collectives::{run_cluster, Allreduce, AllreduceAlgo, OverlapMode, RuntimeConfig};
+use dcnn_collectives::runtime::{Comm, CommError, CommStats};
+use dcnn_collectives::{
+    run_cluster, Allreduce, AllreduceAlgo, FaultSpec, OverlapMode, RuntimeConfig,
+};
 use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
 use dcnn_dimd::{Dimd, Prefetcher, SynthImageNet, ValSet};
 use dcnn_dpt::{DptExecutor, DptStrategy};
@@ -20,6 +22,7 @@ use dcnn_tensor::loss::SoftmaxCrossEntropy;
 use dcnn_tensor::optim::{LrSchedule, Sgd, SgdConfig};
 use serde::Serialize;
 
+use crate::checkpoint::Checkpoint;
 use crate::grad_sync::GradSync;
 
 /// Training-run configuration.
@@ -77,6 +80,16 @@ pub struct TrainConfig {
     /// disables adaptation. All ranks agree on the measurement (cluster
     /// max), so plans stay identical everywhere.
     pub inflight_budget_bytes: usize,
+    /// Injected fault for failure-path testing (`DCNN_FAULT` via
+    /// [`TrainConfig::apply_runtime`]). Arming any fault also turns on
+    /// per-step stderr heartbeats (`dcnn-fault: rank R step S …`), which the
+    /// kill-one-rank tests use to SIGKILL a rank deterministically
+    /// mid-epoch. `None` (the default) costs nothing.
+    pub fault: Option<FaultSpec>,
+    /// Directory to flush an abort checkpoint + partial epoch row into when
+    /// a peer dies mid-epoch (`DCNN_CHECKPOINT_DIR`). `None` = stderr report
+    /// only.
+    pub checkpoint_dir: Option<String>,
     /// SGD hyper-parameters.
     pub sgd: SgdConfig,
 }
@@ -105,13 +118,16 @@ impl TrainConfig {
             bucket_bytes: 0,
             overlap: OverlapMode::Hooked,
             inflight_budget_bytes: 0,
+            fault: None,
+            checkpoint_dir: None,
             sgd: SgdConfig::default(),
         }
     }
 
     /// Overlay the training-related fields of a parsed [`RuntimeConfig`]
     /// (only the variables that were actually set): `DCNN_BUCKET_BYTES`,
-    /// `DCNN_OVERLAP_MODE` and `DCNN_INFLIGHT_BUDGET`.
+    /// `DCNN_OVERLAP_MODE`, `DCNN_INFLIGHT_BUDGET`, `DCNN_FAULT` and
+    /// `DCNN_CHECKPOINT_DIR`.
     pub fn apply_runtime(&mut self, rt: &RuntimeConfig) {
         if let Some(b) = rt.bucket_bytes {
             self.bucket_bytes = b;
@@ -121,6 +137,12 @@ impl TrainConfig {
         }
         if let Some(b) = rt.inflight_budget_bytes {
             self.inflight_budget_bytes = b;
+        }
+        if let Some(f) = rt.fault {
+            self.fault = Some(f);
+        }
+        if let Some(d) = &rt.checkpoint_dir {
+            self.checkpoint_dir = Some(d.clone());
         }
     }
 
@@ -316,13 +338,116 @@ fn run_rank(
     let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
     let mut grad = vec![0.0f32; param_total];
     let mut stats = Vec::with_capacity(cfg.epochs);
+    let mut progress = PartialEpoch::default();
+
+    // The epoch loop runs under `catch_unwind` so a peer-death panic (a
+    // `CommError` unwound out of whichever blocked collective observed the
+    // dead link) can be intercepted: flush what this rank still knows — a
+    // partial EpochStats row and, with `DCNN_CHECKPOINT_DIR` set, an abort
+    // checkpoint — then let the unwind continue to the process boundary.
+    // Any other panic passes through untouched.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        train_epochs(TrainState {
+            comm,
+            cfg,
+            iterations,
+            batch_node,
+            hooked,
+            param_total,
+            sgd: &sgd,
+            dimd: &mut dimd,
+            val: &val,
+            exec: &mut exec,
+            gsync: &mut gsync,
+            grad: &mut grad,
+            stats: &mut stats,
+            progress: &mut progress,
+        })
+    }));
+    match run {
+        Ok(()) => stats,
+        Err(payload) => {
+            if let Some(e) = payload.downcast_ref::<CommError>() {
+                flush_abort_state(comm, cfg, &mut exec, &gsync, &progress, e);
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// Mid-epoch progress, owned outside the epoch loop so the peer-death
+/// abort path can still reach it after the loop unwinds: enough to emit a
+/// partial [`EpochStats`] row for the epoch that never completed.
+#[derive(Default)]
+struct PartialEpoch {
+    epoch: usize,
+    iters: usize,
+    loss_sum: f64,
+    correct: u64,
+    seen: u64,
+    buckets_launched: u64,
+    start: CommStats,
+}
+
+impl PartialEpoch {
+    fn begin(&mut self, epoch: usize, start: CommStats) {
+        *self = PartialEpoch { epoch, start, ..PartialEpoch::default() };
+    }
+}
+
+/// Borrowed training state for the epoch loop, bundled so the unwind
+/// boundary in `run_rank` can reclaim the pieces after a failure.
+struct TrainState<'a> {
+    comm: &'a Comm,
+    cfg: &'a TrainConfig,
+    iterations: usize,
+    batch_node: usize,
+    hooked: bool,
+    param_total: usize,
+    sgd: &'a Sgd,
+    dimd: &'a mut Option<Dimd>,
+    val: &'a Option<ValSet>,
+    exec: &'a mut DptExecutor,
+    gsync: &'a mut GradSync,
+    grad: &'a mut Vec<f32>,
+    stats: &'a mut Vec<EpochStats>,
+    progress: &'a mut PartialEpoch,
+}
+
+fn train_epochs(st: TrainState<'_>) {
+    let TrainState {
+        comm,
+        cfg,
+        iterations,
+        batch_node,
+        hooked,
+        param_total,
+        sgd,
+        dimd,
+        val,
+        exec,
+        gsync,
+        grad,
+        stats,
+        progress,
+    } = st;
+    let me = comm.rank();
+    let n = comm.size();
+    // Fault-injection arming (`DCNN_FAULT`): `kill_at` is the optimizer
+    // step after which THIS rank aborts (the kernel closes its sockets, so
+    // peers observe the same bare EOF a SIGKILL leaves); any armed fault
+    // also emits per-step heartbeats so external tests can kill a rank at a
+    // deterministic point mid-epoch.
+    let kill_at = match cfg.fault {
+        Some(FaultSpec::KillAfterStep { step, rank }) if rank == me => Some(step),
+        _ => None,
+    };
+    let heartbeat = cfg.fault.is_some();
+    let mut global_step = 0usize;
 
     for epoch in 0..cfg.epochs {
         let ep_comm = comm.stats();
-        let mut buckets_launched = 0u64;
-        let mut loss_sum = 0.0;
-        let mut correct = 0u64;
-        let mut seen = 0u64;
+        progress.begin(epoch, ep_comm.clone());
         // Optional donkey pipeline: decode the next batches on a background
         // thread while the replicas train on the current one.
         let prefetch = (cfg.prefetch_depth > 0).then(|| {
@@ -372,14 +497,14 @@ fn run_rank(
                                 *a *= inv_accum;
                             }
                         }
-                        stream.segment_ready(&grad, off, vals.len());
+                        stream.segment_ready(&grad[..], off, vals.len());
                     });
                     micro_loss += l / accum as f64;
                     micro_correct += c as u64;
-                    stream.finish(&mut grad);
-                    buckets_launched += gsync.buckets().len() as u64;
+                    stream.finish(&mut grad[..]);
+                    progress.buckets_launched += gsync.buckets().len() as u64;
                 } else {
-                    let (l, g, c) = micro_step(&mut exec, &x, &labels, cfg.strategy);
+                    let (l, g, c) = micro_step(exec, &x, &labels, cfg.strategy);
                     micro_loss += l / accum as f64;
                     micro_correct += c;
                     if micro == 0 {
@@ -400,33 +525,43 @@ fn run_rank(
             if !hooked {
                 if accum > 1 {
                     let inv = 1.0 / accum as f32;
-                    for g in &mut grad {
+                    for g in grad.iter_mut() {
                         *g *= inv;
                     }
                 }
-                gsync.reduce(comm, &mut grad);
+                gsync.reduce(comm, &mut grad[..]);
                 if gsync.is_bucketed() {
-                    buckets_launched += gsync.buckets().len() as u64;
+                    progress.buckets_launched += gsync.buckets().len() as u64;
                 }
             }
             let inv = 1.0 / n as f32;
-            for g in &mut grad {
+            for g in grad.iter_mut() {
                 *g *= inv;
             }
             exec.visit_replicas(|m| {
-                set_grads(m, &grad);
+                set_grads(m, &grad[..]);
                 sgd.step(m, lr);
             });
-            loss_sum += step_loss;
-            correct += step_correct;
-            seen += (batch_node * accum) as u64;
+            progress.loss_sum += step_loss;
+            progress.correct += step_correct;
+            progress.seen += (batch_node * accum) as u64;
+            progress.iters += 1;
+            if heartbeat {
+                eprintln!("dcnn-fault: rank {me} step {global_step} (epoch {epoch} it {it})");
+            }
+            if kill_at == Some(global_step) {
+                eprintln!("dcnn-fault: rank {me}: kill-after-step={global_step}: aborting now");
+                std::process::abort();
+            }
+            global_step += 1;
         }
         if let Some(p) = prefetch {
-            dimd = Some(p.finish());
+            *dimd = Some(p.finish());
         }
-        let (l, c, cnt) = allreduce_stats(comm, loss_sum, correct, seen);
-        let val_acc = match &val {
-            Some(vs) => validate(comm, &mut exec, vs, cfg.crop),
+        let (l, c, cnt) =
+            allreduce_stats(comm, progress.loss_sum, progress.correct, progress.seen);
+        let val_acc = match val {
+            Some(vs) => validate(comm, exec, vs, cfg.crop),
             None => 0.0,
         };
         let now_comm = comm.stats();
@@ -453,7 +588,7 @@ fn run_rank(
             overlap_frac: allreduce_max_f64(comm, my_overlap),
             async_inflight_hwm: allreduce_max_u64(comm, now_comm.async_inflight_hwm),
             bucket_bytes: gsync.bucket_bytes() as u64,
-            buckets_launched,
+            buckets_launched: progress.buckets_launched,
         });
         // Adaptive bucket sizing: steer the measured average of in-flight
         // reduce bytes toward the configured budget by scaling the target
@@ -476,7 +611,86 @@ fn run_rank(
             dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
         }
     }
-    stats
+}
+
+/// A peer died mid-epoch: preserve what this rank can before the unwind
+/// continues — a partial [`EpochStats`] row (stderr, plus a JSON file next
+/// to the checkpoint) telling the operator where training stood, and an
+/// abort checkpoint making the completed steps resumable. Deliberately
+/// avoids every collective call: peers are dead or dying, so only local
+/// counters go into the row.
+fn flush_abort_state(
+    comm: &Comm,
+    cfg: &TrainConfig,
+    exec: &mut DptExecutor,
+    gsync: &GradSync,
+    progress: &PartialEpoch,
+    err: &CommError,
+) {
+    let me = comm.rank();
+    let now = comm.stats();
+    let phase = gsync.algo_name();
+    let async_ns = now.async_comm_ns.saturating_sub(progress.start.async_comm_ns);
+    let wait_ns = now.bucket_wait_ns.saturating_sub(progress.start.bucket_wait_ns);
+    let row = EpochStats {
+        epoch: progress.epoch,
+        train_loss: if progress.iters == 0 {
+            0.0
+        } else {
+            progress.loss_sum / progress.iters as f64
+        },
+        train_acc: if progress.seen == 0 {
+            0.0
+        } else {
+            progress.correct as f64 / progress.seen as f64
+        },
+        val_acc: 0.0,
+        lr: cfg.lr.lr_at(progress.epoch as f32),
+        comm_bytes: now.bytes_sent.saturating_sub(progress.start.bytes_sent),
+        comm_msgs: now.msgs_sent.saturating_sub(progress.start.msgs_sent),
+        comm_wait_secs: now.recv_wait_ns.saturating_sub(progress.start.recv_wait_ns) as f64 / 1e9,
+        allreduce_secs: now.phase(phase).saturating_sub(progress.start.phase(phase)) as f64 / 1e9,
+        stash_hwm: now.stash_hwm,
+        bucket_wait_secs: wait_ns as f64 / 1e9,
+        overlap_frac: if async_ns == 0 {
+            0.0
+        } else {
+            (1.0 - wait_ns as f64 / async_ns as f64).clamp(0.0, 1.0)
+        },
+        async_inflight_hwm: now.async_inflight_hwm,
+        bucket_bytes: gsync.bucket_bytes() as u64,
+        buckets_launched: progress.buckets_launched,
+    };
+    eprintln!(
+        "dcnn: rank {me}: aborting training after {} iteration(s) of epoch {}: {err}",
+        progress.iters, progress.epoch
+    );
+    let json = serde_json::to_string(&row).unwrap_or_default();
+    eprintln!("dcnn: rank {me}: partial epoch row: {json}");
+    if let Some(dir) = &cfg.checkpoint_dir {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("dcnn: rank {me}: cannot create checkpoint dir {}: {e}", dir.display());
+            return;
+        }
+        let mut ck = None;
+        exec.visit_replicas(|m| {
+            if ck.is_none() {
+                ck = Some(Checkpoint::capture(m, progress.epoch as u32));
+            }
+        });
+        if let Some(ck) = ck {
+            let path = dir.join(format!("abort-rank{me}.ckpt"));
+            match ck.write_to(&path) {
+                Ok(()) => eprintln!(
+                    "dcnn: rank {me}: abort checkpoint written to {}",
+                    path.display()
+                ),
+                Err(e) => eprintln!("dcnn: rank {me}: abort checkpoint write failed: {e}"),
+            }
+        }
+        let _ = std::fs::write(dir.join(format!("abort-rank{me}.partial.json")), json);
+    }
 }
 
 #[cfg(test)]

@@ -9,9 +9,12 @@
 //! unless `--rendezvous` or `DCNN_RENDEZVOUS` says otherwise), then
 //! re-executes itself N times with `DCNN_RANK`/`DCNN_WORLD`/
 //! `DCNN_RENDEZVOUS` set. Each child joins the TCP fabric through
-//! `run_tcp_rank`, runs the workload against its world `Comm`, and rank 0
-//! prints the report lines. The parent exits non-zero if any rank fails,
-//! so the whole thing works as a CI smoke test.
+//! `try_run_tcp_rank_with`, runs the workload against its world `Comm`, and
+//! rank 0 prints the report lines. A communication failure (for example a
+//! peer dying mid-run) surfaces as a structured `CommError` report on stderr
+//! and a non-zero child exit instead of a raw panic backtrace. The parent
+//! exits non-zero if any rank fails, so the whole thing works as a CI smoke
+//! test and as the harness for fault-injection runs (`DCNN_FAULT`).
 
 use std::process::{Command, ExitCode};
 
@@ -35,7 +38,11 @@ fn child_main() -> ExitCode {
         eprintln!("dcnn-launch: unknown workload {name:?}");
         std::process::exit(2);
     });
-    let run = dcnn_collectives::run_tcp_rank(|comm| {
+    let cfg = dcnn_collectives::RuntimeConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("dcnn-launch: {e}");
+        std::process::exit(2);
+    });
+    let run = dcnn_collectives::try_run_tcp_rank_with(&cfg, |comm| {
         let lines = work(comm);
         if comm.rank() == 0 {
             for line in &lines {
@@ -43,8 +50,19 @@ fn child_main() -> ExitCode {
             }
         }
     });
-    drop(run);
-    ExitCode::SUCCESS
+    match run {
+        Ok(run) => {
+            drop(run);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // The panic hook already printed the structured report when the
+            // failure unwound; this line ties it to the launcher's rank.
+            let rank = cfg.rank.map_or_else(|| "?".to_string(), |r| r.to_string());
+            eprintln!("dcnn-launch: rank {rank}: aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {

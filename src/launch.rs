@@ -16,7 +16,7 @@ use dcnn_trainer::{train_on_comm, TrainConfig};
 
 /// Names every registered workload, in registry order.
 pub fn workload_names() -> &'static [&'static str] {
-    &["allreduce", "quickstart-epoch", "bucketed-epoch", "overlap-epoch"]
+    &["allreduce", "quickstart-epoch", "bucketed-epoch", "overlap-epoch", "fault-epoch"]
 }
 
 /// Look a workload up by name.
@@ -26,6 +26,7 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "quickstart-epoch" => Some(quickstart_epoch_workload),
         "bucketed-epoch" => Some(bucketed_epoch_workload),
         "overlap-epoch" => Some(overlap_epoch_workload),
+        "fault-epoch" => Some(fault_epoch_workload),
         _ => None,
     }
 }
@@ -256,6 +257,56 @@ pub fn overlap_epoch_workload(comm: &Comm) -> Vec<String> {
     lines.push(format!("overlap_frac={overlap:.6}"));
     lines.push(format!("inflight_hwm={hwm}"));
     lines
+}
+
+/// Failure-path workload for the fault-injection harness: three epochs of
+/// the quickstart model, with `DCNN_FAULT` (parsed through `RuntimeConfig`
+/// and overlaid by `TrainConfig::apply_runtime`) arming per-step stderr
+/// heartbeats and, for `kill-after-step=N[@R]`, an abort of rank `R` right
+/// after its `N`th optimizer step — several steps into epoch 0 for small
+/// `N`. A clean run (no fault set) prints the usual epoch lines; a faulted
+/// TCP run is expected to die — the victim via `abort()`, every survivor
+/// with a structured `PeerDead` report naming it — which is exactly what
+/// `tests/transport_process.rs` and the `ci.sh` fault smoke assert on.
+pub fn fault_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 24;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 3, &runtime());
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.shuffle_every_epochs = 0;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 6,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(77)
+    });
+    stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

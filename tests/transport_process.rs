@@ -123,6 +123,139 @@ fn two_process_overlap_epoch_matches_threaded_run() {
 }
 
 #[test]
+fn sigkilled_rank_fails_survivors_fast_with_structured_report() {
+    // The acceptance test for fault tolerance: start a 3-rank training run
+    // over real TCP, SIGKILL rank 1 mid-epoch, and demand that every
+    // survivor exits non-zero within a bounded time with a structured error
+    // naming the dead peer — no DCNN_RECV_TIMEOUT_MS, no hang, no raw
+    // panic backtrace.
+    use std::io::BufRead;
+
+    let world = 3usize;
+    let rendezvous = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe free port");
+        l.local_addr().expect("probe addr").to_string()
+    };
+    // A fault spec that never fires: arming DCNN_FAULT turns on the
+    // per-step heartbeat lines, which tell us when rank 1 is mid-epoch so
+    // the external SIGKILL lands deterministically inside training.
+    let fault = "kill-after-step=1000000@1";
+
+    let spawn = |rank: usize| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcnn-launch"));
+        for var in dcnn_collectives::RuntimeConfig::ENV_VARS {
+            cmd.env_remove(var);
+        }
+        cmd.env("DCNN_LAUNCH_CHILD", "1")
+            .env("DCNN_LAUNCH_WORKLOAD", "fault-epoch")
+            .env("DCNN_RANK", rank.to_string())
+            .env("DCNN_WORLD", world.to_string())
+            .env("DCNN_RENDEZVOUS", &rendezvous)
+            .env("DCNN_FAULT", fault)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped());
+        cmd.spawn().unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
+    };
+
+    let mut victim = spawn(1);
+    let mut survivors: Vec<(usize, std::process::Child)> =
+        [0, 2].into_iter().map(|r| (r, spawn(r))).collect();
+
+    // Wait for rank 1's first heartbeat, then SIGKILL it. The kernel closes
+    // its sockets; peers must see the bare EOF as a LinkDown.
+    let victim_stderr = victim.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(victim_stderr).lines();
+    let mut saw_heartbeat = false;
+    for line in &mut lines {
+        let line = line.expect("read victim stderr");
+        if line.starts_with("dcnn-fault: rank 1 step") {
+            saw_heartbeat = true;
+            break;
+        }
+    }
+    assert!(saw_heartbeat, "rank 1 never reached a training step");
+    victim.kill().expect("SIGKILL rank 1");
+    let _ = victim.wait();
+
+    // Every survivor must notice and die on its own — bounded by the test's
+    // deadline, not by any receive timeout (none is set).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    for (rank, child) in &mut survivors {
+        let status = loop {
+            match child.try_wait().expect("try_wait") {
+                Some(status) => break status,
+                None if std::time::Instant::now() >= deadline => {
+                    // Grab what we can about the stuck process before
+                    // killing it, so a hang failure is diagnosable.
+                    let stacks = std::fs::read_dir(format!("/proc/{}/task", child.id()))
+                        .map(|tasks| {
+                            tasks
+                                .flatten()
+                                .map(|t| {
+                                    let dir = t.path();
+                                    let read = |f: &str| {
+                                        std::fs::read_to_string(dir.join(f))
+                                            .unwrap_or_default()
+                                    };
+                                    format!("[{}]\n{}", read("comm").trim(), read("stack"))
+                                })
+                                .collect::<String>()
+                        })
+                        .unwrap_or_default();
+                    let _ = child.kill();
+                    let mut stderr = String::new();
+                    if let Some(mut pipe) = child.stderr.take() {
+                        use std::io::Read;
+                        let _ = pipe.read_to_string(&mut stderr);
+                    }
+                    panic!(
+                        "rank {rank} still running 10s after peer death: hang\n\
+                         --- stderr so far ---\n{stderr}--- thread stacks ---\n{stacks}"
+                    );
+                }
+                None => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        };
+        assert!(!status.success(), "rank {rank} exited cleanly despite a dead peer");
+    }
+    // Each survivor names the peer whose link actually tore under it. The
+    // first to fail is always reacting to rank 1 (the only dead process at
+    // that instant); the other may instead report the cascade — the first
+    // survivor's own abnormal exit. Both are accurate, structured reports.
+    let mut named_the_victim = false;
+    let outputs: Vec<(usize, std::process::Output)> = survivors
+        .into_iter()
+        .map(|(rank, child)| (rank, child.wait_with_output().expect("collect output")))
+        .collect();
+    for (rank, out) in &outputs {
+        eprintln!(
+            "=== rank {rank} stderr ===\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    for (rank, out) in outputs {
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("is dead"),
+            "rank {rank} stderr lacks a structured peer-death report:\n{err}"
+        );
+        assert!(
+            err.contains(&format!("dcnn-launch: rank {rank}: aborted:")),
+            "rank {rank} stderr lacks the launcher abort line:\n{err}"
+        );
+        assert!(
+            !err.contains("stack backtrace"),
+            "rank {rank} died with a raw backtrace instead of a structured report:\n{err}"
+        );
+        named_the_victim |= err.contains("peer rank 1 is dead");
+    }
+    assert!(
+        named_the_victim,
+        "no survivor named the SIGKILLed rank 1 as the dead peer"
+    );
+}
+
+#[test]
 fn launcher_rejects_unknown_workload() {
     let out = launch(2, "no-such-workload");
     assert!(!out.status.success());
