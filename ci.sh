@@ -111,6 +111,26 @@ if echo "$fault_out" | grep -q "stack backtrace"; then
     exit 1
 fi
 
+# Performance-baseline smoke: run the hot-path microbenchmarks in quick
+# mode (bounded iterations), assert the BENCH_<date>.json trajectory row is
+# produced, and gate tracked kernels against the committed baseline —
+# dcnn-perf exits 1 if any tracked row is >20% slower than the newest
+# committed BENCH_*.json.
+echo "+ perf baseline smoke (dcnn-perf --quick)"
+baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+rm -rf target/bench-smoke
+if [ -n "$baseline" ]; then
+    run ./target/release/dcnn-perf --quick --out target/bench-smoke \
+        --baseline "$baseline" --max-regress 0.20
+else
+    echo "ci.sh: no committed BENCH_*.json baseline; running ungated" >&2
+    run ./target/release/dcnn-perf --quick --out target/bench-smoke
+fi
+if ! ls target/bench-smoke/BENCH_*.json >/dev/null 2>&1; then
+    echo "ci.sh: dcnn-perf did not write a BENCH_<date>.json report" >&2
+    exit 1
+fi
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the two hot paths the `dcnn-perf` baseline
+//! tracks: the reduce kernels under every allreduce (vectorized vs scalar
+//! reference, sizes spanning the Figure 5 message-size crossover) and the
+//! frame encoder under every TCP send (bulk little-endian vectored vs the
+//! staged per-element reference). Interactive counterpart of
+//! `dcnn-perf` — same kernels, criterion's measurement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dcnn_core::collectives::reduce::{self, reference};
+use dcnn_core::collectives::transport::wire;
+use dcnn_core::collectives::transport::Payload;
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as i32 as f32) * 1e-4
+        })
+        .collect()
+}
+
+/// Vectorized reduce kernels against the scalar references.
+fn bench_reduce_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce_kernels");
+    for n in [1usize << 10, 1 << 14, 1 << 17, 1 << 20] {
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        let src = fill(n, 3);
+        let base = fill(n, 5);
+
+        let mut dst = base.clone();
+        g.bench_with_input(BenchmarkId::new("sum_into", n), &n, |b, _| {
+            b.iter(|| reduce::sum_into(black_box(&mut dst), black_box(&src)))
+        });
+        let mut dst = base.clone();
+        g.bench_with_input(BenchmarkId::new("sum_into_ref", n), &n, |b, _| {
+            b.iter(|| reference::sum_into(black_box(&mut dst), black_box(&src)))
+        });
+        let mut out = vec![0.0f32; n];
+        g.bench_with_input(BenchmarkId::new("sum_to", n), &n, |b, _| {
+            b.iter(|| reduce::sum_to(black_box(&mut out), black_box(&base), black_box(&src)))
+        });
+        let mut dst = base.clone();
+        g.bench_with_input(BenchmarkId::new("scale", n), &n, |b, _| {
+            b.iter(|| reduce::scale(black_box(&mut dst), black_box(1.000_001)))
+        });
+    }
+    g.finish();
+}
+
+/// Frame encoding: bulk vectored vs the staged reference encoder.
+fn bench_frame_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_encode");
+    for n in [1usize << 10, 1 << 14, 1 << 18] {
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        let payload = Payload::f32(fill(n, 11));
+
+        let mut sink: Vec<u8> = Vec::with_capacity(n * 4 + 64);
+        g.bench_with_input(BenchmarkId::new("vectored", n), &n, |b, _| {
+            b.iter(|| {
+                sink.clear();
+                let body = wire::payload_wire_bytes(black_box(&payload));
+                let parts = wire::frame_parts(0, 0, 0, wire::payload_kind(&payload), &body);
+                wire::write_all_vectored(&mut sink, &[&parts.head, &body, &parts.crc])
+                    .expect("vec write");
+                black_box(sink.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("staged", n), &n, |b, _| {
+            b.iter(|| black_box(wire::encode_frame(0, 0, 0, black_box(&payload)).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce_kernels, bench_frame_encode);
+criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! paper's figures/tables correspond to, with the paper's reported values
 //! alongside where the text states them.
 
+pub mod perf;
+
 use dcnn_core::constants::PaperConstants as P;
 use dcnn_core::experiments::{self, AccuracyScale};
 use dcnn_core::report::{fmt_secs, markdown_table};

@@ -1,0 +1,339 @@
+//! The standing performance baseline: min-of-N microbenchmarks of the two
+//! hot paths — the reduce kernels under every allreduce and the frame
+//! encoder under every TCP send — emitted as one `BENCH_<date>.json`
+//! trajectory row per kernel × size.
+//!
+//! Timing discipline: each row reports the *minimum* wall time per
+//! iteration over several repetitions. The minimum, not the mean, is the
+//! statistic of record — scheduler preemption and cache pollution only ever
+//! add time, so the min is the closest observable to the kernel's true
+//! cost and is by far the most stable across runs. Deterministic
+//! CPU-bound rows are `tracked` (CI gates on them); loopback socket
+//! round-trips are recorded for the trajectory but untracked, because
+//! wall-clock RTT through the kernel's TCP stack is too noisy to gate on.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use dcnn_core::collectives::reduce::{self, reference};
+use dcnn_core::collectives::transport::wire;
+use dcnn_core::collectives::transport::Payload;
+use serde::Serialize;
+
+/// Schema tag stamped into every report.
+pub const SCHEMA: &str = "dcnn-bench-v1";
+
+/// One measured kernel × size.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfRow {
+    /// Stable row identifier, `family/kernel/size`.
+    pub name: String,
+    /// Payload bytes processed per iteration.
+    pub bytes: u64,
+    /// Minimum observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput implied by the minimum, GiB/s.
+    pub gib_per_s: f64,
+    /// Whether CI gates on this row (deterministic kernels yes, socket
+    /// round-trips no).
+    pub tracked: bool,
+}
+
+/// A full benchmark report — what `BENCH_<date>.json` holds.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Civil date the report was taken (UTC), `YYYY-MM-DD`.
+    pub date: String,
+    /// Quick mode trades repetitions for runtime (the CI smoke).
+    pub quick: bool,
+    /// The measurements.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Today's civil date (UTC) as `YYYY-MM-DD`, from `SystemTime` alone —
+/// Howard Hinnant's days-from-civil algorithm inverted, no date crate.
+pub fn civil_date_utc() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).expect("clock before 1970").as_secs();
+    let days = (secs / 86_400) as i64;
+    // civil_from_days(z) with the 1970-03-01 era shift.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Minimum ns per iteration of `f` over `reps` repetitions of `iters`
+/// calls each.
+fn min_ns_per_iter(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn row(name: String, bytes: u64, ns: f64, tracked: bool) -> PerfRow {
+    let gib_per_s = if ns > 0.0 { bytes as f64 / ns * 1e9 / (1u64 << 30) as f64 } else { 0.0 };
+    PerfRow { name, bytes, ns_per_iter: ns, gib_per_s, tracked }
+}
+
+/// Iteration count targeting roughly constant work per repetition across
+/// sizes, floored so tiny kernels still amortize timer overhead.
+fn iters_for(bytes: u64, quick: bool) -> usize {
+    let budget: u64 = if quick { 1 << 22 } else { 1 << 26 };
+    (budget / bytes.max(1)).clamp(8, 1 << 16) as usize
+}
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as i32 as f32) * 1e-4
+        })
+        .collect()
+}
+
+/// Element counts spanning the Figure 5 message-size crossover: below,
+/// around and above the default split threshold (2^18 elements = 1 MiB).
+pub fn reduce_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 10, 1 << 17]
+    } else {
+        vec![1 << 10, 1 << 14, 1 << 17, 1 << 20]
+    }
+}
+
+/// Benchmark the reduce kernels — vectorized public entry points and the
+/// scalar references — at each size.
+pub fn bench_reduce(quick: bool, rows: &mut Vec<PerfRow>) {
+    let reps = if quick { 5 } else { 9 };
+    for n in reduce_sizes(quick) {
+        let bytes = (n * 4) as u64;
+        let iters = iters_for(bytes, quick);
+        let src = fill(n, 3);
+        let base = fill(n, 5);
+
+        let mut dst = base.clone();
+        let ns = min_ns_per_iter(reps, iters, || {
+            reduce::sum_into(std::hint::black_box(&mut dst), std::hint::black_box(&src));
+        });
+        rows.push(row(format!("reduce/sum_into/{n}"), bytes, ns, true));
+
+        let mut dst = base.clone();
+        let ns = min_ns_per_iter(reps, iters, || {
+            reference::sum_into(std::hint::black_box(&mut dst), std::hint::black_box(&src));
+        });
+        rows.push(row(format!("reduce/sum_into_ref/{n}"), bytes, ns, false));
+
+        let mut out = vec![0.0f32; n];
+        let ns = min_ns_per_iter(reps, iters, || {
+            reduce::sum_to(
+                std::hint::black_box(&mut out),
+                std::hint::black_box(&base),
+                std::hint::black_box(&src),
+            );
+        });
+        rows.push(row(format!("reduce/sum_to/{n}"), bytes, ns, true));
+
+        let mut dst = base.clone();
+        let ns = min_ns_per_iter(reps, iters, || {
+            reduce::scale(std::hint::black_box(&mut dst), std::hint::black_box(1.000_001));
+        });
+        rows.push(row(format!("reduce/scale/{n}"), bytes, ns, true));
+    }
+}
+
+/// Benchmark frame encoding: the bulk little-endian vectored path against
+/// the staged per-element reference encoder, on an f32 payload.
+pub fn bench_frame_encode(quick: bool, rows: &mut Vec<PerfRow>) {
+    let reps = if quick { 5 } else { 9 };
+    let sizes: &[usize] = if quick { &[1 << 14] } else { &[1 << 10, 1 << 14, 1 << 18] };
+    for &n in sizes {
+        let payload = Payload::f32(fill(n, 11));
+        let bytes = (n * 4) as u64;
+        let iters = iters_for(bytes, quick);
+
+        let mut sink = Vec::with_capacity(n * 4 + 64);
+        let ns = min_ns_per_iter(reps, iters, || {
+            sink.clear();
+            let body = wire::payload_wire_bytes(std::hint::black_box(&payload));
+            let parts = wire::frame_parts(0, 0, 0, wire::payload_kind(&payload), &body);
+            wire::write_all_vectored(&mut sink, &[&parts.head, &body, &parts.crc])
+                .expect("vec write");
+            std::hint::black_box(sink.len());
+        });
+        rows.push(row(format!("frame/encode_vectored/{n}"), bytes, ns, true));
+
+        let ns = min_ns_per_iter(reps, iters, || {
+            let frame = wire::encode_frame(0, 0, 0, std::hint::black_box(&payload));
+            std::hint::black_box(frame.len());
+        });
+        rows.push(row(format!("frame/encode_staged/{n}"), bytes, ns, false));
+    }
+}
+
+/// Loopback socket round-trip of one framed f32 payload (untracked: real
+/// kernel TCP, so wall-clock noise is expected).
+pub fn bench_socket_rtt(quick: bool, rows: &mut Vec<PerfRow>) {
+    let n = 1 << 14;
+    let payload = Payload::f32(fill(n, 13));
+    let bytes = (n * 4) as u64;
+    let frame = wire::encode_frame(0, 0, 0, &payload);
+    let frame_len = frame.len();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let echo = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept");
+        s.set_nodelay(true).ok();
+        let mut buf = vec![0u8; frame_len];
+        while s.read_exact(&mut buf).is_ok() {
+            if s.write_all(&buf).is_err() {
+                break;
+            }
+        }
+    });
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).ok();
+    let mut back = vec![0u8; frame_len];
+    let reps = if quick { 3 } else { 5 };
+    let iters = if quick { 20 } else { 100 };
+    let ns = min_ns_per_iter(reps, iters, || {
+        s.write_all(&frame).expect("send");
+        s.read_exact(&mut back).expect("echo");
+    });
+    drop(s);
+    echo.join().expect("echo thread");
+    rows.push(row(format!("socket/rtt_loopback/{n}"), bytes, ns, false));
+}
+
+/// Run the full suite and assemble the report.
+pub fn run_suite(quick: bool) -> BenchReport {
+    let mut rows = Vec::new();
+    bench_reduce(quick, &mut rows);
+    bench_frame_encode(quick, &mut rows);
+    bench_socket_rtt(quick, &mut rows);
+    BenchReport { schema: SCHEMA.to_string(), date: civil_date_utc(), quick, rows }
+}
+
+/// One tracked-row regression against a baseline report.
+#[derive(Debug)]
+pub struct Regression {
+    /// Row name.
+    pub name: String,
+    /// Baseline ns/iter.
+    pub baseline_ns: f64,
+    /// Current ns/iter.
+    pub current_ns: f64,
+    /// `current / baseline - 1`.
+    pub slowdown: f64,
+}
+
+/// Compare `current` against a parsed baseline JSON document: every
+/// tracked row present in both reports must not be slower than
+/// `max_regress` (fractional, e.g. `0.20`). Rows only in one report are
+/// ignored — adding a benchmark must not fail CI retroactively.
+pub fn regressions(
+    current: &BenchReport,
+    baseline: &serde_json::Value,
+    max_regress: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let Some(rows) = baseline.get("rows").and_then(|r| r.as_array()) else {
+        return out;
+    };
+    for cur in current.rows.iter().filter(|r| r.tracked) {
+        let base = rows
+            .iter()
+            .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(cur.name.as_str()));
+        let Some(base_ns) = base.and_then(|b| b.get("ns_per_iter")).and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        if base_ns <= 0.0 {
+            continue;
+        }
+        let slowdown = cur.ns_per_iter / base_ns - 1.0;
+        if slowdown > max_regress {
+            out.push(Regression {
+                name: cur.name.clone(),
+                baseline_ns: base_ns,
+                current_ns: cur.ns_per_iter,
+                slowdown,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_is_iso_shaped() {
+        let d = civil_date_utc();
+        assert_eq!(d.len(), 10, "{d}");
+        let b = d.as_bytes();
+        assert_eq!((b[4], b[7]), (b'-', b'-'), "{d}");
+        let year: i32 = d[..4].parse().expect("year");
+        assert!((2020..2200).contains(&year), "{d}");
+        let month: u32 = d[5..7].parse().expect("month");
+        let day: u32 = d[8..10].parse().expect("day");
+        assert!((1..=12).contains(&month) && (1..=31).contains(&day), "{d}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            schema: SCHEMA.to_string(),
+            date: "2026-08-07".to_string(),
+            quick: true,
+            rows: vec![row("reduce/sum_into/1024".into(), 4096, 100.0, true)],
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        let rows = v.get("rows").and_then(|r| r.as_array()).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("bytes").and_then(|b| b.as_u64()), Some(4096));
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_the_threshold() {
+        let mk = |ns: f64| BenchReport {
+            schema: SCHEMA.to_string(),
+            date: "2026-08-07".to_string(),
+            quick: true,
+            rows: vec![row("reduce/sum_into/1024".into(), 4096, ns, true)],
+        };
+        let baseline_json = serde_json::to_string(&mk(100.0)).expect("serialize");
+        let baseline: serde_json::Value = serde_json::from_str(&baseline_json).expect("parse");
+
+        assert!(regressions(&mk(110.0), &baseline, 0.20).is_empty(), "10% is inside budget");
+        let hits = regressions(&mk(130.0), &baseline, 0.20);
+        assert_eq!(hits.len(), 1, "30% must trip the 20% gate");
+        assert!((hits[0].slowdown - 0.30).abs() < 1e-9);
+        // Untracked rows never gate: same slowdown, tracked = false.
+        let mut fast = mk(130.0);
+        fast.rows[0].tracked = false;
+        assert!(regressions(&fast, &baseline, 0.20).is_empty());
+    }
+}

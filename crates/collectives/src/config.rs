@@ -160,6 +160,11 @@ pub struct RuntimeConfig {
     /// Adaptive bucket sizing target: desired in-flight reduce bytes
     /// (`DCNN_INFLIGHT_BUDGET`, bytes; `0`/unset disables resizing).
     pub inflight_budget_bytes: Option<usize>,
+    /// Element count at which the reduce kernels split across rayon
+    /// (`DCNN_REDUCE_PAR_THRESHOLD`, elements; `0` = never split). The
+    /// split is bitwise identical to the sequential kernel, so this is a
+    /// pure speed knob.
+    pub reduce_par_threshold: Option<usize>,
     /// TCP dial/rendezvous bound (`DCNN_CONNECT_TIMEOUT_MS`): how long
     /// bootstrap connects retry and rank 0's registration accept loop
     /// waits before naming the ranks that never showed up.
@@ -185,7 +190,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 14] = [
+    pub const ENV_VARS: [&'static str; 15] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -197,6 +202,7 @@ impl RuntimeConfig {
         "DCNN_BUCKET_BYTES",
         "DCNN_OVERLAP_MODE",
         "DCNN_INFLIGHT_BUDGET",
+        "DCNN_REDUCE_PAR_THRESHOLD",
         "DCNN_CONNECT_TIMEOUT_MS",
         "DCNN_FAULT",
         "DCNN_CHECKPOINT_DIR",
@@ -303,6 +309,13 @@ impl RuntimeConfig {
                 "an in-flight byte budget (0 = fixed bucket size)",
             )?);
         }
+        if let Some(v) = get("DCNN_REDUCE_PAR_THRESHOLD") {
+            cfg.reduce_par_threshold = Some(parse_usize(
+                "DCNN_REDUCE_PAR_THRESHOLD",
+                &v,
+                "a reduce-kernel split threshold in elements (0 = never split)",
+            )?);
+        }
         if let Some(v) = get("DCNN_CONNECT_TIMEOUT_MS") {
             let ms = v.trim().parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
                 ConfigError {
@@ -360,6 +373,12 @@ impl RuntimeConfig {
     /// Adaptive in-flight byte budget (default 0 = fixed bucket size).
     pub fn inflight_budget_or_default(&self) -> usize {
         self.inflight_budget_bytes.unwrap_or(0)
+    }
+
+    /// Reduce-kernel rayon-split threshold in elements (default
+    /// [`crate::reduce::DEFAULT_PAR_THRESHOLD`]; 0 = never split).
+    pub fn reduce_par_threshold_or_default(&self) -> usize {
+        self.reduce_par_threshold.unwrap_or(crate::reduce::DEFAULT_PAR_THRESHOLD)
     }
 
     /// TCP connect/rendezvous timeout (default 20 s).
@@ -424,6 +443,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Override the reduce-kernel rayon-split threshold (elements; 0 =
+    /// never split).
+    pub fn with_reduce_par_threshold(mut self, elements: usize) -> Self {
+        self.reduce_par_threshold = Some(elements);
+        self
+    }
+
     /// Override the TCP connect/rendezvous timeout.
     pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
         self.connect_timeout = Some(timeout);
@@ -465,6 +491,7 @@ mod tests {
         assert_eq!(cfg.bucket_bytes_or_default(), 0);
         assert_eq!(cfg.overlap_mode_or_default(), OverlapMode::Hooked);
         assert_eq!(cfg.inflight_budget_or_default(), 0);
+        assert_eq!(cfg.reduce_par_threshold_or_default(), crate::reduce::DEFAULT_PAR_THRESHOLD);
     }
 
     #[test]
@@ -489,6 +516,7 @@ mod tests {
             ("DCNN_BUCKET_BYTES", "4096"),
             ("DCNN_OVERLAP_MODE", "drain"),
             ("DCNN_INFLIGHT_BUDGET", "65536"),
+            ("DCNN_REDUCE_PAR_THRESHOLD", "131072"),
             ("DCNN_CONNECT_TIMEOUT_MS", "750"),
             ("DCNN_FAULT", "kill-after-step=3@2"),
             ("DCNN_CHECKPOINT_DIR", "/tmp/ckpt"),
@@ -505,6 +533,7 @@ mod tests {
         assert_eq!(cfg.bucket_bytes, Some(4096));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.inflight_budget_bytes, Some(65536));
+        assert_eq!(cfg.reduce_par_threshold, Some(131072));
         assert_eq!(cfg.connect_timeout, Some(Duration::from_millis(750)));
         assert_eq!(cfg.fault, Some(FaultSpec::KillAfterStep { step: 3, rank: 2 }));
         assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
@@ -546,6 +575,7 @@ mod tests {
             ("DCNN_BUCKET_BYTES", "-1"),
             ("DCNN_OVERLAP_MODE", "eager"),
             ("DCNN_INFLIGHT_BUDGET", "lots"),
+            ("DCNN_REDUCE_PAR_THRESHOLD", "-4"),
             ("DCNN_CONNECT_TIMEOUT_MS", "0"),
             ("DCNN_FAULT", "unplug-the-rack"),
         ] {
@@ -579,6 +609,7 @@ mod tests {
             .with_trace(true)
             .with_recv_timeout(Duration::from_secs(5))
             .with_inflight_budget(1 << 20)
+            .with_reduce_par_threshold(4096)
             .with_connect_timeout(Duration::from_secs(2))
             .with_fault(FaultSpec::DropLink { from: 0, to: 1 })
             .with_checkpoint_dir("/tmp/abort-ckpt");
@@ -591,6 +622,7 @@ mod tests {
         assert_eq!(cfg.trace, Some(true));
         assert_eq!(cfg.recv_timeout, Some(Duration::from_secs(5)));
         assert_eq!(cfg.inflight_budget_bytes, Some(1 << 20));
+        assert_eq!(cfg.reduce_par_threshold, Some(4096));
         assert_eq!(cfg.connect_timeout, Some(Duration::from_secs(2)));
         assert_eq!(cfg.fault, Some(FaultSpec::DropLink { from: 0, to: 1 }));
         assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/abort-ckpt"));

@@ -1613,6 +1613,7 @@ impl ClusterBuilder {
     {
         let n = self.n;
         let cfg = self.config.unwrap_or_else(runtime_config_from_env);
+        crate::reduce::set_par_threshold(cfg.reduce_par_threshold_or_default());
         let json_path = cfg.trace_json.clone();
         let trace_on = self.trace.unwrap_or_else(|| cfg.trace_or_default());
         let recv_timeout = self.recv_timeout.unwrap_or_else(|| cfg.recv_timeout_or_default());
@@ -1759,6 +1760,7 @@ pub fn run_tcp_rank_with<R>(cfg: &RuntimeConfig, f: impl FnOnce(&Comm) -> R) -> 
         .unwrap_or_else(|| panic!("DCNN_RENDEZVOUS must be set for the TCP process runtime"));
     assert!(world > 0 && rank < world, "rank {rank} out of range for world {world}");
 
+    crate::reduce::set_par_threshold(cfg.reduce_par_threshold_or_default());
     let json_path = cfg.trace_json.clone();
     let trace_on = cfg.trace_or_default();
     let recv_timeout = cfg.recv_timeout_or_default();

@@ -21,6 +21,7 @@
 
 pub mod local;
 pub mod tcp;
+pub mod wire;
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -3,17 +3,11 @@
 //!
 //! ## Wire format
 //!
-//! Every message is one length-prefixed frame with a CRC-32 trailer
-//! (checksum over everything after the magic, [`crate::transport::crc32`],
-//! the same implementation `dcnn_dimd::crc` re-exports):
-//!
-//! ```text
-//! magic "DCTP" | kind u8 | src u32 | comm_id u64 | tag u32 | len u64 | payload | crc u32
-//! ```
-//!
-//! `kind` is 0 for byte payloads, 1 for `f32` payloads (framed as little-
-//! endian words, so results are bit-identical to the threaded backend), and
-//! 2 for the BYE frame that closes a connection cleanly.
+//! Every message is one length-prefixed frame with a CRC-32 trailer; the
+//! format itself (and its copy-free encode/decode) lives in
+//! [`crate::transport::wire`]. The checksum is
+//! [`crate::transport::crc32`], the same implementation `dcnn_dimd::crc`
+//! re-exports.
 //!
 //! ## Bootstrap
 //!
@@ -33,6 +27,11 @@
 //! receive path the threaded backend uses) and a writer thread (drains a
 //! queue of outbound messages so [`Transport::send`] never blocks on a slow
 //! peer, preserving the eager-protocol guarantee the collectives rely on).
+//! The writer never stages a frame: it computes the head and CRC trailer,
+//! then hands head/payload/trailer to one vectored write
+//! ([`wire::write_frames_vectored`]) — and it drains whatever else is
+//! already queued first, so bursts of small frames (the collectives' control
+//! traffic) leave in a single syscall instead of one per frame.
 //!
 //! ## Failure semantics
 //!
@@ -48,23 +47,19 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use super::{crc32, Payload, RecvPoll, Transport, WireMsg};
+use super::wire::{self, encode_bye, read_frame, FrameRead, FRAME_MAGIC};
+use super::{RecvPoll, Transport, WireMsg};
 
-const FRAME_MAGIC: [u8; 4] = *b"DCTP";
-const KIND_BYTES: u8 = 0;
-const KIND_F32: u8 = 1;
-const KIND_BYE: u8 = 2;
-/// Refuse frames claiming more than this many payload bytes: a corrupted
-/// length must not become a giant allocation.
-const MAX_FRAME_PAYLOAD: u64 = 1 << 31;
-
-/// Fixed-size portion after the magic: kind(1) src(4) comm_id(8) tag(4) len(8).
-const HEADER_LEN: usize = 25;
+/// Writer-side batching caps: drain at most this many already-queued frames
+/// (or this many payload bytes) into one vectored write. Bounds both the
+/// per-batch allocation and how much a huge backlog can delay the BYE.
+const BATCH_MAX_FRAMES: usize = 64;
+const BATCH_MAX_BYTES: usize = 256 * 1024;
 
 /// Connection-establishment tuning.
 #[derive(Debug, Clone)]
@@ -117,123 +112,6 @@ pub struct TcpTransport {
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// Serialize one message as a frame.
-fn encode_frame(src: usize, comm_id: u64, tag: u32, payload: &Payload) -> Vec<u8> {
-    let (kind, len) = match payload {
-        Payload::Bytes(b) => (KIND_BYTES, b.len()),
-        Payload::F32(v) => (KIND_F32, v.len() * 4),
-    };
-    let mut out = Vec::with_capacity(4 + HEADER_LEN + len + 4);
-    out.extend_from_slice(&FRAME_MAGIC);
-    out.push(kind);
-    out.extend_from_slice(&(src as u32).to_le_bytes());
-    out.extend_from_slice(&comm_id.to_le_bytes());
-    out.extend_from_slice(&tag.to_le_bytes());
-    out.extend_from_slice(&(len as u64).to_le_bytes());
-    match payload {
-        Payload::Bytes(b) => out.extend_from_slice(b),
-        Payload::F32(v) => {
-            for x in v.iter() {
-                out.extend_from_slice(&x.to_le_bytes());
-            }
-        }
-    }
-    let crc = crc32(&out[4..]);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
-}
-
-fn encode_bye(src: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + HEADER_LEN + 4);
-    out.extend_from_slice(&FRAME_MAGIC);
-    out.push(KIND_BYE);
-    out.extend_from_slice(&(src as u32).to_le_bytes());
-    out.extend_from_slice(&0u64.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes());
-    out.extend_from_slice(&0u64.to_le_bytes());
-    let crc = crc32(&out[4..]);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
-}
-
-/// One parsed read off a connection.
-#[derive(Debug)]
-enum FrameRead {
-    /// A data frame.
-    Msg(WireMsg),
-    /// The peer closed the connection gracefully (explicit BYE frame).
-    Bye,
-    /// The stream ended with no BYE: the peer died without shutting down.
-    Eof,
-}
-
-/// Read one frame. A graceful close ([`FrameRead::Bye`]) and a bare EOF
-/// ([`FrameRead::Eof`]) are distinct outcomes: every clean shutdown path
-/// sends BYE first, so an EOF at a frame boundary means the peer process
-/// died (SIGKILL, crash) and its kernel closed the socket.
-fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
-    let mut magic = [0u8; 4];
-    if let Err(e) = r.read_exact(&mut magic) {
-        return if e.kind() == io::ErrorKind::UnexpectedEof { Ok(FrameRead::Eof) } else { Err(e) };
-    }
-    if magic != FRAME_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame magic"));
-    }
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
-    let kind = header[0];
-    let src = u32::from_le_bytes(header[1..5].try_into().expect("4")) as usize;
-    let comm_id = u64::from_le_bytes(header[5..13].try_into().expect("8"));
-    let tag = u32::from_le_bytes(header[13..17].try_into().expect("4"));
-    let len = u64::from_le_bytes(header[17..25].try_into().expect("8"));
-    if len > MAX_FRAME_PAYLOAD {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame claims {len} payload bytes (corrupt length?)"),
-        ));
-    }
-    if kind == KIND_F32 && len % 4 != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "f32 frame length not word-aligned"));
-    }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    let mut trailer = [0u8; 4];
-    r.read_exact(&mut trailer)?;
-    let want = u32::from_le_bytes(trailer);
-    // CRC over header + payload, exactly what the writer summed.
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in header.iter().chain(body.iter()) {
-        c = super::CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    let got = !c;
-    if got != want {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame CRC mismatch from rank {src}: got {got:#010x}, want {want:#010x}"),
-        ));
-    }
-    if kind == KIND_BYE {
-        return Ok(FrameRead::Bye);
-    }
-    let payload = match kind {
-        KIND_BYTES => Payload::bytes(body),
-        KIND_F32 => {
-            let v: Vec<f32> = body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
-                .collect();
-            Payload::f32(v)
-        }
-        k => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown frame kind {k}"),
-            ))
-        }
-    };
-    Ok(FrameRead::Msg(WireMsg { src, comm_id, tag, payload }))
-}
-
 /// Dial `addr`, retrying with exponential backoff until `timeout` elapses.
 /// Needed because peer processes (and rank 0's rendezvous listener) come up
 /// at different times.
@@ -244,13 +122,17 @@ fn connect_with_backoff(addr: &str, timeout: Duration) -> io::Result<TcpStream> 
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() + delay >= deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     return Err(io::Error::new(
                         e.kind(),
                         format!("connect to {addr} failed after {timeout:?} of retries: {e}"),
                     ));
                 }
-                std::thread::sleep(delay);
+                // Clamp the sleep to the remaining budget: the last allowed
+                // attempt must actually happen, not be forfeited because a
+                // full backoff step would overshoot the deadline.
+                std::thread::sleep(delay.min(remaining));
                 delay = (delay * 2).min(Duration::from_millis(200));
             }
         }
@@ -258,7 +140,18 @@ fn connect_with_backoff(addr: &str, timeout: Duration) -> io::Result<TcpStream> 
 }
 
 fn write_len_prefixed(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
-    w.write_all(&(data.len() as u16).to_le_bytes())?;
+    let len: u16 = data.len().try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "length-prefixed blob is {} bytes; the u16 length prefix caps it at {} — \
+                 refusing to truncate",
+                data.len(),
+                u16::MAX
+            ),
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(data)
 }
 
@@ -615,22 +508,14 @@ fn spawn_writer(
     std::thread::Builder::new()
         .name(format!("dcnn-tcp-write-{peer}"))
         .spawn(move || {
+            let mut batch: Vec<WireMsg> = Vec::new();
             loop {
+                batch.clear();
+                let mut graceful = false;
+                let mut torn_down = false;
                 match queue.recv() {
-                    Ok(WriterCmd::Frame(msg)) => {
-                        let frame = encode_frame(msg.src, msg.comm_id, msg.tag, &msg.payload);
-                        if let Err(e) = stream.write_all(&frame) {
-                            // The send side sees a dead peer first when we
-                            // talk more than we listen; report it on the
-                            // same in-band path the reader uses.
-                            let _ = inbox.send(Inbound::LinkDown {
-                                peer,
-                                cause: format!("write failed: {e}"),
-                            });
-                            return;
-                        }
-                    }
-                    Ok(WriterCmd::Bye) => break,
+                    Ok(WriterCmd::Frame(msg)) => batch.push(msg),
+                    Ok(WriterCmd::Bye) => graceful = true,
                     // Queue disconnected: the transport was dropped without
                     // shutdown(), i.e. this rank is unwinding from a
                     // failure. Close abruptly — no BYE — so the peer's
@@ -639,10 +524,57 @@ fn spawn_writer(
                     // explicit Bye command may produce the graceful close.
                     Err(_) => return,
                 }
+                // Send-side batching: drain whatever else is already queued
+                // (bounded) so bursts of small frames leave in one vectored
+                // write instead of one syscall each. Never waits — a lone
+                // frame goes out immediately.
+                if !graceful {
+                    let mut bytes = batch[0].payload.len_bytes();
+                    while batch.len() < BATCH_MAX_FRAMES && bytes < BATCH_MAX_BYTES {
+                        match queue.try_recv() {
+                            Ok(WriterCmd::Frame(msg)) => {
+                                bytes += msg.payload.len_bytes();
+                                batch.push(msg);
+                            }
+                            Ok(WriterCmd::Bye) => {
+                                graceful = true;
+                                break;
+                            }
+                            Err(TryRecvError::Empty) => break,
+                            // Flush what was queued before the teardown,
+                            // then close abruptly (no BYE) as above.
+                            Err(TryRecvError::Disconnected) => {
+                                torn_down = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !batch.is_empty() {
+                    // Head, payload bytes and CRC trailer of every frame go
+                    // to the socket straight from their owning buffers — no
+                    // staging Vec per message.
+                    if let Err(e) = wire::write_frames_vectored(&mut stream, &batch) {
+                        // The send side sees a dead peer first when we talk
+                        // more than we listen; report it on the same
+                        // in-band path the reader uses.
+                        let _ = inbox.send(Inbound::LinkDown {
+                            peer,
+                            cause: format!("write failed: {e}"),
+                        });
+                        return;
+                    }
+                }
+                if graceful {
+                    let _ = stream.write_all(&encode_bye(my_rank));
+                    let _ = stream.flush();
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    return;
+                }
+                if torn_down {
+                    return;
+                }
             }
-            let _ = stream.write_all(&encode_bye(my_rank));
-            let _ = stream.flush();
-            let _ = stream.shutdown(std::net::Shutdown::Write);
         })
         .expect("spawn writer thread")
 }
@@ -698,6 +630,7 @@ impl Transport for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Payload;
     use std::sync::Arc;
 
     fn msg(src: usize, tag: u32, payload: Payload) -> WireMsg {
@@ -705,54 +638,79 @@ mod tests {
     }
 
     #[test]
-    fn frame_roundtrip_bytes_and_f32() {
-        for payload in [Payload::bytes(vec![1, 2, 3]), Payload::f32(vec![1.5, -2.25, 0.0])] {
-            let frame = encode_frame(3, 7, 9, &payload);
-            let FrameRead::Msg(back) = read_frame(&mut frame.as_slice()).expect("decode") else {
-                panic!("expected a data frame");
-            };
-            assert_eq!((back.src, back.comm_id, back.tag), (3, 7, 9));
-            match (&payload, &back.payload) {
-                (Payload::Bytes(a), Payload::Bytes(b)) => assert_eq!(a, b),
-                (Payload::F32(a), Payload::F32(b)) => {
-                    let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
-                    let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
-                    assert_eq!(ab, bb, "f32 payload must survive bit-exactly");
+    fn len_prefix_errors_instead_of_truncating() {
+        // Exactly u16::MAX bytes round-trips; one more must be a structured
+        // error naming the length, never a silent `as u16` truncation that
+        // would corrupt the rendezvous table.
+        let max = vec![7u8; u16::MAX as usize];
+        let mut buf = Vec::new();
+        write_len_prefixed(&mut buf, &max).expect("at the boundary");
+        assert_eq!(read_len_prefixed(&mut buf.as_slice()).expect("read back"), max);
+
+        let over = vec![7u8; u16::MAX as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_len_prefixed(&mut sink, &over).expect_err("must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let text = err.to_string();
+        assert!(text.contains("65536"), "error must name the actual length: {text}");
+        assert!(sink.is_empty(), "nothing may be written on refusal");
+    }
+
+    #[test]
+    fn backoff_uses_the_whole_deadline_against_a_late_listener() {
+        // The listener binds ~350 ms in; the backoff schedule's failures
+        // land at ~5/15/35/75/155/315 ms with the next full delay being
+        // 200 ms. The old code gave up at ~315 ms (now + delay >= deadline)
+        // with ~135 ms still on the clock; the fix clamps the final sleep
+        // to the remaining budget so the last attempt happens and connects.
+        let port = {
+            // Reserve a port, then free it for the late bind.
+            let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            probe.local_addr().expect("addr").port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let late = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(350));
+                let l = TcpListener::bind(&addr).expect("late bind");
+                // Hold the listener long enough for the dialer to land.
+                let _ = l.accept();
+            })
+        };
+        let s = connect_with_backoff(&addr, Duration::from_millis(450))
+            .expect("final clamped attempt must connect");
+        drop(s);
+        late.join().expect("listener thread");
+    }
+
+    #[test]
+    fn small_frame_burst_survives_batched_writer_in_order() {
+        // Many tiny frames queued at once: the writer drains them into
+        // vectored batches; the receiver must see every frame, in order,
+        // bit-identical.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let n = 500usize;
+        let t = std::thread::spawn(move || {
+            let t1 = TcpTransport::connect(&addr, 1, 2, TcpOptions::default()).expect("rank 1");
+            for i in 0..n {
+                t1.send(0, msg(1, i as u32, Payload::f32(vec![i as f32, -(i as f32)])));
+            }
+            t1.shutdown();
+        });
+        let t0 = TcpTransport::host(listener, 2, TcpOptions::default()).expect("rank 0");
+        for i in 0..n {
+            match t0.recv_timeout(Duration::from_secs(10)) {
+                RecvPoll::Msg(m) => {
+                    assert_eq!(m.tag, i as u32, "frames must arrive in FIFO order");
+                    assert_eq!(m.payload.as_f32(), &[i as f32, -(i as f32)]);
                 }
-                _ => panic!("payload kind changed in flight"),
+                other => panic!("expected frame {i}, got {other:?}"),
             }
         }
-    }
-
-    #[test]
-    fn crc_trailer_catches_corruption() {
-        let frame = encode_frame(1, 0, 2, &Payload::bytes(vec![0xAA; 64]));
-        // Flip one payload bit.
-        for pos in [4 + HEADER_LEN, frame.len() - 5] {
-            let mut bad = frame.clone();
-            bad[pos] ^= 0x10;
-            let err = read_frame(&mut bad.as_slice()).expect_err("must reject");
-            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
-        }
-    }
-
-    #[test]
-    fn insane_length_rejected_before_allocation() {
-        let mut frame = encode_frame(0, 0, 0, &Payload::bytes(vec![1]));
-        // Overwrite the length field with 2^62.
-        let len_off = 4 + 17;
-        frame[len_off..len_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
-        let err = read_frame(&mut frame.as_slice()).expect_err("must reject");
-        assert!(err.to_string().contains("corrupt length"), "{err}");
-    }
-
-    #[test]
-    fn bye_and_bare_eof_are_distinct_closes() {
-        // BYE is a graceful close; bare EOF means the peer died without
-        // shutting down — the reader turns only the latter into LinkDown.
-        let bye = encode_bye(5);
-        assert!(matches!(read_frame(&mut bye.as_slice()).expect("decode"), FrameRead::Bye));
-        assert!(matches!(read_frame(&mut [].as_slice()).expect("eof"), FrameRead::Eof));
+        t0.shutdown();
+        t.join().expect("rank 1 thread");
     }
 
     #[test]

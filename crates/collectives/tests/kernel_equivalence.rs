@@ -1,0 +1,175 @@
+//! Bitwise equivalence of the vectorized / chunk-split reduce kernels
+//! against their scalar references.
+//!
+//! The kernels are element-independent — `dst[i]` depends only on
+//! `dst[i]`/`src[i]` — so the 8-lane unrolling and the above-threshold
+//! chunk split must produce results bit-identical to a naive scalar loop
+//! at every length and every threshold, including on NaN and infinity
+//! payloads where `==` comparison would lie. These tests compare raw
+//! `to_bits()` words.
+//!
+//! The split threshold is process-global (`reduce::set_par_threshold`), so
+//! every test that mutates it holds [`THRESHOLD_LOCK`]. Other test
+//! binaries run in their own processes and are unaffected.
+
+use std::sync::{Mutex, MutexGuard};
+
+use dcnn_collectives::reduce::{self, reference};
+
+static THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Take the global-threshold lock (surviving a poisoned mutex from an
+/// earlier assert failure) and reset the threshold on drop.
+fn lock_threshold() -> ThresholdGuard {
+    let guard = THRESHOLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ThresholdGuard { _guard: guard }
+}
+
+struct ThresholdGuard {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ThresholdGuard {
+    fn drop(&mut self) {
+        reduce::set_par_threshold(reduce::DEFAULT_PAR_THRESHOLD);
+    }
+}
+
+/// Deterministic pseudo-random f32s with NaN, ±inf, subnormals and signed
+/// zeros sprinkled in — bit patterns the vector path must carry verbatim.
+fn awkward_values(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match i % 17 {
+                3 => f32::NAN,
+                7 => f32::INFINITY,
+                11 => f32::NEG_INFINITY,
+                13 => -0.0,
+                15 => f32::from_bits(0x0000_0001), // smallest subnormal
+                _ => ((state >> 40) as i32 as f32) * 1.000_123e-3,
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Lengths that hit every tail case of the 8-lane unroll and straddle the
+/// chunk boundary of the split path (PAR_CHUNK = 1 << 15).
+fn lengths() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        7,
+        8,
+        9,
+        63,
+        1023,
+        (1 << 15) - 1,
+        1 << 15,
+        (1 << 15) + 1,
+        3 * (1 << 15) + 5,
+    ]
+}
+
+#[test]
+fn sum_into_matches_reference_at_every_threshold() {
+    let _guard = lock_threshold();
+    for &n in &lengths() {
+        let src = awkward_values(n, 1);
+        let base = awkward_values(n, 2);
+        // 0 = never split, 1 = always split, default = size-dependent.
+        for threshold in [0, 1, reduce::DEFAULT_PAR_THRESHOLD] {
+            reduce::set_par_threshold(threshold);
+            let mut fast = base.clone();
+            let mut slow = base.clone();
+            reduce::sum_into(&mut fast, &src);
+            reference::sum_into(&mut slow, &src);
+            assert_eq!(
+                bits(&fast),
+                bits(&slow),
+                "sum_into diverges at n={n}, threshold={threshold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sum_to_matches_reference_at_every_threshold() {
+    let _guard = lock_threshold();
+    for &n in &lengths() {
+        let a = awkward_values(n, 3);
+        let b = awkward_values(n, 4);
+        for threshold in [0, 1, reduce::DEFAULT_PAR_THRESHOLD] {
+            reduce::set_par_threshold(threshold);
+            let mut fast = vec![0.0f32; n];
+            let mut slow = vec![0.0f32; n];
+            reduce::sum_to(&mut fast, &a, &b);
+            reference::sum_to(&mut slow, &a, &b);
+            assert_eq!(
+                bits(&fast),
+                bits(&slow),
+                "sum_to diverges at n={n}, threshold={threshold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scale_matches_reference_at_every_threshold() {
+    let _guard = lock_threshold();
+    for &n in &lengths() {
+        let base = awkward_values(n, 5);
+        for factor in [0.25f32, 1.0 / 3.0, f32::NAN, f32::INFINITY, -0.0] {
+            for threshold in [0, 1, reduce::DEFAULT_PAR_THRESHOLD] {
+                reduce::set_par_threshold(threshold);
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                reduce::scale(&mut fast, factor);
+                reference::scale(&mut slow, factor);
+                assert_eq!(
+                    bits(&fast),
+                    bits(&slow),
+                    "scale diverges at n={n}, factor={factor}, threshold={threshold}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_boundary_is_exact() {
+    // split_enabled flips exactly at len >= threshold; both sides must
+    // agree bitwise with the reference (they do for any split, but the
+    // boundary lengths are where an off-by-one in chunking would live).
+    let _guard = lock_threshold();
+    let t = 4096usize;
+    reduce::set_par_threshold(t);
+    for n in [t - 1, t, t + 1] {
+        let src = awkward_values(n, 6);
+        let mut fast = awkward_values(n, 7);
+        let mut slow = fast.clone();
+        reduce::sum_into(&mut fast, &src);
+        reference::sum_into(&mut slow, &src);
+        assert_eq!(bits(&fast), bits(&slow), "boundary n={n} vs threshold={t}");
+    }
+}
+
+#[test]
+fn zero_threshold_means_never_split() {
+    let _guard = lock_threshold();
+    reduce::set_par_threshold(0);
+    assert_eq!(reduce::par_threshold(), 0);
+    // A huge buffer must still go through the sequential path and match.
+    let n = 1 << 18;
+    let src = awkward_values(n, 8);
+    let mut fast = awkward_values(n, 9);
+    let mut slow = fast.clone();
+    reduce::sum_into(&mut fast, &src);
+    reference::sum_into(&mut slow, &src);
+    assert_eq!(bits(&fast), bits(&slow));
+}

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dcnn_collectives::runtime::ClusterRun;
-use dcnn_collectives::{AllreduceAlgo, ClusterBuilder, Comm, TransportKind};
+use dcnn_collectives::{AllreduceAlgo, ClusterBuilder, Comm, RuntimeConfig, TransportKind};
 
 fn contribution(rank: usize, i: usize, seed: u64) -> f32 {
     let x = (rank as u64)
@@ -80,6 +80,42 @@ fn split_and_barrier_work_over_tcp() {
     // Evens: 1 + 3 = 4; odds: 2 + 4 = 6.
     assert_eq!(th.results, vec![4.0, 6.0, 4.0, 6.0]);
     assert_eq!(th.results, tcp.results);
+}
+
+/// A payload big enough to cross the reduce-kernel split threshold and the
+/// TCP bulk little-endian copy: threads (split kernels, zero-copy buffers)
+/// and TCP (split kernels, reinterpret-cast frame encode, direct decode
+/// into the final allocation) must agree bit for bit. A tiny threshold
+/// forces the chunk-split path on a buffer whose length is not a multiple
+/// of the chunk size.
+#[test]
+fn large_payload_allreduce_bitwise_through_split_kernels_and_bulk_copy() {
+    let len = 70_003; // odd on purpose: exercises every tail path at once
+    let cfg = RuntimeConfig::default().with_reduce_par_threshold(1024);
+    let run = |kind: TransportKind| {
+        let cfg = cfg.clone();
+        let a = AllreduceAlgo::HalvingDoubling.build();
+        ClusterBuilder::new(2).transport(kind).configure(cfg).run(move |c| {
+            let mut buf: Vec<f32> = (0..len).map(|i| contribution(c.rank(), i, 42)).collect();
+            a.run(c, &mut buf);
+            buf
+        })
+    };
+    let th = run(TransportKind::Threads);
+    let tcp = run(TransportKind::Tcp);
+    for rank in 0..2 {
+        let (a, b) = (&th.results[rank], &tcp.results[rank]);
+        assert_eq!(a.len(), b.len());
+        for i in 0..len {
+            assert_eq!(
+                a[i].to_bits(),
+                b[i].to_bits(),
+                "rank={rank} i={i}: {} (threads) vs {} (tcp)",
+                a[i],
+                b[i]
+            );
+        }
+    }
 }
 
 /// The threaded hot path never copies an f32 payload: the receiver ends up

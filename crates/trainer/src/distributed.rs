@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use dcnn_collectives::primitives::allgather_bytes;
+use dcnn_collectives::reduce;
 use dcnn_collectives::runtime::{Comm, CommError, CommStats};
 use dcnn_collectives::{
     run_cluster, Allreduce, AllreduceAlgo, FaultSpec, OverlapMode, RuntimeConfig,
@@ -490,12 +491,8 @@ fn train_epochs(st: TrainState<'_>) {
                         if accum == 1 {
                             seg.copy_from_slice(vals);
                         } else {
-                            for (a, b) in seg.iter_mut().zip(vals) {
-                                *a += b;
-                            }
-                            for a in seg.iter_mut() {
-                                *a *= inv_accum;
-                            }
+                            reduce::sum_into(seg, vals);
+                            reduce::scale(seg, inv_accum);
                         }
                         stream.segment_ready(&grad[..], off, vals.len());
                     });
@@ -510,9 +507,7 @@ fn train_epochs(st: TrainState<'_>) {
                     if micro == 0 {
                         grad.copy_from_slice(&g);
                     } else {
-                        for (a, b) in grad.iter_mut().zip(&g) {
-                            *a += b;
-                        }
+                        reduce::sum_into(grad, &g);
                     }
                 }
             }
@@ -524,20 +519,14 @@ fn train_epochs(st: TrainState<'_>) {
             // blocking allreduce.
             if !hooked {
                 if accum > 1 {
-                    let inv = 1.0 / accum as f32;
-                    for g in grad.iter_mut() {
-                        *g *= inv;
-                    }
+                    reduce::scale(grad, 1.0 / accum as f32);
                 }
                 gsync.reduce(comm, &mut grad[..]);
                 if gsync.is_bucketed() {
                     progress.buckets_launched += gsync.buckets().len() as u64;
                 }
             }
-            let inv = 1.0 / n as f32;
-            for g in grad.iter_mut() {
-                *g *= inv;
-            }
+            reduce::scale(grad, 1.0 / n as f32);
             exec.visit_replicas(|m| {
                 set_grads(m, &grad[..]);
                 sgd.step(m, lr);
