@@ -111,6 +111,46 @@ if echo "$fault_out" | grep -q "stack backtrace"; then
     exit 1
 fi
 
+# Data-plane smoke: the same data-epoch workload (2 epochs, cross-node
+# shuffle with a tiny Algorithm 2 segment cap) run fully in-process and
+# then streamed from a separate dcnn-data-server process must print
+# bitwise-identical epoch lines — the service moved the blob partitions
+# out of the trainers without touching a single bit of training.
+echo "+ data-plane smoke (in-process vs dcnn-data-server)"
+inproc_out=$(./target/release/dcnn-launch --ranks 2 --workload data-epoch)
+data_dir=$(mktemp -d)
+./target/release/dcnn-data-server --workload data-epoch --world 2 \
+    --addr-file "$data_dir/addr0" 2>"$data_dir/server.log" &
+server_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$data_dir/addr0" ] && break
+    sleep 0.05
+done
+if [ ! -s "$data_dir/addr0" ]; then
+    echo "ci.sh: dcnn-data-server never published its address" >&2
+    cat "$data_dir/server.log" >&2
+    exit 1
+fi
+service_out=$(DCNN_DATA_SERVICE=$(cat "$data_dir/addr0") timeout 120 \
+    ./target/release/dcnn-launch --ranks 2 --workload data-epoch)
+wait "$server_pid" || {
+    echo "ci.sh: dcnn-data-server exited nonzero" >&2
+    cat "$data_dir/server.log" >&2
+    exit 1
+}
+echo "$inproc_out"  | sed 's/^/  in-process: /'
+echo "$service_out" | sed 's/^/  service:    /'
+if [ "$(echo "$inproc_out" | grep '^epoch ')" != "$(echo "$service_out" | grep '^epoch ')" ]; then
+    echo "ci.sh: service-backed data-epoch diverged from in-process" >&2
+    exit 1
+fi
+if ! grep -q 'shuffle epoch=0 rounds=' "$data_dir/server.log"; then
+    echo "ci.sh: server never ran the segmented epoch shuffle" >&2
+    cat "$data_dir/server.log" >&2
+    exit 1
+fi
+rm -rf "$data_dir"
+
 # Performance-baseline smoke: run the hot-path microbenchmarks in quick
 # mode (bounded iterations), assert the BENCH_<date>.json trajectory row is
 # produced, and gate tracked kernels against the committed baseline —

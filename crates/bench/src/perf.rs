@@ -1,7 +1,8 @@
-//! The standing performance baseline: min-of-N microbenchmarks of the two
-//! hot paths — the reduce kernels under every allreduce and the frame
-//! encoder under every TCP send — emitted as one `BENCH_<date>.json`
-//! trajectory row per kernel × size.
+//! The standing performance baseline: min-of-N microbenchmarks of the
+//! hot paths — the reduce kernels under every allreduce, the frame
+//! encoder under every TCP send, and the data-plane record codec under
+//! every served batch — emitted as one `BENCH_<date>.json` trajectory row
+//! per kernel × size.
 //!
 //! Timing discipline: each row reports the *minimum* wall time per
 //! iteration over several repetitions. The minimum, not the mean, is the
@@ -190,6 +191,53 @@ pub fn bench_frame_encode(quick: bool, rows: &mut Vec<PerfRow>) {
     }
 }
 
+/// Benchmark the data-plane hot paths: record pack/unpack (every batch a
+/// blob server ships travels through them) and the client-side
+/// decode+augment of a whole mini-batch. All three are deterministic and
+/// CPU-bound, so they gate.
+pub fn bench_data_plane(quick: bool, rows: &mut Vec<PerfRow>) {
+    use dcnn_core::dimd::shuffle::{pack, unpack};
+    use dcnn_core::dimd::{decode_augmented_batch, Dimd, SynthConfig, SynthImageNet};
+
+    let reps = if quick { 5 } else { 9 };
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 24;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut dimd = Dimd::load_partition(&ds, 0, 1, 70, 42);
+
+    for n in [8usize, 32] {
+        let (salt, records) = dimd.sample_batch_records(n);
+        let packed = pack(&records);
+        let bytes = packed.len() as u64;
+        let iters = iters_for(bytes, quick).min(1 << 12);
+
+        let ns = min_ns_per_iter(reps, iters, || {
+            let body = pack(std::hint::black_box(&records));
+            std::hint::black_box(body.len());
+        });
+        rows.push(row(format!("data/pack_batch/{n}"), bytes, ns, true));
+
+        let ns = min_ns_per_iter(reps, iters, || {
+            let mut out = Vec::with_capacity(n);
+            unpack(std::hint::black_box(&packed), &mut out).expect("well-formed payload");
+            std::hint::black_box(out.len());
+        });
+        rows.push(row(format!("data/unpack_batch/{n}"), bytes, ns, true));
+
+        // Decode dominates the client pipeline; crop 16 matches the
+        // data-plane workloads. Uncompressed tensor bytes are the work done.
+        let decode_bytes = (n * 3 * 16 * 16 * 4) as u64;
+        let decode_iters = if quick { 16 } else { 64 };
+        let ns = min_ns_per_iter(reps, decode_iters, || {
+            let (x, labels) =
+                decode_augmented_batch(std::hint::black_box(&records), 16, std::hint::black_box(salt));
+            std::hint::black_box((x.data().len(), labels.len()));
+        });
+        rows.push(row(format!("data/decode_batch/{n}"), decode_bytes, ns, true));
+    }
+}
+
 /// Loopback socket round-trip of one framed f32 payload (untracked: real
 /// kernel TCP, so wall-clock noise is expected).
 pub fn bench_socket_rtt(quick: bool, rows: &mut Vec<PerfRow>) {
@@ -230,6 +278,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let mut rows = Vec::new();
     bench_reduce(quick, &mut rows);
     bench_frame_encode(quick, &mut rows);
+    bench_data_plane(quick, &mut rows);
     bench_socket_rtt(quick, &mut rows);
     BenchReport { schema: SCHEMA.to_string(), date: civil_date_utc(), quick, rows }
 }

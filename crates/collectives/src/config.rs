@@ -174,6 +174,17 @@ pub struct RuntimeConfig {
     /// Directory the trainer flushes an abort checkpoint into when a peer
     /// dies mid-epoch (`DCNN_CHECKPOINT_DIR`; unset = no abort checkpoint).
     pub checkpoint_dir: Option<String>,
+    /// Data-pipeline prefetch depth (`DCNN_DATA_PREFETCH_DEPTH`): how many
+    /// decoded batches the donkey pipeline / service client may run ahead
+    /// of training; `0` = decode inline on the training thread.
+    pub data_prefetch_depth: Option<usize>,
+    /// Parallel decode workers in the data pipeline
+    /// (`DCNN_DATA_DECODE_WORKERS`, ≥ 1).
+    pub data_decode_workers: Option<usize>,
+    /// Blob-server address list for the remote data plane
+    /// (`DCNN_DATA_SERVICE`, comma-separated `host:port`; unset = sample
+    /// from the in-process `Dimd` partition).
+    pub data_service: Option<String>,
 }
 
 fn parse_usize(
@@ -190,7 +201,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 15] = [
+    pub const ENV_VARS: [&'static str; 18] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -206,6 +217,9 @@ impl RuntimeConfig {
         "DCNN_CONNECT_TIMEOUT_MS",
         "DCNN_FAULT",
         "DCNN_CHECKPOINT_DIR",
+        "DCNN_DATA_PREFETCH_DEPTH",
+        "DCNN_DATA_DECODE_WORKERS",
+        "DCNN_DATA_SERVICE",
     ];
 
     /// Parse the process environment. Unset (or empty) variables become
@@ -334,6 +348,26 @@ impl RuntimeConfig {
             })?);
         }
         cfg.checkpoint_dir = get("DCNN_CHECKPOINT_DIR");
+        if let Some(v) = get("DCNN_DATA_PREFETCH_DEPTH") {
+            cfg.data_prefetch_depth = Some(parse_usize(
+                "DCNN_DATA_PREFETCH_DEPTH",
+                &v,
+                "a prefetch depth in batches (0 = decode inline)",
+            )?);
+        }
+        if let Some(v) = get("DCNN_DATA_DECODE_WORKERS") {
+            let n =
+                parse_usize("DCNN_DATA_DECODE_WORKERS", &v, "a worker count (integer ≥ 1)")?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: "DCNN_DATA_DECODE_WORKERS",
+                    value: v,
+                    expected: "a worker count (integer ≥ 1)",
+                });
+            }
+            cfg.data_decode_workers = Some(n);
+        }
+        cfg.data_service = get("DCNN_DATA_SERVICE");
         Ok(cfg)
     }
 
@@ -384,6 +418,16 @@ impl RuntimeConfig {
     /// TCP connect/rendezvous timeout (default 20 s).
     pub fn connect_timeout_or_default(&self) -> Duration {
         self.connect_timeout.unwrap_or(Duration::from_secs(20))
+    }
+
+    /// Data-pipeline prefetch depth in batches (default 0 = inline decode).
+    pub fn data_prefetch_depth_or_default(&self) -> usize {
+        self.data_prefetch_depth.unwrap_or(0)
+    }
+
+    /// Parallel decode workers in the data pipeline (default 1, minimum 1).
+    pub fn data_decode_workers_or_default(&self) -> usize {
+        self.data_decode_workers.unwrap_or(1).max(1)
     }
 
     // ---- builder-style programmatic overrides ----
@@ -467,6 +511,24 @@ impl RuntimeConfig {
         self.checkpoint_dir = Some(dir.into());
         self
     }
+
+    /// Override the data-pipeline prefetch depth (batches; 0 = inline).
+    pub fn with_data_prefetch_depth(mut self, depth: usize) -> Self {
+        self.data_prefetch_depth = Some(depth);
+        self
+    }
+
+    /// Override the data-pipeline decode worker count.
+    pub fn with_data_decode_workers(mut self, n: usize) -> Self {
+        self.data_decode_workers = Some(n);
+        self
+    }
+
+    /// Override the blob-server address list.
+    pub fn with_data_service(mut self, addrs: impl Into<String>) -> Self {
+        self.data_service = Some(addrs.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +554,9 @@ mod tests {
         assert_eq!(cfg.overlap_mode_or_default(), OverlapMode::Hooked);
         assert_eq!(cfg.inflight_budget_or_default(), 0);
         assert_eq!(cfg.reduce_par_threshold_or_default(), crate::reduce::DEFAULT_PAR_THRESHOLD);
+        assert_eq!(cfg.data_prefetch_depth_or_default(), 0);
+        assert_eq!(cfg.data_decode_workers_or_default(), 1);
+        assert_eq!(cfg.data_service, None);
     }
 
     #[test]
@@ -520,6 +585,9 @@ mod tests {
             ("DCNN_CONNECT_TIMEOUT_MS", "750"),
             ("DCNN_FAULT", "kill-after-step=3@2"),
             ("DCNN_CHECKPOINT_DIR", "/tmp/ckpt"),
+            ("DCNN_DATA_PREFETCH_DEPTH", "6"),
+            ("DCNN_DATA_DECODE_WORKERS", "2"),
+            ("DCNN_DATA_SERVICE", "127.0.0.1:7500,127.0.0.1:7501"),
         ])
         .expect("full env parses");
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
@@ -537,6 +605,9 @@ mod tests {
         assert_eq!(cfg.connect_timeout, Some(Duration::from_millis(750)));
         assert_eq!(cfg.fault, Some(FaultSpec::KillAfterStep { step: 3, rank: 2 }));
         assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+        assert_eq!(cfg.data_prefetch_depth, Some(6));
+        assert_eq!(cfg.data_decode_workers, Some(2));
+        assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500,127.0.0.1:7501"));
     }
 
     #[test]
@@ -578,6 +649,8 @@ mod tests {
             ("DCNN_REDUCE_PAR_THRESHOLD", "-4"),
             ("DCNN_CONNECT_TIMEOUT_MS", "0"),
             ("DCNN_FAULT", "unplug-the-rack"),
+            ("DCNN_DATA_PREFETCH_DEPTH", "deep"),
+            ("DCNN_DATA_DECODE_WORKERS", "0"),
         ] {
             let err = from_map(&[(var, value)])
                 .expect_err(&format!("{var}={value} must be rejected"));
@@ -612,7 +685,10 @@ mod tests {
             .with_reduce_par_threshold(4096)
             .with_connect_timeout(Duration::from_secs(2))
             .with_fault(FaultSpec::DropLink { from: 0, to: 1 })
-            .with_checkpoint_dir("/tmp/abort-ckpt");
+            .with_checkpoint_dir("/tmp/abort-ckpt")
+            .with_data_prefetch_depth(4)
+            .with_data_decode_workers(3)
+            .with_data_service("127.0.0.1:7500");
         assert_eq!(cfg.bucket_bytes, Some(8192));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.comm_workers, Some(5));
@@ -626,6 +702,9 @@ mod tests {
         assert_eq!(cfg.connect_timeout, Some(Duration::from_secs(2)));
         assert_eq!(cfg.fault, Some(FaultSpec::DropLink { from: 0, to: 1 }));
         assert_eq!(cfg.checkpoint_dir.as_deref(), Some("/tmp/abort-ckpt"));
+        assert_eq!(cfg.data_prefetch_depth, Some(4));
+        assert_eq!(cfg.data_decode_workers, Some(3));
+        assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500"));
     }
 
     #[test]

@@ -476,6 +476,15 @@ fn spawn_reader(mut stream: TcpStream, peer: usize, inbox: Sender<Inbound>) -> J
                     }
                 }
                 Ok(FrameRead::Bye) => return, // graceful close
+                Ok(FrameRead::Service { kind, .. }) => {
+                    // Data-plane frames belong on blob-server connections,
+                    // never on the rank fabric: treat one as corruption.
+                    let _ = inbox.send(Inbound::LinkDown {
+                        peer,
+                        cause: format!("unexpected data-plane frame (kind {kind}) on the rank fabric"),
+                    });
+                    return;
+                }
                 Ok(FrameRead::Eof) => {
                     // EOF with no BYE: the peer's process died and its
                     // kernel closed the socket. Surface it in-band so a

@@ -43,6 +43,17 @@ pub const KIND_BYTES: u8 = 0;
 pub const KIND_F32: u8 = 1;
 /// `kind` for the graceful-close frame.
 pub const KIND_BYE: u8 = 2;
+/// `kind` for a data-plane batch request (client → blob server). The
+/// header fields are repurposed: `src` is the client's trainer rank, `tag`
+/// the request sequence number, `comm_id` the epoch.
+pub const KIND_DATA_REQ: u8 = 3;
+/// `kind` for a data-plane batch reply (blob server → client): the payload
+/// is the packed record list and `comm_id` carries the augmentation salt.
+pub const KIND_DATA_BATCH: u8 = 4;
+/// `kind` for the data-plane end-of-epoch barrier, sent by the client when
+/// its epoch is drained and echoed by the server once the cross-node
+/// shuffle (if any) has completed.
+pub const KIND_DATA_EOE: u8 = 5;
 /// Refuse frames claiming more than this many payload bytes: a corrupted
 /// length must not become a giant allocation.
 pub const MAX_FRAME_PAYLOAD: u64 = 1 << 31;
@@ -63,9 +74,7 @@ impl Crc32 {
     }
 
     fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.0 = super::CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
-        }
+        self.0 = super::crc32_update(self.0, data);
     }
 
     fn finish(self) -> u32 {
@@ -241,10 +250,41 @@ pub fn write_frames_vectored(w: &mut impl Write, msgs: &[WireMsg]) -> io::Result
 pub enum FrameRead {
     /// A data frame.
     Msg(WireMsg),
+    /// A data-plane service frame ([`KIND_DATA_REQ`], [`KIND_DATA_BATCH`]
+    /// or [`KIND_DATA_EOE`]): same CRC'd envelope, byte payload, but it
+    /// belongs to the blob-server protocol rather than the rank fabric.
+    Service {
+        /// Which data-plane kind arrived.
+        kind: u8,
+        /// The envelope (src / comm_id / tag repurposed per kind) and
+        /// payload bytes.
+        msg: WireMsg,
+    },
     /// The peer closed the connection gracefully (explicit BYE frame).
     Bye,
     /// The stream ended with no BYE: the peer died without shutting down.
     Eof,
+}
+
+/// Send a batch of explicit-kind service frames through one vectored write
+/// — the data-plane analogue of [`write_frames_vectored`] (which derives
+/// the kind from the payload type). Payloads must be bytes; the packed
+/// record lists the blob server ships are never typed `f32` on the wire.
+pub fn write_service_frames_vectored(
+    w: &mut impl Write,
+    frames: &[(u8, WireMsg)],
+) -> io::Result<()> {
+    let parts: Vec<FrameParts> = frames
+        .iter()
+        .map(|(kind, m)| frame_parts(m.src, m.comm_id, m.tag, *kind, m.payload.as_bytes()))
+        .collect();
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(3 * frames.len());
+    for (p, (_, m)) in parts.iter().zip(frames) {
+        bufs.push(&p.head);
+        bufs.push(m.payload.as_bytes());
+        bufs.push(&p.crc);
+    }
+    write_all_vectored(w, &bufs)
 }
 
 #[cfg(target_endian = "little")]
@@ -316,11 +356,11 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
             read_f32_body(r, &mut v, &mut crc)?;
             Some(Payload::f32(v))
         }
-        KIND_BYTES | KIND_BYE => {
+        KIND_BYTES | KIND_BYE | KIND_DATA_REQ | KIND_DATA_BATCH | KIND_DATA_EOE => {
             let mut body = vec![0u8; len as usize];
             r.read_exact(&mut body)?;
             crc.update(&body);
-            (kind == KIND_BYTES).then(|| Payload::bytes(body))
+            (kind != KIND_BYE).then(|| Payload::bytes(body))
         }
         k => {
             return Err(io::Error::new(
@@ -340,6 +380,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
         ));
     }
     match payload {
+        Some(payload) if kind >= KIND_DATA_REQ => {
+            Ok(FrameRead::Service { kind, msg: WireMsg { src, comm_id, tag, payload } })
+        }
         Some(payload) => Ok(FrameRead::Msg(WireMsg { src, comm_id, tag, payload })),
         None => Ok(FrameRead::Bye),
     }
@@ -482,6 +525,36 @@ mod tests {
             "error must name the bad length: {text}"
         );
         assert!(text.contains("rank 2"), "error must name the source: {text}");
+    }
+
+    #[test]
+    fn service_frames_roundtrip_with_kind_intact() {
+        let frames = vec![
+            (KIND_DATA_REQ, msg(2, 5, Payload::bytes(vec![]))),
+            (KIND_DATA_BATCH, msg(0, 6, Payload::bytes((0..=200).collect()))),
+            (KIND_DATA_EOE, msg(1, 0xFFFF_FFFF, Payload::bytes(vec![1]))),
+        ];
+        let mut stream = Vec::new();
+        write_service_frames_vectored(&mut stream, &frames).expect("vec sink");
+        let mut r = stream.as_slice();
+        for (kind, m) in &frames {
+            let FrameRead::Service { kind: k, msg: back } = read_frame(&mut r).expect("decode")
+            else {
+                panic!("expected a service frame");
+            };
+            assert_eq!(k, *kind);
+            assert_eq!((back.src, back.comm_id, back.tag), (m.src, m.comm_id, m.tag));
+            assert_eq!(back.payload.as_bytes(), m.payload.as_bytes());
+        }
+        assert!(matches!(read_frame(&mut r).expect("eof"), FrameRead::Eof));
+        // Truly unknown kinds are still rejected.
+        let parts = frame_parts(0, 0, 0, 9, b"x");
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&parts.head);
+        bad.extend_from_slice(b"x");
+        bad.extend_from_slice(&parts.crc);
+        let err = read_frame(&mut bad.as_slice()).expect_err("must reject");
+        assert!(err.to_string().contains("unknown frame kind 9"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! points dimd → collectives); this module re-exports it so blob-store
 //! code keeps its `crc::crc32` spelling.
 
-pub use dcnn_collectives::transport::crc32;
+pub use dcnn_collectives::transport::{crc32, crc32_bytewise, crc32_update};
 
 #[cfg(test)]
 mod tests {
@@ -21,6 +21,17 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sliced_and_bytewise_agree_on_record_shaped_buffers() {
+        // Blob records are arbitrary-length compressed byte runs; sweep the
+        // alignment classes a record boundary can land on.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1021, 4096] {
+            let data: Vec<u8> =
+                (0..len).map(|i| ((i as u32).wrapping_mul(2654435761) >> 13) as u8).collect();
+            assert_eq!(crc32(&data), crc32_bytewise(&data), "len {len}");
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod fileserver;
 pub mod image;
 pub mod plan;
 pub mod prefetch;
+pub mod service;
 pub mod shuffle;
 pub mod store;
 pub mod synth;
@@ -47,5 +48,7 @@ pub use fileserver::FileServer;
 pub use image::RawImage;
 pub use plan::{plan_groups, PartitionPlan};
 pub use prefetch::Prefetcher;
-pub use store::{Dimd, ValSet};
+pub use service::{serve_blocking, BatchSource, Hello, LocalSource, ServiceClient, ServiceSource};
+pub use shuffle::{try_shuffle_hosted, HostedPartition, HostedShuffle, Record};
+pub use store::{decode_augmented_batch, Dimd, ValSet};
 pub use synth::{SynthConfig, SynthImageNet};

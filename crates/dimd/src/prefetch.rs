@@ -1,28 +1,84 @@
-//! The donkey prefetch pipeline, for real: a background thread decodes and
-//! augments upcoming mini-batches while the GPUs train on the current one —
+//! The donkey prefetch pipeline, for real: background threads decode and
+//! augment upcoming mini-batches while the GPUs train on the current one —
 //! exactly the overlap Torch's donkeys are supposed to provide and that DIMD
 //! makes possible (in-memory records decode fast enough to stay ahead,
 //! §4.1).
 //!
 //! [`Prefetcher::run_epoch`] takes ownership of the [`Dimd`] partition,
-//! streams `iterations` batches through a bounded channel, and returns the
+//! streams `iterations` batches through the pipeline, and returns the
 //! partition when joined — ready for the end-of-epoch shuffle.
+//!
+//! The pipeline has two stages, mirroring the data-plane service split:
+//! a *picker* thread draws records from the store (cheap — no decode), and
+//! `workers` decode threads run the JPEG-decode + augment + normalize work
+//! in parallel. `depth` bounds the number of batches picked but not yet
+//! consumed to *exactly* `depth` (the old bounded-channel design allowed
+//! `depth + 1`: `depth` queued plus one blocked in `send`).
 
 use dcnn_tensor::Tensor;
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crate::store::Dimd;
+use crate::shuffle::Record;
+use crate::store::{decode_augmented_batch, Dimd};
+
+/// A counting gate: `acquire` blocks until a permit is free (or the gate
+/// closes), `release` returns one. Bounds in-flight batches to the permit
+/// count exactly.
+struct Permits {
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Permits {
+    fn new(count: usize) -> Self {
+        Permits { state: Mutex::new((count, false)), cv: Condvar::new() }
+    }
+
+    /// Take a permit; `false` means the gate closed while waiting.
+    fn acquire(&self) -> bool {
+        let mut st = self.state.lock().expect("permit lock");
+        loop {
+            if st.1 {
+                return false;
+            }
+            if st.0 > 0 {
+                st.0 -= 1;
+                return true;
+            }
+            st = self.cv.wait(st).expect("permit lock");
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("permit lock");
+        st.0 += 1;
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("permit lock");
+        st.1 = true;
+        self.cv.notify_all();
+    }
+}
 
 /// A running prefetch pipeline for one epoch.
 pub struct Prefetcher {
-    rx: Receiver<(Tensor, Vec<usize>)>,
-    handle: std::thread::JoinHandle<Dimd>,
+    outs: Vec<Receiver<(Tensor, Vec<usize>)>>,
+    next: Cell<usize>,
+    permits: Arc<Permits>,
+    produced: Arc<AtomicUsize>,
+    picker: std::thread::JoinHandle<Dimd>,
+    decoders: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Prefetcher {
-    /// Spawn the donkey thread: it produces `iterations` batches of
-    /// `batch` images cropped to `crop²`, keeping at most `depth` decoded
-    /// batches queued ahead of the consumer.
+    /// Spawn the pipeline with a single decode thread: `iterations`
+    /// batches of `batch` images cropped to `crop²`, at most `depth`
+    /// batches picked but not yet consumed.
     pub fn run_epoch(
         dimd: Dimd,
         iterations: usize,
@@ -30,33 +86,91 @@ impl Prefetcher {
         crop: usize,
         depth: usize,
     ) -> Prefetcher {
+        Prefetcher::run_epoch_with(dimd, iterations, batch, crop, depth, 1)
+    }
+
+    /// [`Prefetcher::run_epoch`] with `workers` parallel decode threads.
+    /// Batches are handed to decoders round-robin and consumed in the same
+    /// order, so the delivered sequence is identical for any worker count.
+    pub fn run_epoch_with(
+        dimd: Dimd,
+        iterations: usize,
+        batch: usize,
+        crop: usize,
+        depth: usize,
+        workers: usize,
+    ) -> Prefetcher {
         assert!(depth >= 1, "queue depth must be at least 1");
-        let (tx, rx) = sync_channel(depth);
-        let handle = std::thread::spawn(move || {
+        assert!(workers >= 1, "need at least one decode worker");
+        let permits = Arc::new(Permits::new(depth));
+        let produced = Arc::new(AtomicUsize::new(0));
+
+        let mut job_txs: Vec<Sender<(u64, Vec<Record>)>> = Vec::with_capacity(workers);
+        let mut outs = Vec::with_capacity(workers);
+        let mut decoders = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = channel::<(u64, Vec<Record>)>();
+            let (out_tx, out_rx) = channel();
+            job_txs.push(job_tx);
+            outs.push(out_rx);
+            decoders.push(std::thread::spawn(move || {
+                while let Ok((salt, records)) = job_rx.recv() {
+                    if out_tx.send(decode_augmented_batch(&records, crop, salt)).is_err() {
+                        break; // consumer dropped early
+                    }
+                }
+            }));
+        }
+
+        let picker_permits = Arc::clone(&permits);
+        let picker_produced = Arc::clone(&produced);
+        let picker = std::thread::spawn(move || {
             let mut dimd = dimd;
-            for _ in 0..iterations {
-                let b = dimd.random_batch(batch, crop);
-                if tx.send(b).is_err() {
-                    break; // consumer dropped early
+            for i in 0..iterations {
+                if !picker_permits.acquire() {
+                    break; // consumer finished early
+                }
+                let job = dimd.sample_batch_records(batch);
+                picker_produced.fetch_add(1, Ordering::SeqCst);
+                if job_txs[i % job_txs.len()].send(job).is_err() {
+                    break;
                 }
             }
             dimd
         });
-        Prefetcher { rx, handle }
+
+        Prefetcher { outs, next: Cell::new(0), permits, produced, picker, decoders }
     }
 
-    /// Receive the next batch (blocks until the donkey catches up).
+    /// Receive the next batch (blocks until the pipeline catches up).
     ///
     /// # Panics
     /// Panics if more than `iterations` batches are requested.
     pub fn next_batch(&self) -> (Tensor, Vec<usize>) {
-        self.rx.recv().expect("prefetcher exhausted: more batches requested than produced")
+        let w = self.next.get();
+        self.next.set((w + 1) % self.outs.len());
+        let b = self.outs[w]
+            .recv()
+            .expect("prefetcher exhausted: more batches requested than produced");
+        self.permits.release();
+        b
     }
 
-    /// Join the donkey thread and recover the partition.
+    /// Batches picked from the store so far (consumed or in flight) —
+    /// observable so tests can pin the `depth` bound.
+    pub fn produced(&self) -> usize {
+        self.produced.load(Ordering::SeqCst)
+    }
+
+    /// Join the pipeline and recover the partition.
     pub fn finish(self) -> Dimd {
-        drop(self.rx);
-        self.handle.join().expect("prefetch thread panicked")
+        self.permits.close();
+        drop(self.outs);
+        let dimd = self.picker.join().expect("prefetch picker panicked");
+        for d in self.decoders {
+            d.join().expect("prefetch decoder panicked");
+        }
+        dimd
     }
 }
 
@@ -90,12 +204,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_decoders_preserve_batch_order() {
+        let ds = ds();
+        let mut direct = Dimd::load_partition(&ds, 0, 1, 70, 21);
+        let pre = Dimd::load_partition(&ds, 0, 1, 70, 21);
+        // 3 decode workers: delivery order must still match direct sampling.
+        let p = Prefetcher::run_epoch_with(pre, 7, 4, 16, 2, 3);
+        for i in 0..7 {
+            let (xd, ld) = direct.random_batch(4, 16);
+            let (xp, lp) = p.next_batch();
+            assert_eq!(xd, xp, "batch {i} out of order");
+            assert_eq!(ld, lp, "batch {i} labels out of order");
+        }
+        p.finish();
+    }
+
+    #[test]
+    fn depth_bounds_picked_batches_exactly() {
+        let ds = ds();
+        let dimd = Dimd::load_partition(&ds, 0, 1, 70, 5);
+        let depth = 3;
+        let p = Prefetcher::run_epoch(dimd, 100, 2, 16, depth);
+        // Consume nothing: the picker must stall at exactly `depth` picks
+        // (the old sync_channel(depth) design crept to depth + 1).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while p.produced() < depth && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(p.produced(), depth, "picker did not reach depth");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(p.produced(), depth, "picker overran the depth bound");
+        // Consuming one batch frees exactly one permit.
+        let _ = p.next_batch();
+        while p.produced() < depth + 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(p.produced(), depth + 1);
+        p.finish();
+    }
+
+    #[test]
     fn early_drop_does_not_hang() {
         let ds = ds();
         let dimd = Dimd::load_partition(&ds, 0, 1, 70, 9);
         let p = Prefetcher::run_epoch(dimd, 100, 4, 16, 1);
         let _ = p.next_batch();
-        let back = p.finish(); // drops the receiver with 99 batches pending
+        let back = p.finish(); // closes the gate with 99 batches pending
         assert_eq!(back.len(), 36);
     }
 

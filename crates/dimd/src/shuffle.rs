@@ -21,7 +21,11 @@ pub const MPI_COUNT_LIMIT: usize = i32::MAX as usize;
 /// A record travelling through the shuffle: compressed bytes + label.
 pub type Record = (Vec<u8>, u32);
 
-fn pack(records: &[Record]) -> Vec<u8> {
+/// Pack records into their exchange form: per record
+/// `len u32 | label u32 | bytes`. The same encoding carries shuffle
+/// segments between ranks and mini-batches from a blob server to its
+/// clients (`dimd::service`).
+pub fn pack(records: &[Record]) -> Vec<u8> {
     let total: usize = records.iter().map(|(b, _)| 8 + b.len()).sum();
     let mut out = Vec::with_capacity(total);
     for (bytes, label) in records {
@@ -89,7 +93,11 @@ impl std::fmt::Display for ShuffleError {
 
 impl std::error::Error for ShuffleError {}
 
-fn unpack(buf: &[u8], out: &mut Vec<Record>) -> Result<(), (usize, ShuffleErrorKind)> {
+/// Parse a [`pack`]-encoded buffer, appending records to `out`. On a
+/// truncated record, returns the byte offset where parsing stopped plus
+/// what was missing; callers wrap that into a [`ShuffleError`] (or a
+/// data-plane equivalent) with link context.
+pub fn unpack(buf: &[u8], out: &mut Vec<Record>) -> Result<(), (usize, ShuffleErrorKind)> {
     let mut off = 0usize;
     while off < buf.len() {
         let rest = &buf[off..];
@@ -143,45 +151,132 @@ pub fn try_shuffle_records(
     seed: u64,
     max_segment_bytes: usize,
 ) -> Result<Vec<Record>, ShuffleError> {
-    let n = comm.size();
+    let mine = vec![HostedPartition {
+        virtual_rank: comm.rank(),
+        rng_id: comm.global_rank() as u64,
+        seed,
+        records,
+    }];
+    let mut out = try_shuffle_hosted(comm, mine, comm.size(), |v| v, max_segment_bytes)?;
+    Ok(out.partitions.pop().expect("one hosted partition").1)
+}
+
+/// One virtual rank's partition while its shuffle runs on a hosting
+/// fabric. In the classic path every trainer rank hosts its own partition
+/// (`virtual_rank == comm.rank()`); in the data-plane service a smaller
+/// fleet of blob servers hosts all trainer partitions and runs the same
+/// exchange between server processes, bit-for-bit.
+pub struct HostedPartition {
+    /// The trainer rank this partition belongs to — its position in the
+    /// virtual world. Destination draws land in this space and receive
+    /// order replays in this order.
+    pub virtual_rank: usize,
+    /// The id mixed into this partition's rng streams. The classic path
+    /// passes the owner's *global* rank, which differs from
+    /// `virtual_rank` on split sub-communicators.
+    pub rng_id: u64,
+    /// This partition's shuffle-round seed (the classic path's `seed`).
+    pub seed: u64,
+    /// The records currently held for this virtual rank.
+    pub records: Vec<Record>,
+}
+
+/// What [`try_shuffle_hosted`] hands back: each hosted partition's new
+/// records, plus how many alltoallv segment rounds the exchange took
+/// (Algorithm 2's `m` — observable so tests and server logs can prove
+/// the 32-bit segmentation actually engaged).
+pub struct HostedShuffle {
+    /// `(virtual_rank, records)` for every partition passed in, same order.
+    pub partitions: Vec<(usize, Vec<Record>)>,
+    /// Number of alltoallv segment rounds executed.
+    pub rounds: usize,
+}
+
+/// Algorithm 2 generalized to hosted partitions: `comm` is the fabric the
+/// exchange physically runs on (trainer ranks classically, blob servers in
+/// the data-plane service), `mine` the partitions this process hosts,
+/// `virtual_world` the total partition count, and `host_of` the
+/// partition→fabric-rank placement (every process must agree on it).
+///
+/// The result is bitwise-identical to running the classic
+/// [`try_shuffle_records`] with `virtual_world` ranks: destination draws,
+/// greedy segmentation, round count, receive order (by virtual source
+/// rank), and the final local permutation all replay per *virtual* rank,
+/// independent of where the partitions physically live.
+pub fn try_shuffle_hosted(
+    comm: &Comm,
+    mine: Vec<HostedPartition>,
+    virtual_world: usize,
+    host_of: impl Fn(usize) -> usize,
+    max_segment_bytes: usize,
+) -> Result<HostedShuffle, ShuffleError> {
     assert!(max_segment_bytes > 0);
-    if n <= 1 {
-        let mut out = records;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1D);
-        out.shuffle(&mut rng);
-        return Ok(out);
+    assert!(virtual_world >= 1, "virtual world must be non-empty");
+    if virtual_world <= 1 {
+        // Single trainer rank: a purely local permutation, same stream as
+        // the classic single-rank path.
+        let partitions = mine
+            .into_iter()
+            .map(|p| {
+                let mut out = p.records;
+                let mut rng = StdRng::seed_from_u64(p.seed ^ 0xD1D);
+                out.shuffle(&mut rng);
+                (p.virtual_rank, out)
+            })
+            .collect();
+        return Ok(HostedShuffle { partitions, rounds: 0 });
     }
-    let mut rng = StdRng::seed_from_u64(
-        seed.wrapping_mul(0x9E3779B97F4A7C15) ^ comm.global_rank() as u64,
-    );
+    let fabric = comm.size();
 
-    // Assign destinations up front (uniform over ranks, self included).
-    let mut assigned: Vec<(usize, Record)> =
-        records.into_iter().map(|r| (rng.random_range(0..n), r)).collect();
+    // Assign destinations up front, per virtual rank (uniform over the
+    // virtual world, self included) — the stream depends only on the
+    // partition's seed and rng_id, never on placement.
+    // (virtual_rank, rng_id, seed, [(dest, record)]) per hosted partition.
+    type PartState = (usize, u64, u64, Vec<(usize, Record)>);
+    let mut parts: Vec<PartState> = mine
+        .into_iter()
+        .map(|p| {
+            let mut rng =
+                StdRng::seed_from_u64(p.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ p.rng_id);
+            let assigned: Vec<(usize, Record)> = p
+                .records
+                .into_iter()
+                .map(|r| (rng.random_range(0..virtual_world), r))
+                .collect();
+            (p.virtual_rank, p.rng_id, p.seed, assigned)
+        })
+        .collect();
+    let local_of: std::collections::HashMap<usize, usize> =
+        parts.iter().enumerate().map(|(i, p)| (p.0, i)).collect();
 
-    let mut received: Vec<Record> = Vec::new();
+    let mut received: Vec<Vec<Record>> = parts.iter().map(|_| Vec::new()).collect();
     let mut round = 0usize;
-    // Segment greedily: each alltoallv round ships at most
-    // `max_segment_bytes` of payload from this rank — but every rank must
-    // participate in the same number of rounds, so rounds continue until all
-    // ranks are drained (coordinated via an allgather of remaining counts).
+    // Segment greedily per virtual rank: each alltoallv round ships at most
+    // `max_segment_bytes` of payload from each partition — and every fabric
+    // rank participates in the same number of rounds, coordinated via an
+    // allgather of the worst remaining count.
     loop {
-        let mut seg_bytes = 0usize;
-        let mut end = 0usize;
-        while end < assigned.len() {
-            let sz = 8 + assigned[end].1 .0.len();
-            if seg_bytes + sz > max_segment_bytes && end > 0 {
-                break;
+        let mut cuts = Vec::with_capacity(parts.len());
+        let mut my_remaining = 0u64;
+        for (_, _, _, assigned) in &parts {
+            let mut seg_bytes = 0usize;
+            let mut end = 0usize;
+            while end < assigned.len() {
+                let sz = 8 + assigned[end].1 .0.len();
+                if seg_bytes + sz > max_segment_bytes && end > 0 {
+                    break;
+                }
+                seg_bytes += sz;
+                end += 1;
             }
-            seg_bytes += sz;
-            end += 1;
+            my_remaining = my_remaining.max(assigned.len() as u64);
+            cuts.push(end);
         }
 
-        // Do all ranks agree there is nothing left? (allgather of a flag)
-        let remaining = assigned.len() as u64;
+        // Do all fabric ranks agree there is nothing left?
         let flags = dcnn_collectives::primitives::allgather_bytes(
             comm,
-            remaining.to_le_bytes().to_vec(),
+            my_remaining.to_le_bytes().to_vec(),
         );
         let global_remaining: u64 = flags
             .iter()
@@ -192,32 +287,95 @@ pub fn try_shuffle_records(
             break;
         }
 
-        // Build per-destination buffers for this segment.
-        let mut per_dest: Vec<Vec<Record>> = vec![Vec::new(); n];
-        for (dest, rec) in assigned.drain(..end) {
-            per_dest[dest].push(rec);
+        // Frame this round's traffic per destination *server*: a run of
+        // `src_virtual u32 | dst_virtual u32 | len u32 | packed records`
+        // sub-chunks, so the receiver can replay appends in virtual-source
+        // order regardless of which server carried them.
+        let mut send: Vec<Vec<u8>> = vec![Vec::new(); fabric];
+        for ((u, _, _, assigned), end) in parts.iter_mut().zip(&cuts) {
+            let mut per_dest: Vec<Vec<Record>> = vec![Vec::new(); virtual_world];
+            for (dest, rec) in assigned.drain(..*end) {
+                per_dest[dest].push(rec);
+            }
+            for (v, recs) in per_dest.iter().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                let body = pack(recs);
+                let out = &mut send[host_of(v)];
+                out.extend_from_slice(&(*u as u32).to_le_bytes());
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+                out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                out.extend_from_slice(&body);
+            }
         }
-        let send: Vec<Vec<u8>> = per_dest.iter().map(|d| pack(d)).collect();
         let recv = alltoallv_bytes(comm, send);
-        for (src, buf) in recv.iter().enumerate() {
-            unpack(buf, &mut received).map_err(|(offset, kind)| ShuffleError {
-                rank: comm.rank(),
-                src,
-                segment: round,
-                offset,
-                kind,
-            })?;
+
+        // Gather sub-chunks keyed (virtual dst, virtual src); the BTreeMap
+        // iteration then replays each partition's appends in virtual-source
+        // order — exactly the classic path's `for src in 0..n` order.
+        let mut chunks: std::collections::BTreeMap<(usize, usize), Vec<Record>> =
+            std::collections::BTreeMap::new();
+        for (src_server, buf) in recv.iter().enumerate() {
+            let mut off = 0usize;
+            while off < buf.len() {
+                if buf.len() - off < 12 {
+                    return Err(ShuffleError {
+                        rank: comm.rank(),
+                        src: src_server,
+                        segment: round,
+                        offset: off,
+                        kind: ShuffleErrorKind::Header { remaining: buf.len() - off },
+                    });
+                }
+                let u = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4")) as usize;
+                let v =
+                    u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4")) as usize;
+                let len =
+                    u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("4")) as usize;
+                off += 12;
+                if buf.len() - off < len {
+                    return Err(ShuffleError {
+                        rank: comm.rank(),
+                        src: u,
+                        segment: round,
+                        offset: off,
+                        kind: ShuffleErrorKind::Payload { need: len, remaining: buf.len() - off },
+                    });
+                }
+                let slot = chunks.entry((v, u)).or_default();
+                unpack(&buf[off..off + len], slot).map_err(|(o, kind)| ShuffleError {
+                    rank: comm.rank(),
+                    src: u,
+                    segment: round,
+                    offset: off + o,
+                    kind,
+                })?;
+                off += len;
+            }
+        }
+        for ((v, _), recs) in chunks {
+            let li = *local_of
+                .get(&v)
+                .expect("received a chunk for a partition not hosted here: host_of mismatch");
+            received[li].extend(recs);
         }
         round += 1;
     }
 
-    // Local permutation (the paper's final `random_permutation` step).
-    // XOR the salt in (the old `| 0xD1D` forced the low bits on, so seeds
-    // differing only in those bits produced identical permutations).
-    let mut perm_rng =
-        StdRng::seed_from_u64((seed ^ ((comm.global_rank() as u64) << 32)) ^ 0xD1D);
-    received.shuffle(&mut perm_rng);
-    Ok(received)
+    // Local permutation per virtual rank (the paper's final
+    // `random_permutation` step) — XOR the salt in, as in the classic path.
+    let partitions = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (v, rng_id, seed, _))| {
+            let mut recs = std::mem::take(&mut received[i]);
+            let mut perm_rng = StdRng::seed_from_u64((seed ^ (rng_id << 32)) ^ 0xD1D);
+            recs.shuffle(&mut perm_rng);
+            (v, recs)
+        })
+        .collect();
+    Ok(HostedShuffle { partitions, rounds: round })
 }
 
 /// Byte-count matrix of one shuffle round for virtual-time simulation:
@@ -417,6 +575,76 @@ mod tests {
                 .expect("clean exchange")
         });
         assert_eq!(census(&after), expect);
+    }
+
+    /// Per-rank seeds the way `Dimd::shuffle` derives them — the hosted
+    /// path must replay exactly these streams.
+    fn vseed(v: usize) -> u64 {
+        0x55 ^ ((v as u64) << 20)
+    }
+
+    fn hosted_run(servers: usize, virtual_world: usize, cap: usize) -> (Vec<Vec<Record>>, usize) {
+        let outs = run_cluster(servers, move |c| {
+            let mine: Vec<HostedPartition> = (0..virtual_world)
+                .filter(|v| v % servers == c.rank())
+                .map(|v| HostedPartition {
+                    virtual_rank: v,
+                    rng_id: v as u64,
+                    seed: vseed(v),
+                    records: make_records(v, 25),
+                })
+                .collect();
+            let out = try_shuffle_hosted(c, mine, virtual_world, |v| v % servers, cap)
+                .expect("clean hosted exchange");
+            (out.partitions, out.rounds)
+        });
+        let mut by_v: Vec<Vec<Record>> = vec![Vec::new(); virtual_world];
+        let mut rounds = 0;
+        for (partitions, r) in outs {
+            rounds = rounds.max(r);
+            for (v, recs) in partitions {
+                by_v[v] = recs;
+            }
+        }
+        (by_v, rounds)
+    }
+
+    #[test]
+    fn hosted_shuffle_matches_classic_bitwise() {
+        let t = 4;
+        // The reference: t trainer ranks each shuffling their own partition.
+        let classic = run_cluster(t, |c| {
+            shuffle_records(c, make_records(c.rank(), 25), vseed(c.rank()), MPI_COUNT_LIMIT)
+        });
+        // The same virtual world hosted on fewer servers — including a
+        // single server, where the whole exchange is self-delivery.
+        for servers in [1, 2] {
+            let (hosted, _) = hosted_run(servers, t, MPI_COUNT_LIMIT);
+            assert_eq!(hosted, classic, "{servers} servers");
+        }
+    }
+
+    #[test]
+    fn hosted_shuffle_matches_classic_under_segmentation() {
+        // A 96-byte cap forces many alltoallv rounds; segmentation changes
+        // the receive order, so equality here proves the hosted greedy cuts
+        // and round count replay the classic ones per virtual rank.
+        let t = 4;
+        let classic = run_cluster(t, |c| {
+            shuffle_records(c, make_records(c.rank(), 25), vseed(c.rank()), 96)
+        });
+        let (hosted, rounds) = hosted_run(2, t, 96);
+        assert_eq!(hosted, classic);
+        assert!(rounds >= 2, "cap did not engage segmentation (rounds={rounds})");
+    }
+
+    #[test]
+    fn hosted_shuffle_single_virtual_rank_is_local() {
+        let (hosted, rounds) = hosted_run(1, 1, MPI_COUNT_LIMIT);
+        let classic =
+            run_cluster(1, |c| shuffle_records(c, make_records(0, 25), vseed(0), MPI_COUNT_LIMIT));
+        assert_eq!(hosted, classic);
+        assert_eq!(rounds, 0);
     }
 
     #[test]

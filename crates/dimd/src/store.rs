@@ -80,11 +80,14 @@ impl Dimd {
         self.records.iter().map(|(b, _)| b.len() + 16).sum()
     }
 
-    /// **Random in-memory batch load** (API ii): decode `n` randomly
-    /// sampled records (without replacement within an epoch pass), apply the
-    /// paper's augmentation (random `crop²` crop + flip) and normalize.
-    /// Returns `([n, 3, crop, crop], labels)`.
-    pub fn random_batch(&mut self, n: usize, crop: usize) -> (Tensor, Vec<usize>) {
+    /// The sampling half of [`Dimd::random_batch`]: advance the epoch
+    /// cursor (reshuffling when a pass completes) and return the picked
+    /// records plus the augmentation salt for this batch. The blob server
+    /// runs exactly this on behalf of a remote trainer rank and ships the
+    /// still-compressed records; the client then decodes them through
+    /// [`decode_augmented_batch`] — the same function the local path calls
+    /// — so local and service-backed training are bitwise identical.
+    pub fn sample_batch_records(&mut self, n: usize) -> (u64, Vec<Record>) {
         assert!(!self.records.is_empty(), "empty partition");
         let mut picks = Vec::with_capacity(n);
         for _ in 0..n {
@@ -95,33 +98,47 @@ impl Dimd {
             picks.push(self.order[self.cursor]);
             self.cursor += 1;
         }
-        // Per-sample decode+augment in parallel ("donkey" threads).
         let salt: u64 = self.epoch_seed.wrapping_add(self.cursor as u64);
-        let decoded: Vec<(Vec<f32>, usize)> = picks
-            .par_iter()
-            .enumerate()
-            .map(|(j, &i)| {
-                let (bytes, label) = &self.records[i];
-                let img = decode_image(bytes);
-                let mut rng = StdRng::seed_from_u64(salt ^ (j as u64) << 17 ^ *label as u64);
-                let img = img.random_crop_flip(crop, &mut rng);
-                (img.to_tensor(&IMAGENET_MEAN, &IMAGENET_STD).into_vec(), *label as usize)
-            })
-            .collect();
-        let mut data = Vec::with_capacity(n * 3 * crop * crop);
-        let mut labels = Vec::with_capacity(n);
-        for (img, label) in decoded {
-            data.extend_from_slice(&img);
-            labels.push(label);
-        }
-        (Tensor::from_vec(data, &[n, 3, crop, crop]), labels)
+        (salt, picks.iter().map(|&i| self.records[i].clone()).collect())
+    }
+
+    /// **Random in-memory batch load** (API ii): decode `n` randomly
+    /// sampled records (without replacement within an epoch pass), apply the
+    /// paper's augmentation (random `crop²` crop + flip) and normalize.
+    /// Returns `([n, 3, crop, crop], labels)`.
+    pub fn random_batch(&mut self, n: usize, crop: usize) -> (Tensor, Vec<usize>) {
+        let (salt, records) = self.sample_batch_records(n);
+        decode_augmented_batch(&records, crop, salt)
     }
 
     /// **Shuffle across learners** (API iii): Algorithm 2 over the ranks of
     /// `comm` (pass a group sub-communicator for group-based shuffles).
     pub fn shuffle(&mut self, comm: &Comm, round: u64, max_segment_bytes: usize) {
-        let records = std::mem::take(&mut self.records);
-        self.records = shuffle_records(comm, records, self.epoch_seed ^ round, max_segment_bytes);
+        let records = self.take_records();
+        let out = shuffle_records(comm, records, self.epoch_seed ^ round, max_segment_bytes);
+        self.install_shuffled_records(out);
+    }
+
+    /// The base seed this partition's sampling and shuffle streams derive
+    /// from (what `load_partition` was given).
+    pub fn epoch_seed(&self) -> u64 {
+        self.epoch_seed
+    }
+
+    /// Remove this partition's records for an externally-run exchange —
+    /// the blob-server fabric runs the hosted shuffle over many trainers'
+    /// partitions at once ([`crate::shuffle::try_shuffle_hosted`]) and
+    /// cannot go through [`Dimd::shuffle`]'s per-`Comm`-rank path.
+    pub fn take_records(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Install post-exchange records with exactly [`Dimd::shuffle`]'s
+    /// bookkeeping: rebuild the sampling order, reshuffle it with the
+    /// *ongoing* rng (so subsequent picks continue the same stream as the
+    /// classic path), and rewind the epoch cursor.
+    pub fn install_shuffled_records(&mut self, records: Vec<Record>) {
+        self.records = records;
         self.order = (0..self.records.len()).collect();
         self.order.shuffle(&mut self.rng);
         self.cursor = 0;
@@ -131,6 +148,33 @@ impl Dimd {
     pub fn labels(&self) -> Vec<u32> {
         self.records.iter().map(|(_, l)| *l).collect()
     }
+}
+
+/// Decode and augment one sampled batch: the per-sample decode + random
+/// crop/flip + normalize pipeline of [`Dimd::random_batch`], factored out
+/// so the data-plane client (which receives still-compressed records and a
+/// salt over the wire) runs the byte-identical code the in-process path
+/// runs. Returns `([n, 3, crop, crop], labels)`.
+pub fn decode_augmented_batch(records: &[Record], crop: usize, salt: u64) -> (Tensor, Vec<usize>) {
+    let n = records.len();
+    // Per-sample decode+augment in parallel ("donkey" threads).
+    let decoded: Vec<(Vec<f32>, usize)> = records
+        .par_iter()
+        .enumerate()
+        .map(|(j, (bytes, label))| {
+            let img = decode_image(bytes);
+            let mut rng = StdRng::seed_from_u64(salt ^ (j as u64) << 17 ^ *label as u64);
+            let img = img.random_crop_flip(crop, &mut rng);
+            (img.to_tensor(&IMAGENET_MEAN, &IMAGENET_STD).into_vec(), *label as usize)
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * 3 * crop * crop);
+    let mut labels = Vec::with_capacity(n);
+    for (img, label) in decoded {
+        data.extend_from_slice(&img);
+        labels.push(label);
+    }
+    (Tensor::from_vec(data, &[n, 3, crop, crop]), labels)
 }
 
 /// The in-memory validation set. The paper stores *two* blob files — "two

@@ -16,7 +16,7 @@ use dcnn_collectives::{
     run_cluster, Allreduce, AllreduceAlgo, FaultSpec, OverlapMode, RuntimeConfig,
 };
 use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
-use dcnn_dimd::{Dimd, Prefetcher, SynthImageNet, ValSet};
+use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthImageNet, ValSet};
 use dcnn_dpt::{DptExecutor, DptStrategy};
 use dcnn_tensor::layers::{set_grads, Module};
 use dcnn_tensor::loss::SoftmaxCrossEntropy;
@@ -58,6 +58,19 @@ pub struct TrainConfig {
     pub fp16_grads: bool,
     /// Donkey prefetch queue depth (0 = decode batches inline).
     pub prefetch_depth: usize,
+    /// Parallel decode threads per rank for the prefetch pipeline and the
+    /// data-plane client (`DCNN_DATA_DECODE_WORKERS`; delivery order is
+    /// identical for any count).
+    pub decode_workers: usize,
+    /// Comma-separated blob-server addresses (`DCNN_DATA_SERVICE`). When
+    /// set, this rank streams its mini-batches from the data-plane service
+    /// instead of loading a [`Dimd`] partition in-process; the servers own
+    /// the partitions and run the cross-node epoch shuffle.
+    pub data_service: Option<String>,
+    /// Algorithm 2 segmentation cap (bytes) for the cross-node epoch
+    /// shuffle. Defaults to MPI's 32-bit count limit; tests lower it to
+    /// force multi-round exchanges.
+    pub shuffle_segment_bytes: usize,
     /// Gradient-accumulation micro-steps: each iteration averages this many
     /// sequential micro-batches before the allreduce, multiplying the
     /// effective batch without more device memory (extension).
@@ -115,6 +128,9 @@ impl TrainConfig {
             validate: true,
             fp16_grads: false,
             prefetch_depth: 0,
+            decode_workers: 1,
+            data_service: None,
+            shuffle_segment_bytes: MPI_COUNT_LIMIT,
             accum_steps: 1,
             bucket_bytes: 0,
             overlap: OverlapMode::Hooked,
@@ -127,11 +143,21 @@ impl TrainConfig {
 
     /// Overlay the training-related fields of a parsed [`RuntimeConfig`]
     /// (only the variables that were actually set): `DCNN_BUCKET_BYTES`,
-    /// `DCNN_OVERLAP_MODE`, `DCNN_INFLIGHT_BUDGET`, `DCNN_FAULT` and
-    /// `DCNN_CHECKPOINT_DIR`.
+    /// `DCNN_OVERLAP_MODE`, `DCNN_INFLIGHT_BUDGET`, `DCNN_FAULT`,
+    /// `DCNN_CHECKPOINT_DIR`, `DCNN_DATA_PREFETCH_DEPTH`,
+    /// `DCNN_DATA_DECODE_WORKERS` and `DCNN_DATA_SERVICE`.
     pub fn apply_runtime(&mut self, rt: &RuntimeConfig) {
         if let Some(b) = rt.bucket_bytes {
             self.bucket_bytes = b;
+        }
+        if let Some(d) = rt.data_prefetch_depth {
+            self.prefetch_depth = d;
+        }
+        if let Some(w) = rt.data_decode_workers {
+            self.decode_workers = w.max(1);
+        }
+        if let Some(s) = &rt.data_service {
+            self.data_service = Some(s.clone());
         }
         if let Some(m) = rt.overlap_mode {
             self.overlap = m;
@@ -322,7 +348,11 @@ fn run_rank(
     let iterations = (ds.train_len() / global_batch).max(1);
     let sgd = Sgd::new(cfg.sgd.clone());
 
-    let mut dimd = Some(Dimd::load_partition(ds, me, n, cfg.quality, cfg.seed ^ (me as u64) << 20));
+    // Service mode skips the in-process partition entirely: the blob
+    // servers own the DIMD partitions and this rank only streams batches.
+    let mut dimd = cfg.data_service.is_none().then(|| {
+        Dimd::load_partition(ds, me, n, cfg.quality, cfg.seed ^ (me as u64) << 20)
+    });
     // The validation blob (paper §4.1's second DIMD file) lives whole on
     // every learner; evaluation decodes from it, like training does.
     let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
@@ -446,20 +476,60 @@ fn train_epochs(st: TrainState<'_>) {
     let heartbeat = cfg.fault.is_some();
     let mut global_step = 0usize;
 
+    // One batch source for the whole run, behind the data-plane seam: the
+    // in-process partition (optionally fronted by the donkey prefetch
+    // pipeline) or a remote blob server when `DCNN_DATA_SERVICE` is set.
+    // Both deliver byte-identical batches for identical seeds.
+    let mut source: Box<dyn BatchSource + '_> = match &cfg.data_service {
+        None => Box::new(LocalSource::new(
+            comm,
+            dimd.take().expect("partition present"),
+            iterations * cfg.accum_steps.max(1),
+            batch_node,
+            cfg.crop,
+            cfg.prefetch_depth,
+            cfg.decode_workers,
+            cfg.shuffle_segment_bytes,
+        )),
+        Some(spec) => {
+            let addrs: Vec<String> = spec.split(',').map(|s| s.trim().to_string()).collect();
+            let hello = Hello {
+                rank: me,
+                world: n,
+                batch: batch_node,
+                requests_per_epoch: iterations * cfg.accum_steps.max(1),
+                epochs: cfg.epochs,
+                shuffle_every: cfg.shuffle_every_epochs,
+                segment_bytes: cfg.shuffle_segment_bytes as u64,
+            };
+            let src = ServiceSource::connect(
+                &addrs,
+                hello,
+                cfg.crop,
+                cfg.prefetch_depth,
+                cfg.decode_workers,
+                std::time::Duration::from_secs(30),
+            )
+            .unwrap_or_else(|e| {
+                // Surface an unreachable server through the same structured
+                // channel a mid-run death uses.
+                std::panic::panic_any(CommError::PeerDead {
+                    rank: me,
+                    peer: me % addrs.len(),
+                    cause: format!("data service connect: {e}"),
+                    phase: Some("data-plane".into()),
+                    bucket: None,
+                    label: None,
+                })
+            });
+            Box::new(src)
+        }
+    };
+
     for epoch in 0..cfg.epochs {
         let ep_comm = comm.stats();
         progress.begin(epoch, ep_comm.clone());
-        // Optional donkey pipeline: decode the next batches on a background
-        // thread while the replicas train on the current one.
-        let prefetch = (cfg.prefetch_depth > 0).then(|| {
-            Prefetcher::run_epoch(
-                dimd.take().expect("partition present"),
-                iterations * cfg.accum_steps.max(1),
-                batch_node,
-                cfg.crop,
-                cfg.prefetch_depth,
-            )
-        });
+        source.begin_epoch(epoch);
         for it in 0..iterations {
             let frac_epoch = epoch as f32 + it as f32 / iterations as f32;
             let lr = cfg.lr.lr_at(frac_epoch);
@@ -470,13 +540,7 @@ fn train_epochs(st: TrainState<'_>) {
             let mut micro_loss = 0.0;
             let mut micro_correct = 0u64;
             for micro in 0..accum {
-                let (x, labels) = match &prefetch {
-                    Some(p) => p.next_batch(),
-                    None => dimd
-                        .as_mut()
-                        .expect("partition present")
-                        .random_batch(batch_node, cfg.crop),
-                };
+                let (x, labels) = source.next_batch();
                 if hooked && micro + 1 == accum {
                     // Final micro-batch: stream parameter ranges out of the
                     // backward pass, finalizing each range in place (add the
@@ -544,9 +608,6 @@ fn train_epochs(st: TrainState<'_>) {
             }
             global_step += 1;
         }
-        if let Some(p) = prefetch {
-            *dimd = Some(p.finish());
-        }
         let (l, c, cnt) =
             allreduce_stats(comm, progress.loss_sum, progress.correct, progress.seen);
         let val_acc = match val {
@@ -596,10 +657,11 @@ fn train_epochs(st: TrainState<'_>) {
                 }
             }
         }
-        if cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0 {
-            dimd.as_mut().expect("partition present").shuffle(comm, epoch as u64, MPI_COUNT_LIMIT);
-        }
+        let shuffle_due =
+            cfg.shuffle_every_epochs > 0 && (epoch + 1) % cfg.shuffle_every_epochs == 0;
+        source.end_epoch(epoch, shuffle_due);
     }
+    *dimd = source.finish();
 }
 
 /// A peer died mid-epoch: preserve what this rank can before the unwind

@@ -9,14 +9,23 @@
 //! integration tests and `ci.sh`'s smoke test compare exactly that.
 
 use dcnn_collectives::primitives::allgather_bytes;
+use dcnn_collectives::transport::crc32_update;
 use dcnn_collectives::{crc32, AllreduceAlgo, Comm, RuntimeConfig};
-use dcnn_dimd::{SynthConfig, SynthImageNet};
+use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthConfig, SynthImageNet};
 use dcnn_tensor::optim::LrSchedule;
 use dcnn_trainer::{train_on_comm, TrainConfig};
 
 /// Names every registered workload, in registry order.
 pub fn workload_names() -> &'static [&'static str] {
-    &["allreduce", "quickstart-epoch", "bucketed-epoch", "overlap-epoch", "fault-epoch"]
+    &[
+        "allreduce",
+        "quickstart-epoch",
+        "bucketed-epoch",
+        "overlap-epoch",
+        "fault-epoch",
+        "data-epoch",
+        "data-storm",
+    ]
 }
 
 /// Look a workload up by name.
@@ -27,6 +36,8 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "bucketed-epoch" => Some(bucketed_epoch_workload),
         "overlap-epoch" => Some(overlap_epoch_workload),
         "fault-epoch" => Some(fault_epoch_workload),
+        "data-epoch" => Some(data_epoch_workload),
+        "data-storm" => Some(data_storm_workload),
         _ => None,
     }
 }
@@ -305,6 +316,194 @@ pub fn fault_epoch_workload(comm: &Comm) -> Vec<String> {
                 s.train_loss,
                 s.train_acc
             )
+        })
+        .collect()
+}
+
+/// The dataset and shuffle parameters shared by the data-plane workloads
+/// (`data-epoch`, `data-storm`) and the `dcnn-data-server` binary. The
+/// trainers and the servers are separate OS processes that never exchange
+/// configuration beyond the [`Hello`] handshake, so both sides derive the
+/// dataset, the per-rank partition seeds and the epoch-shuffle parameters
+/// from this one function — config skew here is exactly what the server's
+/// handshake cross-check exists to catch.
+#[derive(Clone)]
+pub struct DataPlaneSpec {
+    /// Synthetic dataset shape (identical on every participant).
+    pub synth: SynthConfig,
+    /// DIMD codec quality.
+    pub quality: u8,
+    /// Base seed; rank `r`'s partition uses `seed ^ (r << 20)`.
+    pub seed: u64,
+    /// Epochs the job runs.
+    pub epochs: usize,
+    /// Cross-node shuffle cadence (epochs).
+    pub shuffle_every: usize,
+    /// Algorithm 2 segmentation cap, deliberately tiny so even this toy
+    /// dataset forces multi-round segmented exchanges.
+    pub segment_bytes: usize,
+    /// Network input crop.
+    pub crop: usize,
+}
+
+/// The one spec both data-plane workloads and the server binary share.
+pub fn data_plane_spec() -> DataPlaneSpec {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 24;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    DataPlaneSpec {
+        synth,
+        quality: 70,
+        seed: 42,
+        epochs: 2,
+        shuffle_every: 1,
+        segment_bytes: 2048,
+        crop: 16,
+    }
+}
+
+/// Load the [`Dimd`] partition for virtual rank `v` of `world` under the
+/// data-plane spec — the same call the trainer makes in-process and the
+/// blob server makes on behalf of its hosted ranks.
+pub fn data_plane_partition(spec: &DataPlaneSpec, ds: &SynthImageNet, v: usize, world: usize) -> Dimd {
+    Dimd::load_partition(ds, v, world, spec.quality, spec.seed ^ ((v as u64) << 20))
+}
+
+/// Two epochs of quickstart-model training with the cross-node epoch
+/// shuffle on (cadence 1) and a deliberately small Algorithm 2 segment cap,
+/// so epoch 1's batches depend on a real multi-round segmented alltoallv.
+/// With `DCNN_DATA_SERVICE` set, every rank streams its batches from the
+/// blob-server fleet instead of loading a partition in-process — and must
+/// print byte-identical `epoch` lines, which is the data plane's
+/// correctness contract (`ci.sh` diffs exactly that).
+pub fn data_epoch_workload(comm: &Comm) -> Vec<String> {
+    let spec = data_plane_spec();
+    let ds = SynthImageNet::new(spec.synth.clone());
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, spec.epochs, &runtime());
+    cfg.crop = spec.crop;
+    cfg.validate = false;
+    cfg.quality = spec.quality;
+    cfg.seed = spec.seed;
+    cfg.shuffle_every_epochs = spec.shuffle_every;
+    cfg.shuffle_segment_bytes = spec.segment_bytes;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 6,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(77)
+    });
+    stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect()
+}
+
+/// Data-plane soak: every rank is a pure *consumer* — no model, no SGD —
+/// that drains its full share of batches for all epochs and fingerprints
+/// every byte it saw. With `DCNN_DATA_SERVICE` set the ranks hammer the
+/// blob-server fleet concurrently (the many-client storm); without it each
+/// rank serves itself in-process from the same partitions. Both modes must
+/// emit identical `storm rank=` lines — the service can't lose, duplicate
+/// or reorder a batch without changing a crc.
+pub fn data_storm_workload(comm: &Comm) -> Vec<String> {
+    let spec = data_plane_spec();
+    let ds = SynthImageNet::new(spec.synth.clone());
+    let rt = runtime();
+    let n = comm.size();
+    let me = comm.rank();
+    let batch = 4;
+    let iterations = (ds.train_len() / (batch * n)).max(1);
+    let depth = rt.data_prefetch_depth_or_default();
+    let workers = rt.data_decode_workers_or_default();
+
+    let mut source: Box<dyn BatchSource> = match &rt.data_service {
+        None => Box::new(LocalSource::new(
+            comm,
+            data_plane_partition(&spec, &ds, me, n),
+            iterations,
+            batch,
+            spec.crop,
+            depth,
+            workers,
+            spec.segment_bytes,
+        )),
+        Some(addrs) => {
+            let addrs: Vec<String> =
+                addrs.split(',').map(|s| s.trim().to_string()).collect();
+            let hello = Hello {
+                rank: me,
+                world: n,
+                batch,
+                requests_per_epoch: iterations,
+                epochs: spec.epochs,
+                shuffle_every: spec.shuffle_every,
+                segment_bytes: spec.segment_bytes as u64,
+            };
+            let src = ServiceSource::connect(
+                &addrs,
+                hello,
+                spec.crop,
+                depth,
+                workers,
+                std::time::Duration::from_secs(30),
+            )
+            .unwrap_or_else(|e| panic!("rank {me}: {e}"));
+            Box::new(src)
+        }
+    };
+
+    let mut crc = !0u32;
+    let mut batches = 0usize;
+    for epoch in 0..spec.epochs {
+        source.begin_epoch(epoch);
+        for _ in 0..iterations {
+            let (x, labels) = source.next_batch();
+            for v in x.data() {
+                crc = crc32_update(crc, &v.to_le_bytes());
+            }
+            for l in &labels {
+                crc = crc32_update(crc, &(*l as u64).to_le_bytes());
+            }
+            batches += 1;
+        }
+        let shuffle_due =
+            spec.shuffle_every > 0 && (epoch + 1) % spec.shuffle_every == 0;
+        source.end_epoch(epoch, shuffle_due);
+    }
+    source.finish();
+    let crc = !crc;
+
+    // Rank 0's report covers every rank: gather (batches, crc) pairs.
+    let mut mine = Vec::with_capacity(12);
+    mine.extend_from_slice(&(batches as u64).to_le_bytes());
+    mine.extend_from_slice(&crc.to_le_bytes());
+    allgather_bytes(comm, mine)
+        .iter()
+        .enumerate()
+        .map(|(r, b)| {
+            let n_batches = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+            let c = u32::from_le_bytes(b[8..12].try_into().expect("4"));
+            format!("storm rank={r} batches={n_batches} crc={c:08x}")
         })
         .collect()
 }

@@ -1,0 +1,262 @@
+//! Process-level coverage for the DIMD data-plane service: real
+//! `dcnn-data-server` processes serving real `dcnn-launch` trainer
+//! processes over TCP. The contract under test is the paper's §4.1
+//! deployment story — moving the blob partitions out of the learners and
+//! onto rank-resident servers must not change a single bit of training:
+//! the `epoch loss=` lines (full f64 precision) and the storm crcs have to
+//! match the in-process run exactly, shuffles included.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// A scratch directory unique to this test process, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("dcnn-data-plane-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned blob server, killed on drop so a failing test can't leak it.
+struct Server(Child);
+
+impl Server {
+    fn wait(mut self) -> Output {
+        let mut child = std::mem::replace(&mut self.0, dummy_child());
+        std::mem::forget(self);
+        let status = child.wait().expect("wait server");
+        let mut stderr = Vec::new();
+        if let Some(mut e) = child.stderr.take() {
+            use std::io::Read;
+            let _ = e.read_to_end(&mut stderr);
+        }
+        Output { status, stdout: Vec::new(), stderr }
+    }
+}
+
+fn dummy_child() -> Child {
+    Command::new("true").spawn().expect("spawn /bin/true")
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn clean_env(cmd: &mut Command) {
+    for var in dcnn_collectives::RuntimeConfig::ENV_VARS {
+        cmd.env_remove(var);
+    }
+}
+
+/// Start one server of a fleet and return it with the path its bound
+/// address will appear at.
+fn spawn_server(
+    scratch: &Scratch,
+    workload: &str,
+    world: usize,
+    rank: usize,
+    servers: usize,
+    rendezvous: Option<&str>,
+    envs: &[(&str, &str)],
+) -> (Server, PathBuf) {
+    let addr_file = scratch.path(&format!("addr{rank}"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcnn-data-server"));
+    cmd.args(["--workload", workload, "--world", &world.to_string()])
+        .args(["--rank", &rank.to_string(), "--servers", &servers.to_string()])
+        .args(["--addr-file", addr_file.to_str().expect("utf8 path")])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(r) = rendezvous {
+        cmd.args(["--rendezvous", r]);
+    }
+    clean_env(&mut cmd);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    (Server(cmd.spawn().expect("spawn dcnn-data-server")), addr_file)
+}
+
+/// Block until every server has published its listen address.
+fn collect_addrs(files: &[PathBuf]) -> String {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut addrs = Vec::with_capacity(files.len());
+    for f in files {
+        loop {
+            match std::fs::read_to_string(f) {
+                Ok(a) if !a.is_empty() => {
+                    addrs.push(a);
+                    break;
+                }
+                _ if Instant::now() > deadline => panic!("server never published {f:?}"),
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+    addrs.join(",")
+}
+
+fn launch_trainers(ranks: usize, workload: &str, envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcnn-launch"));
+    cmd.args(["--ranks", &ranks.to_string(), "--workload", workload]);
+    clean_env(&mut cmd);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn dcnn-launch")
+}
+
+fn stdout_lines(out: &Output) -> Vec<String> {
+    assert!(
+        out.status.success(),
+        "run failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone())
+        .expect("utf8 report")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// A free localhost port for the servers' private shuffle fabric (probed
+/// then released; the tiny race is acceptable for a test rendezvous).
+fn free_port() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+    l.local_addr().expect("addr").to_string()
+}
+
+/// The tentpole acceptance: two trainer processes streaming from one blob
+/// server process must print byte-identical `epoch loss=` lines to the
+/// same workload run fully in-process — across two epochs with a
+/// cross-node shuffle (run *by the server*, hosting both virtual ranks)
+/// between them.
+#[test]
+fn service_backed_data_epoch_is_bitwise_identical() {
+    let reference = stdout_lines(&launch_trainers(2, "data-epoch", &[]));
+    assert_eq!(reference.len(), 2, "{reference:?}");
+    assert!(reference[0].starts_with("epoch 0 loss="), "{reference:?}");
+
+    let scratch = Scratch::new("one-server");
+    let (server, addr_file) = spawn_server(&scratch, "data-epoch", 2, 0, 1, None, &[]);
+    let addrs = collect_addrs(&[addr_file]);
+    let service =
+        stdout_lines(&launch_trainers(2, "data-epoch", &[("DCNN_DATA_SERVICE", &addrs)]));
+    let srv = server.wait();
+    assert!(srv.status.success(), "server: {}", String::from_utf8_lossy(&srv.stderr));
+    assert_eq!(service, reference, "service-backed epochs diverged from in-process");
+    // The server really ran Algorithm 2 between epochs, segmented: the
+    // tiny cap forces multi-round exchanges.
+    let stderr = String::from_utf8_lossy(&srv.stderr).to_string();
+    for epoch in 0..2 {
+        let line = stderr
+            .lines()
+            .find(|l| l.contains(&format!("shuffle epoch={epoch} rounds=")))
+            .unwrap_or_else(|| panic!("no shuffle log for epoch {epoch}:\n{stderr}"));
+        let rounds: usize =
+            line.rsplit("rounds=").next().expect("rounds field").trim().parse().expect("count");
+        assert!(rounds >= 2, "segmentation did not engage: {line}");
+    }
+}
+
+/// Same contract with the partitions split across a two-server fleet: the
+/// epoch shuffle now runs *between server processes* over their own TCP
+/// fabric (segmented alltoallv, Algorithm 2) and must still reproduce the
+/// in-process run bitwise.
+#[test]
+fn two_server_fleet_is_bitwise_identical() {
+    let reference = stdout_lines(&launch_trainers(2, "data-epoch", &[]));
+
+    let scratch = Scratch::new("two-servers");
+    let rdv = free_port();
+    let (s0, a0) = spawn_server(&scratch, "data-epoch", 2, 0, 2, Some(&rdv), &[]);
+    let (s1, a1) = spawn_server(&scratch, "data-epoch", 2, 1, 2, Some(&rdv), &[]);
+    let addrs = collect_addrs(&[a0, a1]);
+    let service =
+        stdout_lines(&launch_trainers(2, "data-epoch", &[("DCNN_DATA_SERVICE", &addrs)]));
+    for s in [s0.wait(), s1.wait()] {
+        assert!(s.status.success(), "server: {}", String::from_utf8_lossy(&s.stderr));
+        assert!(
+            String::from_utf8_lossy(&s.stderr).contains("shuffle epoch=0 rounds="),
+            "fleet member never shuffled"
+        );
+    }
+    assert_eq!(service, reference, "two-server fleet diverged from in-process");
+}
+
+/// The many-client storm: four consumer processes hammer one server
+/// concurrently with pipelined requests and parallel decode, and every
+/// byte of every batch (fingerprinted per rank) must match the in-process
+/// run — the service can't lose, duplicate or reorder a batch without
+/// changing a crc.
+#[test]
+fn data_storm_four_clients_matches_in_process() {
+    let reference = stdout_lines(&launch_trainers(4, "data-storm", &[]));
+    assert_eq!(reference.len(), 4, "{reference:?}");
+
+    let scratch = Scratch::new("storm");
+    let (server, addr_file) = spawn_server(&scratch, "data-storm", 4, 0, 1, None, &[]);
+    let addrs = collect_addrs(&[addr_file]);
+    let service = stdout_lines(&launch_trainers(
+        4,
+        "data-storm",
+        &[
+            ("DCNN_DATA_SERVICE", &addrs),
+            ("DCNN_DATA_PREFETCH_DEPTH", "3"),
+            ("DCNN_DATA_DECODE_WORKERS", "2"),
+        ],
+    ));
+    let srv = server.wait();
+    assert!(srv.status.success(), "server: {}", String::from_utf8_lossy(&srv.stderr));
+    assert_eq!(service, reference, "storm crcs diverged from in-process");
+}
+
+/// Kill-the-server fault injection: `DCNN_FAULT=kill-after-step=N@0` on
+/// the *server* makes it drop every client after its Nth served batch.
+/// The trainers must die promptly — no hang, no timeout — each with a
+/// structured `PeerDead` report naming the data server on the data plane.
+#[test]
+fn killed_server_fails_trainers_fast_with_structured_error() {
+    let scratch = Scratch::new("fault");
+    let (server, addr_file) =
+        spawn_server(&scratch, "data-epoch", 2, 0, 1, None, &[("DCNN_FAULT", "kill-after-step=5@0")]);
+    let addrs = collect_addrs(&[addr_file]);
+
+    let start = Instant::now();
+    let out = launch_trainers(2, "data-epoch", &[("DCNN_DATA_SERVICE", &addrs)]);
+    let elapsed = start.elapsed();
+    let srv = server.wait();
+
+    assert!(!srv.status.success(), "faulted server exited cleanly");
+    let srv_err = String::from_utf8_lossy(&srv.stderr).to_string();
+    assert!(srv_err.contains("killed after serving 5 batches"), "server stderr:\n{srv_err}");
+
+    assert!(!out.status.success(), "trainers survived a dead data server");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("data server"), "no structured data-server report:\n{err}");
+    assert!(err.contains("data-plane"), "failure not attributed to the data plane:\n{err}");
+    assert!(err.contains("is dead"), "no PeerDead report:\n{err}");
+    // Fail-fast, not timeout: well under the transport's receive timeout.
+    assert!(elapsed < Duration::from_secs(60), "trainers hung for {elapsed:?}");
+
+    // Flush assertion output before the scratch dir disappears.
+    std::io::stdout().flush().ok();
+}
