@@ -111,6 +111,29 @@ if echo "$fault_out" | grep -q "stack backtrace"; then
     exit 1
 fi
 
+# Sharded-optimizer smoke: the same 4-rank TCP training run with the
+# replicated strategy (allreduce + full-replica SGD) and the sharded one
+# (DCNN_SHARD_OPTIM=1: reduce-scatter gradients, shard-local step,
+# allgather parameters) must print bitwise-identical epoch lines, and the
+# sharded run's measured per-rank optimizer residency must shrink by at
+# least the world size.
+echo "+ sharded-optimizer smoke (replicated vs DCNN_SHARD_OPTIM=1, 4 ranks)"
+rep_out=$(./target/release/dcnn-launch --ranks 4 --workload sharded-epoch)
+shd_out=$(DCNN_SHARD_OPTIM=1 ./target/release/dcnn-launch --ranks 4 --workload sharded-epoch)
+echo "$rep_out" | sed 's/^/  replicated: /'
+echo "$shd_out" | sed 's/^/  sharded:    /'
+if [ "$(echo "$rep_out" | grep '^epoch ')" != "$(echo "$shd_out" | grep '^epoch ')" ]; then
+    echo "ci.sh: sharded optimizer diverged from the replicated strategy" >&2
+    exit 1
+fi
+rep_opt=$(echo "$rep_out" | sed -n 's/^resident rank=0 .*opt_bytes=//p')
+shd_opt=$(echo "$shd_out" | sed -n 's/^resident rank=0 .*opt_bytes=//p')
+if [ -z "$rep_opt" ] || [ -z "$shd_opt" ] || [ "$((shd_opt * 4))" -gt "$rep_opt" ]; then
+    echo "ci.sh: sharding did not shrink optimizer bytes ~world-size x" \
+         "(replicated=${rep_opt:-none} sharded=${shd_opt:-none})" >&2
+    exit 1
+fi
+
 # Data-plane smoke: the same data-epoch workload (2 epochs, cross-node
 # shuffle with a tiny Algorithm 2 segment cap) run fully in-process and
 # then streamed from a separate dcnn-data-server process must print

@@ -238,6 +238,47 @@ pub fn bench_data_plane(quick: bool, rows: &mut Vec<PerfRow>) {
     }
 }
 
+/// Benchmark the sharded-optimizer collectives: a blocking ring
+/// reduce-scatter and the matching counts-based allgather between two
+/// threaded ranks — the per-step exchange pair the `DCNN_SHARD_OPTIM`
+/// gradient path lives on. The threaded fabric is in-process channel
+/// passing (no kernel sockets), so the min-of-N statistic is stable
+/// enough to gate; each row reports the cluster-max of the per-rank
+/// minima, since a collective is only as fast as its slowest rank.
+pub fn bench_shard_collectives(quick: bool, rows: &mut Vec<PerfRow>) {
+    use dcnn_core::collectives::{run_cluster, Comm};
+
+    let reps = if quick { 3 } else { 7 };
+    let sizes: &[usize] = if quick { &[1 << 14] } else { &[1 << 10, 1 << 14, 1 << 18] };
+    for &n in sizes {
+        let bytes = (n * 4) as u64;
+        let iters = iters_for(bytes, quick).clamp(8, 1 << 9);
+        let counts = vec![n / 2, n - n / 2];
+
+        let c = counts.clone();
+        let mins = run_cluster(2, move |comm: &Comm| {
+            let src = fill(n, 7 + comm.rank() as u64);
+            let mut buf = src.clone();
+            min_ns_per_iter(reps, iters, || {
+                buf.copy_from_slice(&src);
+                comm.reduce_scatter(std::hint::black_box(&mut buf), &c);
+            })
+        });
+        let ns = mins.into_iter().fold(0.0f64, f64::max);
+        rows.push(row(format!("shard/reduce_scatter/{n}"), bytes, ns, true));
+
+        let c = counts.clone();
+        let mins = run_cluster(2, move |comm: &Comm| {
+            let mut buf = fill(n, 9 + comm.rank() as u64);
+            min_ns_per_iter(reps, iters, || {
+                comm.allgather_f32(std::hint::black_box(&mut buf), &c);
+            })
+        });
+        let ns = mins.into_iter().fold(0.0f64, f64::max);
+        rows.push(row(format!("shard/allgather/{n}"), bytes, ns, true));
+    }
+}
+
 /// Loopback socket round-trip of one framed f32 payload (untracked: real
 /// kernel TCP, so wall-clock noise is expected).
 pub fn bench_socket_rtt(quick: bool, rows: &mut Vec<PerfRow>) {
@@ -279,6 +320,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     bench_reduce(quick, &mut rows);
     bench_frame_encode(quick, &mut rows);
     bench_data_plane(quick, &mut rows);
+    bench_shard_collectives(quick, &mut rows);
     bench_socket_rtt(quick, &mut rows);
     BenchReport { schema: SCHEMA.to_string(), date: civil_date_utc(), quick, rows }
 }

@@ -96,6 +96,23 @@ pub trait Allreduce {
     {
         comm.allreduce_async(Arc::new(self.clone()), bucket)
     }
+
+    /// Reduce-scatter seam for the sharded optimizer: `counts` cuts `buf`
+    /// into one contiguous chunk per rank (chunk `r` owned by rank `r`,
+    /// `counts` summing to `buf.len()`); on return this rank's owned chunk
+    /// holds the full elementwise sum. Other chunks are unspecified.
+    ///
+    /// The default implementation runs the complete allreduce, so every
+    /// algorithm's owned-chunk bits match its replicated [`Allreduce::run`]
+    /// exactly — the invariant the trainer's sharded strategy relies on for
+    /// bitwise-equivalent loss. Algorithms with a native scatter phase
+    /// (the reduce-scatter ring) override this to skip the allgather half
+    /// and its bandwidth.
+    fn reduce_scatter(&self, comm: &Comm, buf: &mut [f32], counts: &[usize]) {
+        debug_assert_eq!(counts.len(), comm.size());
+        debug_assert_eq!(counts.iter().sum::<usize>(), buf.len());
+        self.run(comm, buf);
+    }
 }
 
 /// Enum of all algorithms, for configuration and sweeps.
@@ -176,8 +193,12 @@ impl AllreduceAlgo {
     }
 }
 
-/// Split `len` items into `k` contiguous, maximally even ranges.
-pub(crate) fn even_ranges(len: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+/// Split `len` items into `k` contiguous, maximally even ranges (the first
+/// `len % k` ranges are one element longer). This is the canonical owner map
+/// shared by the ring reduce-scatter chunks and the trainer's parameter
+/// shards, so the two agree on which rank anchors each element's
+/// accumulation order.
+pub fn even_ranges(len: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     assert!(k >= 1);
     let base = len / k;
     let extra = len % k;

@@ -9,11 +9,7 @@
 use dcnn_simnet::{CommSchedule, OpId};
 
 use super::{even_ranges, Allreduce, CostModel};
-use crate::reduce::sum_into;
 use crate::runtime::Comm;
-
-const TAG_RS: u32 = 0x0A00_0000;
-const TAG_AG: u32 = 0x0B00_0000;
 
 /// Reduce-scatter + allgather ring.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,35 +21,26 @@ impl Allreduce for RingReduceScatter {
     }
 
     fn run(&self, comm: &Comm, buf: &mut [f32]) {
+        // Composed from the first-class primitives: an even reduce-scatter
+        // (chunk r owned by rank r) followed by the matching allgather.
         let _phase = comm.phase(self.name());
         let n = comm.size();
         if n <= 1 {
             return;
         }
-        let r = comm.rank();
-        let chunks = even_ranges(buf.len(), n);
-        let next = (r + 1) % n;
-        let prev = (r + n - 1) % n;
+        let counts: Vec<usize> = even_ranges(buf.len(), n).iter().map(|c| c.len()).collect();
+        comm.reduce_scatter(buf, &counts);
+        comm.allgather_f32(buf, &counts);
+    }
 
-        // Reduce-scatter: after step t, rank r holds the partial sum of
-        // chunk (r - t) from ranks r-t..=r. After n-1 steps, chunk (r+1)%n
-        // is complete at rank r.
-        for step in 0..n - 1 {
-            let send_idx = (r + n - step) % n;
-            let recv_idx = (r + n - step - 1) % n;
-            comm.send_f32(next, TAG_RS + step as u32, &buf[chunks[send_idx].clone()]);
-            let v = comm.recv_f32(prev, TAG_RS + step as u32);
-            sum_into(&mut buf[chunks[recv_idx].clone()], &v);
-        }
-
-        // Allgather: circulate the completed chunks.
-        for step in 0..n - 1 {
-            let send_idx = (r + 1 + n - step) % n;
-            let recv_idx = (r + n - step) % n;
-            comm.send_f32(next, TAG_AG + step as u32, &buf[chunks[send_idx].clone()]);
-            let v = comm.recv_f32(prev, TAG_AG + step as u32);
-            buf[chunks[recv_idx].clone()].copy_from_slice(&v);
-        }
+    fn reduce_scatter(&self, comm: &Comm, buf: &mut [f32], counts: &[usize]) {
+        // Native scatter phase: half the traffic of the full allreduce. The
+        // ring anchors each element's accumulation order at its owning rank
+        // regardless of chunk boundaries, so for a fixed global owner map
+        // the owned-chunk bits are independent of how the payload is
+        // bucketed — and, with even counts, identical to `run`'s.
+        let _phase = comm.phase(self.name());
+        comm.reduce_scatter(buf, counts);
     }
 
     fn schedule(&self, n: usize, bytes: f64, cost: &CostModel) -> CommSchedule {

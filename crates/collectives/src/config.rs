@@ -185,6 +185,12 @@ pub struct RuntimeConfig {
     /// (`DCNN_DATA_SERVICE`, comma-separated `host:port`; unset = sample
     /// from the in-process `Dimd` partition).
     pub data_service: Option<String>,
+    /// Shard optimizer state across ranks (`DCNN_SHARD_OPTIM`:
+    /// `1`/`true`/`on` or `0`/`false`/`off`): reduce-scatter gradient
+    /// buckets, step only the locally owned parameter shard, allgather
+    /// updated parameters — ZeRO-style, bitwise-identical in loss to the
+    /// replicated path.
+    pub shard_optim: Option<bool>,
 }
 
 fn parse_usize(
@@ -201,7 +207,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 18] = [
+    pub const ENV_VARS: [&'static str; 19] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -220,6 +226,7 @@ impl RuntimeConfig {
         "DCNN_DATA_PREFETCH_DEPTH",
         "DCNN_DATA_DECODE_WORKERS",
         "DCNN_DATA_SERVICE",
+        "DCNN_SHARD_OPTIM",
     ];
 
     /// Parse the process environment. Unset (or empty) variables become
@@ -368,6 +375,19 @@ impl RuntimeConfig {
             cfg.data_decode_workers = Some(n);
         }
         cfg.data_service = get("DCNN_DATA_SERVICE");
+        if let Some(v) = get("DCNN_SHARD_OPTIM") {
+            cfg.shard_optim = Some(match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" => true,
+                "0" | "false" | "off" => false,
+                _ => {
+                    return Err(ConfigError {
+                        var: "DCNN_SHARD_OPTIM",
+                        value: v,
+                        expected: "1/true/on or 0/false/off",
+                    })
+                }
+            });
+        }
         Ok(cfg)
     }
 
@@ -428,6 +448,11 @@ impl RuntimeConfig {
     /// Parallel decode workers in the data pipeline (default 1, minimum 1).
     pub fn data_decode_workers_or_default(&self) -> usize {
         self.data_decode_workers.unwrap_or(1).max(1)
+    }
+
+    /// Whether optimizer state is sharded across ranks (default: replicated).
+    pub fn shard_optim_or_default(&self) -> bool {
+        self.shard_optim.unwrap_or(false)
     }
 
     // ---- builder-style programmatic overrides ----
@@ -529,6 +554,12 @@ impl RuntimeConfig {
         self.data_service = Some(addrs.into());
         self
     }
+
+    /// Override optimizer-state sharding.
+    pub fn with_shard_optim(mut self, on: bool) -> Self {
+        self.shard_optim = Some(on);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +588,7 @@ mod tests {
         assert_eq!(cfg.data_prefetch_depth_or_default(), 0);
         assert_eq!(cfg.data_decode_workers_or_default(), 1);
         assert_eq!(cfg.data_service, None);
+        assert!(!cfg.shard_optim_or_default());
     }
 
     #[test]
@@ -588,6 +620,7 @@ mod tests {
             ("DCNN_DATA_PREFETCH_DEPTH", "6"),
             ("DCNN_DATA_DECODE_WORKERS", "2"),
             ("DCNN_DATA_SERVICE", "127.0.0.1:7500,127.0.0.1:7501"),
+            ("DCNN_SHARD_OPTIM", "1"),
         ])
         .expect("full env parses");
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
@@ -608,6 +641,7 @@ mod tests {
         assert_eq!(cfg.data_prefetch_depth, Some(6));
         assert_eq!(cfg.data_decode_workers, Some(2));
         assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500,127.0.0.1:7501"));
+        assert_eq!(cfg.shard_optim, Some(true));
     }
 
     #[test]
@@ -651,6 +685,7 @@ mod tests {
             ("DCNN_FAULT", "unplug-the-rack"),
             ("DCNN_DATA_PREFETCH_DEPTH", "deep"),
             ("DCNN_DATA_DECODE_WORKERS", "0"),
+            ("DCNN_SHARD_OPTIM", "maybe"),
         ] {
             let err = from_map(&[(var, value)])
                 .expect_err(&format!("{var}={value} must be rejected"));
@@ -688,7 +723,8 @@ mod tests {
             .with_checkpoint_dir("/tmp/abort-ckpt")
             .with_data_prefetch_depth(4)
             .with_data_decode_workers(3)
-            .with_data_service("127.0.0.1:7500");
+            .with_data_service("127.0.0.1:7500")
+            .with_shard_optim(true);
         assert_eq!(cfg.bucket_bytes, Some(8192));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.comm_workers, Some(5));
@@ -705,6 +741,7 @@ mod tests {
         assert_eq!(cfg.data_prefetch_depth, Some(4));
         assert_eq!(cfg.data_decode_workers, Some(3));
         assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500"));
+        assert_eq!(cfg.shard_optim, Some(true));
     }
 
     #[test]

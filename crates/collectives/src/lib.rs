@@ -46,8 +46,8 @@ pub mod transport;
 pub mod tree;
 
 pub use algorithms::{
-    Allreduce, AllreduceAlgo, CostModel, HalvingDoubling, Hierarchical, MultiColor, Pipeline,
-    PipelinedRing, RecursiveDoubling, RingReduceScatter,
+    even_ranges, Allreduce, AllreduceAlgo, CostModel, HalvingDoubling, Hierarchical, MultiColor,
+    Pipeline, PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
 pub use compress::{quantize_f16, Fp16Allreduce};
 pub use config::{ConfigError, FaultSpec, OverlapMode, RuntimeConfig};

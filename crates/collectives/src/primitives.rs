@@ -1,9 +1,14 @@
-//! Rooted collectives and the pairwise `alltoallv`.
+//! Rooted collectives, the pairwise `alltoallv`, and the ring
+//! reduce-scatter/allgather pair.
 //!
 //! These are the building blocks the paper's framework relies on besides the
 //! allreduce itself: broadcast (model distribution to GPUs' host buffers),
 //! gather/allgather (control-plane exchanges such as shuffle counts), and
-//! `MPI_Alltoallv`, which implements the DIMD shuffle (Algorithm 2).
+//! `MPI_Alltoallv`, which implements the DIMD shuffle (Algorithm 2). The
+//! counts-based ring reduce-scatter and `f32` allgather back the sharded
+//! optimizer (and compose into the ring allreduce); their public entry
+//! points are [`Comm::reduce_scatter`] / [`Comm::allgather_f32`], which add
+//! the scatter/gather [`crate::CommStats`] accounting.
 
 use dcnn_simnet::CommSchedule;
 
@@ -14,6 +19,79 @@ const TAG_BCAST: u32 = 0x0100_0000;
 const TAG_REDUCE: u32 = 0x0200_0000;
 const TAG_GATHER: u32 = 0x0300_0000;
 const TAG_A2A: u32 = 0x0400_0000;
+const TAG_RSC: u32 = 0x0C00_0000;
+const TAG_AGC: u32 = 0x0D00_0000;
+
+/// Prefix-sum `counts` into `n + 1` chunk boundaries.
+fn chunk_offsets(counts: &[usize]) -> Vec<usize> {
+    let mut off = Vec::with_capacity(counts.len() + 1);
+    off.push(0);
+    let mut pos = 0;
+    for &c in counts {
+        pos += c;
+        off.push(pos);
+    }
+    off
+}
+
+/// Ring reduce-scatter over per-rank `counts`: chunk `r` of `buf` (contiguous,
+/// in rank order, `counts[r]` elements) belongs to rank `r`; on return this
+/// rank's chunk holds the elementwise sum over all ranks, and the other
+/// chunks hold partial sums.
+///
+/// The ring anchors each element's accumulation order at its owning rank
+/// (owner `o` computes `g_o + (g_{o-1} + (… + g_{o+1})…)`), never at the
+/// chunk boundaries — so for a fixed global owner map the owned bits are
+/// identical no matter how the payload is split into buckets. The sharded
+/// optimizer's bitwise-equivalence guarantee rests on this.
+pub(crate) fn ring_reduce_scatter(comm: &Comm, buf: &mut [f32], counts: &[usize]) {
+    let _phase = comm.phase("reduce-scatter");
+    let n = comm.size();
+    assert_eq!(counts.len(), n, "reduce_scatter needs one count per rank");
+    let off = chunk_offsets(counts);
+    assert_eq!(off[n], buf.len(), "reduce_scatter counts must cover the buffer");
+    if n <= 1 {
+        return;
+    }
+    let r = comm.rank();
+    let next = (r + 1) % n;
+    let prev = (r + n - 1) % n;
+    // Step s moves the running partial sum of chunk c one hop closer to its
+    // owner: send the chunk that is s+1 hops "behind" us, fold the received
+    // one into ours. After n-1 steps chunk r is complete at rank r.
+    for step in 0..n - 1 {
+        let send_idx = (r + n - step - 1) % n;
+        let recv_idx = (r + 2 * n - step - 2) % n;
+        comm.send_f32(next, TAG_RSC + step as u32, &buf[off[send_idx]..off[send_idx + 1]]);
+        let v = comm.recv_f32(prev, TAG_RSC + step as u32);
+        sum_into(&mut buf[off[recv_idx]..off[recv_idx + 1]], &v);
+    }
+}
+
+/// Ring allgather over per-rank `counts`: each rank contributes its own chunk
+/// (see [`ring_reduce_scatter`] for the layout) and on return every rank's
+/// `buf` holds all chunks. Pure forwarding — no arithmetic, so it cannot
+/// perturb bits.
+pub(crate) fn ring_allgather(comm: &Comm, buf: &mut [f32], counts: &[usize]) {
+    let _phase = comm.phase("allgather");
+    let n = comm.size();
+    assert_eq!(counts.len(), n, "allgather needs one count per rank");
+    let off = chunk_offsets(counts);
+    assert_eq!(off[n], buf.len(), "allgather counts must cover the buffer");
+    if n <= 1 {
+        return;
+    }
+    let r = comm.rank();
+    let next = (r + 1) % n;
+    let prev = (r + n - 1) % n;
+    for step in 0..n - 1 {
+        let send_idx = (r + n - step) % n;
+        let recv_idx = (r + n - step - 1) % n;
+        comm.send_f32(next, TAG_AGC + step as u32, &buf[off[send_idx]..off[send_idx + 1]]);
+        let v = comm.recv_f32(prev, TAG_AGC + step as u32);
+        buf[off[recv_idx]..off[recv_idx + 1]].copy_from_slice(&v);
+    }
+}
 
 /// Binomial-tree broadcast of a byte buffer from `root`.
 pub fn bcast_bytes(comm: &Comm, root: usize, buf: &mut Vec<u8>) {
@@ -329,6 +407,142 @@ mod tests {
         });
         assert_eq!(out[1], vec![vec![0], vec![1], vec![2]]);
         assert!(out[0][1].is_empty());
+    }
+
+    fn even_counts(len: usize, n: usize) -> Vec<usize> {
+        crate::algorithms::even_ranges(len, n).iter().map(|c| c.len()).collect()
+    }
+
+    /// Deterministic, rank- and index-dependent contribution with a messy
+    /// mantissa so accumulation-order differences would show up in the bits.
+    fn contrib(rank: usize, i: usize) -> f32 {
+        let h = (rank as u32).wrapping_mul(0x9E37_79B9).wrapping_add(i as u32).wrapping_mul(0x85EB_CA6B);
+        (h as f32 / u32::MAX as f32) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn reduce_scatter_owned_chunk_sums() {
+        for n in [1, 2, 3, 4, 5] {
+            for len in [0, 1, n, 4 * n + 3, 97] {
+                let counts = even_counts(len, n);
+                let out = run_cluster(n, |c| {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| ((c.rank() + 1) * (i + 1)) as f32).collect();
+                    c.reduce_scatter(&mut buf, &counts);
+                    buf
+                });
+                let off = chunk_offsets(&counts);
+                for (rk, b) in out.iter().enumerate() {
+                    for i in off[rk]..off[rk + 1] {
+                        let want: f32 = (0..n).map(|r| ((r + 1) * (i + 1)) as f32).sum();
+                        assert_eq!(b[i], want, "n={n} len={len} rank={rk} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_uneven_counts_with_empty_chunks() {
+        let counts = vec![5, 0, 2, 9];
+        let len: usize = counts.iter().sum();
+        let counts2 = counts.clone();
+        let out = run_cluster(4, |c| {
+            let mut buf: Vec<f32> = (0..len).map(|i| contrib(c.rank(), i)).collect();
+            c.reduce_scatter(&mut buf, &counts2);
+            buf
+        });
+        let off = chunk_offsets(&counts);
+        for rk in 0..4 {
+            for i in off[rk]..off[rk + 1] {
+                // Exact accumulation order for owner rk: fold starting at
+                // rank rk+1, ending with rk's own contribution added last.
+                let mut acc = contrib((rk + 1) % 4, i);
+                acc += contrib((rk + 2) % 4, i);
+                acc += contrib((rk + 3) % 4, i);
+                acc += contrib(rk, i);
+                assert_eq!(out[rk][i].to_bits(), acc.to_bits(), "rank={rk} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_f32_distributes_every_chunk() {
+        for n in [1, 2, 3, 4, 6] {
+            for len in [0, 1, n, 53] {
+                let counts = even_counts(len, n);
+                let off = chunk_offsets(&counts);
+                let off2 = off.clone();
+                let counts2 = counts.clone();
+                let out = run_cluster(n, |c| {
+                    // Own chunk holds real data; everything else is garbage
+                    // the allgather must overwrite.
+                    let mut buf = vec![f32::NAN; len];
+                    for i in off2[c.rank()]..off2[c.rank() + 1] {
+                        buf[i] = contrib(c.rank(), i);
+                    }
+                    c.allgather_f32(&mut buf, &counts2);
+                    buf
+                });
+                for (rk, b) in out.iter().enumerate() {
+                    for owner in 0..n {
+                        for i in off[owner]..off[owner + 1] {
+                            assert_eq!(
+                                b[i].to_bits(),
+                                contrib(owner, i).to_bits(),
+                                "n={n} len={len} rank={rk} owner={owner} i={i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_bits_invariant_under_bucketing() {
+        // The load-bearing property of the sharded optimizer: splitting a
+        // payload into buckets (each reduce-scattered with the owner map
+        // restricted to it) yields bit-identical owned chunks to one fused
+        // reduce-scatter, because the ring anchors accumulation order at the
+        // owner, not at chunk boundaries.
+        let n = 3;
+        let len = 23;
+        let global = even_counts(len, n); // [8, 8, 7]
+        let fused = {
+            let g = global.clone();
+            run_cluster(n, move |c| {
+                let mut buf: Vec<f32> = (0..len).map(|i| contrib(c.rank(), i)).collect();
+                c.reduce_scatter(&mut buf, &g);
+                buf
+            })
+        };
+        for split in [1, 5, 10, 16, 22] {
+            let g = global.clone();
+            let bucketed = run_cluster(n, move |c| {
+                let mut buf: Vec<f32> = (0..len).map(|i| contrib(c.rank(), i)).collect();
+                let off = chunk_offsets(&g);
+                // Owner map restricted to [0, split) and [split, len).
+                let lo: Vec<usize> =
+                    (0..n).map(|r| off[r + 1].min(split).saturating_sub(off[r].min(split))).collect();
+                let hi: Vec<usize> =
+                    (0..n).map(|r| off[r + 1].max(split) - off[r].max(split)).collect();
+                let (a, b) = buf.split_at_mut(split);
+                c.reduce_scatter(a, &lo);
+                c.reduce_scatter(b, &hi);
+                buf
+            });
+            let off = chunk_offsets(&global);
+            for rk in 0..n {
+                for i in off[rk]..off[rk + 1] {
+                    assert_eq!(
+                        bucketed[rk][i].to_bits(),
+                        fused[rk][i].to_bits(),
+                        "split={split} rank={rk} i={i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

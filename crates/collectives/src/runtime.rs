@@ -249,6 +249,14 @@ struct RankLocal {
     bucket_wait_ns: AtomicU64,
     /// Wall time comm workers spent inside async collectives.
     async_comm_ns: AtomicU64,
+    /// Payload bytes fed through [`Comm::reduce_scatter`].
+    scatter_bytes: AtomicU64,
+    /// Wall time spent inside blocking [`Comm::reduce_scatter`] calls.
+    scatter_wait_ns: AtomicU64,
+    /// Payload bytes fed through [`Comm::allgather_f32`].
+    gather_bytes: AtomicU64,
+    /// Wall time spent inside blocking [`Comm::allgather_f32`] calls.
+    gather_wait_ns: AtomicU64,
     /// Launch/complete timestamps for every async bucket reduce, in
     /// completion order.
     bucket_spans: Mutex<Vec<BucketSpan>>,
@@ -274,6 +282,10 @@ impl RankLocal {
             async_inflight_hwm: AtomicU64::new(0),
             bucket_wait_ns: AtomicU64::new(0),
             async_comm_ns: AtomicU64::new(0),
+            scatter_bytes: AtomicU64::new(0),
+            scatter_wait_ns: AtomicU64::new(0),
+            gather_bytes: AtomicU64::new(0),
+            gather_wait_ns: AtomicU64::new(0),
             bucket_spans: Mutex::new(Vec::new()),
             phases: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
@@ -319,6 +331,10 @@ impl RankLocal {
             async_inflight_hwm: self.async_inflight_hwm.load(Relaxed),
             bucket_wait_ns: self.bucket_wait_ns.load(Relaxed),
             async_comm_ns: self.async_comm_ns.load(Relaxed),
+            scatter_bytes: self.scatter_bytes.load(Relaxed),
+            scatter_wait_ns: self.scatter_wait_ns.load(Relaxed),
+            gather_bytes: self.gather_bytes.load(Relaxed),
+            gather_wait_ns: self.gather_wait_ns.load(Relaxed),
             bucket_spans: self.bucket_spans.lock().expect("bucket spans").clone(),
             phase_ns: self
                 .phases
@@ -392,6 +408,15 @@ pub struct CommStats {
     /// Nanoseconds comm workers spent inside async collectives (inclusive
     /// wall time across buckets; overlapping buckets both count).
     pub async_comm_ns: u64,
+    /// Payload bytes fed through [`Comm::reduce_scatter`] (blocking calls
+    /// and the scatter halves of async launches alike).
+    pub scatter_bytes: u64,
+    /// Nanoseconds spent inside [`Comm::reduce_scatter`].
+    pub scatter_wait_ns: u64,
+    /// Payload bytes fed through [`Comm::allgather_f32`].
+    pub gather_bytes: u64,
+    /// Nanoseconds spent inside [`Comm::allgather_f32`].
+    pub gather_wait_ns: u64,
     /// Launch/complete timestamps per async bucket reduce, in completion
     /// order — the raw data behind bandwidth measurement and adaptive
     /// bucket sizing.
@@ -410,6 +435,16 @@ impl CommStats {
     /// Seconds the launching thread spent draining async bucket reduces.
     pub fn bucket_wait_secs(&self) -> f64 {
         self.bucket_wait_ns as f64 / 1e9
+    }
+
+    /// Seconds spent inside reduce-scatter calls, for reporting.
+    pub fn scatter_wait_secs(&self) -> f64 {
+        self.scatter_wait_ns as f64 / 1e9
+    }
+
+    /// Seconds spent inside `f32` allgather calls, for reporting.
+    pub fn gather_wait_secs(&self) -> f64 {
+        self.gather_wait_ns as f64 / 1e9
     }
 
     /// Fraction of async collective time hidden behind compute:
@@ -1318,6 +1353,84 @@ impl Comm {
         bucket: Vec<f32>,
         label: Option<Arc<str>>,
     ) -> PendingReduce {
+        self.collective_async(bucket, label, move |sub, buf| algo.run(sub, buf))
+    }
+
+    /// Blocking counts-based ring reduce-scatter: `counts[r]` contiguous
+    /// elements of `buf`, in rank order, form the chunk owned by rank `r`;
+    /// on return this rank's chunk holds the elementwise sum over all ranks
+    /// and the other chunks hold partial sums. The accumulation order of an
+    /// element depends only on its owning rank, so for a fixed owner map the
+    /// owned bits are independent of how a payload is bucketed. Adds to the
+    /// `scatter_*` counters in [`CommStats`]. Collective.
+    pub fn reduce_scatter(&self, buf: &mut [f32], counts: &[usize]) {
+        let start = Instant::now();
+        crate::primitives::ring_reduce_scatter(self, buf, counts);
+        self.local.scatter_bytes.fetch_add((buf.len() * 4) as u64, Relaxed);
+        self.local.scatter_wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+    }
+
+    /// Blocking counts-based ring allgather of `f32` chunks: each rank
+    /// contributes its owned chunk (layout as in [`Comm::reduce_scatter`]);
+    /// on return every rank holds the full buffer. Pure forwarding, no
+    /// arithmetic. Adds to the `gather_*` counters in [`CommStats`].
+    /// Collective.
+    pub fn allgather_f32(&self, buf: &mut [f32], counts: &[usize]) {
+        let start = Instant::now();
+        crate::primitives::ring_allgather(self, buf, counts);
+        self.local.gather_bytes.fetch_add((buf.len() * 4) as u64, Relaxed);
+        self.local.gather_wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+    }
+
+    /// Launch `algo`'s reduce-scatter seam ([`Allreduce::reduce_scatter`])
+    /// nonblocking on this rank's comm worker. On [`PendingReduce::wait`]
+    /// the chunk of the buffer owned by this rank (per `counts`) holds the
+    /// elementwise sum; other chunks are unspecified. Collective, with the
+    /// same launch-ordering contract as [`Comm::allreduce_async`].
+    pub fn reduce_scatter_async(
+        &self,
+        algo: Arc<dyn Allreduce + Send + Sync>,
+        bucket: Vec<f32>,
+        counts: Vec<usize>,
+    ) -> PendingReduce {
+        self.reduce_scatter_async_labeled(algo, bucket, counts, None)
+    }
+
+    /// [`Comm::reduce_scatter_async`] with a bucket attribution label, the
+    /// analog of [`Comm::allreduce_async_labeled`].
+    pub fn reduce_scatter_async_labeled(
+        &self,
+        algo: Arc<dyn Allreduce + Send + Sync>,
+        bucket: Vec<f32>,
+        counts: Vec<usize>,
+        label: Option<Arc<str>>,
+    ) -> PendingReduce {
+        self.collective_async(bucket, label, move |sub, buf| {
+            algo.reduce_scatter(sub, buf, &counts)
+        })
+    }
+
+    /// Launch a counts-based `f32` allgather nonblocking on this rank's comm
+    /// worker; the handle resolves to the fully gathered buffer. Collective,
+    /// same launch-ordering contract as [`Comm::allreduce_async`].
+    pub fn allgather_async(
+        &self,
+        bucket: Vec<f32>,
+        counts: Vec<usize>,
+        label: Option<Arc<str>>,
+    ) -> PendingReduce {
+        self.collective_async(bucket, label, move |sub, buf| sub.allgather_f32(buf, &counts))
+    }
+
+    /// Shared launch machinery for the nonblocking collectives: derives the
+    /// per-launch bucket communicator, books the overlap counters and trace
+    /// events, and runs `job` on the comm worker.
+    fn collective_async(
+        &self,
+        bucket: Vec<f32>,
+        label: Option<Arc<str>>,
+        job: impl FnOnce(&Comm, &mut [f32]) + Send + 'static,
+    ) -> PendingReduce {
         let seq = self.async_seq.get();
         self.async_seq.set(seq + 1);
         // Deterministic bucket communicator id, identical across members;
@@ -1350,7 +1463,7 @@ impl Comm {
         self.worker.submit(Box::new(move || {
             let mut bucket = bucket;
             let start = Instant::now();
-            algo.run(&sub, &mut bucket);
+            job(&sub, &mut bucket);
             job_local.async_comm_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
             job_local.async_inflight.fetch_sub(1, Relaxed);
             job_local.trace(TraceEventKind::AsyncDone, sub.comm_id, seq as u32, None, bucket.len() * 4);

@@ -99,6 +99,16 @@ impl DptExecutor {
         }
     }
 
+    /// Direct access to one replica. The sharded optimizer steps only
+    /// replica 0's owned parameter range, then rebroadcasts via
+    /// [`DptExecutor::set_params_all`].
+    ///
+    /// # Panics
+    /// Panics if `i >= self.gpus()`.
+    pub fn replica(&mut self, i: usize) -> &mut dyn Module {
+        self.replicas[i].as_mut()
+    }
+
     /// Inference on replica 0 (eval mode; used for validation).
     pub fn eval_logits(&mut self, x: &Tensor) -> Tensor {
         self.replicas[0].forward(x, false)

@@ -210,6 +210,45 @@ pub fn set_momentum(m: &mut dyn Module, flat: &[f32]) {
     assert_eq!(off, flat.len(), "flattened momentum length mismatch");
 }
 
+/// Free every per-parameter momentum buffer (shrink to zero elements). The
+/// sharded optimizer keeps its momentum in one shard-sized velocity buffer
+/// ([`crate::optim::Sgd::step_range`]), so the full-size tensors here are
+/// dead weight — releasing them is where the ~`1/world` optimizer-state
+/// memory saving comes from. Returns the number of bytes freed.
+pub fn release_momentum(m: &mut dyn Module) -> usize {
+    let mut freed = 0usize;
+    m.visit_params(&mut |p| {
+        freed += p.momentum.len() * std::mem::size_of::<f32>();
+        p.momentum = Tensor::zeros(&[0]);
+    });
+    freed
+}
+
+/// Reallocate zeroed momentum buffers for any parameter whose buffer was
+/// [`release_momentum`]-ed, so [`set_momentum`] can restore a replicated
+/// checkpoint into a model that previously ran sharded.
+pub fn ensure_momentum(m: &mut dyn Module) {
+    m.visit_params(&mut |p| {
+        if p.momentum.len() != p.value.len() {
+            p.momentum = Tensor::zeros(p.value.shape());
+        }
+    });
+}
+
+/// Actually resident bytes of this module's parameter state, measured from
+/// live buffer lengths: `(param_bytes, opt_bytes)` where `param_bytes`
+/// covers values + gradients and `opt_bytes` the momentum tensors (zero
+/// after [`release_momentum`]). The sharded-vs-replicated memory win is
+/// reported from these numbers, not computed from a formula.
+pub fn resident_bytes(m: &mut dyn Module) -> (usize, usize) {
+    let (mut param, mut opt) = (0usize, 0usize);
+    m.visit_params(&mut |p| {
+        param += (p.value.len() + p.grad.len()) * std::mem::size_of::<f32>();
+        opt += p.momentum.len() * std::mem::size_of::<f32>();
+    });
+    (param, opt)
+}
+
 /// Overwrite parameter values from a flattened buffer.
 pub fn set_params(m: &mut dyn Module, flat: &[f32]) {
     let mut off = 0;

@@ -53,6 +53,46 @@ impl Sgd {
             }
         });
     }
+
+    /// Range-restricted step for the sharded optimizer: update only the
+    /// elements of the flattened parameter vector ([`crate::layers::collect_grads`]
+    /// layout) inside `owned`, reading/writing momentum from the shard-sized
+    /// `velocity` buffer (`velocity[k]` is element `owned.start + k`) instead
+    /// of the per-parameter momentum tensors — those stay untouched and may
+    /// be released entirely. The per-element arithmetic is identical to
+    /// [`Sgd::step`], so the owned elements move bit-for-bit the same way.
+    pub fn step_range(
+        &self,
+        m: &mut dyn Module,
+        lr: f32,
+        owned: std::ops::Range<usize>,
+        velocity: &mut [f32],
+    ) {
+        assert_eq!(velocity.len(), owned.len(), "velocity buffer must be shard-sized");
+        let mu = self.cfg.momentum;
+        let wd = self.cfg.weight_decay;
+        let mut off = 0usize;
+        m.visit_params(&mut |p| {
+            let n = p.len();
+            let lo = owned.start.max(off).min(off + n);
+            let hi = owned.end.max(off).min(off + n);
+            if lo < hi {
+                let decay = if p.weight_decay { wd } else { 0.0 };
+                let w = p.value.data_mut();
+                let g = p.grad.data();
+                let v = &mut velocity[lo - owned.start..hi - owned.start];
+                for (k, i) in (lo - off..hi - off).enumerate() {
+                    v[k] = mu * v[k] + g[i] + decay * w[i];
+                    w[i] -= lr * v[k];
+                }
+            }
+            off += n;
+        });
+        assert!(
+            owned.end <= off,
+            "owned range {owned:?} exceeds the {off}-element parameter vector"
+        );
+    }
 }
 
 /// LARS — layer-wise adaptive rate scaling (You et al., whose 512-KNL
@@ -99,6 +139,54 @@ impl Lars {
                 w[i] -= v[i];
             }
         });
+    }
+
+    /// Range-restricted LARS step, the analog of [`Sgd::step_range`].
+    ///
+    /// The trust ratio is a *whole-tensor* statistic, so every parameter
+    /// tensor overlapping `owned` must carry its full, fully reduced
+    /// gradient — under a shard map that cuts through tensors the caller
+    /// must align shards to parameter boundaries (or allreduce instead of
+    /// reduce-scatter) for the norms to be right. Updates are applied only
+    /// to the owned elements, with momentum in the shard-sized `velocity`
+    /// buffer.
+    pub fn step_range(
+        &self,
+        m: &mut dyn Module,
+        lr: f32,
+        owned: std::ops::Range<usize>,
+        velocity: &mut [f32],
+    ) {
+        assert_eq!(velocity.len(), owned.len(), "velocity buffer must be shard-sized");
+        let (mu, wd, trust, eps) = (self.momentum, self.weight_decay, self.trust, self.eps);
+        let mut off = 0usize;
+        m.visit_params(&mut |p| {
+            let n = p.len();
+            let lo = owned.start.max(off).min(off + n);
+            let hi = owned.end.max(off).min(off + n);
+            if lo < hi {
+                let wn = norm(p.value.data());
+                let gn = norm(p.grad.data());
+                let decay = if p.weight_decay { wd } else { 0.0 };
+                let local = if wn > 0.0 && gn > 0.0 {
+                    trust * wn / (gn + decay * wn + eps)
+                } else {
+                    1.0
+                };
+                let w = p.value.data_mut();
+                let g = p.grad.data();
+                let v = &mut velocity[lo - owned.start..hi - owned.start];
+                for (k, i) in (lo - off..hi - off).enumerate() {
+                    v[k] = mu * v[k] + local * lr * (g[i] + decay * w[i]);
+                    w[i] -= v[k];
+                }
+            }
+            off += n;
+        });
+        assert!(
+            owned.end <= off,
+            "owned range {owned:?} exceeds the {off}-element parameter vector"
+        );
     }
 }
 
@@ -253,6 +341,106 @@ mod tests {
         Lars { momentum: 0.0, weight_decay: 0.0, ..Lars::default() }.step(&mut l, 1.0);
         // local rate falls back to 1.0 but gradient is zero → no movement.
         assert_eq!(l.weight.value, before);
+    }
+
+    #[test]
+    fn step_range_bitwise_matches_full_step() {
+        // Two disjoint shard-local steps with external velocity buffers must
+        // move the parameters bit-for-bit like one full step with the
+        // per-parameter momentum tensors — including across several steps,
+        // with a shard boundary cutting through the weight tensor.
+        let mut full = Linear::new(3, 4, 7);
+        let mut sharded = Linear::new(3, 4, 7); // same seed → identical init
+        let total = crate::layers::param_count(&mut full); // 12 + 4
+        let cut = 7usize;
+        let mut v_lo = vec![0.0f32; cut];
+        let mut v_hi = vec![0.0f32; total - cut];
+        let sgd = Sgd::new(SgdConfig { momentum: 0.9, weight_decay: 1e-2 });
+        for step in 0..4 {
+            let grads: Vec<f32> =
+                (0..total).map(|i| ((i * 31 + step * 17) as f32).sin()).collect();
+            crate::layers::set_grads(&mut full, &grads);
+            crate::layers::set_grads(&mut sharded, &grads);
+            sgd.step(&mut full, 0.05);
+            sgd.step_range(&mut sharded, 0.05, 0..cut, &mut v_lo);
+            sgd.step_range(&mut sharded, 0.05, cut..total, &mut v_hi);
+        }
+        let a = crate::layers::collect_params(&mut full);
+        let b = crate::layers::collect_params(&mut sharded);
+        for i in 0..total {
+            assert_eq!(a[i].to_bits(), b[i].to_bits(), "param {i}");
+        }
+        // The concatenated shard velocities are the full momentum state.
+        let mom = crate::layers::collect_momentum(&mut full);
+        let v: Vec<f32> = v_lo.iter().chain(&v_hi).copied().collect();
+        for i in 0..total {
+            assert_eq!(mom[i].to_bits(), v[i].to_bits(), "velocity {i}");
+        }
+    }
+
+    #[test]
+    fn step_range_touches_only_owned_elements() {
+        let mut l = Linear::new(2, 2, 1);
+        let total = crate::layers::param_count(&mut l);
+        let grads: Vec<f32> = (0..total).map(|i| i as f32 + 1.0).collect();
+        crate::layers::set_grads(&mut l, &grads);
+        let before = crate::layers::collect_params(&mut l);
+        let mut v = vec![0.0f32; 2];
+        Sgd::default().step_range(&mut l, 0.1, 2..4, &mut v);
+        let after = crate::layers::collect_params(&mut l);
+        for i in 0..total {
+            if (2..4).contains(&i) {
+                assert_ne!(before[i].to_bits(), after[i].to_bits(), "owned {i} must move");
+            } else {
+                assert_eq!(before[i].to_bits(), after[i].to_bits(), "unowned {i} must not");
+            }
+        }
+    }
+
+    #[test]
+    fn lars_step_range_matches_full_step_on_aligned_shards() {
+        // Shards aligned to parameter boundaries (weight | bias): whole-
+        // tensor trust ratios are computable on both sides, so the sharded
+        // LARS walk is bitwise the full one.
+        let mut full = Linear::new(3, 4, 11);
+        let mut sharded = Linear::new(3, 4, 11); // same seed → identical init
+        let total = crate::layers::param_count(&mut full);
+        let weight_len = 12usize;
+        let mut v_w = vec![0.0f32; weight_len];
+        let mut v_b = vec![0.0f32; total - weight_len];
+        let lars = Lars::default();
+        for step in 0..3 {
+            let grads: Vec<f32> =
+                (0..total).map(|i| ((i * 13 + step * 5) as f32).cos() * 0.01).collect();
+            crate::layers::set_grads(&mut full, &grads);
+            crate::layers::set_grads(&mut sharded, &grads);
+            lars.step(&mut full, 0.5);
+            lars.step_range(&mut sharded, 0.5, 0..weight_len, &mut v_w);
+            lars.step_range(&mut sharded, 0.5, weight_len..total, &mut v_b);
+        }
+        let a = crate::layers::collect_params(&mut full);
+        let b = crate::layers::collect_params(&mut sharded);
+        for i in 0..total {
+            assert_eq!(a[i].to_bits(), b[i].to_bits(), "param {i}");
+        }
+    }
+
+    #[test]
+    fn released_momentum_frees_and_ensure_restores() {
+        let mut l = Linear::new(4, 4, 3);
+        let total = crate::layers::param_count(&mut l);
+        let (p0, o0) = crate::layers::resident_bytes(&mut l);
+        assert_eq!(p0, total * 8); // value + grad
+        assert_eq!(o0, total * 4); // momentum
+        let freed = crate::layers::release_momentum(&mut l);
+        assert_eq!(freed, total * 4);
+        let (_, o1) = crate::layers::resident_bytes(&mut l);
+        assert_eq!(o1, 0);
+        crate::layers::ensure_momentum(&mut l);
+        let (_, o2) = crate::layers::resident_bytes(&mut l);
+        assert_eq!(o2, total * 4);
+        crate::layers::set_momentum(&mut l, &vec![1.0f32; total]);
+        assert_eq!(crate::layers::collect_momentum(&mut l), vec![1.0f32; total]);
     }
 
     #[test]

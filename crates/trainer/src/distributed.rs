@@ -18,13 +18,16 @@ use dcnn_collectives::{
 use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
 use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthImageNet, ValSet};
 use dcnn_dpt::{DptExecutor, DptStrategy};
-use dcnn_tensor::layers::{set_grads, Module};
+use dcnn_tensor::layers::{
+    collect_params, release_momentum, resident_bytes, set_grads, Module,
+};
 use dcnn_tensor::loss::SoftmaxCrossEntropy;
 use dcnn_tensor::optim::{LrSchedule, Sgd, SgdConfig};
 use serde::Serialize;
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, ShardCheckpoint, ShardMeta};
 use crate::grad_sync::GradSync;
+use crate::shard::ShardMap;
 
 /// Training-run configuration.
 #[derive(Clone)]
@@ -88,6 +91,15 @@ pub struct TrainConfig {
     /// all buckets after backward completes (the pre-hook behavior). Both
     /// are bitwise identical to the fused blocking exchange at two ranks.
     pub overlap: OverlapMode,
+    /// Shard the optimizer state across ranks (`DCNN_SHARD_OPTIM`): each
+    /// gradient exchange becomes a reduce-scatter over the canonical
+    /// [`ShardMap`], each rank steps only its owned parameter range with a
+    /// shard-sized velocity buffer (full-replica momentum tensors are
+    /// released), and an allgather rebroadcasts the stepped parameters
+    /// before the next forward. The loss trajectory stays **bitwise
+    /// identical** to the replicated strategy; only where the optimizer
+    /// state lives changes (~`1/nodes` of the replicated footprint).
+    pub shard_optim: bool,
     /// Adaptive bucket sizing target: when nonzero (bytes) and bucketing is
     /// on, the bucket size is re-planned between epochs so the measured
     /// average of in-flight reduce bytes approaches this budget. `0`
@@ -134,6 +146,7 @@ impl TrainConfig {
             accum_steps: 1,
             bucket_bytes: 0,
             overlap: OverlapMode::Hooked,
+            shard_optim: false,
             inflight_budget_bytes: 0,
             fault: None,
             checkpoint_dir: None,
@@ -143,12 +156,15 @@ impl TrainConfig {
 
     /// Overlay the training-related fields of a parsed [`RuntimeConfig`]
     /// (only the variables that were actually set): `DCNN_BUCKET_BYTES`,
-    /// `DCNN_OVERLAP_MODE`, `DCNN_INFLIGHT_BUDGET`, `DCNN_FAULT`,
-    /// `DCNN_CHECKPOINT_DIR`, `DCNN_DATA_PREFETCH_DEPTH`,
+    /// `DCNN_OVERLAP_MODE`, `DCNN_SHARD_OPTIM`, `DCNN_INFLIGHT_BUDGET`,
+    /// `DCNN_FAULT`, `DCNN_CHECKPOINT_DIR`, `DCNN_DATA_PREFETCH_DEPTH`,
     /// `DCNN_DATA_DECODE_WORKERS` and `DCNN_DATA_SERVICE`.
     pub fn apply_runtime(&mut self, rt: &RuntimeConfig) {
         if let Some(b) = rt.bucket_bytes {
             self.bucket_bytes = b;
+        }
+        if let Some(s) = rt.shard_optim {
+            self.shard_optim = s;
         }
         if let Some(d) = rt.data_prefetch_depth {
             self.prefetch_depth = d;
@@ -231,6 +247,16 @@ pub struct EpochStats {
     /// Nonblocking bucket reduces this rank launched during the epoch
     /// (0 in fused blocking mode).
     pub buckets_launched: u64,
+    /// Bytes of parameter state (values + gradients) actually resident on
+    /// this rank at epoch end, measured from live buffer lengths across all
+    /// local replicas.
+    pub resident_param_bytes: u64,
+    /// Bytes of optimizer state resident on this rank at epoch end: the
+    /// replicas' momentum tensors plus the shard-local velocity buffer.
+    /// Under `shard_optim` this shrinks to ~`1/nodes` of one replica's
+    /// parameter bytes — the strategy's memory win, measured rather than
+    /// computed.
+    pub resident_opt_bytes: u64,
 }
 
 /// Cluster-wide maximum of a per-rank `u64` (for high-water-mark stats).
@@ -357,7 +383,22 @@ fn run_rank(
     // every learner; evaluation decodes from it, like training does.
     let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
     let mut exec = DptExecutor::new(cfg.gpus_per_node, factory);
+    let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
     let mut gsync = GradSync::new(algo, exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
+    // Sharded strategy: every gradient exchange becomes a reduce-scatter
+    // over the canonical owner map, this rank keeps its momentum in one
+    // shard-sized velocity buffer, and the replicas' full momentum tensors
+    // are released — that release is the memory saving the strategy exists
+    // for, and `resident_opt_bytes` measures it.
+    let shards = cfg.shard_optim.then(|| ShardMap::new(param_total, n));
+    let mut velocity: Vec<f32> = Vec::new();
+    if let Some(sm) = &shards {
+        gsync = gsync.with_shards(sm.clone());
+        velocity = vec![0.0f32; sm.owned(me).len()];
+        exec.visit_replicas(|m| {
+            release_momentum(m);
+        });
+    }
     // Hooked overlap needs the parallel DPT path to stream segments during
     // backprop and a bucket plan to stream them into; otherwise the drain
     // schedule (launch-after-backward) applies.
@@ -366,7 +407,6 @@ fn run_rank(
         && cfg.strategy == DptStrategy::Optimized;
     // One accumulation buffer for the whole run: sized from the segment
     // map, reused every iteration instead of reallocating per micro-batch.
-    let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
     let mut grad = vec![0.0f32; param_total];
     let mut stats = Vec::with_capacity(cfg.epochs);
     let mut progress = PartialEpoch::default();
@@ -391,6 +431,8 @@ fn run_rank(
             exec: &mut exec,
             gsync: &mut gsync,
             grad: &mut grad,
+            shards: &shards,
+            velocity: &mut velocity,
             stats: &mut stats,
             progress: &mut progress,
         })
@@ -399,7 +441,7 @@ fn run_rank(
         Ok(()) => stats,
         Err(payload) => {
             if let Some(e) = payload.downcast_ref::<CommError>() {
-                flush_abort_state(comm, cfg, &mut exec, &gsync, &progress, e);
+                flush_abort_state(comm, cfg, &mut exec, &gsync, &shards, &velocity, &progress, e);
             }
             std::panic::resume_unwind(payload)
         }
@@ -441,6 +483,8 @@ struct TrainState<'a> {
     exec: &'a mut DptExecutor,
     gsync: &'a mut GradSync,
     grad: &'a mut Vec<f32>,
+    shards: &'a Option<ShardMap>,
+    velocity: &'a mut Vec<f32>,
     stats: &'a mut Vec<EpochStats>,
     progress: &'a mut PartialEpoch,
 }
@@ -459,11 +503,14 @@ fn train_epochs(st: TrainState<'_>) {
         exec,
         gsync,
         grad,
+        shards,
+        velocity,
         stats,
         progress,
     } = st;
     let me = comm.rank();
     let n = comm.size();
+    let shard_counts = shards.as_ref().map(|sm| sm.counts());
     // Fault-injection arming (`DCNN_FAULT`): `kill_at` is the optimizer
     // step after which THIS rank aborts (the kernel closes its sockets, so
     // peers observe the same bare EOF a SIGKILL leaves); any armed fault
@@ -591,10 +638,28 @@ fn train_epochs(st: TrainState<'_>) {
                 }
             }
             reduce::scale(grad, 1.0 / n as f32);
-            exec.visit_replicas(|m| {
-                set_grads(m, &grad[..]);
-                sgd.step(m, lr);
-            });
+            match shards {
+                // Replicated: every replica applies the full averaged
+                // gradient with full momentum, staying in sync implicitly.
+                None => exec.visit_replicas(|m| {
+                    set_grads(m, &grad[..]);
+                    sgd.step(m, lr);
+                }),
+                // Sharded: the reduce-scatter above fully reduced only this
+                // rank's owned range, so step exactly that range (replica 0
+                // stands in for the shard — the others resync from the
+                // allgather), then rebroadcast the stepped parameters.
+                // Per-element arithmetic is identical to the replicated
+                // step, so the gathered weights match it bitwise.
+                Some(sm) => {
+                    let r0 = exec.replica(0);
+                    set_grads(r0, &grad[..]);
+                    sgd.step_range(r0, lr, sm.owned(me), velocity);
+                    let mut params = collect_params(exec.replica(0));
+                    comm.allgather_f32(&mut params, shard_counts.as_ref().expect("counts"));
+                    exec.set_params_all(&params);
+                }
+            }
             progress.loss_sum += step_loss;
             progress.correct += step_correct;
             progress.seen += (batch_node * accum) as u64;
@@ -623,6 +688,7 @@ fn train_epochs(st: TrainState<'_>) {
         } else {
             (1.0 - wait_ns as f64 / async_ns as f64).clamp(0.0, 1.0)
         };
+        let (res_param, res_opt) = measure_residency(exec, velocity);
         stats.push(EpochStats {
             epoch,
             train_loss: l / (n * iterations) as f64,
@@ -639,6 +705,8 @@ fn train_epochs(st: TrainState<'_>) {
             async_inflight_hwm: allreduce_max_u64(comm, now_comm.async_inflight_hwm),
             bucket_bytes: gsync.bucket_bytes() as u64,
             buckets_launched: progress.buckets_launched,
+            resident_param_bytes: res_param,
+            resident_opt_bytes: res_opt,
         });
         // Adaptive bucket sizing: steer the measured average of in-flight
         // reduce bytes toward the configured budget by scaling the target
@@ -664,17 +732,38 @@ fn train_epochs(st: TrainState<'_>) {
     *dimd = source.finish();
 }
 
+/// Live parameter + optimizer bytes on this rank, summed over every local
+/// replica's tensors plus the shard-local velocity buffer.
+fn measure_residency(exec: &mut DptExecutor, velocity: &[f32]) -> (u64, u64) {
+    let (mut res_param, mut res_opt) = (0usize, 0usize);
+    exec.visit_replicas(|m| {
+        let (p, o) = resident_bytes(m);
+        res_param += p;
+        res_opt += o;
+    });
+    res_opt += std::mem::size_of_val(velocity);
+    (res_param as u64, res_opt as u64)
+}
+
 /// A peer died mid-epoch: preserve what this rank can before the unwind
 /// continues — a partial [`EpochStats`] row (stderr, plus a JSON file next
 /// to the checkpoint) telling the operator where training stood, and an
 /// abort checkpoint making the completed steps resumable. Deliberately
 /// avoids every collective call: peers are dead or dying, so only local
 /// counters go into the row.
+///
+/// Under the sharded strategy the abort checkpoint is this rank's
+/// [`ShardCheckpoint`] (`DCKS`) — full momentum no longer exists anywhere —
+/// and the surviving ranks' shards merge back into a full `DCKP` state via
+/// [`Checkpoint::merge`], or restore directly into another sharded run.
+#[allow(clippy::too_many_arguments)]
 fn flush_abort_state(
     comm: &Comm,
     cfg: &TrainConfig,
     exec: &mut DptExecutor,
     gsync: &GradSync,
+    shards: &Option<ShardMap>,
+    velocity: &[f32],
     progress: &PartialEpoch,
     err: &CommError,
 ) {
@@ -683,6 +772,7 @@ fn flush_abort_state(
     let phase = gsync.algo_name();
     let async_ns = now.async_comm_ns.saturating_sub(progress.start.async_comm_ns);
     let wait_ns = now.bucket_wait_ns.saturating_sub(progress.start.bucket_wait_ns);
+    let (res_param, res_opt) = measure_residency(exec, velocity);
     let row = EpochStats {
         epoch: progress.epoch,
         train_loss: if progress.iters == 0 {
@@ -711,6 +801,8 @@ fn flush_abort_state(
         async_inflight_hwm: now.async_inflight_hwm,
         bucket_bytes: gsync.bucket_bytes() as u64,
         buckets_launched: progress.buckets_launched,
+        resident_param_bytes: res_param,
+        resident_opt_bytes: res_opt,
     };
     eprintln!(
         "dcnn: rank {me}: aborting training after {} iteration(s) of epoch {}: {err}",
@@ -724,21 +816,32 @@ fn flush_abort_state(
             eprintln!("dcnn: rank {me}: cannot create checkpoint dir {}: {e}", dir.display());
             return;
         }
-        let mut ck = None;
-        exec.visit_replicas(|m| {
-            if ck.is_none() {
-                ck = Some(Checkpoint::capture(m, progress.epoch as u32));
+        let path = dir.join(format!("abort-rank{me}.ckpt"));
+        let written = match shards {
+            None => Checkpoint::capture(exec.replica(0), progress.epoch as u32).write_to(&path),
+            Some(sm) => {
+                let owned = sm.owned(me);
+                let params = collect_params(exec.replica(0));
+                ShardCheckpoint {
+                    epoch: progress.epoch as u32,
+                    meta: ShardMeta {
+                        rank: me as u32,
+                        world: sm.world() as u32,
+                        offset: owned.start as u64,
+                        total: sm.total() as u64,
+                    },
+                    params: params[owned].to_vec(),
+                    momentum: velocity.to_vec(),
+                }
+                .write_to(&path)
             }
-        });
-        if let Some(ck) = ck {
-            let path = dir.join(format!("abort-rank{me}.ckpt"));
-            match ck.write_to(&path) {
-                Ok(()) => eprintln!(
-                    "dcnn: rank {me}: abort checkpoint written to {}",
-                    path.display()
-                ),
-                Err(e) => eprintln!("dcnn: rank {me}: abort checkpoint write failed: {e}"),
-            }
+        };
+        match written {
+            Ok(()) => eprintln!(
+                "dcnn: rank {me}: abort checkpoint written to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("dcnn: rank {me}: abort checkpoint write failed: {e}"),
         }
         let _ = std::fs::write(dir.join(format!("abort-rank{me}.partial.json")), json);
     }
@@ -1104,6 +1207,145 @@ mod tests {
         for (a, b) in sb.iter().zip(&so) {
             assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
         }
+    }
+
+    /// Assert two runs took bitwise-identical trajectories (loss, accuracy
+    /// and validation accuracy per epoch).
+    fn assert_bitwise_trajectory(a: &[EpochStats], b: &[EpochStats], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: epoch counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.train_loss.to_bits(),
+                y.train_loss.to_bits(),
+                "{what} epoch {}: {} vs {}",
+                x.epoch,
+                x.train_loss,
+                y.train_loss
+            );
+            assert_eq!(x.train_acc.to_bits(), y.train_acc.to_bits(), "{what} epoch {}", x.epoch);
+            assert_eq!(x.val_acc.to_bits(), y.val_acc.to_bits(), "{what} epoch {}", x.epoch);
+        }
+    }
+
+    #[test]
+    fn sharded_training_is_bitwise_identical_every_algorithm() {
+        // The strategy seam's core promise: flipping `shard_optim` never
+        // changes the loss trajectory, for any of the six allreduce
+        // algorithms (their reduce-scatter seam defaults to the full
+        // allreduce, so the sharded math is literally the replicated math).
+        let ds = tiny_ds();
+        for algo in AllreduceAlgo::all() {
+            let mut replicated = tiny_cfg(2, 1);
+            replicated.algo = algo;
+            replicated.validate = false;
+            replicated.shuffle_every_epochs = 0;
+            let mut sharded = replicated.clone();
+            sharded.shard_optim = true;
+            let sr = train_distributed(&replicated, &ds, tiny_factory);
+            let ss = train_distributed(&sharded, &ds, tiny_factory);
+            assert_bitwise_trajectory(&sr, &ss, &format!("{algo:?}"));
+        }
+    }
+
+    #[test]
+    fn sharded_four_ranks_matches_replicated_in_every_overlap_mode() {
+        // Four ranks with the ring: the reduce-scatter is real (each rank
+        // receives only its shard's sums), summation order matters, and the
+        // owner-anchored ring keeps fused, drained and hooked sharded runs
+        // all bitwise equal to the replicated fused run.
+        let ds = tiny_ds();
+        let mut replicated = tiny_cfg(4, 2);
+        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.shuffle_every_epochs = 0;
+        let sr = train_distributed(&replicated, &ds, tiny_factory);
+
+        let mut fused = replicated.clone();
+        fused.shard_optim = true;
+        assert_bitwise_trajectory(
+            &sr,
+            &train_distributed(&fused, &ds, tiny_factory),
+            "fused sharded",
+        );
+
+        let mut drained = fused.clone();
+        drained.bucket_bytes = 1024;
+        drained.overlap = OverlapMode::Drain;
+        assert_bitwise_trajectory(
+            &sr,
+            &train_distributed(&drained, &ds, tiny_factory),
+            "drained sharded",
+        );
+
+        let mut hooked = fused.clone();
+        hooked.bucket_bytes = 1024;
+        hooked.overlap = OverlapMode::Hooked;
+        assert_bitwise_trajectory(
+            &sr,
+            &train_distributed(&hooked, &ds, tiny_factory),
+            "hooked sharded",
+        );
+    }
+
+    #[test]
+    fn sharded_three_ranks_uneven_shards_match_replicated() {
+        // A world size that does not divide the parameter count: shards are
+        // uneven, and one may cut through a tensor. Still bitwise.
+        let ds = tiny_ds();
+        let mut replicated = tiny_cfg(3, 2);
+        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.validate = false;
+        replicated.shuffle_every_epochs = 0;
+        let mut sharded = replicated.clone();
+        sharded.shard_optim = true;
+        let sr = train_distributed(&replicated, &ds, tiny_factory);
+        let ss = train_distributed(&sharded, &ds, tiny_factory);
+        assert_bitwise_trajectory(&sr, &ss, "three-rank sharded");
+    }
+
+    #[test]
+    fn sharded_composes_with_fp16_and_accumulation_bitwise() {
+        // The extensions stack: fp16 quantization happens before the
+        // exchange and accumulation before the scale, so neither interacts
+        // with who owns the reduction.
+        let ds = tiny_ds();
+        let mut replicated = tiny_cfg(2, 2);
+        replicated.fp16_grads = true;
+        replicated.accum_steps = 2;
+        replicated.batch_per_gpu = 2;
+        replicated.validate = false;
+        let mut sharded = replicated.clone();
+        sharded.shard_optim = true;
+        let sr = train_distributed(&replicated, &ds, tiny_factory);
+        let ss = train_distributed(&sharded, &ds, tiny_factory);
+        assert_bitwise_trajectory(&sr, &ss, "fp16+accum sharded");
+    }
+
+    #[test]
+    fn sharded_run_shrinks_resident_optimizer_state() {
+        // The point of the exercise: same bits, ~1/world the optimizer
+        // memory. Replicated keeps one full momentum buffer per local
+        // replica; sharded keeps a single shard-sized velocity.
+        let ds = tiny_ds();
+        let mut replicated = tiny_cfg(4, 1);
+        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.validate = false;
+        replicated.shuffle_every_epochs = 0;
+        let mut sharded = replicated.clone();
+        sharded.shard_optim = true;
+        let sr = train_distributed(&replicated, &ds, tiny_factory);
+        let ss = train_distributed(&sharded, &ds, tiny_factory);
+        assert_bitwise_trajectory(&sr, &ss, "residency run");
+        let (rep, shd) = (sr.last().expect("stats"), ss.last().expect("stats"));
+        assert!(rep.resident_opt_bytes > 0);
+        assert!(
+            shd.resident_opt_bytes * 4 <= rep.resident_opt_bytes,
+            "sharded opt bytes {} should be ≤ 1/4 of replicated {}",
+            shd.resident_opt_bytes,
+            rep.resident_opt_bytes
+        );
+        // Parameter residency (values + grads) is unchanged — sharding
+        // moves optimizer state only.
+        assert_eq!(shd.resident_param_bytes, rep.resident_param_bytes);
     }
 
     #[test]

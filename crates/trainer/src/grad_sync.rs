@@ -31,12 +31,20 @@
 //! every rank (each rank walks the same module tree backwards), which is
 //! what lets the runtime derive matching bucket communicator IDs from
 //! launch sequence numbers alone.
+//!
+//! [`GradSync::with_shards`] swaps every allreduce in the plan — fused,
+//! drained or hooked — for a reduce-scatter over the
+//! [`crate::shard::ShardMap`] owner map: after the exchange only the
+//! caller's owned range is fully reduced, which is all the sharded
+//! optimizer reads before it allgathers the stepped parameters.
 
 use std::sync::Arc;
 
 use dcnn_collectives::runtime::{Comm, PendingReduce};
 use dcnn_collectives::{quantize_f16, Allreduce};
 use dcnn_tensor::layers::ParamSegment;
+
+use crate::shard::ShardMap;
 
 /// One planned bucket: a contiguous span of the flattened gradient covering
 /// consecutive parameter segments in reverse layer order.
@@ -61,15 +69,6 @@ impl Bucket {
     pub fn bytes(&self) -> usize {
         self.len * 4
     }
-}
-
-/// Bucket-size override from the `DCNN_BUCKET_BYTES` environment variable
-/// (decimal bytes; `0` keeps the fused blocking exchange). Unset, empty or
-/// unparsable values mean "no override".
-#[deprecated(note = "use dcnn_collectives::RuntimeConfig::from_env, which parses every DCNN_* \
-                     variable in one place and rejects malformed values")]
-pub fn bucket_bytes_from_env() -> Option<usize> {
-    std::env::var("DCNN_BUCKET_BYTES").ok().and_then(|v| v.trim().parse().ok())
 }
 
 /// Greedily pack `segments` (given in forward layer order) into buckets of
@@ -125,6 +124,7 @@ pub struct GradSync {
     bucket_bytes: usize,
     fp16: bool,
     bucketed: bool,
+    shards: Option<ShardMap>,
 }
 
 impl GradSync {
@@ -147,7 +147,25 @@ impl GradSync {
             bucket_bytes,
             fp16,
             bucketed: bucket_bytes > 0,
+            shards: None,
         }
+    }
+
+    /// Switch the exchange to the sharded strategy: every reduce becomes a
+    /// reduce-scatter over `shards`' owner map, so after [`GradSync::reduce`]
+    /// (or a [`GradStream`]) only this rank's owned range of the gradient is
+    /// fully reduced — the rest holds partial sums the optimizer must not
+    /// read. `shards.total()` must equal the segment map's total length.
+    pub fn with_shards(mut self, shards: ShardMap) -> Self {
+        let total: usize = self.segments.iter().map(|s| s.len).sum();
+        assert_eq!(shards.total(), total, "shard map must cover the gradient");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Whether reduces run as shard-owner reduce-scatters.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.is_some()
     }
 
     /// The planned buckets, in launch (reverse layer) order.
@@ -215,7 +233,10 @@ impl GradSync {
             if self.fp16 {
                 quantize_f16(grad);
             }
-            self.algo.run(comm, grad);
+            match &self.shards {
+                None => self.algo.run(comm, grad),
+                Some(sm) => self.algo.reduce_scatter(comm, grad, &sm.counts()),
+            }
             return;
         }
         let mut pending = Vec::with_capacity(self.buckets.len());
@@ -224,7 +245,14 @@ impl GradSync {
             if self.fp16 {
                 quantize_f16(&mut payload);
             }
-            pending.push(comm.allreduce_async(Arc::clone(&self.algo), payload));
+            pending.push(match &self.shards {
+                None => comm.allreduce_async(Arc::clone(&self.algo), payload),
+                Some(sm) => comm.reduce_scatter_async(
+                    Arc::clone(&self.algo),
+                    payload,
+                    sm.bucket_counts(b.range()),
+                ),
+            });
         }
         for (b, p) in self.buckets.iter().zip(pending) {
             let reduced = p.wait();
@@ -290,8 +318,17 @@ impl<'a> GradStream<'a> {
             quantize_f16(&mut payload);
         }
         let label: Arc<str> = Arc::from(sync.segment_name_at(sealed_at));
-        self.pending[i] =
-            Some(self.comm.allreduce_async_labeled(Arc::clone(&sync.algo), payload, Some(label)));
+        self.pending[i] = Some(match &sync.shards {
+            None => {
+                self.comm.allreduce_async_labeled(Arc::clone(&sync.algo), payload, Some(label))
+            }
+            Some(sm) => self.comm.reduce_scatter_async_labeled(
+                Arc::clone(&sync.algo),
+                payload,
+                sm.bucket_counts(b.range()),
+                Some(label),
+            ),
+        });
         self.launch_order.push(i);
     }
 
@@ -483,6 +520,86 @@ mod tests {
             end = b.offset;
         }
         assert_eq!(end, 0);
+    }
+
+    #[test]
+    fn sharded_fused_reduce_matches_replicated_on_owned_range_every_algorithm() {
+        // The strategy seam: after a sharded fused reduce, this rank's owned
+        // range must carry exactly the bits the replicated fused reduce
+        // produces there — for every algorithm, at a world size that leaves
+        // uneven shards.
+        let total = 101usize;
+        for algo_kind in AllreduceAlgo::all() {
+            let s = segs(&[33, 5, 61, 2]);
+            let out = run_cluster(3, move |comm| {
+                let mk = |rank: usize| -> Vec<f32> {
+                    (0..total).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
+                };
+                let algo = algo_kind.build_shared();
+                let mut replicated = mk(comm.rank());
+                GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut replicated);
+                let sm = ShardMap::new(total, comm.size());
+                let mut sharded = mk(comm.rank());
+                GradSync::new(algo, &s, 0, false)
+                    .with_shards(sm.clone())
+                    .reduce(comm, &mut sharded);
+                let owned = sm.owned(comm.rank());
+                (replicated[owned.clone()].to_vec(), sharded[owned].to_vec())
+            });
+            for (rank, (a, b)) in out.iter().enumerate() {
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{algo_kind:?} rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_bucketed_and_streamed_match_fused_with_ring_at_three_ranks() {
+        // The ring's true reduce-scatter anchors each element at its owner,
+        // so sharded bucketing (per-bucket reduce-scatters) and the hooked
+        // stream must land the same owned bits as the fused sharded
+        // exchange — even at three ranks, where summation order matters.
+        let s = segs(&[33, 5, 61, 2]);
+        let total = 101usize;
+        let out = run_cluster(3, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..total).map(|i| ((i * 41 + rank * 13) as f32 * 0.377).cos()).collect()
+            };
+            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let sm = ShardMap::new(total, comm.size());
+            let mut fused = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 0, false)
+                .with_shards(sm.clone())
+                .reduce(comm, &mut fused);
+
+            let mut bucketed = mk(comm.rank());
+            GradSync::new(Arc::clone(&algo), &s, 128, false)
+                .with_shards(sm.clone())
+                .reduce(comm, &mut bucketed);
+
+            let gsync = GradSync::new(algo, &s, 128, false).with_shards(sm.clone());
+            let mut streamed = mk(comm.rank());
+            let mut stream = gsync.begin(comm);
+            for seg in s.iter().rev() {
+                stream.segment_ready(&streamed, seg.offset, seg.len);
+            }
+            stream.finish(&mut streamed);
+
+            let owned = sm.owned(comm.rank());
+            (
+                fused[owned.clone()].to_vec(),
+                bucketed[owned.clone()].to_vec(),
+                streamed[owned].to_vec(),
+            )
+        });
+        for (rank, (f, b, st)) in out.iter().enumerate() {
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(f), bits(b), "rank {rank}: bucketed diverged");
+            assert_eq!(bits(f), bits(st), "rank {rank}: streamed diverged");
+        }
     }
 
     #[test]

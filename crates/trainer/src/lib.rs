@@ -24,11 +24,11 @@ pub mod distributed;
 pub mod epoch_model;
 pub mod grad_sync;
 pub mod metrics;
+pub mod shard;
 
 pub use async_sgd::{train_async, AsyncConfig, AsyncStats};
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, ShardCheckpoint, ShardMeta};
 pub use distributed::{train_distributed, train_on_comm, EpochStats, TrainConfig};
-#[allow(deprecated)]
-pub use grad_sync::bucket_bytes_from_env;
 pub use grad_sync::{plan_buckets, Bucket, GradStream, GradSync};
 pub use epoch_model::{ClusterSetup, EpochBreakdown, EpochTimeModel, OptimizationFlags, Workload};
+pub use shard::ShardMap;

@@ -6,11 +6,11 @@ use crate::distributed::EpochStats;
 /// Render epoch statistics as CSV (header + one row per epoch).
 pub fn stats_to_csv(stats: &[EpochStats]) -> String {
     let mut out = String::from(
-        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm,bucket_bytes,buckets_launched\n",
+        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm,bucket_bytes,buckets_launched,resident_param_bytes,resident_opt_bytes\n",
     );
     for s in stats {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             s.epoch,
             s.lr,
             s.train_loss,
@@ -25,7 +25,9 @@ pub fn stats_to_csv(stats: &[EpochStats]) -> String {
             s.overlap_frac,
             s.async_inflight_hwm,
             s.bucket_bytes,
-            s.buckets_launched
+            s.buckets_launched,
+            s.resident_param_bytes,
+            s.resident_opt_bytes
         ));
     }
     out
@@ -66,6 +68,8 @@ mod tests {
             async_inflight_hwm: 3,
             bucket_bytes: 4096,
             buckets_launched: 12 * epoch as u64,
+            resident_param_bytes: 65536,
+            resident_opt_bytes: 8192,
         }
     }
 
@@ -76,8 +80,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,"));
         assert!(lines[1].starts_with("0,"));
-        assert_eq!(lines[1].split(',').count(), 15);
-        assert!(lines[0].ends_with("async_inflight_hwm,bucket_bytes,buckets_launched"));
+        assert_eq!(lines[1].split(',').count(), 17);
+        assert!(lines[0].ends_with("buckets_launched,resident_param_bytes,resident_opt_bytes"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn workload_names() -> &'static [&'static str] {
         "bucketed-epoch",
         "overlap-epoch",
         "fault-epoch",
+        "sharded-epoch",
         "data-epoch",
         "data-storm",
     ]
@@ -36,6 +37,7 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "bucketed-epoch" => Some(bucketed_epoch_workload),
         "overlap-epoch" => Some(overlap_epoch_workload),
         "fault-epoch" => Some(fault_epoch_workload),
+        "sharded-epoch" => Some(sharded_epoch_workload),
         "data-epoch" => Some(data_epoch_workload),
         "data-storm" => Some(data_storm_workload),
         _ => None,
@@ -320,6 +322,71 @@ pub fn fault_epoch_workload(comm: &Comm) -> Vec<String> {
         .collect()
 }
 
+/// Two epochs of the wide ResNet on the ring-reduce-scatter algorithm,
+/// trained with whatever sync strategy `DCNN_SHARD_OPTIM` selects — unset
+/// keeps the replicated path (allreduce + full-replica SGD), `1` shards the
+/// optimizer (reduce-scatter gradients → shard-local step → allgather
+/// parameters). The ring algorithm is forced because its reduce-scatter
+/// schedule anchors every element's sum at the owner rank, so the sharded
+/// run must reproduce the replicated loss *bitwise* at any world size —
+/// `ci.sh` diffs the `epoch` lines of both modes at four ranks. The
+/// trailing `resident rank=…` lines gather each rank's measured parameter
+/// and optimizer residency: the sharded run's `opt_bytes` must shrink by
+/// ~world-size ×, which is the strategy's memory win, measured.
+pub fn sharded_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 24;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 2, &runtime());
+    cfg.algo = AllreduceAlgo::RingReduceScatter;
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.shuffle_every_epochs = 0;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 24,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(78)
+    });
+    let mut lines: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect();
+    // Gather the last epoch's measured residency from every rank so rank
+    // 0's report carries the whole cluster's memory picture.
+    let last = stats.last().expect("at least one epoch");
+    let mut mine = Vec::with_capacity(16);
+    mine.extend_from_slice(&last.resident_param_bytes.to_le_bytes());
+    mine.extend_from_slice(&last.resident_opt_bytes.to_le_bytes());
+    for (r, b) in allgather_bytes(comm, mine).iter().enumerate() {
+        let param = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+        let opt = u64::from_le_bytes(b[8..16].try_into().expect("8"));
+        lines.push(format!("resident rank={r} param_bytes={param} opt_bytes={opt}"));
+    }
+    lines
+}
+
 /// The dataset and shuffle parameters shared by the data-plane workloads
 /// (`data-epoch`, `data-storm`) and the `dcnn-data-server` binary. The
 /// trainers and the servers are separate OS processes that never exchange
@@ -541,6 +608,18 @@ mod tests {
         assert!(lines[0].starts_with("epoch 0 loss="), "{lines:?}");
         assert!(lines[2].starts_with("overlap_frac="), "{lines:?}");
         assert!(lines[3].starts_with("inflight_hwm="), "{lines:?}");
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn sharded_epoch_workload_reports_on_threads() {
+        let out = dcnn_collectives::run_cluster(2, sharded_epoch_workload);
+        let lines = &out[0];
+        assert_eq!(lines.len(), 4, "{lines:?}"); // two epochs + two resident lines
+        assert!(lines[0].starts_with("epoch 0 loss="), "{lines:?}");
+        assert!(lines[1].starts_with("epoch 1 loss="), "{lines:?}");
+        assert!(lines[2].starts_with("resident rank=0 param_bytes="), "{lines:?}");
+        assert!(lines[3].starts_with("resident rank=1 param_bytes="), "{lines:?}");
         assert_eq!(out[0], out[1]);
     }
 

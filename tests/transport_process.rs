@@ -123,6 +123,50 @@ fn two_process_overlap_epoch_matches_threaded_run() {
 }
 
 #[test]
+fn four_process_sharded_epoch_matches_replicated_bitwise() {
+    // The sharded-optimizer acceptance test: the same 4-rank TCP training
+    // run with and without DCNN_SHARD_OPTIM must print identical `epoch`
+    // lines (reduce-scatter → shard-local step → allgather is arithmetic-
+    // identical to allreduce + replicated step on the ring schedule), while
+    // the sharded run's measured per-rank optimizer residency shrinks by at
+    // least the world size.
+    fn epoch_lines(report: &str) -> Vec<String> {
+        report.lines().filter(|l| l.starts_with("epoch ")).map(str::to_string).collect()
+    }
+    fn rank0_opt_bytes(report: &str) -> u64 {
+        report
+            .lines()
+            .find_map(|l| l.strip_prefix("resident rank=0 "))
+            .and_then(|l| l.split("opt_bytes=").nth(1))
+            .expect("report carries rank 0 residency")
+            .parse()
+            .expect("opt_bytes parses")
+    }
+
+    let rep = launch_with(4, "sharded-epoch", &[]);
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    let rep_report = String::from_utf8(rep.stdout).expect("utf8");
+
+    let shd = launch_with(4, "sharded-epoch", &[("DCNN_SHARD_OPTIM", "1")]);
+    assert!(shd.status.success(), "{}", String::from_utf8_lossy(&shd.stderr));
+    let shd_report = String::from_utf8(shd.stdout).expect("utf8");
+
+    let rep_epochs = epoch_lines(&rep_report);
+    assert_eq!(rep_epochs.len(), 2, "{rep_report}");
+    assert_eq!(
+        epoch_lines(&shd_report),
+        rep_epochs,
+        "sharded optimizer must not change a single loss bit"
+    );
+
+    let (rep_opt, shd_opt) = (rank0_opt_bytes(&rep_report), rank0_opt_bytes(&shd_report));
+    assert!(
+        shd_opt * 4 <= rep_opt,
+        "sharding should shrink optimizer bytes ~world-size x: replicated={rep_opt} sharded={shd_opt}"
+    );
+}
+
+#[test]
 fn sigkilled_rank_fails_survivors_fast_with_structured_report() {
     // The acceptance test for fault tolerance: start a 3-rank training run
     // over real TCP, SIGKILL rank 1 mid-epoch, and demand that every
