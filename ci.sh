@@ -134,6 +134,36 @@ if [ -z "$rep_opt" ] || [ -z "$shd_opt" ] || [ "$((shd_opt * 4))" -gt "$rep_opt"
     exit 1
 fi
 
+# Self-tuning-collectives smoke: the autotune-epoch workload trained with
+# a tuned policy whose candidate set is {ring} must print bitwise-identical
+# epoch lines to a fixed-ring run over 4 real TCP processes, the tuner must
+# freeze a real decision table (size-class entries, not the probe
+# placeholder), and all four ranks' tables must agree — the allgather+max
+# merge is what makes per-rank wall-clock timings safe to act on.
+echo "+ autotune smoke (DCNN_ALGO=auto:ring vs DCNN_ALGO=ring, 4 ranks)"
+tuned_out=$(DCNN_ALGO=auto:ring DCNN_BUCKET_BYTES=4096 ./target/release/dcnn-launch --ranks 4 --workload autotune-epoch)
+fixed_out=$(DCNN_ALGO=ring DCNN_BUCKET_BYTES=4096 ./target/release/dcnn-launch --ranks 4 --workload autotune-epoch)
+echo "$tuned_out" | sed 's/^/  tuned: /'
+echo "$fixed_out" | sed 's/^/  fixed: /'
+if [ "$(echo "$tuned_out" | grep '^epoch ')" != "$(echo "$fixed_out" | grep '^epoch ')" ]; then
+    echo "ci.sh: tuned (auto:ring) training diverged from fixed ring" >&2
+    exit 1
+fi
+tables=$(echo "$tuned_out" | sed -n 's/^decisions rank=[0-9]* //p')
+if [ "$(echo "$tables" | wc -l)" -ne 4 ]; then
+    echo "ci.sh: expected a decisions line from each of 4 ranks" >&2
+    exit 1
+fi
+if [ "$(echo "$tables" | sort -u | wc -l)" -ne 1 ]; then
+    echo "ci.sh: ranks disagree on the frozen decision table:" >&2
+    echo "$tables" >&2
+    exit 1
+fi
+if ! echo "$tables" | head -n 1 | grep -q '<='; then
+    echo "ci.sh: tuner never froze a size-class decision table: $tables" >&2
+    exit 1
+fi
+
 # Data-plane smoke: the same data-epoch workload (2 epochs, cross-node
 # shuffle with a tiny Algorithm 2 segment cap) run fully in-process and
 # then streamed from a separate dcnn-data-server process must print

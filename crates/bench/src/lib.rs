@@ -7,6 +7,7 @@
 
 pub mod perf;
 
+use dcnn_core::collectives::{AlgoPolicy, AllreduceAlgo};
 use dcnn_core::constants::PaperConstants as P;
 use dcnn_core::experiments::{self, AccuracyScale};
 use dcnn_core::report::{fmt_secs, markdown_table};
@@ -364,19 +365,30 @@ pub struct CommRow {
 /// threads on a `elems`-element buffer — as four overlap-engine buckets
 /// launched through the nonblocking API, the shape the bucketed trainer
 /// drives — and collect per-rank counters.
-pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
-    use dcnn_core::collectives::{AllreduceAlgo, ClusterBuilder};
+pub fn comm_rows(nodes: usize, elems: usize, policy: &AlgoPolicy) -> Vec<CommRow> {
+    use dcnn_core::collectives::{ClusterBuilder, Tuner, TunerConfig};
     use std::sync::Arc;
-    let algo = AllreduceAlgo::MultiColor(4).build_shared();
+    // A fixed policy is a one-candidate tuner: selection degenerates to the
+    // pinned algorithm, and both policy shapes drive the same launch path.
+    let cfg = match policy {
+        AlgoPolicy::Fixed(a) => TunerConfig::with_candidates(vec![*a]),
+        AlgoPolicy::Auto(cfg) => cfg.clone(),
+    };
+    // Per-size phase label(s) for the report: parameterizations of one
+    // algorithm share a phase name, so deduplicate before summing.
+    let phase_names: std::collections::BTreeSet<&'static str> =
+        cfg.candidates.iter().map(|c| c.name()).collect();
     let run = ClusterBuilder::new(nodes).run(move |c| {
+        let mut tuner = Tuner::new(cfg.clone());
         let bucket = (elems / 4).max(1);
         let mut pending = Vec::new();
         let mut off = 0;
         while off < elems {
             let len = bucket.min(elems - off);
             let label: Arc<str> = Arc::from(format!("bucket.{}", pending.len()));
+            let sel = tuner.select(pending.len(), (len * 4) as u64, c.size(), false);
             pending.push(c.allreduce_async_labeled(
-                Arc::clone(&algo),
+                sel.handle,
                 vec![c.rank() as f32 + 1.0; len],
                 Some(label),
             ));
@@ -395,7 +407,7 @@ pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
             msgs_sent: s.msgs_sent,
             recv_wait_ms: s.recv_wait_ns as f64 / 1e6,
             stash_hwm: s.stash_hwm,
-            allreduce_ms: s.phase("multicolor") as f64 / 1e6,
+            allreduce_ms: phase_names.iter().map(|n| s.phase(n)).sum::<u64>() as f64 / 1e6,
             async_inflight_hwm: s.async_inflight_hwm,
             bucket_wait_ms: s.bucket_wait_ns as f64 / 1e6,
             bucket_spans: s.bucket_spans.len() as u64,
@@ -407,7 +419,7 @@ pub fn comm_rows(nodes: usize, elems: usize) -> Vec<CommRow> {
 /// Render the `comm` experiment: per-rank runtime counters for a real
 /// multi-color allreduce (8 ranks, 256 KiB payload in four async buckets).
 pub fn render_comm() -> String {
-    let rows = comm_rows(8, 65_536);
+    let rows = comm_rows(8, 65_536, &AlgoPolicy::Fixed(AllreduceAlgo::MultiColor(4)));
     let table = markdown_table(
         &[
             "rank",
@@ -475,7 +487,7 @@ pub fn to_json(name: &str, scale: &AccuracyScale) -> String {
         "table1" => j(&experiments::table1()),
         "table2" => j(&experiments::table2()),
         "ext" => j(&(experiments::color_ablation(16, 93e6), experiments::mapping_ablation(32, 93e6, 4))),
-        "comm" => j(&comm_rows(8, 65_536)),
+        "comm" => j(&comm_rows(8, 65_536, &AlgoPolicy::Fixed(AllreduceAlgo::MultiColor(4)))),
         other => panic!("unknown experiment {other}; try one of {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -279,6 +279,51 @@ pub fn bench_shard_collectives(quick: bool, rows: &mut Vec<PerfRow>) {
     }
 }
 
+/// Benchmark the collective-tuner decision path: freezing the decision
+/// table from a cluster-agreed score table, and the per-bucket `select`
+/// that runs on every bucket launch once the table is frozen. Both are
+/// deterministic CPU-bound bookkeeping — the select in particular sits on
+/// the gradient hot path, so it must stay down in the noise next to the
+/// reduce it schedules.
+pub fn bench_tuner(quick: bool, rows: &mut Vec<PerfRow>) {
+    use dcnn_core::collectives::{AllreduceAlgo, Tuner, TunerConfig};
+
+    let reps = if quick { 5 } else { 9 };
+    let cfg = TunerConfig::with_candidates(vec![
+        AllreduceAlgo::PipelinedRing,
+        AllreduceAlgo::HalvingDoubling,
+        AllreduceAlgo::RecursiveDoubling,
+    ]);
+
+    // A synthetic agreed table: 64 size classes x 3 candidates of 16-byte
+    // wire entries, scores arranged so every class has a distinct argmin.
+    let table: Vec<(u32, u32, f64)> = (0..64u32)
+        .flat_map(|class| {
+            (0..3u32).map(move |cand| (class, cand, ((class * 7 + cand * 13) % 29) as f64 + 1.0))
+        })
+        .collect();
+
+    let mut tuner = Tuner::new(cfg);
+    let bytes = (table.len() * 16) as u64;
+    let iters = if quick { 1 << 9 } else { 1 << 11 };
+    let ns = min_ns_per_iter(reps, iters, || {
+        tuner.apply_agreed(std::hint::black_box(&table));
+    });
+    rows.push(row(format!("tune/apply_agreed/{}", table.len()), bytes, ns, true));
+
+    // Converged select: one decision per bucket launch, cycled over 16
+    // bucket sizes spanning the agreed classes.
+    let sizes: Vec<u64> = (6..22).map(|c| 1u64 << c).collect();
+    let iters = if quick { 1 << 11 } else { 1 << 13 };
+    let ns = min_ns_per_iter(reps, iters, || {
+        for (slot, &b) in sizes.iter().enumerate() {
+            let sel = tuner.select(slot, std::hint::black_box(b), 4, false);
+            std::hint::black_box(sel.candidate);
+        }
+    }) / sizes.len() as f64;
+    rows.push(row(format!("tune/select_converged/{}", sizes.len()), 0, ns, true));
+}
+
 /// Loopback socket round-trip of one framed f32 payload (untracked: real
 /// kernel TCP, so wall-clock noise is expected).
 pub fn bench_socket_rtt(quick: bool, rows: &mut Vec<PerfRow>) {
@@ -321,6 +366,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     bench_frame_encode(quick, &mut rows);
     bench_data_plane(quick, &mut rows);
     bench_shard_collectives(quick, &mut rows);
+    bench_tuner(quick, &mut rows);
     bench_socket_rtt(quick, &mut rows);
     BenchReport { schema: SCHEMA.to_string(), date: civil_date_utc(), quick, rows }
 }

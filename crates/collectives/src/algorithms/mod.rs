@@ -27,7 +27,7 @@ use dcnn_simnet::CommSchedule;
 use crate::runtime::{Comm, PendingReduce};
 
 /// Cost constants for compiling an algorithm to a schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Host summation bandwidth in bytes/second (the altivec kernel of the
     /// paper; memory-bandwidth bound on POWER8, ~20 GB/s sustained).
@@ -36,14 +36,44 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { reduce_bw: 20e9 }
+        CostModel { reduce_bw: CostModel::PRIOR_REDUCE_BW }
     }
 }
 
 impl CostModel {
+    /// Cold-start prior for [`CostModel::reduce_bw`] (bytes/second), used
+    /// until a real measurement exists. The paper's POWER8 altivec
+    /// summation kernel sustains ~20 GB/s.
+    pub const PRIOR_REDUCE_BW: f64 = 20e9;
+
     /// Seconds to sum `bytes` of received data into a local buffer.
     pub fn sum_secs(&self, bytes: f64) -> f64 {
         bytes / self.reduce_bw
+    }
+
+    /// A model whose summation bandwidth is derived from a measurement:
+    /// `bytes` of reduced payload observed to take `ns` wall-clock
+    /// nanoseconds end to end. Degenerate measurements (zero bytes or zero
+    /// time) fall back to the cold-start prior rather than producing an
+    /// absurd model.
+    pub fn measured(bytes: u64, ns: u64) -> Self {
+        if bytes == 0 || ns == 0 {
+            return CostModel::default();
+        }
+        CostModel { reduce_bw: bytes as f64 / (ns as f64 / 1e9) }
+    }
+
+    /// Seed a model from a rank's completed bucket reduces: total payload
+    /// bytes over total span wall time across `stats.bucket_spans`. Falls
+    /// back to the prior when the rank has no spans yet.
+    pub fn from_stats(stats: &crate::runtime::CommStats) -> Self {
+        let mut bytes = 0u64;
+        let mut ns = 0u64;
+        for s in &stats.bucket_spans {
+            bytes += s.bytes;
+            ns += s.duration_ns();
+        }
+        CostModel::measured(bytes, ns)
     }
 }
 
@@ -193,6 +223,58 @@ impl AllreduceAlgo {
     }
 }
 
+/// Renders the [`AllreduceAlgo::name`] string, with a `:k` suffix when a
+/// parameterized algorithm departs from its default (`multicolor:2`,
+/// `hierarchical:8`). The output always parses back via [`FromStr`].
+impl std::fmt::Display for AllreduceAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AllreduceAlgo::MultiColor(k) if k != 4 => write!(f, "multicolor:{k}"),
+            AllreduceAlgo::Hierarchical(g) if g != 4 => write!(f, "hierarchical:{g}"),
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+/// Parses the [`AllreduceAlgo::name`] strings, plus parameterized forms
+/// for the algorithms that take one: `multicolor:<colors>` and
+/// `hierarchical:<group>` (bare `multicolor` / `hierarchical` mean the
+/// default parameter, 4). Any other `name:param` combination is an error.
+impl std::str::FromStr for AllreduceAlgo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (base, param) = match s.split_once(':') {
+            Some((b, p)) => (b, Some(p)),
+            None => (s, None),
+        };
+        let parse_param = |what: &str| -> Result<usize, String> {
+            match param {
+                None => Ok(4),
+                Some(p) => match p.parse::<usize>() {
+                    Ok(k) if k >= 1 => Ok(k),
+                    _ => Err(format!("bad {what} {p:?} in allreduce algorithm {s:?}")),
+                },
+            }
+        };
+        let algo = match base {
+            "multicolor" => AllreduceAlgo::MultiColor(parse_param("color count")?),
+            "hierarchical" => AllreduceAlgo::Hierarchical(parse_param("group size")?),
+            "ring" => AllreduceAlgo::PipelinedRing,
+            "openmpi-default" => AllreduceAlgo::RecursiveDoubling,
+            "ring-reduce-scatter" => AllreduceAlgo::RingReduceScatter,
+            "halving-doubling" => AllreduceAlgo::HalvingDoubling,
+            _ => return Err(format!("unknown allreduce algorithm {s:?}")),
+        };
+        if param.is_some()
+            && !matches!(algo, AllreduceAlgo::MultiColor(_) | AllreduceAlgo::Hierarchical(_))
+        {
+            return Err(format!("allreduce algorithm {base:?} takes no parameter (got {s:?})"));
+        }
+        Ok(algo)
+    }
+}
+
 /// Split `len` items into `k` contiguous, maximally even ranges (the first
 /// `len % k` ranges are one element longer). This is the canonical owner map
 /// shared by the ring reduce-scatter chunks and the trainer's parameter
@@ -256,5 +338,63 @@ mod tests {
         let names: Vec<_> = AllreduceAlgo::all().iter().map(|a| a.name()).collect();
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+#[test]
+    fn algo_display_from_str_round_trips() {
+        for a in AllreduceAlgo::all() {
+            let s = a.to_string();
+            assert_eq!(s, a.name(), "defaults render as the bare name");
+            assert_eq!(s.parse::<AllreduceAlgo>().unwrap(), a);
+        }
+        for a in [AllreduceAlgo::MultiColor(2), AllreduceAlgo::Hierarchical(8)] {
+            let s = a.to_string();
+            assert!(s.contains(':'), "{s}");
+            assert_eq!(s.parse::<AllreduceAlgo>().unwrap(), a);
+        }
+        assert_eq!("multicolor:4".parse::<AllreduceAlgo>().unwrap(), AllreduceAlgo::MultiColor(4));
+        assert_eq!("hierarchical".parse::<AllreduceAlgo>().unwrap(), AllreduceAlgo::Hierarchical(4));
+        for bad in ["", "ring:2", "multicolor:", "multicolor:0", "halving-doubling:3", "warp"] {
+            assert!(bad.parse::<AllreduceAlgo>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn measured_cost_model_keeps_prior_on_degenerate_input() {
+        assert_eq!(CostModel::measured(0, 5).reduce_bw, CostModel::PRIOR_REDUCE_BW);
+        assert_eq!(CostModel::measured(5, 0).reduce_bw, CostModel::PRIOR_REDUCE_BW);
+        let m = CostModel::measured(1 << 20, 1_000_000); // 1 MiB in 1 ms
+        assert!((m.reduce_bw - (1u64 << 20) as f64 * 1e3).abs() / m.reduce_bw < 1e-9);
+    }
+
+    #[test]
+    fn measured_model_reorders_a_crossover_the_static_model_gets_wrong() {
+        use dcnn_simnet::{FatTree, SimOptions};
+        let n = 16;
+        let bytes = 65536.0;
+        let makespan = |algo: AllreduceAlgo, cost: &CostModel| {
+            algo.build()
+                .schedule(n, bytes, cost)
+                .simulate(&FatTree::minsky(n), &SimOptions::default())
+                .makespan
+        };
+        // Under the static 20 GB/s prior, the multicolor trees beat the
+        // reduce-scatter ring at 64 KiB on 16 nodes — summation is nearly
+        // free, so the lower network critical path of the trees wins.
+        let prior = CostModel::default();
+        assert!(
+            makespan(AllreduceAlgo::MultiColor(4), &prior)
+                < makespan(AllreduceAlgo::RingReduceScatter, &prior)
+        );
+        // A host measured at ~100 MB/s summation (64 KiB summed in 655 us)
+        // flips that ordering: the trees re-sum whole subtree payloads on
+        // the critical path while the ring sums each element once, so the
+        // measured model correctly prefers the ring where the static one
+        // would still pick multicolor.
+        let measured = CostModel::measured(65536, 655_360);
+        assert!((measured.reduce_bw - 1e8).abs() / 1e8 < 1e-9);
+        assert!(
+            makespan(AllreduceAlgo::RingReduceScatter, &measured)
+                < makespan(AllreduceAlgo::MultiColor(4), &measured)
+        );
     }
 }

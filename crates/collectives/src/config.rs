@@ -191,6 +191,11 @@ pub struct RuntimeConfig {
     /// updated parameters — ZeRO-style, bitwise-identical in loss to the
     /// replicated path.
     pub shard_optim: Option<bool>,
+    /// Allreduce selection policy (`DCNN_ALGO`): a fixed algorithm name
+    /// (`ring`, `multicolor:2`, ...), `auto` (self-tuning over every
+    /// algorithm), or `auto:<c1>,<c2>,...` (self-tuning over the listed
+    /// candidates).
+    pub algo: Option<crate::tune::AlgoPolicy>,
 }
 
 fn parse_usize(
@@ -207,7 +212,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 19] = [
+    pub const ENV_VARS: [&'static str; 20] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -227,6 +232,7 @@ impl RuntimeConfig {
         "DCNN_DATA_DECODE_WORKERS",
         "DCNN_DATA_SERVICE",
         "DCNN_SHARD_OPTIM",
+        "DCNN_ALGO",
     ];
 
     /// Parse the process environment. Unset (or empty) variables become
@@ -388,6 +394,15 @@ impl RuntimeConfig {
                 }
             });
         }
+        if let Some(v) = get("DCNN_ALGO") {
+            cfg.algo = Some(v.trim().parse().map_err(|_| ConfigError {
+                var: "DCNN_ALGO",
+                value: v,
+                expected: "an allreduce algorithm name (multicolor[:colors], ring, \
+                           openmpi-default, ring-reduce-scatter, halving-doubling, \
+                           hierarchical[:group]), \"auto\", or \"auto:<c1>,<c2>,...\"",
+            })?);
+        }
         Ok(cfg)
     }
 
@@ -453,6 +468,14 @@ impl RuntimeConfig {
     /// Whether optimizer state is sharded across ranks (default: replicated).
     pub fn shard_optim_or_default(&self) -> bool {
         self.shard_optim.unwrap_or(false)
+    }
+
+    /// The allreduce selection policy (default: the paper's multicolor
+    /// algorithm with 4 colors, fixed).
+    pub fn algo_or_default(&self) -> crate::tune::AlgoPolicy {
+        self.algo
+            .clone()
+            .unwrap_or(crate::tune::AlgoPolicy::Fixed(crate::algorithms::AllreduceAlgo::MultiColor(4)))
     }
 
     // ---- builder-style programmatic overrides ----
@@ -560,6 +583,12 @@ impl RuntimeConfig {
         self.shard_optim = Some(on);
         self
     }
+
+    /// Override the allreduce selection policy.
+    pub fn with_algo(mut self, policy: crate::tune::AlgoPolicy) -> Self {
+        self.algo = Some(policy);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -589,6 +618,10 @@ mod tests {
         assert_eq!(cfg.data_decode_workers_or_default(), 1);
         assert_eq!(cfg.data_service, None);
         assert!(!cfg.shard_optim_or_default());
+        assert_eq!(
+            cfg.algo_or_default(),
+            crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::MultiColor(4))
+        );
     }
 
     #[test]
@@ -621,6 +654,7 @@ mod tests {
             ("DCNN_DATA_DECODE_WORKERS", "2"),
             ("DCNN_DATA_SERVICE", "127.0.0.1:7500,127.0.0.1:7501"),
             ("DCNN_SHARD_OPTIM", "1"),
+            ("DCNN_ALGO", "auto:multicolor:2,ring"),
         ])
         .expect("full env parses");
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
@@ -642,6 +676,27 @@ mod tests {
         assert_eq!(cfg.data_decode_workers, Some(2));
         assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500,127.0.0.1:7501"));
         assert_eq!(cfg.shard_optim, Some(true));
+        assert_eq!(
+            cfg.algo,
+            Some(crate::tune::AlgoPolicy::Auto(crate::tune::TunerConfig::with_candidates(
+                vec![crate::AllreduceAlgo::MultiColor(2), crate::AllreduceAlgo::PipelinedRing]
+            )))
+        );
+    }
+
+    #[test]
+    fn algo_policy_syntax() {
+        use crate::tune::AlgoPolicy;
+        use crate::AllreduceAlgo;
+        let fixed = from_map(&[("DCNN_ALGO", "hierarchical:8")]).expect("parses");
+        assert_eq!(fixed.algo, Some(AlgoPolicy::Fixed(AllreduceAlgo::Hierarchical(8))));
+        let auto = from_map(&[("DCNN_ALGO", "auto")]).expect("parses");
+        assert_eq!(auto.algo, Some(AlgoPolicy::Auto(Default::default())));
+        for bad in ["warp-speed", "ring:4", "auto:", "auto:ring,", "multicolor:0"] {
+            let err = from_map(&[("DCNN_ALGO", bad)])
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert_eq!(err.var, "DCNN_ALGO");
+        }
     }
 
     #[test]
@@ -686,6 +741,7 @@ mod tests {
             ("DCNN_DATA_PREFETCH_DEPTH", "deep"),
             ("DCNN_DATA_DECODE_WORKERS", "0"),
             ("DCNN_SHARD_OPTIM", "maybe"),
+            ("DCNN_ALGO", "warp-speed"),
         ] {
             let err = from_map(&[(var, value)])
                 .expect_err(&format!("{var}={value} must be rejected"));
@@ -724,7 +780,8 @@ mod tests {
             .with_data_prefetch_depth(4)
             .with_data_decode_workers(3)
             .with_data_service("127.0.0.1:7500")
-            .with_shard_optim(true);
+            .with_shard_optim(true)
+            .with_algo(crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::PipelinedRing));
         assert_eq!(cfg.bucket_bytes, Some(8192));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.comm_workers, Some(5));
@@ -742,6 +799,10 @@ mod tests {
         assert_eq!(cfg.data_decode_workers, Some(3));
         assert_eq!(cfg.data_service.as_deref(), Some("127.0.0.1:7500"));
         assert_eq!(cfg.shard_optim, Some(true));
+        assert_eq!(
+            cfg.algo,
+            Some(crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::PipelinedRing))
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod runtime;
 pub mod trace;
 pub mod transport;
 pub mod tree;
+pub mod tune;
 
 pub use algorithms::{
     even_ranges, Allreduce, AllreduceAlgo, CostModel, HalvingDoubling, Hierarchical, MultiColor,
@@ -58,3 +59,4 @@ pub use runtime::{
 pub use trace::{render_trace, write_trace_json, TraceEvent, TraceEventKind};
 pub use transport::{crc32, Payload, Transport, TransportKind};
 pub use tree::ColorTree;
+pub use tune::{agree_scores, AlgoPolicy, ScoreEntry, Selection, Tuner, TunerConfig};

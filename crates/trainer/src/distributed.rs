@@ -7,13 +7,12 @@
 //! identical everywhere (same factory seed) and stay identical because every
 //! rank applies the same averaged gradient — asserted in tests.
 
-use std::sync::Arc;
 
 use dcnn_collectives::primitives::allgather_bytes;
 use dcnn_collectives::reduce;
 use dcnn_collectives::runtime::{Comm, CommError, CommStats};
 use dcnn_collectives::{
-    run_cluster, Allreduce, AllreduceAlgo, FaultSpec, OverlapMode, RuntimeConfig,
+    run_cluster, AlgoPolicy, AllreduceAlgo, FaultSpec, OverlapMode, RuntimeConfig,
 };
 use dcnn_dimd::shuffle::MPI_COUNT_LIMIT;
 use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthImageNet, ValSet};
@@ -40,8 +39,11 @@ pub struct TrainConfig {
     pub batch_per_gpu: usize,
     /// Epochs to run.
     pub epochs: usize,
-    /// Inter-node allreduce algorithm.
-    pub algo: AllreduceAlgo,
+    /// Inter-node allreduce policy: pin one algorithm
+    /// ([`AlgoPolicy::Fixed`]) or let a measurement-driven tuner pick per
+    /// bucket size ([`AlgoPolicy::Auto`]). Set it from `DCNN_ALGO` via
+    /// [`TrainConfig::apply_runtime`].
+    pub algo: AlgoPolicy,
     /// Data-parallel-table scheduling strategy.
     pub strategy: DptStrategy,
     /// Learning-rate schedule (defaults to the paper's).
@@ -130,7 +132,7 @@ impl TrainConfig {
             gpus_per_node,
             batch_per_gpu,
             epochs,
-            algo: AllreduceAlgo::MultiColor(4),
+            algo: AlgoPolicy::Fixed(AllreduceAlgo::MultiColor(4)),
             strategy: DptStrategy::Optimized,
             lr: LrSchedule::paper(batch_per_gpu, nodes * gpus_per_node),
             crop: 32,
@@ -155,11 +157,15 @@ impl TrainConfig {
     }
 
     /// Overlay the training-related fields of a parsed [`RuntimeConfig`]
-    /// (only the variables that were actually set): `DCNN_BUCKET_BYTES`,
-    /// `DCNN_OVERLAP_MODE`, `DCNN_SHARD_OPTIM`, `DCNN_INFLIGHT_BUDGET`,
-    /// `DCNN_FAULT`, `DCNN_CHECKPOINT_DIR`, `DCNN_DATA_PREFETCH_DEPTH`,
-    /// `DCNN_DATA_DECODE_WORKERS` and `DCNN_DATA_SERVICE`.
+    /// (only the variables that were actually set): `DCNN_ALGO`,
+    /// `DCNN_BUCKET_BYTES`, `DCNN_OVERLAP_MODE`, `DCNN_SHARD_OPTIM`,
+    /// `DCNN_INFLIGHT_BUDGET`, `DCNN_FAULT`, `DCNN_CHECKPOINT_DIR`,
+    /// `DCNN_DATA_PREFETCH_DEPTH`, `DCNN_DATA_DECODE_WORKERS` and
+    /// `DCNN_DATA_SERVICE`.
     pub fn apply_runtime(&mut self, rt: &RuntimeConfig) {
+        if let Some(p) = &rt.algo {
+            self.algo = p.clone();
+        }
         if let Some(b) = rt.bucket_bytes {
             self.bucket_bytes = b;
         }
@@ -257,6 +263,13 @@ pub struct EpochStats {
     /// parameter bytes — the strategy's memory win, measured rather than
     /// computed.
     pub resident_opt_bytes: u64,
+    /// The allreduce decision in effect when the epoch ended: the fixed
+    /// algorithm's name, `probe` while an auto tuner is still rotating
+    /// candidates, or the tuner's frozen per-size decision table
+    /// (`<=BYTES:algo` entries joined by `;` — comma-free so the metrics
+    /// CSV stays parseable). Identical on every rank (the table is
+    /// cluster-agreed before it is ever used).
+    pub algo_choices: String,
 }
 
 /// Cluster-wide maximum of a per-rank `u64` (for high-water-mark stats).
@@ -346,7 +359,7 @@ pub fn train_on_comm(
         comm.size(),
         "cfg.nodes must match the communicator's size"
     );
-    run_rank(comm, cfg, ds, factory, cfg.algo.build_shared())
+    run_rank(comm, cfg, ds, factory)
 }
 
 /// One micro-step: sample, run the DPT, return (loss, grad, correct).
@@ -365,7 +378,6 @@ fn run_rank(
     cfg: &TrainConfig,
     ds: &SynthImageNet,
     factory: &(impl Fn() -> Box<dyn Module> + Sync),
-    algo: Arc<dyn Allreduce + Send + Sync>,
 ) -> Vec<EpochStats> {
     let me = comm.rank();
     let n = comm.size();
@@ -384,7 +396,8 @@ fn run_rank(
     let val = cfg.validate.then(|| ValSet::load(ds, cfg.quality));
     let mut exec = DptExecutor::new(cfg.gpus_per_node, factory);
     let param_total: usize = exec.segments().iter().map(|s| s.len).sum();
-    let mut gsync = GradSync::new(algo, exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
+    let mut gsync =
+        GradSync::with_policy(cfg.algo.clone(), exec.segments(), cfg.bucket_bytes, cfg.fp16_grads);
     // Sharded strategy: every gradient exchange becomes a reduce-scatter
     // over the canonical owner map, this rank keeps its momentum in one
     // shard-sized velocity buffer, and the replicas' full momentum tensors
@@ -680,7 +693,14 @@ fn train_epochs(st: TrainState<'_>) {
             None => 0.0,
         };
         let now_comm = comm.stats();
-        let phase = gsync.algo_name();
+        // Tuner epoch boundary: fold the epoch's bucket spans into the
+        // measured table, and — on the epoch that closes the probe window —
+        // run the cluster agreement round that freezes the decision table.
+        // Every rank reaches this point on the same epoch with the same
+        // tuner state, so the embedded collective is matched.
+        let algo_choices = gsync
+            .tune_epoch_end(comm, &now_comm.bucket_spans[ep_comm.bucket_spans.len()..])
+            .unwrap_or_else(|| gsync.algo_name().to_string());
         let async_ns = now_comm.async_comm_ns - ep_comm.async_comm_ns;
         let wait_ns = now_comm.bucket_wait_ns - ep_comm.bucket_wait_ns;
         let my_overlap = if async_ns == 0 {
@@ -698,7 +718,9 @@ fn train_epochs(st: TrainState<'_>) {
             comm_bytes: now_comm.bytes_sent - ep_comm.bytes_sent,
             comm_msgs: now_comm.msgs_sent - ep_comm.msgs_sent,
             comm_wait_secs: (now_comm.recv_wait_ns - ep_comm.recv_wait_ns) as f64 / 1e9,
-            allreduce_secs: (now_comm.phase(phase) - ep_comm.phase(phase)) as f64 / 1e9,
+            allreduce_secs: (gsync.allreduce_phase_ns(&now_comm)
+                - gsync.allreduce_phase_ns(&ep_comm)) as f64
+                / 1e9,
             stash_hwm: now_comm.stash_hwm,
             bucket_wait_secs: wait_ns as f64 / 1e9,
             overlap_frac: allreduce_max_f64(comm, my_overlap),
@@ -707,6 +729,7 @@ fn train_epochs(st: TrainState<'_>) {
             buckets_launched: progress.buckets_launched,
             resident_param_bytes: res_param,
             resident_opt_bytes: res_opt,
+            algo_choices,
         });
         // Adaptive bucket sizing: steer the measured average of in-flight
         // reduce bytes toward the configured budget by scaling the target
@@ -769,7 +792,6 @@ fn flush_abort_state(
 ) {
     let me = comm.rank();
     let now = comm.stats();
-    let phase = gsync.algo_name();
     let async_ns = now.async_comm_ns.saturating_sub(progress.start.async_comm_ns);
     let wait_ns = now.bucket_wait_ns.saturating_sub(progress.start.bucket_wait_ns);
     let (res_param, res_opt) = measure_residency(exec, velocity);
@@ -790,7 +812,10 @@ fn flush_abort_state(
         comm_bytes: now.bytes_sent.saturating_sub(progress.start.bytes_sent),
         comm_msgs: now.msgs_sent.saturating_sub(progress.start.msgs_sent),
         comm_wait_secs: now.recv_wait_ns.saturating_sub(progress.start.recv_wait_ns) as f64 / 1e9,
-        allreduce_secs: now.phase(phase).saturating_sub(progress.start.phase(phase)) as f64 / 1e9,
+        allreduce_secs: gsync
+            .allreduce_phase_ns(&now)
+            .saturating_sub(gsync.allreduce_phase_ns(&progress.start)) as f64
+            / 1e9,
         stash_hwm: now.stash_hwm,
         bucket_wait_secs: wait_ns as f64 / 1e9,
         overlap_frac: if async_ns == 0 {
@@ -803,6 +828,9 @@ fn flush_abort_state(
         buckets_launched: progress.buckets_launched,
         resident_param_bytes: res_param,
         resident_opt_bytes: res_opt,
+        // No collective here — peers are dead or dying — so render whatever
+        // the local tuner last knew instead of agreeing on anything.
+        algo_choices: gsync.choices_string(),
     };
     eprintln!(
         "dcnn: rank {me}: aborting training after {} iteration(s) of epoch {}: {err}",
@@ -1124,7 +1152,7 @@ mod tests {
         let ds = tiny_ds();
         for algo in AllreduceAlgo::all() {
             let mut blocking = tiny_cfg(2, 1);
-            blocking.algo = algo;
+            blocking.algo = algo.into();
             blocking.validate = false;
             blocking.shuffle_every_epochs = 0;
             let mut hooked = blocking.clone();
@@ -1236,7 +1264,7 @@ mod tests {
         let ds = tiny_ds();
         for algo in AllreduceAlgo::all() {
             let mut replicated = tiny_cfg(2, 1);
-            replicated.algo = algo;
+            replicated.algo = algo.into();
             replicated.validate = false;
             replicated.shuffle_every_epochs = 0;
             let mut sharded = replicated.clone();
@@ -1255,7 +1283,7 @@ mod tests {
         // all bitwise equal to the replicated fused run.
         let ds = tiny_ds();
         let mut replicated = tiny_cfg(4, 2);
-        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.algo = AllreduceAlgo::RingReduceScatter.into();
         replicated.shuffle_every_epochs = 0;
         let sr = train_distributed(&replicated, &ds, tiny_factory);
 
@@ -1292,7 +1320,7 @@ mod tests {
         // uneven, and one may cut through a tensor. Still bitwise.
         let ds = tiny_ds();
         let mut replicated = tiny_cfg(3, 2);
-        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.algo = AllreduceAlgo::RingReduceScatter.into();
         replicated.validate = false;
         replicated.shuffle_every_epochs = 0;
         let mut sharded = replicated.clone();
@@ -1327,7 +1355,7 @@ mod tests {
         // replica; sharded keeps a single shard-sized velocity.
         let ds = tiny_ds();
         let mut replicated = tiny_cfg(4, 1);
-        replicated.algo = AllreduceAlgo::RingReduceScatter;
+        replicated.algo = AllreduceAlgo::RingReduceScatter.into();
         replicated.validate = false;
         replicated.shuffle_every_epochs = 0;
         let mut sharded = replicated.clone();
@@ -1352,10 +1380,10 @@ mod tests {
     fn allreduce_choice_does_not_change_training() {
         let ds = tiny_ds();
         let mut c1 = tiny_cfg(2, 2);
-        c1.algo = AllreduceAlgo::MultiColor(2);
+        c1.algo = AllreduceAlgo::MultiColor(2).into();
         c1.validate = false;
         let mut c2 = tiny_cfg(2, 2);
-        c2.algo = AllreduceAlgo::RingReduceScatter;
+        c2.algo = AllreduceAlgo::RingReduceScatter.into();
         c2.validate = false;
         let s1 = train_distributed(&c1, &ds, tiny_factory);
         let s2 = train_distributed(&c2, &ds, tiny_factory);
@@ -1368,4 +1396,59 @@ mod tests {
             );
         }
     }
+    #[test]
+    fn auto_policy_two_ranks_matches_fixed_bitwise_even_while_probing() {
+        // At world size 2 every algorithm reduces a pair of values with one
+        // f32 addition, so the tuner can rotate candidates mid-probe and
+        // still produce the exact bits a fixed run does. The decision table
+        // must also leave the probe state and freeze real size classes.
+        use dcnn_collectives::TunerConfig;
+        let ds = tiny_ds();
+        let mut fixed = tiny_cfg(2, 4);
+        fixed.algo = AllreduceAlgo::PipelinedRing.into();
+        fixed.bucket_bytes = 1024;
+        fixed.validate = false;
+        fixed.shuffle_every_epochs = 0;
+        let mut tuned = fixed.clone();
+        tuned.algo = AlgoPolicy::Auto(TunerConfig::with_candidates(vec![
+            AllreduceAlgo::PipelinedRing,
+            AllreduceAlgo::HalvingDoubling,
+        ]));
+        let sf = train_distributed(&fixed, &ds, tiny_factory);
+        let st = train_distributed(&tuned, &ds, tiny_factory);
+        assert_bitwise_trajectory(&sf, &st, "auto vs fixed at 2 ranks");
+        assert_eq!(st[0].algo_choices, "probe", "{:?}", st[0].algo_choices);
+        let last = &st.last().expect("stats").algo_choices;
+        assert!(last.contains("<="), "table never froze: {last:?}");
+        assert_eq!(sf.last().expect("stats").algo_choices, "ring");
+    }
+
+    #[test]
+    fn auto_policy_decisions_agree_across_four_ranks() {
+        // The per-rank timings differ; the allgather+max merge must leave
+        // every rank with the same table, hence the same choices string in
+        // every epoch row — including the probe epochs.
+        use dcnn_collectives::TunerConfig;
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(4, 4);
+        cfg.algo = AlgoPolicy::Auto(TunerConfig::with_candidates(vec![
+            AllreduceAlgo::PipelinedRing,
+            AllreduceAlgo::HalvingDoubling,
+        ]));
+        cfg.bucket_bytes = 1024;
+        cfg.validate = false;
+        cfg.shuffle_every_epochs = 0;
+        let per_rank = run_cluster(cfg.nodes, |comm| {
+            train_on_comm(comm, &cfg, &ds, &tiny_factory)
+                .iter()
+                .map(|s| s.algo_choices.clone())
+                .collect::<Vec<_>>()
+        });
+        for (r, choices) in per_rank.iter().enumerate() {
+            assert_eq!(choices, &per_rank[0], "rank {r} disagrees");
+        }
+        let last = per_rank[0].last().expect("choices");
+        assert!(last.contains("<="), "table never froze: {last:?}");
+    }
 }
+

@@ -38,10 +38,12 @@
 //! caller's owned range is fully reduced, which is all the sharded
 //! optimizer reads before it allgathers the stepped parameters.
 
+use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Instant;
 
-use dcnn_collectives::runtime::{Comm, PendingReduce};
-use dcnn_collectives::{quantize_f16, Allreduce};
+use dcnn_collectives::runtime::{BucketSpan, Comm, CommStats, PendingReduce};
+use dcnn_collectives::{agree_scores, quantize_f16, AlgoPolicy, Allreduce, Tuner};
 use dcnn_tensor::layers::ParamSegment;
 
 use crate::shard::ShardMap;
@@ -115,10 +117,37 @@ pub fn plan_buckets(segments: &[ParamSegment], bucket_bytes: usize) -> Vec<Bucke
     out
 }
 
-/// The gradient-exchange engine: owns the allreduce algorithm and the
-/// bucket plan, and runs one exchange per training iteration.
+/// How [`GradSync`] resolves the algorithm for each bucket launch: one
+/// pinned handle, or a measurement-driven [`Tuner`] consulted per launch.
+/// The `RefCell` keeps selection usable from `&self` launch paths
+/// ([`GradStream`] holds a shared borrow of the sync while sealing).
+enum Selector {
+    Fixed(Arc<dyn Allreduce + Send + Sync>),
+    Auto(RefCell<Tuner>),
+}
+
+impl Selector {
+    /// The algorithm handle for the bucket at plan `slot` holding `bytes`
+    /// bytes. `track` must be true for nonblocking launches so the tuner
+    /// can attribute the bucket's completion span back to this choice.
+    fn pick(
+        &self,
+        slot: usize,
+        bytes: u64,
+        world: usize,
+        track: bool,
+    ) -> Arc<dyn Allreduce + Send + Sync> {
+        match self {
+            Selector::Fixed(a) => Arc::clone(a),
+            Selector::Auto(t) => t.borrow_mut().select(slot, bytes, world, track).handle,
+        }
+    }
+}
+
+/// The gradient-exchange engine: owns the algorithm policy and the bucket
+/// plan, and runs one exchange per training iteration.
 pub struct GradSync {
-    algo: Arc<dyn Allreduce + Send + Sync>,
+    selector: Selector,
     segments: Vec<ParamSegment>,
     buckets: Vec<Bucket>,
     bucket_bytes: usize,
@@ -129,19 +158,48 @@ pub struct GradSync {
 
 impl GradSync {
     /// Plan buckets over `segments` (forward layer order, as produced by
-    /// `dcnn_tensor::layers::param_segments`). `bucket_bytes == 0` selects
-    /// the fused blocking exchange; `fp16` quantizes each bucket's payload
-    /// before it is reduced (elementwise, so identical to quantizing the
-    /// fused gradient).
+    /// `dcnn_tensor::layers::param_segments`) and resolve `policy` into the
+    /// launch-time selector: `Fixed` builds the one algorithm, `Auto`
+    /// stands up a [`Tuner`] that probes and then picks per bucket size.
+    /// `bucket_bytes == 0` selects the fused blocking exchange; `fp16`
+    /// quantizes each bucket's payload before it is reduced (elementwise,
+    /// so identical to quantizing the fused gradient).
+    pub fn with_policy(
+        policy: AlgoPolicy,
+        segments: &[ParamSegment],
+        bucket_bytes: usize,
+        fp16: bool,
+    ) -> Self {
+        let selector = match policy {
+            AlgoPolicy::Fixed(a) => Selector::Fixed(a.build_shared()),
+            AlgoPolicy::Auto(cfg) => Selector::Auto(RefCell::new(Tuner::new(cfg))),
+        };
+        GradSync::from_selector(selector, segments, bucket_bytes, fp16)
+    }
+
+    /// Construct from a bare algorithm handle.
+    #[deprecated(
+        note = "thread a typed `AlgoPolicy` through `GradSync::with_policy` instead of a \
+                trait-object handle"
+    )]
     pub fn new(
         algo: Arc<dyn Allreduce + Send + Sync>,
         segments: &[ParamSegment],
         bucket_bytes: usize,
         fp16: bool,
     ) -> Self {
+        GradSync::from_selector(Selector::Fixed(algo), segments, bucket_bytes, fp16)
+    }
+
+    fn from_selector(
+        selector: Selector,
+        segments: &[ParamSegment],
+        bucket_bytes: usize,
+        fp16: bool,
+    ) -> Self {
         let buckets = plan_buckets(segments, bucket_bytes);
         GradSync {
-            algo,
+            selector,
             segments: segments.to_vec(),
             buckets,
             bucket_bytes,
@@ -193,9 +251,59 @@ impl GradSync {
         self.bucketed
     }
 
-    /// The algorithm's display name (phase label in comm stats).
+    /// The policy's display name: the fixed algorithm's phase label, or
+    /// `"auto"` when a tuner is choosing per bucket.
     pub fn algo_name(&self) -> &'static str {
-        self.algo.name()
+        match &self.selector {
+            Selector::Fixed(a) => a.name(),
+            Selector::Auto(_) => "auto",
+        }
+    }
+
+    /// Total nanoseconds `stats` attributes to this sync's allreduce
+    /// phase(s): one phase label when the policy is fixed, the sum over the
+    /// tuner's (deduplicated) candidate labels when it is auto — two
+    /// parameterizations of the same algorithm share one phase label.
+    pub fn allreduce_phase_ns(&self, stats: &CommStats) -> u64 {
+        match &self.selector {
+            Selector::Fixed(a) => stats.phase(a.name()),
+            Selector::Auto(t) => {
+                let names: std::collections::BTreeSet<&'static str> =
+                    t.borrow().candidates().iter().map(|c| c.name()).collect();
+                names.iter().map(|n| stats.phase(n)).sum()
+            }
+        }
+    }
+
+    /// Epoch boundary hook for the tuner. `spans` are the bucket spans the
+    /// communicator completed during the finished epoch. When the probe
+    /// window just closed this runs the **collective** agreement round
+    /// (every rank reaches this on the same epoch, so the collective is
+    /// matched) and freezes the decision table. Returns the rendered
+    /// decision table, or `None` for a fixed policy.
+    pub fn tune_epoch_end(&self, comm: &Comm, spans: &[BucketSpan]) -> Option<String> {
+        match &self.selector {
+            Selector::Fixed(_) => None,
+            Selector::Auto(t) => {
+                let mut t = t.borrow_mut();
+                if t.end_epoch(spans) {
+                    let merged = agree_scores(comm, &t.score_table());
+                    t.apply_agreed(&merged);
+                }
+                Some(t.decision_table())
+            }
+        }
+    }
+
+    /// The current decision table without any communication: the fixed
+    /// algorithm's name, or the tuner's frozen table (`"probe"` while the
+    /// warm-up window is still open). Safe to call off the collective path,
+    /// e.g. while flushing stats after an injected fault.
+    pub fn choices_string(&self) -> String {
+        match &self.selector {
+            Selector::Fixed(a) => a.name().to_string(),
+            Selector::Auto(t) => t.borrow().decision_table(),
+        }
     }
 
     /// Name of the parameter segment containing flat index `idx` (used to
@@ -233,25 +341,38 @@ impl GradSync {
             if self.fp16 {
                 quantize_f16(grad);
             }
-            match &self.shards {
-                None => self.algo.run(comm, grad),
-                Some(sm) => self.algo.reduce_scatter(comm, grad, &sm.counts()),
+            let bytes = (grad.len() * 4) as u64;
+            match &self.selector {
+                Selector::Fixed(algo) => match &self.shards {
+                    None => algo.run(comm, grad),
+                    Some(sm) => algo.reduce_scatter(comm, grad, &sm.counts()),
+                },
+                Selector::Auto(t) => {
+                    // Blocking launch: no bucket span will record this, so
+                    // time it here and report back to the tuner directly.
+                    let sel = t.borrow_mut().select(0, bytes, comm.size(), false);
+                    let start = Instant::now();
+                    match &self.shards {
+                        None => sel.handle.run(comm, grad),
+                        Some(sm) => sel.handle.reduce_scatter(comm, grad, &sm.counts()),
+                    }
+                    t.borrow_mut().record(&sel, bytes, start.elapsed().as_nanos() as u64);
+                }
             }
             return;
         }
         let mut pending = Vec::with_capacity(self.buckets.len());
-        for b in &self.buckets {
+        for (slot, b) in self.buckets.iter().enumerate() {
             let mut payload = grad[b.range()].to_vec();
             if self.fp16 {
                 quantize_f16(&mut payload);
             }
+            let algo = self.selector.pick(slot, b.bytes() as u64, comm.size(), true);
             pending.push(match &self.shards {
-                None => comm.allreduce_async(Arc::clone(&self.algo), payload),
-                Some(sm) => comm.reduce_scatter_async(
-                    Arc::clone(&self.algo),
-                    payload,
-                    sm.bucket_counts(b.range()),
-                ),
+                None => comm.allreduce_async(algo, payload),
+                Some(sm) => {
+                    comm.reduce_scatter_async(algo, payload, sm.bucket_counts(b.range()))
+                }
             });
         }
         for (b, p) in self.buckets.iter().zip(pending) {
@@ -318,12 +439,14 @@ impl<'a> GradStream<'a> {
             quantize_f16(&mut payload);
         }
         let label: Arc<str> = Arc::from(sync.segment_name_at(sealed_at));
+        // Seal order is deterministic and identical on every rank, and the
+        // tuner's choice depends only on the bucket's plan index — so every
+        // rank launches the same algorithm for the same seq.
+        let algo = sync.selector.pick(i, b.bytes() as u64, self.comm.size(), true);
         self.pending[i] = Some(match &sync.shards {
-            None => {
-                self.comm.allreduce_async_labeled(Arc::clone(&sync.algo), payload, Some(label))
-            }
+            None => self.comm.allreduce_async_labeled(algo, payload, Some(label)),
             Some(sm) => self.comm.reduce_scatter_async_labeled(
-                Arc::clone(&sync.algo),
+                algo,
                 payload,
                 sm.bucket_counts(b.range()),
                 Some(label),
@@ -424,11 +547,11 @@ mod tests {
             let mk = |rank: usize| -> Vec<f32> {
                 (0..101).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
             };
-            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let algo = AllreduceAlgo::RingReduceScatter;
             let mut blocking = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+            GradSync::with_policy(algo.into(), &s, 0, false).reduce(comm, &mut blocking);
             let mut bucketed = mk(comm.rank());
-            GradSync::new(algo, &s, 128, false).reduce(comm, &mut bucketed);
+            GradSync::with_policy(algo.into(), &s, 128, false).reduce(comm, &mut bucketed);
             (blocking, bucketed)
         });
         for (rank, (a, b)) in out.iter().enumerate() {
@@ -451,13 +574,13 @@ mod tests {
             let mk = |rank: usize| -> Vec<f32> {
                 (0..101).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
             };
-            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let algo = AllreduceAlgo::RingReduceScatter;
             let mut blocking = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+            GradSync::with_policy(algo.into(), &s, 0, false).reduce(comm, &mut blocking);
 
             // Hooked: report segments in backward (reverse) order so buckets
             // seal and launch mid-"backprop".
-            let gsync = GradSync::new(algo, &s, 128, false);
+            let gsync = GradSync::with_policy(algo.into(), &s, 128, false);
             let mut streamed = mk(comm.rank());
             let mut stream = gsync.begin(comm);
             for seg in s.iter().rev() {
@@ -483,11 +606,11 @@ mod tests {
             let mk = |rank: usize| -> Vec<f32> {
                 (0..61).map(|i| ((i + 3 * rank) as f32).cos()).collect()
             };
-            let algo = AllreduceAlgo::HalvingDoubling.build_shared();
+            let algo = AllreduceAlgo::HalvingDoubling;
             let mut blocking = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut blocking);
+            GradSync::with_policy(algo.into(), &s, 0, false).reduce(comm, &mut blocking);
 
-            let gsync = GradSync::new(algo, &s, 64, false);
+            let gsync = GradSync::with_policy(algo.into(), &s, 64, false);
             let mut streamed = mk(comm.rank());
             let mut stream = gsync.begin(comm);
             stream.segment_ready(&streamed, s[2].offset, s[2].len);
@@ -505,8 +628,7 @@ mod tests {
     #[test]
     fn replan_retiles_and_reports_target() {
         let s = segs(&[100, 3, 7, 50, 40]);
-        let algo = AllreduceAlgo::RingReduceScatter.build_shared();
-        let mut g = GradSync::new(algo, &s, 0, false);
+        let mut g = GradSync::with_policy(AllreduceAlgo::RingReduceScatter.into(), &s, 0, false);
         assert!(!g.is_bucketed());
         assert_eq!(g.bucket_bytes(), 0);
         assert_eq!(g.buckets().len(), 1);
@@ -535,12 +657,12 @@ mod tests {
                 let mk = |rank: usize| -> Vec<f32> {
                     (0..total).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
                 };
-                let algo = algo_kind.build_shared();
                 let mut replicated = mk(comm.rank());
-                GradSync::new(Arc::clone(&algo), &s, 0, false).reduce(comm, &mut replicated);
+                GradSync::with_policy(algo_kind.into(), &s, 0, false)
+                    .reduce(comm, &mut replicated);
                 let sm = ShardMap::new(total, comm.size());
                 let mut sharded = mk(comm.rank());
-                GradSync::new(algo, &s, 0, false)
+                GradSync::with_policy(algo_kind.into(), &s, 0, false)
                     .with_shards(sm.clone())
                     .reduce(comm, &mut sharded);
                 let owned = sm.owned(comm.rank());
@@ -568,19 +690,20 @@ mod tests {
             let mk = |rank: usize| -> Vec<f32> {
                 (0..total).map(|i| ((i * 41 + rank * 13) as f32 * 0.377).cos()).collect()
             };
-            let algo = AllreduceAlgo::RingReduceScatter.build_shared();
+            let algo = AllreduceAlgo::RingReduceScatter;
             let sm = ShardMap::new(total, comm.size());
             let mut fused = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 0, false)
+            GradSync::with_policy(algo.into(), &s, 0, false)
                 .with_shards(sm.clone())
                 .reduce(comm, &mut fused);
 
             let mut bucketed = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 128, false)
+            GradSync::with_policy(algo.into(), &s, 128, false)
                 .with_shards(sm.clone())
                 .reduce(comm, &mut bucketed);
 
-            let gsync = GradSync::new(algo, &s, 128, false).with_shards(sm.clone());
+            let gsync =
+                GradSync::with_policy(algo.into(), &s, 128, false).with_shards(sm.clone());
             let mut streamed = mk(comm.rank());
             let mut stream = gsync.begin(comm);
             for seg in s.iter().rev() {
@@ -603,17 +726,108 @@ mod tests {
     }
 
     #[test]
+    fn auto_single_candidate_matches_fixed_bitwise_everywhere() {
+        // Satellite acceptance: `Auto` with one registered candidate must be
+        // bitwise-identical to `Fixed` of that algorithm for every launch
+        // schedule (fused / drain / hooked) in both the replicated and the
+        // sharded strategy — at three ranks, where summation order matters.
+        use dcnn_collectives::{AlgoPolicy, TunerConfig};
+        let total = 101usize;
+        let auto = || {
+            AlgoPolicy::Auto(TunerConfig::with_candidates(vec![AllreduceAlgo::RingReduceScatter]))
+        };
+        let fixed = || AlgoPolicy::Fixed(AllreduceAlgo::RingReduceScatter);
+        for sharded in [false, true] {
+            let s = segs(&[33, 5, 61, 2]);
+            let out = run_cluster(3, move |comm| {
+                let mk = |rank: usize| -> Vec<f32> {
+                    (0..total).map(|i| ((i * 37 + rank * 11) as f32 * 0.618).sin()).collect()
+                };
+                let build = |policy: AlgoPolicy, bytes: usize| {
+                    let g = GradSync::with_policy(policy, &s, bytes, false);
+                    if sharded {
+                        g.with_shards(ShardMap::new(total, comm.size()))
+                    } else {
+                        g
+                    }
+                };
+                let run_fused = |policy: AlgoPolicy| {
+                    let mut g = mk(comm.rank());
+                    build(policy, 0).reduce(comm, &mut g);
+                    g
+                };
+                let run_drain = |policy: AlgoPolicy| {
+                    let mut g = mk(comm.rank());
+                    build(policy, 128).reduce(comm, &mut g);
+                    g
+                };
+                let run_hooked = |policy: AlgoPolicy| {
+                    let gsync = build(policy, 128);
+                    let mut g = mk(comm.rank());
+                    let mut stream = gsync.begin(comm);
+                    for seg in s.iter().rev() {
+                        stream.segment_ready(&g, seg.offset, seg.len);
+                    }
+                    stream.finish(&mut g);
+                    g
+                };
+                let owned = ShardMap::new(total, comm.size()).owned(comm.rank());
+                let view = |v: Vec<f32>| -> Vec<u32> {
+                    let r = if sharded { &v[owned.clone()] } else { &v[..] };
+                    r.iter().map(|x| x.to_bits()).collect()
+                };
+                (
+                    view(run_fused(auto())) == view(run_fused(fixed())),
+                    view(run_drain(auto())) == view(run_drain(fixed())),
+                    view(run_hooked(auto())) == view(run_hooked(fixed())),
+                )
+            });
+            for (rank, (fused, drain, hooked)) in out.iter().enumerate() {
+                assert!(fused, "sharded={sharded} rank {rank}: fused diverged");
+                assert!(drain, "sharded={sharded} rank {rank}: drain diverged");
+                assert!(hooked, "sharded={sharded} rank {rank}: hooked diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_handle_constructor_still_reduces() {
+        // The trait-object constructor stays one release as a shim; it must
+        // keep producing the same bits as the policy path.
+        let s = segs(&[17, 48]);
+        let out = run_cluster(2, move |comm| {
+            let mk = |rank: usize| -> Vec<f32> {
+                (0..65).map(|i| ((i + rank * 7) as f32).cos()).collect()
+            };
+            let mut shim = mk(comm.rank());
+            GradSync::new(AllreduceAlgo::PipelinedRing.build_shared(), &s, 128, false)
+                .reduce(comm, &mut shim);
+            let mut policy = mk(comm.rank());
+            GradSync::with_policy(AllreduceAlgo::PipelinedRing.into(), &s, 128, false)
+                .reduce(comm, &mut policy);
+            (shim, policy)
+        });
+        for (a, b) in &out {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn fp16_bucketing_equals_fp16_fused_at_two_ranks() {
         let s = segs(&[17, 48]);
         let out = run_cluster(2, move |comm| {
             let mk = |rank: usize| -> Vec<f32> {
                 (0..65).map(|i| ((i + rank * 7) as f32).cos()).collect()
             };
-            let algo = AllreduceAlgo::RecursiveDoubling.build_shared();
+            let algo = AllreduceAlgo::RecursiveDoubling;
             let mut fused = mk(comm.rank());
-            GradSync::new(Arc::clone(&algo), &s, 0, true).reduce(comm, &mut fused);
+            GradSync::with_policy(algo.into(), &s, 0, true).reduce(comm, &mut fused);
             let mut bucketed = mk(comm.rank());
-            GradSync::new(algo, &s, 64, true).reduce(comm, &mut bucketed);
+            GradSync::with_policy(algo.into(), &s, 64, true).reduce(comm, &mut bucketed);
             (fused, bucketed)
         });
         for (a, b) in &out {

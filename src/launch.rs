@@ -10,7 +10,7 @@
 
 use dcnn_collectives::primitives::allgather_bytes;
 use dcnn_collectives::transport::crc32_update;
-use dcnn_collectives::{crc32, AllreduceAlgo, Comm, RuntimeConfig};
+use dcnn_collectives::{crc32, AlgoPolicy, AllreduceAlgo, Comm, RuntimeConfig, TunerConfig};
 use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthConfig, SynthImageNet};
 use dcnn_tensor::optim::LrSchedule;
 use dcnn_trainer::{train_on_comm, TrainConfig};
@@ -24,6 +24,7 @@ pub fn workload_names() -> &'static [&'static str] {
         "overlap-epoch",
         "fault-epoch",
         "sharded-epoch",
+        "autotune-epoch",
         "data-epoch",
         "data-storm",
     ]
@@ -38,6 +39,7 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "overlap-epoch" => Some(overlap_epoch_workload),
         "fault-epoch" => Some(fault_epoch_workload),
         "sharded-epoch" => Some(sharded_epoch_workload),
+        "autotune-epoch" => Some(autotune_epoch_workload),
         "data-epoch" => Some(data_epoch_workload),
         "data-storm" => Some(data_storm_workload),
         _ => None,
@@ -340,7 +342,7 @@ pub fn sharded_epoch_workload(comm: &Comm) -> Vec<String> {
     synth.base_hw = 16;
     let ds = SynthImageNet::new(synth);
     let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 2, &runtime());
-    cfg.algo = AllreduceAlgo::RingReduceScatter;
+    cfg.algo = AllreduceAlgo::RingReduceScatter.into();
     cfg.crop = 16;
     cfg.validate = false;
     cfg.shuffle_every_epochs = 0;
@@ -383,6 +385,79 @@ pub fn sharded_epoch_workload(comm: &Comm) -> Vec<String> {
         let param = u64::from_le_bytes(b[0..8].try_into().expect("8"));
         let opt = u64::from_le_bytes(b[8..16].try_into().expect("8"));
         lines.push(format!("resident rank={r} param_bytes={param} opt_bytes={opt}"));
+    }
+    lines
+}
+
+/// Three epochs of the wide ResNet under the self-tuning collective
+/// selector. Unless `DCNN_ALGO` overrides it, the policy is
+/// `auto:ring,halving-doubling` — two probe epochs rotate both candidates
+/// over the live buckets, then the measured crossover table is
+/// cluster-agreed and epoch 2 trains on the frozen per-size choices.
+/// `DCNN_BUCKET_BYTES` defaults to 4096 here so there are real buckets to
+/// probe. The epoch lines carry the loss to full precision; the trailing
+/// `decisions rank=…` lines gather every rank's final decision table, which
+/// must be identical on all ranks (the table is agreed before it is used) —
+/// `ci.sh` asserts exactly that, plus bitwise-equal losses against a fixed
+/// run when the candidate set is pinned to one algorithm.
+pub fn autotune_epoch_workload(comm: &Comm) -> Vec<String> {
+    let mut synth = SynthConfig::tiny(4);
+    synth.train_per_class = 12;
+    synth.val_per_class = 4;
+    synth.base_hw = 16;
+    let ds = SynthImageNet::new(synth);
+    let rt = runtime();
+    let mut cfg = TrainConfig::from_runtime(comm.size(), 2, 4, 3, &rt);
+    if rt.algo.is_none() {
+        cfg.algo = AlgoPolicy::Auto(TunerConfig::with_candidates(vec![
+            AllreduceAlgo::PipelinedRing,
+            AllreduceAlgo::HalvingDoubling,
+        ]));
+    }
+    if rt.bucket_bytes.is_none() {
+        cfg.bucket_bytes = 4096;
+    }
+    cfg.crop = 16;
+    cfg.validate = false;
+    cfg.shuffle_every_epochs = 0;
+    cfg.lr = LrSchedule {
+        init_lr: 0.05,
+        base_lr: 0.05,
+        warmup_epochs: 1.0,
+        step_epochs: 100.0,
+        decay: 0.1,
+    };
+    let stats = train_on_comm(comm, &cfg, &ds, &|| {
+        crate::models::resnet::ResNetConfig {
+            blocks: vec![1],
+            base_width: 24,
+            bottleneck: false,
+            classes: 4,
+            input: [3, 16, 16],
+            imagenet_stem: false,
+        }
+        .build(78)
+    });
+    let mut lines: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "epoch {} loss={} acc={:.4}",
+                s.epoch,
+                s.train_loss,
+                s.train_acc
+            )
+        })
+        .collect();
+    // Gather every rank's final decision table so rank 0's report proves
+    // (or disproves) cluster-wide agreement.
+    let last = stats.last().expect("at least one epoch");
+    for (r, b) in allgather_bytes(comm, last.algo_choices.clone().into_bytes())
+        .iter()
+        .enumerate()
+    {
+        let table = String::from_utf8_lossy(b);
+        lines.push(format!("decisions rank={r} {table}"));
     }
     lines
 }
@@ -620,6 +695,22 @@ mod tests {
         assert!(lines[1].starts_with("epoch 1 loss="), "{lines:?}");
         assert!(lines[2].starts_with("resident rank=0 param_bytes="), "{lines:?}");
         assert!(lines[3].starts_with("resident rank=1 param_bytes="), "{lines:?}");
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn autotune_epoch_workload_converges_and_agrees_on_threads() {
+        let out = dcnn_collectives::run_cluster(2, autotune_epoch_workload);
+        let lines = &out[0];
+        assert_eq!(lines.len(), 5, "{lines:?}"); // three epochs + two decisions lines
+        assert!(lines[0].starts_with("epoch 0 loss="), "{lines:?}");
+        assert!(lines[3].starts_with("decisions rank=0 "), "{lines:?}");
+        assert!(lines[4].starts_with("decisions rank=1 "), "{lines:?}");
+        // After the two probe epochs the table is frozen: real size-class
+        // entries, not the probe placeholder — and identical on every rank.
+        let table = |l: &str| l.splitn(3, ' ').nth(2).map(str::to_string).expect("table");
+        assert!(table(&lines[3]).contains("<="), "{lines:?}");
+        assert_eq!(table(&lines[3]), table(&lines[4]), "ranks disagree: {lines:?}");
         assert_eq!(out[0], out[1]);
     }
 

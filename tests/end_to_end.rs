@@ -65,7 +65,7 @@ fn every_allreduce_algorithm_trains_identically() {
         let mut cfg = TrainConfig::paper(3, 1, 4, 2);
         cfg.crop = 16;
         cfg.lr = flat_lr(0.05);
-        cfg.algo = algo;
+        cfg.algo = algo.into();
         cfg.validate = false;
         cfg.shuffle_every_epochs = 0;
         let stats = train_distributed(&cfg, &ds, tiny_factory(3));

@@ -306,3 +306,45 @@ fn launcher_rejects_unknown_workload() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage"), "{err}");
 }
+
+#[test]
+fn four_process_autotune_epoch_agrees_and_matches_fixed_bitwise() {
+    // A tuned run whose candidate set is {ring} must converge to ring and
+    // train bit-for-bit like a fixed-ring run — over real TCP, where the
+    // probe timings every rank measures genuinely differ. The decisions
+    // lines prove the allgather+max merge left all four ranks with the
+    // same frozen table.
+    fn epoch_lines(report: &str) -> Vec<String> {
+        report.lines().filter(|l| l.starts_with("epoch ")).map(str::to_string).collect()
+    }
+    fn decision_tables(report: &str) -> Vec<String> {
+        report
+            .lines()
+            .filter(|l| l.starts_with("decisions rank="))
+            .map(|l| l.splitn(3, ' ').nth(2).expect("table").to_string())
+            .collect()
+    }
+
+    let tuned = launch_with(4, "autotune-epoch", &[("DCNN_ALGO", "auto:ring")]);
+    assert!(tuned.status.success(), "{}", String::from_utf8_lossy(&tuned.stderr));
+    let fixed = launch_with(4, "autotune-epoch", &[("DCNN_ALGO", "ring")]);
+    assert!(fixed.status.success(), "{}", String::from_utf8_lossy(&fixed.stderr));
+
+    let tuned_out = String::from_utf8(tuned.stdout).expect("utf8 report");
+    let fixed_out = String::from_utf8(fixed.stdout).expect("utf8 report");
+    assert_eq!(epoch_lines(&tuned_out).len(), 3, "{tuned_out}");
+    assert_eq!(
+        epoch_lines(&tuned_out),
+        epoch_lines(&fixed_out),
+        "tuned run diverged from fixed ring"
+    );
+
+    let tables = decision_tables(&tuned_out);
+    assert_eq!(tables.len(), 4, "{tuned_out}");
+    assert!(tables[0].contains("<="), "table never froze: {tables:?}");
+    assert!(tables.iter().all(|t| t == &tables[0]), "ranks disagree: {tables:?}");
+    assert!(
+        decision_tables(&fixed_out).iter().all(|t| t == "ring"),
+        "{fixed_out}"
+    );
+}
