@@ -224,6 +224,43 @@ if ! ls target/bench-smoke/BENCH_*.json >/dev/null 2>&1; then
     exit 1
 fi
 
+# Scenario-matrix evaluation smoke: a tiny {ring, multicolor:2} × {4 KiB,
+# 256 KiB} matrix over both the threaded fabric and real 2-rank TCP
+# processes (dcnn-eval re-launches dcnn-launch per TCP cell). Asserts every
+# row carries the dcnn-eval-v1 schema, the report names a winner for each
+# of the four size classes, and the simnet discrepancy artifact exists.
+echo "+ eval matrix smoke (dcnn-eval, threads + 2-rank tcp)"
+rm -rf target/eval-smoke
+run ./target/release/dcnn-eval --algos ring,multicolor:2 --worlds 2 \
+    --payloads 4096,262144 --transports threads,tcp --iters 2 \
+    --out target/eval-smoke --launch ./target/release/dcnn-launch
+rows=$(ls target/eval-smoke/cell-*.json 2>/dev/null | wc -l)
+if [ "$rows" -ne 8 ]; then
+    echo "ci.sh: expected 8 eval rows in target/eval-smoke, found $rows" >&2
+    exit 1
+fi
+if grep -L '"schema": "dcnn-eval-v1"' target/eval-smoke/cell-*.json | grep -q .; then
+    echo "ci.sh: eval row(s) missing the dcnn-eval-v1 schema tag:" >&2
+    grep -L '"schema": "dcnn-eval-v1"' target/eval-smoke/cell-*.json >&2
+    exit 1
+fi
+for class in \
+    'transport=tcp world=2 payload=4096' \
+    'transport=tcp world=2 payload=262144' \
+    'transport=threads world=2 payload=4096' \
+    'transport=threads world=2 payload=262144'; do
+    if ! grep -q "^winner $class" target/eval-smoke/report.md; then
+        echo "ci.sh: eval report names no winner for '$class'" >&2
+        cat target/eval-smoke/report.md >&2
+        exit 1
+    fi
+done
+if [ ! -s target/eval-smoke/discrepancy.json ]; then
+    echo "ci.sh: dcnn-eval wrote no discrepancy.json artifact" >&2
+    exit 1
+fi
+rm -rf target/eval-smoke
+
 # Lint gate: warnings are errors. Clippy may be absent on minimal
 # toolchains; skip (loudly) rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

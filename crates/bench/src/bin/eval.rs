@@ -1,0 +1,192 @@
+//! `dcnn-eval` — the scenario-matrix evaluation harness.
+//!
+//! Sweeps a matrix of {allreduce algorithm | `auto`} × {world size} ×
+//! {payload} × {bucketing/overlap} × {transport} × {fault script} over the
+//! real runtime, cross-checks every cell against `dcnn-simnet`, and writes
+//! schema-versioned JSON rows plus a winner/discrepancy report:
+//!
+//! ```sh
+//! # Default 28-cell sweep (all algorithms + auto, threads transport):
+//! cargo run --release -p dcnn-bench --bin dcnn-eval
+//!
+//! # CI smoke: ring vs tree over threads and 2-rank TCP processes:
+//! dcnn-eval --algos ring,multicolor:2 --worlds 2 --payloads 4096,262144 \
+//!           --transports threads,tcp --iters 2 --out target/eval-smoke
+//!
+//! # Re-aggregate an existing results directory:
+//! dcnn-eval --report target/eval/1723000000
+//! ```
+//!
+//! Exit status: `0` on success (even when individual fault cells die —
+//! they become error rows), `1` when *every* cell failed, `2` on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use dcnn_bench::eval::{self, MatrixSpec};
+
+struct Args {
+    spec: MatrixSpec,
+    out: Option<PathBuf>,
+    launch: Option<PathBuf>,
+    report_dir: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dcnn-eval [--algos A,B,..] [--worlds N,M] [--payloads BYTES,..]\n\
+         \x20                [--bucketings fused|BYTES:drain|BYTES:hooked,..]\n\
+         \x20                [--transports threads,tcp] [--iters N] [--faults SPEC,..]\n\
+         \x20                [--out DIR] [--launch PATH]\n\
+         \x20      dcnn-eval --report DIR"
+    );
+    ExitCode::from(2)
+}
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args =
+        Args { spec: MatrixSpec::default(), out: None, launch: None, report_dir: None };
+    let mut it = std::env::args().skip(1);
+    let bad = |msg: String| {
+        eprintln!("dcnn-eval: {msg}");
+        usage()
+    };
+    while let Some(a) = it.next() {
+        let mut value = || it.next().ok_or_else(usage);
+        match a.as_str() {
+            "--algos" => args.spec.algos = split_list(&value()?),
+            "--worlds" => {
+                args.spec.worlds = split_list(&value()?)
+                    .iter()
+                    .map(|w| w.parse::<usize>().map_err(|_| bad(format!("bad world {w:?}"))))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--payloads" => {
+                args.spec.payloads = split_list(&value()?)
+                    .iter()
+                    .map(|p| p.parse::<usize>().map_err(|_| bad(format!("bad payload {p:?}"))))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--bucketings" => {
+                args.spec.bucketings = split_list(&value()?)
+                    .iter()
+                    .map(|b| eval::parse_bucketing(b).map_err(bad))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--transports" => args.spec.transports = split_list(&value()?),
+            "--iters" => {
+                let v = value()?;
+                args.spec.iters =
+                    v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| bad(format!(
+                        "bad --iters {v:?}: expected an integer >= 1"
+                    )))?;
+            }
+            "--faults" => {
+                args.spec.faults =
+                    split_list(&value()?).into_iter().map(Some).collect();
+                args.spec.faults.insert(0, None);
+            }
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--launch" => args.launch = Some(PathBuf::from(value()?)),
+            "--report" => args.report_dir = Some(PathBuf::from(value()?)),
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("dcnn-eval: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Locate the `dcnn-launch` sibling binary for TCP cells: next to our own
+/// executable first (cargo puts workspace binaries in one directory),
+/// else whatever `PATH` resolves.
+fn find_launch() -> PathBuf {
+    if let Ok(me) = std::env::current_exe() {
+        if let Some(dir) = me.parent() {
+            let sibling = dir.join("dcnn-launch");
+            if sibling.exists() {
+                return sibling;
+            }
+        }
+    }
+    PathBuf::from("dcnn-launch")
+}
+
+fn write_report(dir: &std::path::Path, rows: &[eval::CellRow]) -> std::io::Result<()> {
+    std::fs::write(dir.join("report.md"), eval::report(rows))?;
+    std::fs::write(dir.join("discrepancy.json"), eval::discrepancy_json(rows))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    // --report DIR: re-aggregate existing rows, no new runs.
+    if let Some(dir) = &args.report_dir {
+        let mut warnings = Vec::new();
+        let rows = match eval::load_rows(dir, &mut warnings) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dcnn-eval: cannot read {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        for w in &warnings {
+            eprintln!("dcnn-eval: warning: {w}");
+        }
+        if rows.is_empty() {
+            eprintln!("dcnn-eval: no {} rows in {}", eval::SCHEMA, dir.display());
+            return ExitCode::from(1);
+        }
+        if let Err(e) = write_report(dir, &rows) {
+            eprintln!("dcnn-eval: cannot write report into {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        print!("{}", eval::report(&rows));
+        eprintln!("dcnn-eval: refreshed report.md + discrepancy.json in {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let out = args.out.unwrap_or_else(|| {
+        let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+        PathBuf::from("target").join("eval").join(ts.to_string())
+    });
+    let launch = args.launch.unwrap_or_else(find_launch);
+    let cells = args.spec.cells();
+    if cells.is_empty() {
+        eprintln!("dcnn-eval: the matrix is empty — every axis needs at least one value");
+        return ExitCode::from(2);
+    }
+    eprintln!("dcnn-eval: sweeping {} cells into {}", cells.len(), out.display());
+
+    let rows = match eval::run_matrix(&args.spec, &out, &launch, |line| eprintln!("  {line}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dcnn-eval: sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = write_report(&out, &rows) {
+        eprintln!("dcnn-eval: cannot write report into {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    print!("{}", eval::report(&rows));
+    eprintln!("dcnn-eval: wrote {} rows + report.md + discrepancy.json to {}", rows.len(), out.display());
+
+    if rows.iter().all(|r| r.error.is_some()) {
+        eprintln!("dcnn-eval: every cell failed");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -108,6 +108,22 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        match perf::baseline_schema(&baseline) {
+            Some(s) if s == perf::SCHEMA => {}
+            other => {
+                // A stale or foreign report must not gate: its rows either
+                // vanish silently (every kernel reads "no regression") or
+                // carry incomparable numbers. Warn and skip instead.
+                eprintln!(
+                    "dcnn-perf: baseline {} has schema {} (expected {}); skipping the \
+                     regression gate",
+                    baseline_path.display(),
+                    other.map_or_else(|| "<none>".to_string(), |s| format!("{s:?}")),
+                    perf::SCHEMA
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
         let hits = perf::regressions(&report, &baseline, args.max_regress);
         if !hits.is_empty() {
             eprintln!(

@@ -5,6 +5,7 @@
 //! paper's figures/tables correspond to, with the paper's reported values
 //! alongside where the text states them.
 
+pub mod eval;
 pub mod perf;
 
 use dcnn_core::collectives::{AlgoPolicy, AllreduceAlgo};

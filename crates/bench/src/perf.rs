@@ -384,6 +384,15 @@ pub struct Regression {
     pub slowdown: f64,
 }
 
+/// The `schema` field of a parsed baseline document, if present. Callers
+/// must check this against [`SCHEMA`] before gating on [`regressions`]:
+/// a baseline written by a different report format would otherwise gate
+/// on garbage (missing rows read as "no regression") or panic downstream.
+/// `None` means the document carries no schema at all — equally untrusted.
+pub fn baseline_schema(baseline: &serde_json::Value) -> Option<&str> {
+    baseline.get("schema").and_then(|s| s.as_str())
+}
+
 /// Compare `current` against a parsed baseline JSON document: every
 /// tracked row present in both reports must not be slower than
 /// `max_regress` (fractional, e.g. `0.20`). Rows only in one report are
@@ -472,5 +481,26 @@ mod tests {
         let mut fast = mk(130.0);
         fast.rows[0].tracked = false;
         assert!(regressions(&fast, &baseline, 0.20).is_empty());
+    }
+
+    #[test]
+    fn baseline_schema_distinguishes_matching_foreign_and_missing() {
+        let ours: serde_json::Value =
+            serde_json::from_str(&format!(r#"{{"schema":"{SCHEMA}","rows":[]}}"#)).expect("parse");
+        assert_eq!(baseline_schema(&ours), Some(SCHEMA));
+
+        // A foreign report format (say an eval row file that landed in the
+        // bench dir) must be detectable before anyone gates on it.
+        let foreign: serde_json::Value =
+            serde_json::from_str(r#"{"schema":"dcnn-eval-v1","rows":[]}"#).expect("parse");
+        assert_eq!(baseline_schema(&foreign), Some("dcnn-eval-v1"));
+        assert_ne!(baseline_schema(&foreign), Some(SCHEMA));
+
+        // No schema field, or a non-string one, reads as None — untrusted.
+        let missing: serde_json::Value = serde_json::from_str(r#"{"rows":[]}"#).expect("parse");
+        assert_eq!(baseline_schema(&missing), None);
+        let wrong_type: serde_json::Value =
+            serde_json::from_str(r#"{"schema":3,"rows":[]}"#).expect("parse");
+        assert_eq!(baseline_schema(&wrong_type), None);
     }
 }

@@ -196,6 +196,13 @@ pub struct RuntimeConfig {
     /// algorithm), or `auto:<c1>,<c2>,...` (self-tuning over the listed
     /// candidates).
     pub algo: Option<crate::tune::AlgoPolicy>,
+    /// Payload size in bytes for one `dcnn-eval` matrix cell
+    /// (`DCNN_EVAL_PAYLOAD`, ≥ 4 — at least one f32). The eval harness sets
+    /// this when it re-launches a cell as real TCP processes.
+    pub eval_payload: Option<usize>,
+    /// Timed iterations per `dcnn-eval` matrix cell (`DCNN_EVAL_ITERS`,
+    /// ≥ 1; the cell reports the fastest).
+    pub eval_iters: Option<usize>,
 }
 
 fn parse_usize(
@@ -212,7 +219,7 @@ impl RuntimeConfig {
     /// internal `DCNN_LAUNCH_CHILD` / `DCNN_LAUNCH_WORKLOAD` handshake
     /// variables, which are not configuration.) The README env table is
     /// tested against this list.
-    pub const ENV_VARS: [&'static str; 20] = [
+    pub const ENV_VARS: [&'static str; 22] = [
         "DCNN_TRANSPORT",
         "DCNN_RENDEZVOUS",
         "DCNN_RANK",
@@ -233,6 +240,8 @@ impl RuntimeConfig {
         "DCNN_DATA_SERVICE",
         "DCNN_SHARD_OPTIM",
         "DCNN_ALGO",
+        "DCNN_EVAL_PAYLOAD",
+        "DCNN_EVAL_ITERS",
     ];
 
     /// Parse the process environment. Unset (or empty) variables become
@@ -403,6 +412,29 @@ impl RuntimeConfig {
                            hierarchical[:group]), \"auto\", or \"auto:<c1>,<c2>,...\"",
             })?);
         }
+        if let Some(v) = get("DCNN_EVAL_PAYLOAD") {
+            let bytes =
+                parse_usize("DCNN_EVAL_PAYLOAD", &v, "a payload size in bytes (integer ≥ 4)")?;
+            if bytes < 4 {
+                return Err(ConfigError {
+                    var: "DCNN_EVAL_PAYLOAD",
+                    value: v,
+                    expected: "a payload size in bytes (integer ≥ 4)",
+                });
+            }
+            cfg.eval_payload = Some(bytes);
+        }
+        if let Some(v) = get("DCNN_EVAL_ITERS") {
+            let n = parse_usize("DCNN_EVAL_ITERS", &v, "an iteration count (integer ≥ 1)")?;
+            if n == 0 {
+                return Err(ConfigError {
+                    var: "DCNN_EVAL_ITERS",
+                    value: v,
+                    expected: "an iteration count (integer ≥ 1)",
+                });
+            }
+            cfg.eval_iters = Some(n);
+        }
         Ok(cfg)
     }
 
@@ -476,6 +508,16 @@ impl RuntimeConfig {
         self.algo
             .clone()
             .unwrap_or(crate::tune::AlgoPolicy::Fixed(crate::algorithms::AllreduceAlgo::MultiColor(4)))
+    }
+
+    /// Eval-cell payload size in bytes (default 1 MiB, minimum 4).
+    pub fn eval_payload_or_default(&self) -> usize {
+        self.eval_payload.unwrap_or(1 << 20).max(4)
+    }
+
+    /// Timed iterations per eval cell (default 3, minimum 1).
+    pub fn eval_iters_or_default(&self) -> usize {
+        self.eval_iters.unwrap_or(3).max(1)
     }
 
     // ---- builder-style programmatic overrides ----
@@ -589,6 +631,18 @@ impl RuntimeConfig {
         self.algo = Some(policy);
         self
     }
+
+    /// Override the eval-cell payload size (bytes).
+    pub fn with_eval_payload(mut self, bytes: usize) -> Self {
+        self.eval_payload = Some(bytes);
+        self
+    }
+
+    /// Override the eval-cell iteration count.
+    pub fn with_eval_iters(mut self, n: usize) -> Self {
+        self.eval_iters = Some(n);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +676,8 @@ mod tests {
             cfg.algo_or_default(),
             crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::MultiColor(4))
         );
+        assert_eq!(cfg.eval_payload_or_default(), 1 << 20);
+        assert_eq!(cfg.eval_iters_or_default(), 3);
     }
 
     #[test]
@@ -655,6 +711,8 @@ mod tests {
             ("DCNN_DATA_SERVICE", "127.0.0.1:7500,127.0.0.1:7501"),
             ("DCNN_SHARD_OPTIM", "1"),
             ("DCNN_ALGO", "auto:multicolor:2,ring"),
+            ("DCNN_EVAL_PAYLOAD", "262144"),
+            ("DCNN_EVAL_ITERS", "5"),
         ])
         .expect("full env parses");
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
@@ -682,6 +740,8 @@ mod tests {
                 vec![crate::AllreduceAlgo::MultiColor(2), crate::AllreduceAlgo::PipelinedRing]
             )))
         );
+        assert_eq!(cfg.eval_payload, Some(262144));
+        assert_eq!(cfg.eval_iters, Some(5));
     }
 
     #[test]
@@ -742,6 +802,8 @@ mod tests {
             ("DCNN_DATA_DECODE_WORKERS", "0"),
             ("DCNN_SHARD_OPTIM", "maybe"),
             ("DCNN_ALGO", "warp-speed"),
+            ("DCNN_EVAL_PAYLOAD", "3"),
+            ("DCNN_EVAL_ITERS", "0"),
         ] {
             let err = from_map(&[(var, value)])
                 .expect_err(&format!("{var}={value} must be rejected"));
@@ -781,7 +843,9 @@ mod tests {
             .with_data_decode_workers(3)
             .with_data_service("127.0.0.1:7500")
             .with_shard_optim(true)
-            .with_algo(crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::PipelinedRing));
+            .with_algo(crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::PipelinedRing))
+            .with_eval_payload(1 << 16)
+            .with_eval_iters(7);
         assert_eq!(cfg.bucket_bytes, Some(8192));
         assert_eq!(cfg.overlap_mode, Some(OverlapMode::Drain));
         assert_eq!(cfg.comm_workers, Some(5));
@@ -803,6 +867,8 @@ mod tests {
             cfg.algo,
             Some(crate::tune::AlgoPolicy::Fixed(crate::AllreduceAlgo::PipelinedRing))
         );
+        assert_eq!(cfg.eval_payload, Some(1 << 16));
+        assert_eq!(cfg.eval_iters, Some(7));
     }
 
     #[test]

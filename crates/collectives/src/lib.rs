@@ -36,6 +36,7 @@
 //!   an unrolled, auto-vectorizable loop).
 
 pub mod algorithms;
+pub mod cell;
 pub mod compress;
 pub mod config;
 pub mod primitives;
@@ -50,6 +51,7 @@ pub use algorithms::{
     even_ranges, Allreduce, AllreduceAlgo, CostModel, HalvingDoubling, Hierarchical, MultiColor,
     Pipeline, PipelinedRing, RecursiveDoubling, RingReduceScatter,
 };
+pub use cell::{cell_fill, f32_crc, CellMeasurement, CellSpec, SimEstimate};
 pub use compress::{quantize_f16, Fp16Allreduce};
 pub use config::{ConfigError, FaultSpec, OverlapMode, RuntimeConfig};
 pub use runtime::{

@@ -257,6 +257,10 @@ struct RankLocal {
     gather_bytes: AtomicU64,
     /// Wall time spent inside blocking [`Comm::allgather_f32`] calls.
     gather_wait_ns: AtomicU64,
+    /// Bytes sent to each peer, indexed by global rank (`link_sent[rank]`
+    /// counts loopback self-sends). The per-link view of `bytes_sent`, for
+    /// cross-checking real link utilization against the simulator's.
+    link_sent: Vec<AtomicU64>,
     /// Launch/complete timestamps for every async bucket reduce, in
     /// completion order.
     bucket_spans: Mutex<Vec<BucketSpan>>,
@@ -267,6 +271,7 @@ struct RankLocal {
 
 impl RankLocal {
     fn new(rank: usize, shared: Arc<ClusterShared>) -> Self {
+        let world = shared.diags.len();
         RankLocal {
             rank,
             shared,
@@ -286,6 +291,7 @@ impl RankLocal {
             scatter_wait_ns: AtomicU64::new(0),
             gather_bytes: AtomicU64::new(0),
             gather_wait_ns: AtomicU64::new(0),
+            link_sent: (0..world).map(|_| AtomicU64::new(0)).collect(),
             bucket_spans: Mutex::new(Vec::new()),
             phases: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
@@ -335,6 +341,7 @@ impl RankLocal {
             scatter_wait_ns: self.scatter_wait_ns.load(Relaxed),
             gather_bytes: self.gather_bytes.load(Relaxed),
             gather_wait_ns: self.gather_wait_ns.load(Relaxed),
+            link_bytes_sent: self.link_sent.iter().map(|a| a.load(Relaxed)).collect(),
             bucket_spans: self.bucket_spans.lock().expect("bucket spans").clone(),
             phase_ns: self
                 .phases
@@ -417,6 +424,11 @@ pub struct CommStats {
     pub gather_bytes: u64,
     /// Nanoseconds spent inside [`Comm::allgather_f32`].
     pub gather_wait_ns: u64,
+    /// Bytes this rank sent to each peer, indexed by global rank (the entry
+    /// at this rank's own index counts loopback self-sends). Sums to
+    /// `bytes_sent`; the per-link resolution is what the real-vs-simnet
+    /// cross-check compares against [`dcnn_simnet`]'s `link_bytes`.
+    pub link_bytes_sent: Vec<u64>,
     /// Launch/complete timestamps per async bucket reduce, in completion
     /// order — the raw data behind bandwidth measurement and adaptive
     /// bucket sizing.
@@ -460,6 +472,38 @@ impl CommStats {
     /// Nanoseconds accumulated under `label`, 0 if never entered.
     pub fn phase(&self, label: &str) -> u64 {
         self.phase_ns.iter().find(|p| p.0 == label).map_or(0, |p| p.1)
+    }
+
+    /// Per-peer bytes sent since the `earlier` snapshot (element-wise
+    /// saturating difference; a peer index `earlier` had not seen yet
+    /// counts from zero). The epoch-delta view of `link_bytes_sent`.
+    pub fn link_bytes_delta(&self, earlier: &CommStats) -> Vec<u64> {
+        self.link_bytes_sent
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.saturating_sub(earlier.link_bytes_sent.get(i).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// The busiest outgoing link's byte count, ignoring loopback
+    /// self-sends at `me`. 0 when this rank never sent to a real peer.
+    pub fn link_bytes_max(me: usize, links: &[u64]) -> u64 {
+        links.iter().enumerate().filter(|&(i, _)| i != me).map(|(_, &b)| b).max().unwrap_or(0)
+    }
+
+    /// Imbalance of outgoing link traffic: busiest link ÷ mean over peer
+    /// links (loopback excluded). `1.0` is perfectly even; `0.0` when no
+    /// peer traffic was sent. Algorithms with rooted trees (multicolor,
+    /// ring-to-root) show > 1; symmetric rings sit at ~1.
+    pub fn link_imbalance(me: usize, links: &[u64]) -> f64 {
+        let peers: Vec<u64> =
+            links.iter().enumerate().filter(|&(i, _)| i != me).map(|(_, &b)| b).collect();
+        let total: u64 = peers.iter().sum();
+        if peers.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / peers.len() as f64;
+        *peers.iter().max().expect("non-empty") as f64 / mean
     }
 
     /// Time-averaged bytes in flight across the async bucket reduces in
@@ -1234,6 +1278,7 @@ impl Comm {
     fn send_raw(&self, dst: usize, tag: u32, payload: Payload) {
         let gdst = self.group[dst];
         self.local.bytes_sent.fetch_add(payload.len_bytes() as u64, Relaxed);
+        self.local.link_sent[gdst].fetch_add(payload.len_bytes() as u64, Relaxed);
         self.local.msgs_sent.fetch_add(1, Relaxed);
         self.local.trace(TraceEventKind::Send, self.comm_id, tag, Some(gdst), payload.len_bytes());
         self.transport.send(
@@ -2085,6 +2130,33 @@ mod tests {
         });
         assert_eq!(out[0], 400);
         assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn per_link_counters_attribute_every_sent_byte() {
+        let out = run_cluster(3, |c| {
+            let before = c.stats();
+            if c.rank() == 0 {
+                c.send_f32(1, 0, &[0.0; 100]); // 400 bytes to rank 1
+                c.send_f32(2, 0, &[0.0; 300]); // 1200 bytes to rank 2
+            } else {
+                let _ = c.recv_f32(0, 0);
+            }
+            (before, c.stats())
+        });
+        let (before, after) = &out[0];
+        let links = after.link_bytes_delta(before);
+        assert_eq!(links, vec![0, 400, 1200]);
+        // Every byte in the aggregate counter is attributed to some link.
+        assert_eq!(links.iter().sum::<u64>(), after.bytes_sent - before.bytes_sent);
+        assert_eq!(CommStats::link_bytes_max(0, &links), 1200);
+        let imb = CommStats::link_imbalance(0, &links);
+        assert!((imb - 1.5).abs() < 1e-9, "1200 / mean(800) = 1.5, got {imb}");
+        // Idle ranks: no peer traffic at all.
+        let (b2, a2) = &out[2];
+        let idle = a2.link_bytes_delta(b2);
+        assert_eq!(CommStats::link_bytes_max(2, &idle), 0);
+        assert_eq!(CommStats::link_imbalance(2, &idle), 0.0);
     }
 
     #[test]

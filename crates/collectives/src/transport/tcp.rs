@@ -209,17 +209,34 @@ fn rendezvous_host(
             Err(e) => return Err(e),
         };
         s.set_nonblocking(false)?;
+        let from = peer_addr_of(&s);
         let mut rank_buf = [0u8; 4];
         s.read_exact(&mut rank_buf)?;
         let r = u32::from_le_bytes(rank_buf) as usize;
         if r == 0 || r >= n {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("rendezvous registration from out-of-range rank {r} (world {n})"),
+                format!("rendezvous registration from {from} announced out-of-range rank {r} (world {n})"),
             ));
         }
         let addr = String::from_utf8(read_len_prefixed(&mut s)?)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        // A re-registration is legitimate only when the first attempt's
+        // connection tore (the peer's bounded-retry loop re-dials); a
+        // second *live* claimant for the same rank is a conflict that must
+        // fail bootstrap loudly, not silently replace the table entry.
+        if let Some(old) = &regs[r] {
+            if peer_alive(old) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "duplicate rendezvous registration for rank {r} from {from}: \
+                         rank {r} is already registered by a live peer at {}",
+                        peer_addr_of(old)
+                    ),
+                ));
+            }
+        }
         table[r] = Some(addr);
         regs[r] = Some(s);
     }
@@ -280,6 +297,35 @@ fn is_torn(e: &io::Error) -> bool {
             | io::ErrorKind::UnexpectedEof
             | io::ErrorKind::ConnectionRefused
     )
+}
+
+/// Whether the remote end of an established bootstrap socket is still
+/// alive, probed with a nonblocking peek: `WouldBlock` (link open, nothing
+/// queued) or buffered data mean alive; an orderly EOF or a reset-class
+/// error means the peer is gone. Used to tell a *legitimate* duplicate
+/// HELLO (the first attempt tore after its bytes left the socket, the
+/// retry supersedes the husk) from a *conflicting* one (two live peers
+/// both claiming the same rank — misconfiguration or spoofing, which must
+/// be a structured bootstrap error, never silent misrouting). The socket
+/// is restored to blocking mode before returning.
+fn peer_alive(s: &TcpStream) -> bool {
+    if s.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let alive = match s.peek(&mut probe) {
+        Ok(0) => false,
+        Ok(_) => true,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => true,
+        Err(e) => !is_torn(&e),
+    };
+    let _ = s.set_nonblocking(false);
+    alive
+}
+
+/// Best-effort peer address for bootstrap error messages.
+fn peer_addr_of(s: &TcpStream) -> String {
+    s.peer_addr().map_or_else(|_| "<unknown peer>".to_string(), |a| a.to_string())
 }
 
 /// Register with the rendezvous, retrying torn connections with backoff
@@ -406,20 +452,48 @@ impl TcpTransport {
                     Err(e) if is_torn(&e) => continue,
                     Err(e) => return Err(e),
                 }
+                let from = peer_addr_of(&s);
                 if hello[0..4] != FRAME_MAGIC {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad mesh hello"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad mesh hello from {from}: magic mismatch"),
+                    ));
                 }
                 let peer = u32::from_le_bytes(hello[4..8].try_into().expect("4")) as usize;
+                // The announced rank is untrusted until validated: rank
+                // `rank` accepts only dialers strictly above it (the
+                // dial-below/accept-above mesh), and never one at or past
+                // the world size.
                 if peer <= rank || peer >= world {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("unexpected mesh hello from rank {peer}"),
+                        format!(
+                            "mesh hello from {from} announced out-of-range rank {peer} \
+                             (rank {rank} accepts dialers {}..{world})",
+                            rank + 1
+                        ),
                     ));
                 }
-                // Last HELLO wins: a duplicate means the dialer's first
-                // attempt tore after the handshake bytes left its socket.
-                if streams[peer].replace(s).is_none() {
-                    missing -= 1;
+                match &streams[peer] {
+                    // A duplicate HELLO from a *live* link means two peers
+                    // both claim this rank — reject it, naming the address,
+                    // instead of silently rerouting the mesh slot.
+                    Some(old) if peer_alive(old) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "duplicate mesh hello for rank {peer} from {from}: \
+                                 that rank's link is already established and alive"
+                            ),
+                        ));
+                    }
+                    // The dialer's first attempt tore after the handshake
+                    // bytes left its socket; the retry supersedes the husk.
+                    Some(_) => streams[peer] = Some(s),
+                    None => {
+                        streams[peer] = Some(s);
+                        missing -= 1;
+                    }
                 }
             }
 
@@ -770,6 +844,186 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains('2') && text.contains("never registered"), "{text}");
         drop(reg.join());
+    }
+
+    /// Register `rank` with the rendezvous at `addr` without reading the
+    /// table reply (the host only replies once every rank registered, so a
+    /// fake peer must not block on it while other fakes still register).
+    /// The socket must stay open so the host's eventual table write lands.
+    fn register_silent(addr: &str, rank: u32) -> TcpStream {
+        let mut s = connect_with_backoff(addr, Duration::from_secs(5)).expect("dial rendezvous");
+        s.write_all(&rank.to_le_bytes()).expect("rank");
+        write_len_prefixed(&mut s, b"127.0.0.1:1").expect("addr");
+        s.flush().expect("flush");
+        s
+    }
+
+    /// Register `rank` with the rendezvous at `addr` and read the address
+    /// table back, impersonating a real peer's bootstrap. Call this for the
+    /// *last* fake rank only; earlier fakes use [`register_silent`].
+    fn register_fake(addr: &str, rank: u32, world: usize) -> (TcpStream, Vec<String>) {
+        let mut s = register_silent(addr, rank);
+        let mut n_buf = [0u8; 4];
+        s.read_exact(&mut n_buf).expect("world echo");
+        assert_eq!(u32::from_le_bytes(n_buf) as usize, world);
+        let table = (0..world)
+            .map(|_| String::from_utf8(read_len_prefixed(&mut s).expect("entry")).expect("utf8"))
+            .collect();
+        (s, table)
+    }
+
+    #[test]
+    fn garbled_mesh_hello_fails_with_the_offending_address() {
+        // A peer that registers cleanly but then opens the data link with
+        // garbage magic must fail bootstrap with a structured error naming
+        // its address, not corrupt the mesh.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let attacker = std::thread::spawn(move || {
+            let (_reg, table) = register_fake(&addr, 1, 2);
+            let mut s =
+                connect_with_backoff(&table[0], Duration::from_secs(5)).expect("dial data");
+            s.write_all(b"NOPE").expect("garbled magic");
+            s.write_all(&1u32.to_le_bytes()).expect("rank");
+            s.flush().expect("flush");
+            s // keep the socket open so the read side sees the bytes, not a reset
+        });
+        let err = match TcpTransport::host(listener, 2, TcpOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("garbled hello must fail bootstrap"),
+        };
+        let text = err.to_string();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(text.contains("magic mismatch"), "{text}");
+        assert!(text.contains("127.0.0.1"), "error must name the offending address: {text}");
+        drop(attacker.join());
+    }
+
+    #[test]
+    fn out_of_range_mesh_hello_names_rank_and_address() {
+        // Valid magic, but the announced rank is outside the world: the
+        // peer-supplied rank must be validated before it indexes anything.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let attacker = std::thread::spawn(move || {
+            let (_reg, table) = register_fake(&addr, 1, 2);
+            let mut s =
+                connect_with_backoff(&table[0], Duration::from_secs(5)).expect("dial data");
+            s.write_all(&FRAME_MAGIC).expect("magic");
+            s.write_all(&5u32.to_le_bytes()).expect("bogus rank");
+            s.flush().expect("flush");
+            s
+        });
+        let err = match TcpTransport::host(listener, 2, TcpOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("out-of-range hello must fail bootstrap"),
+        };
+        let text = err.to_string();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(text.contains("out-of-range rank 5"), "{text}");
+        assert!(text.contains("127.0.0.1"), "error must name the offending address: {text}");
+        drop(attacker.join());
+    }
+
+    #[test]
+    fn duplicate_live_mesh_hello_is_rejected() {
+        // Two live connections both claiming rank 2 is a conflict the host
+        // must reject with the second claimant's address.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let attacker = std::thread::spawn(move || {
+            let _reg1 = register_silent(&addr, 1);
+            let (_reg2, table) = register_fake(&addr, 2, 3);
+            let hello = |rank: u32| {
+                let mut s =
+                    connect_with_backoff(&table[0], Duration::from_secs(5)).expect("dial data");
+                s.write_all(&FRAME_MAGIC).expect("magic");
+                s.write_all(&rank.to_le_bytes()).expect("rank");
+                s.flush().expect("flush");
+                s
+            };
+            let first = hello(2);
+            // Give the host time to accept the first claim before the
+            // conflicting one arrives on a separate live socket.
+            std::thread::sleep(Duration::from_millis(100));
+            let second = hello(2);
+            (_reg1, _reg2, first, second)
+        });
+        let err = match TcpTransport::host(listener, 3, TcpOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("second live claimant for rank 2 must fail bootstrap"),
+        };
+        let text = err.to_string();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(text.contains("duplicate mesh hello for rank 2"), "{text}");
+        assert!(text.contains("127.0.0.1"), "error must name the offending address: {text}");
+        drop(attacker.join());
+    }
+
+    #[test]
+    fn torn_mesh_hello_retry_still_supersedes_the_husk() {
+        // The legitimate duplicate: a HELLO whose connection tears is
+        // superseded by the dialer's retry — bootstrap must complete, not
+        // report a conflict against a dead socket.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let peers = std::thread::spawn(move || {
+            let reg1 = register_silent(&addr, 1);
+            let (reg2, table) = register_fake(&addr, 2, 3);
+            let hello = |rank: u32| {
+                let mut s =
+                    connect_with_backoff(&table[0], Duration::from_secs(5)).expect("dial data");
+                s.write_all(&FRAME_MAGIC).expect("magic");
+                s.write_all(&rank.to_le_bytes()).expect("rank");
+                s.flush().expect("flush");
+                s
+            };
+            let first = hello(2);
+            std::thread::sleep(Duration::from_millis(100));
+            drop(first); // the torn attempt
+            std::thread::sleep(Duration::from_millis(50));
+            let retry = hello(2);
+            let other = hello(1);
+            (reg1, reg2, retry, other)
+        });
+        let t0 = TcpTransport::host(listener, 3, TcpOptions::default())
+            .expect("torn-then-retried hello must not wedge bootstrap");
+        let socks = peers.join().expect("peer thread");
+        drop(socks); // EOF the fake links so reader threads exit
+        t0.shutdown();
+    }
+
+    #[test]
+    fn duplicate_rendezvous_registration_from_live_peer_is_rejected() {
+        // Same conflict at the rendezvous layer: rank 1 registers twice
+        // over two sockets that both stay open. The re-registration must
+        // be a structured error naming the address, not a silent table
+        // overwrite that misroutes the mesh.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let attacker = std::thread::spawn(move || {
+            let reg = || {
+                let mut s =
+                    connect_with_backoff(&addr, Duration::from_secs(5)).expect("dial");
+                s.write_all(&1u32.to_le_bytes()).expect("rank");
+                write_len_prefixed(&mut s, b"127.0.0.1:1").expect("addr");
+                s.flush().expect("flush");
+                s
+            };
+            let first = reg();
+            std::thread::sleep(Duration::from_millis(100));
+            let second = reg();
+            (first, second)
+        });
+        // World 3 keeps the host accepting (rank 2 never shows), so it
+        // meets the duplicate instead of completing early.
+        let err = rendezvous_host(&listener, 3, "127.0.0.1:0", Duration::from_secs(5))
+            .expect_err("live duplicate registration must fail");
+        let text = err.to_string();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(text.contains("duplicate rendezvous registration for rank 1"), "{text}");
+        assert!(text.contains("127.0.0.1"), "error must name the offending address: {text}");
+        drop(attacker.join());
     }
 
     #[test]

@@ -281,11 +281,7 @@ impl Tuner {
             // A class never seen during probing (e.g. a bucket replan
             // changed the tiling). Borrow the nearest agreed class —
             // deterministic from the agreed table, hence cluster-safe.
-            self.choices
-                .iter()
-                .min_by_key(|(k, _)| (k.abs_diff(class), **k))
-                .map(|(_, &c)| c)
-                .unwrap_or(0)
+            nearest_agreed_class(&self.choices, class).unwrap_or(0)
         } else {
             // Replay mode: score every candidate under the static prior
             // model (identical on every rank) and take the cheapest.
@@ -397,6 +393,20 @@ impl Tuner {
         }
         parts.join(";")
     }
+}
+
+/// Borrow the choice of the agreed size class nearest to `class`.
+///
+/// Tie-break contract: when two agreed classes are **equidistant** from
+/// `class` (e.g. classes 10 and 14 around an unseen 12, which a bucket
+/// replan can produce), the *smaller* class wins. The comparison key is
+/// `(distance, class)` over a `BTreeMap`, so the result is a pure function
+/// of the agreed table — every rank holds the identical cluster-agreed
+/// table, so every rank borrows the same choice. Anything
+/// traversal-order- or tie-dependent here would desynchronize the
+/// seq-derived bucket sub-communicators and deadlock the fabric.
+fn nearest_agreed_class(choices: &BTreeMap<u32, usize>, class: u32) -> Option<usize> {
+    choices.iter().min_by_key(|(k, _)| (k.abs_diff(class), **k)).map(|(_, &c)| c)
 }
 
 /// Index of the smallest score (ties break low — first occurrence wins).
@@ -594,6 +604,68 @@ mod tests {
         t.end_epoch(&[span(0, 1 << 20, 1_000_000)]);
         let bw = t.measured_model().reduce_bw;
         assert!((bw - (1u64 << 20) as f64 * 1e3).abs() / bw < 1e-9, "{bw}");
+    }
+
+    #[test]
+    fn equidistant_class_borrowing_prefers_the_smaller_class() {
+        // Agreed classes 10 and 14 pick different candidates; class 12 is
+        // exactly 2 away from both. The tie must break to class 10's
+        // choice, deterministically.
+        let mut choices = BTreeMap::new();
+        choices.insert(10u32, 0usize);
+        choices.insert(14u32, 1usize);
+        assert_eq!(nearest_agreed_class(&choices, 12), Some(0), "smaller class wins ties");
+        // Strictly nearer classes still win regardless of the tie-break.
+        assert_eq!(nearest_agreed_class(&choices, 13), Some(1));
+        assert_eq!(nearest_agreed_class(&choices, 11), Some(0));
+        // Outside the agreed range the nearest edge class is borrowed.
+        assert_eq!(nearest_agreed_class(&choices, 3), Some(0));
+        assert_eq!(nearest_agreed_class(&choices, 30), Some(1));
+        assert_eq!(nearest_agreed_class(&BTreeMap::new(), 12), None);
+    }
+
+    #[test]
+    fn equidistant_borrow_after_replan_agrees_across_ranks() {
+        // Four ranks probe with rank-skewed wall times, agree, and then a
+        // bucket replan surfaces an unseen class exactly equidistant from
+        // the two agreed classes. Every rank must select the same
+        // candidate (the fabric deadlocks on the first bucket otherwise)
+        // and render the same frozen decision table.
+        let runs = run_cluster(4, |comm| {
+            let cfg = TunerConfig::with_candidates(vec![
+                AllreduceAlgo::PipelinedRing,
+                AllreduceAlgo::HalvingDoubling,
+            ]);
+            let mut t = Tuner::new(cfg);
+            // Probe epochs over two size classes (2^10 and 2^14), with
+            // per-rank timings skewed so pessimistic agreement matters:
+            // ring wins the small class, halving-doubling the large one.
+            for epoch in 0..2u64 {
+                t.select(0, 1 << 10, 4, true);
+                t.select(1, 1 << 14, 4, true);
+                let skew = 1 + comm.rank() as u64;
+                let (small_ns, large_ns) = if epoch.is_multiple_of(2) {
+                    (100 * skew, 90_000 * skew) // ring's epoch
+                } else {
+                    (900 * skew, 9_000 * skew) // halving-doubling's epoch
+                };
+                let done = t.end_epoch(&[span(0, 1 << 10, small_ns), span(1, 1 << 14, large_ns)]);
+                if done {
+                    let agreed = agree_scores(comm, &t.score_table());
+                    t.apply_agreed(&agreed);
+                }
+            }
+            assert!(t.agreed());
+            // The replanned tiling produces 2^12-byte buckets: class 12 is
+            // equidistant from agreed classes 10 and 14.
+            let sel = t.select(0, 1 << 12, 4, false);
+            (sel.candidate, t.decision_table())
+        });
+        for r in &runs {
+            assert_eq!(*r, runs[0], "ranks diverged on the borrowed choice");
+        }
+        // The tie broke to the smaller class (10 → ring, candidate 0).
+        assert_eq!(runs[0].0, 0, "equidistant borrow must take the smaller class's choice");
     }
 
     #[test]

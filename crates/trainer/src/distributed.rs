@@ -263,6 +263,14 @@ pub struct EpochStats {
     /// parameter bytes — the strategy's memory win, measured rather than
     /// computed.
     pub resident_opt_bytes: u64,
+    /// Bytes on the busiest single outgoing link (per-peer counter) during
+    /// the epoch, maxed over all ranks — the root-adjacent hotspot the
+    /// multi-color trees exist to spread.
+    pub link_bytes_max: u64,
+    /// Busiest-link / mean-link ratio of per-peer bytes sent during the
+    /// epoch (1.0 = perfectly balanced, ~world-1 = one hot link), maxed
+    /// over all ranks; 0 when the epoch sent nothing.
+    pub link_imbalance: f64,
     /// The allreduce decision in effect when the epoch ended: the fixed
     /// algorithm's name, `probe` while an auto tuner is still rotating
     /// candidates, or the tuner's frozen per-size decision table
@@ -729,6 +737,14 @@ fn train_epochs(st: TrainState<'_>) {
             buckets_launched: progress.buckets_launched,
             resident_param_bytes: res_param,
             resident_opt_bytes: res_opt,
+            link_bytes_max: {
+                let links = now_comm.link_bytes_delta(&ep_comm);
+                allreduce_max_u64(comm, CommStats::link_bytes_max(me, &links))
+            },
+            link_imbalance: {
+                let links = now_comm.link_bytes_delta(&ep_comm);
+                allreduce_max_f64(comm, CommStats::link_imbalance(me, &links))
+            },
             algo_choices,
         });
         // Adaptive bucket sizing: steer the measured average of in-flight
@@ -828,6 +844,15 @@ fn flush_abort_state(
         buckets_launched: progress.buckets_launched,
         resident_param_bytes: res_param,
         resident_opt_bytes: res_opt,
+        // Local-only link picture for the same no-collective reason.
+        link_bytes_max: {
+            let links = now.link_bytes_delta(&progress.start);
+            CommStats::link_bytes_max(me, &links)
+        },
+        link_imbalance: {
+            let links = now.link_bytes_delta(&progress.start);
+            CommStats::link_imbalance(me, &links)
+        },
         // No collective here — peers are dead or dying — so render whatever
         // the local tuner last knew instead of agreeing on anything.
         algo_choices: gsync.choices_string(),

@@ -6,11 +6,11 @@ use crate::distributed::EpochStats;
 /// Render epoch statistics as CSV (header + one row per epoch).
 pub fn stats_to_csv(stats: &[EpochStats]) -> String {
     let mut out = String::from(
-        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm,bucket_bytes,buckets_launched,resident_param_bytes,resident_opt_bytes,algo_choices\n",
+        "epoch,lr,train_loss,train_acc,val_acc,comm_bytes,comm_msgs,comm_wait_secs,allreduce_secs,stash_hwm,bucket_wait_secs,overlap_frac,async_inflight_hwm,bucket_bytes,buckets_launched,resident_param_bytes,resident_opt_bytes,link_bytes_max,link_imbalance,algo_choices\n",
     );
     for s in stats {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             s.epoch,
             s.lr,
             s.train_loss,
@@ -28,6 +28,8 @@ pub fn stats_to_csv(stats: &[EpochStats]) -> String {
             s.buckets_launched,
             s.resident_param_bytes,
             s.resident_opt_bytes,
+            s.link_bytes_max,
+            s.link_imbalance,
             s.algo_choices
         ));
     }
@@ -71,6 +73,8 @@ mod tests {
             buckets_launched: 12 * epoch as u64,
             resident_param_bytes: 65536,
             resident_opt_bytes: 8192,
+            link_bytes_max: 512 * epoch as u64,
+            link_imbalance: 1.5,
             algo_choices: "multicolor".to_string(),
         }
     }
@@ -82,8 +86,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,"));
         assert!(lines[1].starts_with("0,"));
-        assert_eq!(lines[1].split(',').count(), 18);
-        assert!(lines[0].ends_with("resident_param_bytes,resident_opt_bytes,algo_choices"));
+        assert_eq!(lines[1].split(',').count(), 20);
+        assert!(lines[0].ends_with("link_bytes_max,link_imbalance,algo_choices"));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use dcnn_collectives::primitives::allgather_bytes;
 use dcnn_collectives::transport::crc32_update;
-use dcnn_collectives::{crc32, AlgoPolicy, AllreduceAlgo, Comm, RuntimeConfig, TunerConfig};
+use dcnn_collectives::{
+    crc32, AlgoPolicy, AllreduceAlgo, CellSpec, Comm, RuntimeConfig, TunerConfig,
+};
 use dcnn_dimd::{BatchSource, Dimd, Hello, LocalSource, ServiceSource, SynthConfig, SynthImageNet};
 use dcnn_tensor::optim::LrSchedule;
 use dcnn_trainer::{train_on_comm, TrainConfig};
@@ -27,6 +29,7 @@ pub fn workload_names() -> &'static [&'static str] {
         "autotune-epoch",
         "data-epoch",
         "data-storm",
+        "eval-cell",
     ]
 }
 
@@ -42,6 +45,7 @@ pub fn workload(name: &str) -> Option<fn(&Comm) -> Vec<String>> {
         "autotune-epoch" => Some(autotune_epoch_workload),
         "data-epoch" => Some(data_epoch_workload),
         "data-storm" => Some(data_storm_workload),
+        "eval-cell" => Some(eval_cell_workload),
         _ => None,
     }
 }
@@ -462,6 +466,33 @@ pub fn autotune_epoch_workload(comm: &Comm) -> Vec<String> {
     lines
 }
 
+/// One `dcnn-eval` matrix cell on real OS processes: rebuild the
+/// [`CellSpec`] from the `DCNN_*` environment the harness exported
+/// (`CellSpec::to_env`), measure it on this communicator, cross-check the
+/// reduction fingerprint across every rank, and report rank 0's
+/// measurement as a single JSON line — the only stdout line, so the
+/// harness can parse it straight off `dcnn-launch`'s output.
+pub fn eval_cell_workload(comm: &Comm) -> Vec<String> {
+    let cell = CellSpec::from_runtime(&runtime(), comm.size());
+    let m = cell
+        .measure_on_comm(comm)
+        .unwrap_or_else(|e| panic!("rank {}: {e}", comm.rank()));
+    for (r, b) in allgather_bytes(comm, m.fingerprint.to_le_bytes().to_vec())
+        .iter()
+        .enumerate()
+    {
+        let theirs = u32::from_le_bytes(b.as_slice().try_into().expect("4"));
+        assert_eq!(
+            theirs,
+            m.fingerprint,
+            "cell {}: rank {} disagrees with rank {r} on the reduced bits",
+            cell.id(),
+            comm.rank()
+        );
+    }
+    vec![m.to_json()]
+}
+
 /// The dataset and shuffle parameters shared by the data-plane workloads
 /// (`data-epoch`, `data-storm`) and the `dcnn-data-server` binary. The
 /// trainers and the servers are separate OS processes that never exchange
@@ -712,6 +743,23 @@ mod tests {
         assert!(table(&lines[3]).contains("<="), "{lines:?}");
         assert_eq!(table(&lines[3]), table(&lines[4]), "ranks disagree: {lines:?}");
         assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn eval_cell_workload_emits_one_json_measurement_per_rank() {
+        let out = dcnn_collectives::run_cluster(2, eval_cell_workload);
+        for lines in &out {
+            assert_eq!(lines.len(), 1, "{lines:?}");
+        }
+        let parse = |l: &str| -> dcnn_collectives::CellMeasurement {
+            dcnn_collectives::CellMeasurement::from_json(l).expect("measurement JSON")
+        };
+        let (m0, m1) = (parse(&out[0][0]), parse(&out[1][0]));
+        assert!(m0.wall_ns > 0 && m0.bytes > 0);
+        assert_eq!(m0.link_bytes_sent.len(), 2);
+        // Wall times and link counters are per-rank, but the reduced bits
+        // are not — the workload itself asserts cross-rank agreement.
+        assert_eq!(m0.fingerprint, m1.fingerprint);
     }
 
     #[test]
